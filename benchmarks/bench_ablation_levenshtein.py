@@ -1,0 +1,53 @@
+"""Ablation — Levenshtein similarity threshold in the domain filter.
+
+The paper fixes the threshold at 0.8 (§8.2).  Swept here against the
+simulated web's ground truth: lower thresholds catch more obfuscated
+domains but start matching benign names; higher thresholds degrade to
+exact containment.
+
+Timed section: one filter pass over the CT log at the paper's threshold.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+from repro.webdetect import DomainFilter
+
+_THRESHOLDS = [0.6, 0.7, 0.8, 0.9, 0.99]
+
+
+def test_ablation_levenshtein_threshold(benchmark, bench_web, record_table):
+    web = bench_web
+    domains = [entry.domain for entry in web.ct_log]
+    phishing = set(web.truth.phishing)
+
+    def sweep(threshold: float) -> tuple[float, float]:
+        domain_filter = DomainFilter(similarity_threshold=threshold)
+        flagged = {d for d in domains if domain_filter.is_suspicious(d)}
+        tls_phish = {d for d in domains if d in phishing}
+        recall = len(flagged & tls_phish) / len(tls_phish)
+        benign_flagged = len(flagged - phishing)
+        benign_total = len(set(domains) - phishing)
+        fp_rate = benign_flagged / benign_total if benign_total else 0.0
+        return recall, fp_rate
+
+    benchmark.pedantic(lambda: sweep(0.8), rounds=1, iterations=1)
+
+    rows = []
+    for threshold in _THRESHOLDS:
+        recall, fp_rate = sweep(threshold)
+        rows.append([f"{threshold:.2f}", f"{recall:.1%}", f"{fp_rate:.1%}"])
+    table = render_table(
+        ["similarity threshold", "phishing-domain recall", "benign flag rate"],
+        rows,
+        title="Ablation — Levenshtein threshold in the §8.2 domain filter "
+              "(keyword-filter stage only; the crawl stage removes benign flags)",
+    )
+    record_table("ablation_levenshtein", table)
+
+    recall_08, fp_08 = sweep(0.8)
+    recall_099, _ = sweep(0.99)
+    _, fp_06 = sweep(0.6)
+    assert recall_08 >= recall_099          # 0.8 catches obfuscations 0.99 misses
+    assert fp_06 >= fp_08                   # looser threshold flags more benign
+    assert recall_08 > 0.85                 # the paper's threshold works

@@ -1,0 +1,46 @@
+"""Figure 7 — distribution of affiliate account profits.
+
+Paper: 50.2 % of affiliates earned more than $1,000; 22.0 % more than
+$10,000; the top 7.4 % hold 75.6 % of affiliate profit.
+
+Timed section: the affiliate aggregation pass.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import AffiliateAnalyzer
+from repro.analysis.reporting import render_table
+
+_BUCKETS = ["< $1,000", "$1,000 - $10,000", "$10,000 - $50,000", "> $50,000"]
+
+
+def test_fig7_affiliate_profit_distribution(benchmark, bench_pipeline, record_table):
+    analyzer = AffiliateAnalyzer(bench_pipeline.context)
+
+    report = benchmark.pedantic(
+        lambda: analyzer.analyze(bench_pipeline.victim_report), rounds=1, iterations=1
+    )
+
+    shares = report.profit_bucket_shares()
+    rows = [
+        [label, "(figure slice)", f"{measured:.1%}"]
+        for label, measured in zip(_BUCKETS, shares)
+    ]
+    rows.append(["above $1,000", "50.2%", f"{report.share_above(1_000):.1%}"])
+    rows.append(["above $10,000", "22.0%", f"{report.share_above(10_000):.1%}"])
+    rows.append([
+        "head for 75.6% of profit", "7.4%", f"{report.head_fraction_for(0.756):.1%}",
+    ])
+    rows.append([
+        "reach > 10 victims", "26.1%", f"{report.reach_share_above(10):.1%}",
+    ])
+    table = render_table(
+        ["metric", "paper", "measured"],
+        rows,
+        title="Figure 7 — affiliate account profit distribution",
+    )
+    record_table("fig7_affiliate_profits", table)
+
+    assert abs(report.share_above(1_000) - 0.502) < 0.12
+    assert abs(report.share_above(10_000) - 0.220) < 0.08
+    assert report.head_fraction_for(0.756) < 0.20

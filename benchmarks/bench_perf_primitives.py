@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the substrate primitives.
+
+Not a paper artifact — these justify the simulator's throughput numbers
+(keccak dominates world generation; the classifier dominates dataset
+construction) and guard against performance regressions.
+"""
+
+from __future__ import annotations
+
+from repro.chain.crypto import keccak256, to_checksum_address
+from repro.chain.rlp import rlp_decode, rlp_encode
+from repro.core.ratios import match_operator_share
+from repro.webdetect.keywords import DomainFilter
+from repro.webdetect.levenshtein import levenshtein_distance
+
+
+def test_perf_keccak256_small_input(benchmark):
+    benchmark(keccak256, b"x" * 64)
+
+
+def test_perf_keccak256_one_rate_block(benchmark):
+    benchmark(keccak256, b"x" * 136)
+
+
+def test_perf_checksum_address(benchmark):
+    # lru-cached in production use; benchmark the cold path via unique inputs
+    addresses = [f"{i:040x}" for i in range(4096)]
+    it = iter(addresses)
+
+    def checksum():
+        return to_checksum_address(next(it))
+
+    benchmark.pedantic(checksum, rounds=1000, iterations=1)
+
+
+def test_perf_rlp_roundtrip(benchmark):
+    payload = [b"\x01" * 20, b"\x02" * 20, b"\x03" * 8, [b"dog", b"cat", b""]]
+
+    def roundtrip():
+        return rlp_decode(rlp_encode(payload))
+
+    benchmark(roundtrip)
+
+
+def test_perf_ratio_match(benchmark):
+    benchmark(match_operator_share, 2_000_000_000_000_000_000, 8_000_000_000_000_000_000)
+
+
+def test_perf_levenshtein(benchmark):
+    benchmark(levenshtein_distance, "allowlist", "all0wlist")
+
+
+def test_perf_domain_filter(benchmark):
+    domain_filter = DomainFilter()
+    benchmark(domain_filter.matched_keyword, "zksync-all0wlist-portal.app")
+
+
+def test_perf_single_tx_classification(benchmark, bench_world, bench_pipeline):
+    from repro.core import ProfitSharingClassifier
+
+    classifier = ProfitSharingClassifier()
+    record = bench_pipeline.dataset.transactions[0]
+    tx = bench_world.rpc.get_transaction(record.tx_hash)
+    receipt = bench_world.rpc.get_transaction_receipt(record.tx_hash)
+
+    result = benchmark(classifier.classify, tx, receipt)
+    assert result

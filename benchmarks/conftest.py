@@ -1,0 +1,89 @@
+"""Benchmark harness fixtures.
+
+Every bench regenerates one of the paper's tables/figures on a shared
+world built once per session at ``BENCH_SCALE`` (default 0.1 — set the
+``REPRO_BENCH_SCALE`` env var to change; 1.0 is full paper scale).
+Count-type rows are reported both raw and rescaled to paper scale;
+proportions are scale-invariant and compared directly.
+
+The paper-vs-measured tables are accumulated via the ``record_table``
+fixture, written under ``benchmarks/out/``, and printed in the terminal
+summary (so they appear even with pytest's output capture active).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import run_pipeline
+from repro.simulation import SimulationParams, build_world
+from repro.webdetect import (
+    PhishingSiteDetector,
+    WebWorldParams,
+    build_fingerprint_db,
+    build_web_world,
+)
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2025"))
+
+_OUT_DIR = Path(__file__).parent / "out"
+_TABLES: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return build_world(SimulationParams(scale=BENCH_SCALE, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_world):
+    return run_pipeline(world=bench_world)
+
+
+@pytest.fixture(scope="session")
+def bench_web():
+    return build_web_world(WebWorldParams(scale=BENCH_SCALE, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_detection(bench_web):
+    db = build_fingerprint_db(bench_web)
+    reports, stats = PhishingSiteDetector(bench_web, db).run()
+    return db, reports, stats
+
+
+@pytest.fixture()
+def record_table():
+    """Record a rendered experiment table for the terminal summary."""
+
+    def _record(name: str, text: str) -> None:
+        _TABLES.append((name, text))
+        _OUT_DIR.mkdir(exist_ok=True)
+        (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section(f"paper vs. measured (scale={BENCH_SCALE})")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {name} ==")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def upscale(value: float, scale: float) -> float:
+    """Rescale a scaled count to paper scale for side-by-side reporting."""
+    return value / scale

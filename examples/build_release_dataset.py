@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Build and validate the releasable DaaS dataset (paper §5).
+
+Reproduces the full dataset-construction methodology:
+
+1. collect candidate contracts from the four public label feeds;
+2. keep those whose histories exhibit profit sharing (Step 2);
+3. extract operators (smaller share) and affiliates (larger share);
+4. snowball-expand until no new contracts appear;
+5. run the two-reviewer validation protocol over the result;
+6. write the dataset JSON exactly as it would be released.
+
+Run:  python examples/build_release_dataset.py [scale] [out.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro.analysis.reporting import fmt_pct, render_table
+from repro.core import ContractAnalyzer, DatasetValidator, SeedBuilder, SnowballExpander
+from repro.simulation import SimulationParams, build_world
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "daas_dataset.json"
+
+    print(f"building world at scale {scale} ...")
+    world = build_world(SimulationParams(scale=scale, seed=2025))
+    analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle)
+
+    # -- Steps 1-3: seed ----------------------------------------------------
+    dataset, seed_report = SeedBuilder(analyzer, world.feeds).build()
+    print(f"\nStep 1: {seed_report.candidates} candidate addresses from 4 feeds")
+    print(f"        {len(seed_report.rejected_not_contract)} EOAs filtered out")
+    print(f"Step 2: {len(seed_report.rejected_not_profit_sharing)} false reports "
+          "rejected by the profit-sharing behaviour check")
+    print(f"Step 3: seed dataset = {dataset.summary()}")
+
+    # -- Step 4: snowball expansion -------------------------------------------
+    expansion = SnowballExpander(analyzer).expand(dataset)
+    print("\nStep 4: snowball expansion")
+    for stats in expansion.iterations:
+        print(f"  hop {stats.iteration}: scanned {stats.accounts_scanned} accounts, "
+              f"+{stats.new_contracts} contracts, +{stats.new_operators} operators, "
+              f"+{stats.new_affiliates} affiliates, +{stats.new_transactions} txs")
+    print(f"  converged: {expansion.converged}")
+    print(f"  expanded dataset = {dataset.summary()}")
+
+    # -- provenance breakdown ---------------------------------------------------
+    stages = Counter(p.stage for p in dataset.provenance.values())
+    print(f"\nprovenance: {dict(stages)}")
+
+    # -- validation protocol (§5.2) -----------------------------------------------
+    report = DatasetValidator(analyzer).validate(dataset)
+    rows = [
+        ["accounts reviewed", f"{report.accounts_reviewed:,}"],
+        ["transactions reviewed", f"{report.transactions_reviewed:,}"],
+        ["false positives", str(len(report.false_positives))],
+        ["reviewer disagreements", str(report.disagreements)],
+        ["false-positive rate", fmt_pct(report.false_positive_rate, 2)],
+        ["estimated man-hours (paper's throughput)", f"{report.estimated_man_hours:.0f}"],
+    ]
+    print()
+    print(render_table(["metric", "value"], rows,
+                       title="Validation protocol (paper: 39,037 txs, 584 man-hours, 0 FPs)"))
+
+    dataset.save(out_path)
+    print(f"\ndataset written to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Real-time DaaS monitoring (extension of the paper's §9 proposals).
+
+Seeds a dataset from the public feeds, then replays the chain block by
+block through the :class:`StreamingMonitor` — the online analogue of the
+batch snowball pipeline — printing alerts as drainer activity "happens":
+profit-sharing splits, newly deployed profit-sharing contracts, fresh
+operator/affiliate accounts, and victims about to interact with known
+DaaS infrastructure.
+
+Run:  python examples/streaming_monitor.py [scale]
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import sys
+
+from repro.core import ContractAnalyzer, SeedBuilder
+from repro.core.monitor import StreamingMonitor
+from repro.simulation import SimulationParams, build_world
+
+
+def fmt_ts(ts: int) -> str:
+    return dt.datetime.fromtimestamp(ts, tz=dt.timezone.utc).strftime("%Y-%m-%d %H:%M")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    print(f"building world at scale {scale} ...")
+    world = build_world(SimulationParams(scale=scale, seed=2025))
+
+    analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle)
+    dataset, _ = SeedBuilder(analyzer, world.feeds).build()
+    monitor = StreamingMonitor(analyzer, dataset)
+    print(f"monitor initialized with {dataset.account_count():,} seed accounts\n")
+
+    shown = 0
+    for number in sorted(world.chain.blocks):
+        for alert in monitor.process_block(world.chain.blocks[number]):
+            # Print the structurally interesting alerts; splits are summarized.
+            if alert.kind in ("new_contract", "new_operator", "new_affiliate"):
+                print(f"[{fmt_ts(alert.timestamp)}] {alert.kind.upper():<15} "
+                      f"{alert.subject}  ({alert.detail})")
+                shown += 1
+            elif alert.kind == "victim_interaction" and shown < 60 and number % 7 == 0:
+                print(f"[{fmt_ts(alert.timestamp)}] victim warning   "
+                      f"{alert.subject} -> known DaaS account")
+                shown += 1
+
+    stats = monitor.stats
+    print("\n=== replay complete ===")
+    print(f"blocks processed:        {stats.blocks_processed:,}")
+    print(f"transactions processed:  {stats.transactions_processed:,}")
+    for kind in sorted(stats.alerts_by_kind):
+        print(f"  {kind:<20} {stats.count(kind):,}")
+    print(f"\nfinal dataset: {monitor.dataset.summary()}")
+    print("(equals what the batch seed + snowball pipeline produces)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — reproduction of "Unmasking the Shadow Economy: A Deep Dive into
+Drainer-as-a-Service Phishing on Ethereum" (IMC '25).
+
+Packages:
+
+* :mod:`repro.chain`      — simulated Ethereum substrate (the RPC/explorer
+  view the paper's tooling consumed from a real node);
+* :mod:`repro.simulation` — calibrated DaaS ecosystem generator;
+* :mod:`repro.core`       — the paper's contribution: profit-sharing
+  detection, seed construction, snowball expansion, dataset model;
+* :mod:`repro.analysis`   — the §6-§7 measurement suite and clustering;
+* :mod:`repro.webdetect`  — the §8 toolkit-based website detector;
+* :mod:`repro.api`        — a one-call facade over the full pipeline.
+"""
+
+from repro.api import PipelineResult, build_dataset, run_pipeline
+
+__version__ = "1.0.0"
+
+__all__ = ["PipelineResult", "build_dataset", "run_pipeline", "__version__"]

@@ -1,0 +1,73 @@
+"""Measurement analyses over the DaaS dataset (paper §6-§7, §9)."""
+
+from repro.analysis.affiliates import FIG7_EDGES, AffiliateAnalyzer, AffiliateReport
+from repro.analysis.context import AnalysisContext
+from repro.analysis.families import (
+    ClusteringResult,
+    ContractImplementation,
+    Family,
+    FamilyClusterer,
+)
+from repro.analysis.guard import GuardVerdict, TransactionIntent, WalletGuard
+from repro.analysis.laundering import (
+    LaunderingAnalyzer,
+    LaunderingReport,
+    LaunderingRoute,
+    SINK_CATEGORIES,
+)
+from repro.analysis.plots import bar_chart, histogram, lorenz_ascii
+from repro.analysis.operators import OperatorAnalyzer, OperatorReport
+from repro.analysis.reporting import (
+    fmt_month,
+    fmt_pct,
+    fmt_usd,
+    paper_vs_measured,
+    render_table,
+)
+from repro.analysis.stats import (
+    bucket_shares,
+    gini,
+    lorenz_curve,
+    min_head_fraction_for_share,
+    percentile,
+    top_k_share,
+)
+from repro.analysis.victims import FIG6_EDGES, VictimAnalyzer, VictimIncident, VictimReport
+
+__all__ = [
+    "FIG7_EDGES",
+    "AffiliateAnalyzer",
+    "AffiliateReport",
+    "AnalysisContext",
+    "ClusteringResult",
+    "ContractImplementation",
+    "Family",
+    "FamilyClusterer",
+    "GuardVerdict",
+    "TransactionIntent",
+    "WalletGuard",
+    "LaunderingAnalyzer",
+    "LaunderingReport",
+    "LaunderingRoute",
+    "SINK_CATEGORIES",
+    "bar_chart",
+    "histogram",
+    "lorenz_ascii",
+    "OperatorAnalyzer",
+    "OperatorReport",
+    "fmt_month",
+    "fmt_pct",
+    "fmt_usd",
+    "paper_vs_measured",
+    "render_table",
+    "bucket_shares",
+    "gini",
+    "lorenz_curve",
+    "min_head_fraction_for_share",
+    "percentile",
+    "top_k_share",
+    "FIG6_EDGES",
+    "VictimAnalyzer",
+    "VictimIncident",
+    "VictimReport",
+]

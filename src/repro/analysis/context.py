@@ -1,0 +1,27 @@
+"""Shared analysis context: the read-side handles plus the dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.explorer import Explorer
+from repro.chain.prices import PriceOracle
+from repro.chain.rpc import EthereumRPC
+from repro.core.dataset import DaaSDataset
+
+__all__ = ["AnalysisContext"]
+
+
+@dataclass
+class AnalysisContext:
+    """Everything the measurement modules need.
+
+    The context mirrors the paper's setting: a built DaaS dataset plus
+    node (RPC), explorer and price-oracle access.  Ground truth is *not*
+    part of the context — analyses must work from observables only.
+    """
+
+    rpc: EthereumRPC
+    explorer: Explorer
+    oracle: PriceOracle
+    dataset: DaaSDataset

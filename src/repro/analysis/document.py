@@ -1,0 +1,154 @@
+"""Markdown measurement-report generation.
+
+Renders a complete §5-§8-shaped report from a pipeline result: dataset
+collection, victim/operator/affiliate scale, family clustering, and —
+when website-detection results are supplied — the §8 section.  Used by
+``daas-repro report`` and useful as a dataset card accompanying a
+released dataset.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.analysis.reporting import fmt_month, fmt_pct, fmt_usd
+from repro.analysis.timeline import TimelineAnalyzer
+
+__all__ = ["render_markdown_report"]
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report(result, site_reports=None, detection_stats=None) -> str:
+    """Render the full report; ``result`` is a :class:`repro.api.PipelineResult`."""
+    dataset = result.dataset
+    vr, orr, ar = result.victim_report, result.operator_report, result.affiliate_report
+    clustering = result.clustering
+    scale = result.world.params.scale
+
+    sections: list[str] = []
+    sections.append(
+        f"# DaaS Measurement Report\n\n"
+        f"Simulated world at scale {scale} "
+        f"(1.0 = the paper's 87,077 profit-sharing transactions); "
+        f"seed {result.world.params.seed}."
+    )
+
+    # -- dataset collection ---------------------------------------------------
+    expanded = dataset.summary()
+    rows = [
+        [key.replace("_", " "), f"{result.seed_summary[key]:,}", f"{value:,}"]
+        for key, value in expanded.items()
+        if key in result.seed_summary
+    ]
+    sections.append(
+        "## Dataset collection (Table 1)\n\n"
+        + _md_table(["metric", "seed", "expanded"], rows)
+        + f"\n\nSnowball expansion converged in "
+          f"{len(result.expansion_report.iterations)} iteration(s)."
+    )
+
+    # -- victims ---------------------------------------------------------------
+    sections.append(
+        "## Victims (§6.1, Figure 6)\n\n"
+        + _md_table(
+            ["metric", "value"],
+            [
+                ["victim accounts", f"{vr.victim_count:,}"],
+                ["total losses", fmt_usd(vr.total_loss_usd)],
+                ["losses below $100", fmt_pct(vr.share_below(100))],
+                ["losses below $1,000", fmt_pct(vr.share_below(1_000))],
+                ["repeat victims", f"{len(vr.repeat_victims()):,}"],
+                ["repeat: simultaneous signing", fmt_pct(vr.simultaneous_share())],
+                ["repeat: unrevoked approvals",
+                 fmt_pct(result.victim_analyzer.unrevoked_share(vr))],
+            ],
+        )
+    )
+
+    # -- operators & affiliates --------------------------------------------------
+    sections.append(
+        "## Operators and affiliates (§6.2-§6.3, Figure 7)\n\n"
+        + _md_table(
+            ["metric", "operators", "affiliates"],
+            [
+                ["accounts", f"{len(dataset.operators):,}", f"{len(dataset.affiliates):,}"],
+                ["profits", fmt_usd(orr.total_profit_usd), fmt_usd(ar.total_profit_usd)],
+                ["head fraction for ~75% of profit",
+                 fmt_pct(orr.head_fraction_for(0.757)),
+                 fmt_pct(ar.head_fraction_for(0.756))],
+                ["Gini", f"{orr.profit_gini():.2f}", f"{ar.profit_gini():.2f}"],
+            ],
+        )
+        + f"\n\nAffiliates above $1,000: {fmt_pct(ar.share_above(1_000))}; "
+          f"above $10,000: {fmt_pct(ar.share_above(10_000))}; reaching more "
+          f"than 10 victims: {fmt_pct(ar.reach_share_above(10))}."
+    )
+
+    # -- families ----------------------------------------------------------------
+    rows = []
+    for family in clustering.sorted_by_victims():
+        rows.append([
+            family.name,
+            f"{len(family.contracts):,}",
+            f"{len(family.operators):,}",
+            f"{len(family.affiliates):,}",
+            f"{len(family.victims):,}",
+            fmt_usd(family.total_profit_usd),
+            f"{fmt_month(family.first_tx_ts)} to {fmt_month(family.last_tx_ts)}",
+        ])
+    sections.append(
+        "## Family clustering (§7, Table 2)\n\n"
+        + _md_table(
+            ["family", "contracts", "operators", "affiliates", "victims",
+             "profits", "active"],
+            rows,
+        )
+        + f"\n\nTop-3 families hold "
+          f"{fmt_pct(clustering.top_families_profit_share(3))} of all profits."
+    )
+
+    # -- timeline -------------------------------------------------------------------
+    timeline = TimelineAnalyzer(result.context).analyze(clustering)
+    peak = timeline.peak_month
+    if peak is not None:
+        sections.append(
+            "## Timeline\n\n"
+            f"Activity spans {timeline.points[0].month} to "
+            f"{timeline.points[-1].month}; the costliest month was "
+            f"{peak.month} ({fmt_usd(peak.loss_usd)} across "
+            f"{peak.ps_transactions:,} profit-sharing transactions, "
+            f"{peak.active_families} families active)."
+        )
+
+    # -- website detection -------------------------------------------------------------
+    if site_reports is not None and detection_stats is not None:
+        from collections import Counter
+
+        families = Counter(r.family for r in site_reports)
+        family_rows = [[name, f"{count:,}"] for name, count in families.most_common()]
+        sections.append(
+            "## Website detection (§8.2)\n\n"
+            + _md_table(
+                ["metric", "value"],
+                [
+                    ["CT entries scanned", f"{detection_stats.ct_entries:,}"],
+                    ["suspicious after keyword filter", f"{detection_stats.suspicious:,}"],
+                    ["confirmed phishing sites", f"{detection_stats.confirmed:,}"],
+                ],
+            )
+            + "\n\nConfirmed sites by family:\n\n"
+            + _md_table(["family", "sites"], family_rows)
+        )
+
+    generated = _dt.datetime.now(tz=_dt.timezone.utc).strftime("%Y-%m-%d")
+    sections.append(f"---\n\n*Generated {generated} by the repro pipeline.*")
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,119 @@
+"""Wallet-side countermeasures (paper §9's proposed defences).
+
+The paper recommends that wallets (a) check transaction recipients and
+approval targets against a DaaS blacklist via pre-sign simulation, and
+(b) flag drain-everything behaviour (requests touching all tokens of an
+account).  :class:`WalletGuard` implements both on top of the simulated
+chain, turning the measurement output (the dataset) into a protective
+control — the extension exercised by ``examples/wallet_guard.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.rpc import EthereumRPC
+
+__all__ = ["GuardVerdict", "TransactionIntent", "WalletGuard"]
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionIntent:
+    """A not-yet-signed transaction presented to the wallet."""
+
+    sender: str
+    to: str
+    value: int = 0
+    func: str = ""
+    args: dict | None = None
+
+
+@dataclass
+class GuardVerdict:
+    allowed: bool
+    alerts: list[str] = field(default_factory=list)
+
+    def deny(self, reason: str) -> None:
+        self.allowed = False
+        self.alerts.append(reason)
+
+
+class WalletGuard:
+    """Pre-signature transaction screening against a DaaS blacklist."""
+
+    def __init__(self, rpc: EthereumRPC, blacklist: set[str]) -> None:
+        self.rpc = rpc
+        self.blacklist = set(blacklist)
+
+    def screen(self, intent: TransactionIntent) -> GuardVerdict:
+        """Simulate the intent's effects and screen them.
+
+        Checks, in the paper's order: direct recipient, approval target,
+        and (for value transfers into contracts) whether the contract is
+        a known profit-sharing contract.
+        """
+        verdict = GuardVerdict(allowed=True)
+
+        if intent.to in self.blacklist:
+            verdict.deny(f"recipient {intent.to} is a known DaaS account")
+
+        args = intent.args or {}
+        if intent.func in ("approve", "setApprovalForAll"):
+            spender = args.get("spender") or args.get("operator")
+            if isinstance(spender, str) and spender in self.blacklist:
+                verdict.deny(f"approval target {spender} is a known DaaS account")
+
+        if intent.func == "multicall":
+            verdict.deny("multicall into an unverified contract (drainer pattern)")
+
+        if (
+            intent.value > 0
+            and self.rpc.is_contract(intent.to)
+            and self.rpc.get_code_kind(intent.to) in (
+                "profit_sharing",
+                "drainer_claim",
+                "drainer_fallback",
+                "drainer_network_merge",
+            )
+        ):
+            verdict.deny("value transfer into a profit-sharing contract")
+        return verdict
+
+    def screen_with_simulation(self, intent: TransactionIntent, simulator) -> GuardVerdict:
+        """Static screening plus a dry-run (§9's simulation countermeasure).
+
+        Catches what recipient screening cannot: a not-yet-blacklisted
+        contract whose *execution* forwards value or grants approvals to
+        blacklisted accounts.  ``simulator`` is a
+        :class:`repro.chain.simulator.TransactionSimulator`.
+        """
+        verdict = self.screen(intent)
+        result = simulator.simulate(
+            intent.sender, intent.to, value=intent.value,
+            func=intent.func, args=intent.args,
+        )
+        if not result.success:
+            verdict.alerts.append(
+                f"simulation reverted: {result.revert_reason} (nothing to screen)"
+            )
+            return verdict
+        for recipient in sorted(result.recipients() & self.blacklist):
+            verdict.deny(f"simulated execution pays blacklisted account {recipient}")
+        for spender in sorted(result.approval_targets() & self.blacklist):
+            verdict.deny(f"simulated execution approves blacklisted account {spender}")
+        return verdict
+
+    def multi_account_test(self, intents: list[TransactionIntent]) -> GuardVerdict:
+        """The paper's drain-everything heuristic: a site requesting
+        authority over many tokens across accounts is presumed phishing."""
+        verdict = GuardVerdict(allowed=True)
+        approvals = [i for i in intents if i.func in ("approve", "setApprovalForAll")]
+        targets = {
+            (i.args or {}).get("spender") or (i.args or {}).get("operator")
+            for i in approvals
+        }
+        if len(approvals) >= 3 and len(targets) == 1:
+            verdict.deny(
+                "site requests approvals for 3+ tokens to one spender (drain-everything pattern)"
+            )
+        return verdict

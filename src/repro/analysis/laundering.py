@@ -1,0 +1,124 @@
+"""Post-theft fund-flow tracing (paper §8.1).
+
+The paper observes that labeled DaaS accounts cannot cash out through
+centralized exchanges and instead route funds through cross-chain bridges
+and mixing services.  This module traces each DaaS account's outgoing ETH
+transfers through the transaction graph until a *labeled sink* (mixer,
+bridge, exchange) or a hop limit is reached, and aggregates where the
+stolen value ends up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.context import AnalysisContext
+
+__all__ = ["LaunderingRoute", "LaunderingReport", "LaunderingAnalyzer", "SINK_CATEGORIES"]
+
+#: Explorer label categories treated as cash-out endpoints.
+SINK_CATEGORIES = ("mixer", "bridge", "exchange")
+
+
+@dataclass(frozen=True, slots=True)
+class LaunderingRoute:
+    """One traced path from a DaaS account to a cash-out endpoint."""
+
+    source: str
+    sink: str
+    sink_category: str
+    amount_wei: int       # value of the first hop out of the source
+    hops: int
+    path: tuple[str, ...]
+
+
+@dataclass
+class LaunderingReport:
+    routes: list[LaunderingRoute] = field(default_factory=list)
+    #: Accounts with outgoing value that never reached a labeled sink.
+    untraced_accounts: set[str] = field(default_factory=set)
+
+    def total_by_category(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for route in self.routes:
+            totals[route.sink_category] = (
+                totals.get(route.sink_category, 0) + route.amount_wei
+            )
+        return totals
+
+    def accounts_reaching_sinks(self) -> set[str]:
+        return {route.source for route in self.routes}
+
+    def mean_hops(self) -> float:
+        if not self.routes:
+            return 0.0
+        return sum(route.hops for route in self.routes) / len(self.routes)
+
+
+class LaunderingAnalyzer:
+    """BFS over outgoing ETH transfers from DaaS accounts to labeled sinks."""
+
+    def __init__(self, ctx: AnalysisContext, max_hops: int = 4) -> None:
+        self.ctx = ctx
+        self.max_hops = max_hops
+
+    def trace_account(self, account: str) -> list[LaunderingRoute]:
+        """All sink-terminated routes starting at ``account``.
+
+        Paths stop at the first labeled sink, at other DaaS accounts
+        (their own cash-outs are traced separately), or at the hop limit.
+        """
+        explorer = self.ctx.explorer
+        daas = self.ctx.dataset.all_accounts
+        routes: list[LaunderingRoute] = []
+        visited: set[str] = {account}
+        # queue of (address, hops, first_hop_amount, path)
+        queue: deque[tuple[str, int, int, tuple[str, ...]]] = deque()
+        queue.append((account, 0, 0, (account,)))
+
+        while queue:
+            current, hops, first_amount, path = queue.popleft()
+            if hops >= self.max_hops:
+                continue
+            for tx in explorer.transactions_of(current):
+                if tx.sender != current or not tx.to or tx.value <= 0:
+                    continue
+                recipient = tx.to
+                amount = first_amount if hops > 0 else tx.value
+                label = explorer.get_label(recipient)
+                if label is not None and label.category in SINK_CATEGORIES:
+                    routes.append(
+                        LaunderingRoute(
+                            source=account,
+                            sink=recipient,
+                            sink_category=label.category,
+                            amount_wei=amount,
+                            hops=hops + 1,
+                            path=path + (recipient,),
+                        )
+                    )
+                    continue
+                if recipient in visited or recipient in daas and recipient != account:
+                    continue
+                if self.ctx.rpc.is_contract(recipient):
+                    continue  # token/drainer contracts are not cash-out hops
+                visited.add(recipient)
+                queue.append((recipient, hops + 1, amount, path + (recipient,)))
+        return routes
+
+    def analyze(self, accounts: set[str] | None = None) -> LaunderingReport:
+        """Trace every operator and affiliate (or the provided accounts)."""
+        if accounts is None:
+            accounts = self.ctx.dataset.operators | self.ctx.dataset.affiliates
+        report = LaunderingReport()
+        for account in sorted(accounts):
+            routes = self.trace_account(account)
+            if routes:
+                report.routes.extend(routes)
+            elif any(
+                tx.sender == account and tx.value > 0
+                for tx in self.ctx.explorer.transactions_of(account)
+            ):
+                report.untraced_accounts.add(account)
+        return report

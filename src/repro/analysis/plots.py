@@ -1,0 +1,63 @@
+"""Terminal plotting helpers for the example scripts.
+
+The paper's Figures 6 and 7 are pie charts of bucketed distributions and
+§6's concentration findings are Lorenz-style; these helpers render both as
+monospace text so the examples work anywhere.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart", "lorenz_ascii", "histogram"]
+
+_BAR = "█"
+
+
+def bar_chart(
+    labels: list[str], fractions: list[float], width: int = 40, title: str = ""
+) -> str:
+    """Horizontal bar chart of fractions (0..1)."""
+    if len(labels) != len(fractions):
+        raise ValueError("labels and fractions must align")
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    peak = max(fractions, default=0.0) or 1.0
+    for label, fraction in zip(labels, fractions):
+        bar = _BAR * max(1, round(fraction / peak * width)) if fraction > 0 else ""
+        lines.append(f"{label.ljust(label_width)}  {bar} {fraction:.1%}")
+    return "\n".join(lines)
+
+
+def lorenz_ascii(
+    curve: list[tuple[float, float]], size: int = 20, title: str = ""
+) -> str:
+    """Render a Lorenz curve as a size x size character grid.
+
+    ``*`` marks the curve, ``.`` the equality diagonal.
+    """
+    grid = [[" "] * (size + 1) for _ in range(size + 1)]
+    for i in range(size + 1):
+        grid[size - i][i] = "."  # diagonal (perfect equality)
+    for x, y in curve:
+        col = round(x * size)
+        row = size - round(y * size)
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    lines.append("cumulative value share ^")
+    for row in grid:
+        lines.append("  " + "".join(row))
+    lines.append("  " + "-" * (size + 1) + "> population share (poorest first)")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: list[float], edges: list[float], width: int = 40, title: str = ""
+) -> str:
+    """Bucketed histogram with human-readable edge labels."""
+    from repro.analysis.stats import bucket_shares
+
+    shares = bucket_shares(values, edges)
+    labels = [f"< {edges[0]:,.0f}"]
+    for lo, hi in zip(edges, edges[1:]):
+        labels.append(f"{lo:,.0f} - {hi:,.0f}")
+    labels.append(f">= {edges[-1]:,.0f}")
+    return bar_chart(labels, shares, width=width, title=title)

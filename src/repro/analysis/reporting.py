@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benches, the CLI and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+__all__ = ["render_table", "fmt_usd", "fmt_pct", "fmt_month", "paper_vs_measured"]
+
+
+def fmt_usd(value: float) -> str:
+    """$53.1M-style compact USD formatting."""
+    if abs(value) >= 1e6:
+        return f"${value / 1e6:.1f}M"
+    if abs(value) >= 1e3:
+        return f"${value / 1e3:.1f}K"
+    return f"${value:.2f}"
+
+
+def fmt_pct(fraction: float, digits: int = 1) -> str:
+    return f"{100 * fraction:.{digits}f}%"
+
+
+def fmt_month(timestamp: int | None) -> str:
+    if timestamp is None:
+        return "-"
+    return _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc).strftime("%Y-%m")
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: list[tuple[str, str, str]], title: str = "paper vs. measured"
+) -> str:
+    """Three-column comparison table: metric, paper value, measured value."""
+    return render_table(
+        ["metric", "paper", "measured"],
+        [[m, p, v] for m, p, v in rows],
+        title=title,
+    )

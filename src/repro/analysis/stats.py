@@ -1,0 +1,112 @@
+"""Distribution statistics used across the measurement sections.
+
+Concentration is the paper's recurring theme (14 operators take 75.7 % of
+operator profit; 7.4 % of affiliates take 75.6 % of affiliate profit), so
+this module centralizes the machinery: top-k shares, the minimum head
+fraction needed to reach a profit share, Lorenz curves and Gini
+coefficients, plus simple bucketed histograms for Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "top_k_share",
+    "min_head_fraction_for_share",
+    "lorenz_curve",
+    "gini",
+    "bucket_shares",
+    "percentile",
+]
+
+
+def top_k_share(values: list[float], k: int) -> float:
+    """Share of the total held by the ``k`` largest values."""
+    if not values or k <= 0:
+        return 0.0
+    total = sum(values)
+    if total <= 0:
+        return 0.0
+    return sum(sorted(values, reverse=True)[:k]) / total
+
+
+def min_head_fraction_for_share(values: list[float], share: float) -> float:
+    """Smallest fraction of holders (largest first) covering ``share`` of
+    the total — e.g. the paper's "7.4 % of affiliates received 75.6 %"."""
+    if not values:
+        return 0.0
+    total = sum(values)
+    if total <= 0:
+        return 0.0
+    target = share * total
+    running = 0.0
+    for i, value in enumerate(sorted(values, reverse=True), start=1):
+        running += value
+        if running >= target:
+            return i / len(values)
+    return 1.0
+
+
+def lorenz_curve(values: list[float], points: int = 101) -> list[tuple[float, float]]:
+    """(population fraction, cumulative value fraction) pairs, ascending."""
+    if not values:
+        return [(0.0, 0.0), (1.0, 1.0)]
+    ordered = sorted(values)
+    total = sum(ordered) or 1.0
+    cumulative = []
+    running = 0.0
+    for value in ordered:
+        running += value
+        cumulative.append(running / total)
+    curve = [(0.0, 0.0)]
+    n = len(ordered)
+    for j in range(1, points):
+        p = j / (points - 1)
+        # Step function: the poorest floor(p*n) holders' cumulative share —
+        # never above the diagonal for ascending-sorted values.
+        included = min(int(math.floor(p * n + 1e-9)), n)
+        curve.append((p, cumulative[included - 1] if included > 0 else 0.0))
+    return curve
+
+
+def gini(values: list[float]) -> float:
+    """Gini coefficient in [0, 1); 0 = perfectly equal."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if total <= 0:
+        return 0.0
+    weighted = sum(i * value for i, value in enumerate(ordered, start=1))
+    return (2 * weighted) / (n * total) - (n + 1) / n
+
+
+def bucket_shares(values: list[float], edges: list[float]) -> list[float]:
+    """Fraction of values in each bucket defined by ascending ``edges``.
+
+    ``edges = [100, 1000]`` yields three buckets: ``< 100``,
+    ``[100, 1000)`` and ``>= 1000``.
+    """
+    if not values:
+        return [0.0] * (len(edges) + 1)
+    counts = [0] * (len(edges) + 1)
+    for value in values:
+        for i, edge in enumerate(edges):
+            if value < edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    n = len(values)
+    return [c / n for c in counts]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]

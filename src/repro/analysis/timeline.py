@@ -1,0 +1,130 @@
+"""Temporal evolution of the DaaS ecosystem.
+
+The paper's dataset spans March 2023 – April 2025 and several findings are
+temporal (family active windows, >100 victims/day, contract rotation).
+This module builds monthly time series over the recovered dataset —
+profit-sharing transactions, losses, newly appearing contracts, distinct
+active families — and derives each family's activity timeline, powering
+the growth views in ``examples/measure_ecosystem.py`` and the timeline
+checks in the test suite.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.families import ClusteringResult
+
+__all__ = ["MonthlyPoint", "Timeline", "TimelineAnalyzer", "month_key"]
+
+
+def month_key(timestamp: int) -> str:
+    """UTC month bucket, e.g. '2023-07'."""
+    return _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc).strftime("%Y-%m")
+
+
+def _iter_months(first: str, last: str):
+    year, month = map(int, first.split("-"))
+    while True:
+        key = f"{year:04d}-{month:02d}"
+        yield key
+        if key == last:
+            return
+        month += 1
+        if month > 12:
+            month, year = 1, year + 1
+
+
+@dataclass(slots=True)
+class MonthlyPoint:
+    month: str
+    ps_transactions: int = 0
+    loss_usd: float = 0.0
+    new_contracts: int = 0
+    active_families: int = 0
+
+
+@dataclass
+class Timeline:
+    points: list[MonthlyPoint] = field(default_factory=list)
+
+    def month(self, key: str) -> MonthlyPoint | None:
+        for point in self.points:
+            if point.month == key:
+                return point
+        return None
+
+    @property
+    def peak_month(self) -> MonthlyPoint | None:
+        if not self.points:
+            return None
+        return max(self.points, key=lambda p: p.loss_usd)
+
+    def cumulative_loss_series(self) -> list[tuple[str, float]]:
+        running = 0.0
+        series = []
+        for point in self.points:
+            running += point.loss_usd
+            series.append((point.month, running))
+        return series
+
+
+class TimelineAnalyzer:
+    def __init__(self, ctx: AnalysisContext) -> None:
+        self.ctx = ctx
+
+    def analyze(self, clustering: ClusteringResult | None = None) -> Timeline:
+        records = self.ctx.dataset.transactions
+        if not records:
+            return Timeline()
+
+        by_month: dict[str, MonthlyPoint] = {}
+        first_seen_contract: dict[str, str] = {}
+        family_of_contract: dict[str, str] = {}
+        if clustering is not None:
+            for family in clustering.families:
+                for contract in family.contracts:
+                    family_of_contract[contract] = family.name
+
+        for record in sorted(records, key=lambda r: r.timestamp):
+            key = month_key(record.timestamp)
+            point = by_month.get(key)
+            if point is None:
+                point = MonthlyPoint(month=key)
+                by_month[key] = point
+            point.ps_transactions += 1
+            point.loss_usd += record.total_usd
+            if record.contract not in first_seen_contract:
+                first_seen_contract[record.contract] = key
+                point.new_contracts += 1
+
+        # Active families per month (needs clustering membership).
+        if family_of_contract:
+            families_by_month: dict[str, set[str]] = {}
+            for record in records:
+                key = month_key(record.timestamp)
+                family = family_of_contract.get(record.contract)
+                if family:
+                    families_by_month.setdefault(key, set()).add(family)
+            for key, families in families_by_month.items():
+                by_month[key].active_families = len(families)
+
+        ordered_keys = sorted(by_month)
+        timeline = Timeline()
+        for key in _iter_months(ordered_keys[0], ordered_keys[-1]):
+            timeline.points.append(by_month.get(key) or MonthlyPoint(month=key))
+        return timeline
+
+    def family_activity(self, clustering: ClusteringResult) -> dict[str, tuple[str, str]]:
+        """Family -> (first active month, last active month), Table 2's
+        Start/End columns."""
+        activity = {}
+        for family in clustering.families:
+            if family.first_tx_ts is not None and family.last_tx_ts is not None:
+                activity[family.name] = (
+                    month_key(family.first_tx_ts),
+                    month_key(family.last_tx_ts),
+                )
+        return activity

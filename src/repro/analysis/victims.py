@@ -1,0 +1,264 @@
+"""Victim-side scale analysis (paper §6.1 and Figure 6).
+
+Victim attribution per profit-sharing transaction:
+
+* ETH splits — the split's source is the drainer contract; the victim is
+  the EOA whose top-level value transfer funded it (the tx sender);
+* ERC-20 splits — both transfers originate *from the victim's balance*
+  (``transferFrom``), so the group source names the victim directly;
+* NFT monetization — the sale proceeds enter from the marketplace, so the
+  victim is recovered by indexing NFT deposits into dataset contracts
+  (victim → contract transfers of the same ``(collection, tokenId)``) and
+  joining them against the sale transaction's NFT outflow.
+
+On top of attribution, the module reproduces the section's findings:
+loss-bucket distribution (Figure 6), victims per day, repeat victims,
+the simultaneous-signing share, and the unrevoked-approval share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.stats import bucket_shares
+from repro.core.fundflow import extract_fund_flow
+
+__all__ = ["VictimIncident", "VictimReport", "VictimAnalyzer", "FIG6_EDGES"]
+
+#: Figure 6 bucket edges (USD).
+FIG6_EDGES = [100.0, 1_000.0, 5_000.0]
+
+_DAY = 86_400
+
+
+@dataclass(slots=True)
+class VictimIncident:
+    """One attributed loss event."""
+
+    victim: str
+    tx_hash: str
+    contract: str
+    affiliate: str
+    operator: str
+    timestamp: int
+    loss_usd: float
+    #: "eth" | "erc20" | "nft" — recovered from the transaction shape.
+    asset_kind: str = "eth"
+
+
+@dataclass
+class VictimReport:
+    incidents: list[VictimIncident] = field(default_factory=list)
+    loss_by_victim: dict[str, float] = field(default_factory=dict)
+    unattributed_txs: int = 0
+
+    @property
+    def victim_count(self) -> int:
+        return len(self.loss_by_victim)
+
+    @property
+    def total_loss_usd(self) -> float:
+        return sum(self.loss_by_victim.values())
+
+    def loss_bucket_shares(self, edges: list[float] | None = None) -> list[float]:
+        """Figure 6: share of victims per loss bucket."""
+        return bucket_shares(list(self.loss_by_victim.values()), edges or FIG6_EDGES)
+
+    def share_below(self, usd: float) -> float:
+        losses = list(self.loss_by_victim.values())
+        if not losses:
+            return 0.0
+        return sum(1 for v in losses if v < usd) / len(losses)
+
+    def asset_kind_shares(self) -> dict[str, float]:
+        """Incident share per stolen-asset kind (§4.2's three scenarios)."""
+        if not self.incidents:
+            return {}
+        counts: dict[str, int] = {}
+        for incident in self.incidents:
+            counts[incident.asset_kind] = counts.get(incident.asset_kind, 0) + 1
+        total = len(self.incidents)
+        return {kind: n / total for kind, n in sorted(counts.items())}
+
+    def victims_per_day(self) -> float:
+        """Mean distinct victims per active day (paper: >100 per day)."""
+        if not self.incidents:
+            return 0.0
+        days: dict[int, set[str]] = {}
+        for incident in self.incidents:
+            days.setdefault(incident.timestamp // _DAY, set()).add(incident.victim)
+        span = max(days) - min(days) + 1
+        return sum(len(v) for v in days.values()) / span
+
+    def repeat_victims(self) -> set[str]:
+        """Victims with more than one attributed incident."""
+        counts: dict[str, int] = {}
+        for incident in self.incidents:
+            counts[incident.victim] = counts.get(incident.victim, 0) + 1
+        return {v for v, c in counts.items() if c > 1}
+
+    def simultaneous_share(self) -> float:
+        """Of repeat victims: fraction that signed several phishing txs in
+        one sitting (two incidents at the same timestamp)."""
+        repeats = self.repeat_victims()
+        if not repeats:
+            return 0.0
+        by_victim: dict[str, list[int]] = {}
+        for incident in self.incidents:
+            if incident.victim in repeats:
+                by_victim.setdefault(incident.victim, []).append(incident.timestamp)
+        simultaneous = sum(
+            1 for ts_list in by_victim.values() if len(ts_list) != len(set(ts_list))
+        )
+        return simultaneous / len(repeats)
+
+
+class VictimAnalyzer:
+    """Attributes victims to profit-sharing transactions."""
+
+    def __init__(self, ctx: AnalysisContext) -> None:
+        self.ctx = ctx
+
+    # -- attribution ---------------------------------------------------------
+
+    def analyze(self) -> VictimReport:
+        report = VictimReport()
+        nft_depositors = self._index_nft_deposits()
+
+        for record in self.ctx.dataset.transactions:
+            victim = self._attribute(record, nft_depositors)
+            if victim is None:
+                report.unattributed_txs += 1
+                continue
+            incident = VictimIncident(
+                victim=victim,
+                tx_hash=record.tx_hash,
+                contract=record.contract,
+                affiliate=record.affiliate,
+                operator=record.operator,
+                timestamp=record.timestamp,
+                loss_usd=record.total_usd,
+                asset_kind=self._asset_kind(record),
+            )
+            report.incidents.append(incident)
+            report.loss_by_victim[victim] = (
+                report.loss_by_victim.get(victim, 0.0) + record.total_usd
+            )
+        return report
+
+    def _asset_kind(self, record) -> str:
+        """§4.2's three scenarios, recovered from the transaction shape:
+        an ERC-20 split names a token; an ETH split funded by the tx's own
+        value is a direct drain; an ETH split on an executor-launched
+        transaction is NFT monetization (sale proceeds)."""
+        if record.token != "ETH":
+            return "erc20"
+        tx = self.ctx.rpc.get_transaction(record.tx_hash)
+        if tx.value > 0 and not self.ctx.rpc.is_contract(tx.sender):
+            return "eth"
+        return "nft"
+
+    def _attribute(self, record, nft_depositors: dict[tuple[str, int], str]) -> str | None:
+        rpc = self.ctx.rpc
+        tx = rpc.get_transaction(record.tx_hash)
+        receipt = rpc.get_transaction_receipt(record.tx_hash)
+
+        if record.token != "ETH":
+            # ERC-20: the split's source *is* the victim (transferFrom).
+            flows = extract_fund_flow(tx, receipt)
+            for transfer in flows:
+                if transfer.token == record.token and transfer.recipient == record.operator:
+                    if not rpc.is_contract(transfer.source):
+                        return transfer.source
+            return None
+
+        # ETH: the victim funded the contract with the tx's own value.
+        if tx.value > 0 and not rpc.is_contract(tx.sender):
+            return tx.sender
+
+        # NFT monetization: join the sale tx's NFT outflow against deposits.
+        for transfer in extract_fund_flow(tx, receipt):
+            if transfer.is_nft and transfer.token_id is not None:
+                victim = nft_depositors.get((transfer.token, transfer.token_id))
+                if victim is not None:
+                    return victim
+        return None
+
+    def _index_nft_deposits(self) -> dict[tuple[str, int], str]:
+        """(collection, tokenId) -> depositing EOA, over dataset contracts."""
+        rpc, explorer = self.ctx.rpc, self.ctx.explorer
+        deposits: dict[tuple[str, int], str] = {}
+        contracts = self.ctx.dataset.contracts
+        for contract in contracts:
+            for tx in explorer.transactions_of(contract):
+                receipt = rpc.get_transaction_receipt(tx.hash)
+                if not receipt.succeeded:
+                    continue
+                for log in receipt.logs:
+                    if log.event != "Transfer" or "tokenId" not in log.args:
+                        continue
+                    source = log.args.get("from")
+                    recipient = log.args.get("to")
+                    if (
+                        isinstance(source, str)
+                        and isinstance(recipient, str)
+                        and recipient in contracts
+                        and not rpc.is_contract(source)
+                    ):
+                        deposits[(log.address, int(log.args["tokenId"]))] = source
+        return deposits
+
+    # -- approval hygiene (§6.1's 28.6 % unrevoked finding) --------------------
+
+    def unrevoked_share(self, report: VictimReport) -> float:
+        """Of repeat victims: fraction with a token approval granted to a
+        dataset contract and never revoked afterwards."""
+        repeats = report.repeat_victims()
+        if not repeats:
+            return 0.0
+        contracts = self.ctx.dataset.contracts
+        unrevoked = 0
+        for victim in repeats:
+            if self._has_unrevoked_approval(victim, contracts):
+                unrevoked += 1
+        return unrevoked / len(repeats)
+
+    def _has_unrevoked_approval(self, victim: str, contracts: set[str]) -> bool:
+        """Approval-log scan followed by a *live allowance* query.
+
+        ``Approval`` events alone overstate exposure (spending via
+        ``transferFrom`` does not emit a fresh ``Approval``), so after
+        collecting the (token, spender) pairs the victim ever granted to a
+        dataset contract, the current on-chain allowance is read back —
+        exactly how allowance-hygiene tools (revoke.cash et al.) work.
+        """
+        granted: set[tuple[str, str, str]] = set()  # (token, spender, kind)
+        for tx in self.ctx.explorer.transactions_of(victim):
+            receipt = self.ctx.rpc.get_transaction_receipt(tx.hash)
+            if not receipt.succeeded:
+                continue
+            for log in receipt.logs:
+                if log.event not in ("Approval", "ApprovalForAll"):
+                    continue
+                owner = log.args.get("owner")
+                spender = log.args.get("spender") or log.args.get("operator")
+                if owner != victim or not isinstance(spender, str) or spender not in contracts:
+                    continue
+                kind = "all" if log.event == "ApprovalForAll" else "single"
+                granted.add((log.address, spender, kind))
+
+        for token, spender, kind in granted:
+            contract = self.ctx.rpc.get_contract(token)
+            if contract is None:
+                continue
+            if kind == "all":
+                if getattr(contract, "operator_approvals", {}).get((victim, spender)):
+                    return True
+            elif hasattr(contract, "allowance"):
+                if contract.allowance(victim, spender) > 0:
+                    return True
+            elif hasattr(contract, "token_approvals"):
+                if spender in contract.token_approvals.values():
+                    return True
+        return False

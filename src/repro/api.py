@@ -1,0 +1,113 @@
+"""High-level facade: one call from parameters to a measured ecosystem.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    from repro.api import run_pipeline
+    result = run_pipeline(scale=0.05)
+    print(result.dataset.summary())
+    print(result.clustering.family_count)
+
+``run_pipeline`` builds the simulated world, constructs the seed dataset
+from the public feeds, snowball-expands it to fixpoint, and runs the full
+measurement suite — the complete reproduction of the paper's §5-§7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import (
+    AffiliateAnalyzer,
+    AffiliateReport,
+    AnalysisContext,
+    ClusteringResult,
+    FamilyClusterer,
+    OperatorAnalyzer,
+    OperatorReport,
+    VictimAnalyzer,
+    VictimReport,
+)
+from repro.core import (
+    ContractAnalyzer,
+    DaaSDataset,
+    ExpansionReport,
+    SeedBuilder,
+    SeedReport,
+    SnowballExpander,
+)
+from repro.simulation import SimulatedWorld, SimulationParams, build_world
+
+__all__ = ["PipelineResult", "build_dataset", "run_pipeline"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the full pipeline produces."""
+
+    world: SimulatedWorld
+    dataset: DaaSDataset
+    seed_summary: dict[str, int]
+    seed_report: SeedReport
+    expansion_report: ExpansionReport
+    analyzer: ContractAnalyzer
+    context: AnalysisContext
+    victim_report: VictimReport
+    operator_report: OperatorReport
+    affiliate_report: AffiliateReport
+    clustering: ClusteringResult
+    victim_analyzer: VictimAnalyzer
+    family_clusterer: FamilyClusterer
+
+
+def build_dataset(
+    world: SimulatedWorld,
+) -> tuple[DaaSDataset, SeedReport, ExpansionReport, ContractAnalyzer, dict[str, int]]:
+    """Seed + snowball over an already-built world (paper §5)."""
+    analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle)
+    dataset, seed_report = SeedBuilder(analyzer, world.feeds).build()
+    seed_summary = dict(dataset.summary())
+    expansion_report = SnowballExpander(analyzer).expand(dataset)
+    return dataset, seed_report, expansion_report, analyzer, seed_summary
+
+
+def run_pipeline(
+    params: SimulationParams | None = None,
+    scale: float | None = None,
+    seed: int | None = None,
+    world: SimulatedWorld | None = None,
+) -> PipelineResult:
+    """Build (or reuse) a world and run dataset construction + measurement."""
+    if world is None:
+        if params is None:
+            params = SimulationParams()
+            if scale is not None:
+                params.scale = scale
+            if seed is not None:
+                params.seed = seed
+        world = build_world(params)
+
+    dataset, seed_report, expansion_report, analyzer, seed_summary = build_dataset(world)
+    context = AnalysisContext(world.rpc, world.explorer, world.oracle, dataset)
+
+    victim_analyzer = VictimAnalyzer(context)
+    victim_report = victim_analyzer.analyze()
+    operator_report = OperatorAnalyzer(context).analyze()
+    affiliate_report = AffiliateAnalyzer(context).analyze(victim_report)
+    clusterer = FamilyClusterer(context)
+    clustering = clusterer.cluster(victim_report)
+
+    return PipelineResult(
+        world=world,
+        dataset=dataset,
+        seed_summary=seed_summary,
+        seed_report=seed_report,
+        expansion_report=expansion_report,
+        analyzer=analyzer,
+        context=context,
+        victim_report=victim_report,
+        operator_report=operator_report,
+        affiliate_report=affiliate_report,
+        clustering=clustering,
+        victim_analyzer=victim_analyzer,
+        family_clusterer=clusterer,
+    )

@@ -1,0 +1,72 @@
+"""Simulated Ethereum substrate.
+
+Write side: :class:`Blockchain` plus the contracts in
+:mod:`repro.chain.contracts`.  Read side (what the measurement pipeline
+uses): :class:`EthereumRPC`, :class:`Explorer`, :class:`PriceOracle`.
+"""
+
+from repro.chain.block import Block, SLOT_SECONDS
+from repro.chain.chain import Blockchain
+from repro.chain.crypto import (
+    contract_address,
+    is_checksum_address,
+    keccak256,
+    keccak256_hex,
+    to_checksum_address,
+)
+from repro.chain.explorer import AddressLabel, Explorer
+from repro.chain.prices import DAY_SECONDS, PriceOracle, STUDY_END_TS, STUDY_START_TS
+from repro.chain.rlp import rlp_decode, rlp_encode
+from repro.chain.rpc import EthereumRPC, TransactionNotFoundError
+from repro.chain.state import Account, InsufficientBalanceError, WorldState
+from repro.chain.transaction import CallTrace, Log, Receipt, Transaction, TxStatus
+from repro.chain.types import (
+    WEI_PER_ETH,
+    ZERO_ADDRESS,
+    Address,
+    TokenAmount,
+    address_from_seed,
+    eth_to_wei,
+    wei_to_eth,
+)
+from repro.chain.vm import Contract, ExecutionContext, ExecutionError, function_selector
+
+__all__ = [
+    "Block",
+    "SLOT_SECONDS",
+    "Blockchain",
+    "contract_address",
+    "is_checksum_address",
+    "keccak256",
+    "keccak256_hex",
+    "to_checksum_address",
+    "AddressLabel",
+    "Explorer",
+    "DAY_SECONDS",
+    "PriceOracle",
+    "STUDY_END_TS",
+    "STUDY_START_TS",
+    "rlp_decode",
+    "rlp_encode",
+    "EthereumRPC",
+    "TransactionNotFoundError",
+    "Account",
+    "InsufficientBalanceError",
+    "WorldState",
+    "CallTrace",
+    "Log",
+    "Receipt",
+    "Transaction",
+    "TxStatus",
+    "WEI_PER_ETH",
+    "ZERO_ADDRESS",
+    "Address",
+    "TokenAmount",
+    "address_from_seed",
+    "eth_to_wei",
+    "wei_to_eth",
+    "Contract",
+    "ExecutionContext",
+    "ExecutionError",
+    "function_selector",
+]

@@ -1,0 +1,46 @@
+"""Block model for the simulated chain.
+
+Blocks are sparse: the simulator covers a two-year window at Ethereum's
+12-second slot time, but only slots containing transactions materialize a
+:class:`Block`.  Block numbers are derived from timestamps so that time and
+height stay mutually consistent, as on the post-merge mainnet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import Transaction
+
+__all__ = ["Block", "SLOT_SECONDS", "block_number_for_timestamp", "timestamp_for_block"]
+
+SLOT_SECONDS = 12
+
+
+def block_number_for_timestamp(timestamp: int, genesis_timestamp: int) -> int:
+    """Map a UNIX timestamp to the block height of its slot."""
+    if timestamp < genesis_timestamp:
+        raise ValueError("timestamp precedes genesis")
+    return (timestamp - genesis_timestamp) // SLOT_SECONDS
+
+
+def timestamp_for_block(number: int, genesis_timestamp: int) -> int:
+    """Map a block height back to its slot's timestamp."""
+    return genesis_timestamp + number * SLOT_SECONDS
+
+
+@dataclass(slots=True)
+class Block:
+    """A materialized block holding at least one transaction."""
+
+    number: int
+    timestamp: int
+    transactions: list[Transaction] = field(default_factory=list)
+
+    def add(self, tx: Transaction) -> None:
+        tx.block_number = self.number
+        tx.tx_index = len(self.transactions)
+        self.transactions.append(tx)
+
+    def __len__(self) -> int:
+        return len(self.transactions)

@@ -1,0 +1,182 @@
+"""The simulated blockchain: execution, receipts and indexing.
+
+:class:`Blockchain` is the write side of the substrate.  The measurement
+pipeline never touches it directly — it reads through
+:class:`repro.chain.rpc.EthereumRPC` and :class:`repro.chain.explorer.Explorer`,
+the same separation a researcher has between the chain and their node/
+indexer.
+
+Contract code follows a checks-then-effects discipline (validate inputs,
+then mutate), so an :class:`ExecutionError` raised by a contract leaves the
+state untouched and simply yields a failed receipt, like a reverted
+transaction on mainnet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.chain.block import Block, block_number_for_timestamp
+from repro.chain.crypto import contract_address
+from repro.chain.state import InsufficientBalanceError, WorldState
+from repro.chain.transaction import CallTrace, Receipt, Transaction, TxStatus
+from repro.chain.vm import Contract, ExecutionContext, ExecutionError
+
+__all__ = ["Blockchain"]
+
+
+class Blockchain:
+    """An in-memory Ethereum-like chain with full tx/trace/log indexing."""
+
+    def __init__(self, genesis_timestamp: int) -> None:
+        self.genesis_timestamp = genesis_timestamp
+        self.state = WorldState()
+        self.blocks: dict[int, Block] = {}
+        self.transactions: dict[str, Transaction] = {}
+        self.receipts: dict[str, Receipt] = {}
+        # Every address -> ordered list of tx hashes it participated in
+        # (as sender, recipient, internal-transfer party, or token party).
+        self.address_index: dict[str, list[str]] = {}
+
+    # -- account / contract management ------------------------------------
+
+    def fund(self, address: str, amount_wei: int) -> None:
+        """Credit ETH to an account out of thin air (genesis allocation)."""
+        self.state.credit(address, amount_wei)
+
+    def deploy_contract(
+        self,
+        creator: str,
+        factory: Callable[[str, str, int], Contract],
+        timestamp: int,
+    ) -> Contract:
+        """Deploy a contract from ``creator``; returns the contract object.
+
+        ``factory(address, creator, created_at)`` must build the contract.
+        The deployment is recorded as a contract-creation transaction so
+        the explorer can answer "who created this contract, and when".
+        """
+        creator_account = self.state.get(creator)
+        address = contract_address(creator, creator_account.nonce)
+        contract = factory(address, creator, timestamp)
+        if contract.address != address:
+            raise ValueError("factory must use the address it is given")
+        self.state.deploy(contract)
+
+        tx = Transaction(
+            sender=creator,
+            to=None,
+            value=0,
+            nonce=creator_account.nonce,
+            timestamp=timestamp,
+            data=f"create:{type(contract).__name__}",
+            gas_used=1_200_000,
+        )
+        creator_account.nonce += 1
+        receipt = Receipt(tx_hash=tx.hash, contract_created=address)
+        self._record(tx, receipt, extra_parties=[address])
+        return contract
+
+    # -- transaction execution --------------------------------------------
+
+    def send_transaction(
+        self,
+        sender: str,
+        to: str,
+        value: int = 0,
+        func: str = "",
+        args: dict[str, object] | None = None,
+        timestamp: int | None = None,
+    ) -> tuple[Transaction, Receipt]:
+        """Execute a transaction and return ``(tx, receipt)``.
+
+        Mirrors ``eth_sendTransaction`` + mining: ETH moves, the target
+        contract (if any) runs, internal calls and logs are captured into
+        the receipt, and everything is indexed.
+        """
+        if timestamp is None:
+            timestamp = self.genesis_timestamp
+        sender_account = self.state.get(sender)
+        tx = Transaction(
+            sender=sender,
+            to=to,
+            value=value,
+            nonce=sender_account.nonce,
+            timestamp=timestamp,
+            data=func,
+            gas_used=21_000 if not func else 90_000,
+        )
+        sender_account.nonce += 1
+
+        root = CallTrace(
+            call_type="CALL", sender=sender, recipient=to, value=value, input_data=func
+        )
+        ctx = ExecutionContext(
+            state=self.state, origin=sender, timestamp=timestamp, root_frame=root
+        )
+        receipt = Receipt(tx_hash=tx.hash, trace=root)
+        try:
+            if value:
+                self.state.transfer(sender, to, value)
+            target = self.state.contract_at(to)
+            if target is not None:
+                target.handle(ctx, root, func, args or {})
+        except (ExecutionError, InsufficientBalanceError):
+            receipt.status = TxStatus.FAILURE
+            receipt.logs = []
+            root.children.clear()
+        else:
+            receipt.logs = ctx.logs
+
+        self._record(tx, receipt)
+        return tx, receipt
+
+    # -- indexing ----------------------------------------------------------
+
+    def _record(
+        self, tx: Transaction, receipt: Receipt, extra_parties: list[str] | None = None
+    ) -> None:
+        block_number = block_number_for_timestamp(tx.timestamp, self.genesis_timestamp)
+        block = self.blocks.get(block_number)
+        if block is None:
+            block = Block(number=block_number, timestamp=tx.timestamp)
+            self.blocks[block_number] = block
+        block.add(tx)
+
+        self.transactions[tx.hash] = tx
+        self.receipts[tx.hash] = receipt
+
+        parties: set[str] = {tx.sender}
+        if tx.to:
+            parties.add(tx.to)
+        if receipt.trace is not None:
+            for frame in receipt.trace.walk():
+                parties.add(frame.sender)
+                parties.add(frame.recipient)
+        for log in receipt.logs:
+            parties.add(log.address)
+            for key in ("from", "to", "owner", "spender", "operator"):
+                party = log.args.get(key)
+                if isinstance(party, str):
+                    parties.add(party)
+        parties.update(extra_parties or [])
+
+        for party in parties:
+            self.address_index.setdefault(party, []).append(tx.hash)
+
+    # -- queries (used by the RPC facade) ----------------------------------
+
+    def iter_transactions(self) -> Iterator[Transaction]:
+        """Yield all transactions in (timestamp, block index) order."""
+        for number in sorted(self.blocks):
+            yield from self.blocks[number].transactions
+
+    def transactions_of(self, address: str) -> list[Transaction]:
+        """All transactions an address participated in, oldest first."""
+        hashes = self.address_index.get(address, [])
+        txs = [self.transactions[h] for h in hashes]
+        txs.sort(key=lambda t: (t.timestamp, t.block_number, t.tx_index))
+        return txs
+
+    def __len__(self) -> int:
+        return len(self.transactions)

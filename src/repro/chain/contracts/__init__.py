@@ -1,0 +1,34 @@
+"""Simulated contracts: tokens, drainer profit-sharing contracts, benign peers."""
+
+from repro.chain.contracts.tokens import BlacklistableERC20, ERC20Token, ERC721Token, permit_signature
+from repro.chain.contracts.drainers import (
+    ProfitSharingContract,
+    ClaimDrainerContract,
+    FallbackDrainerContract,
+    NetworkMergeDrainerContract,
+    DRAINER_STYLES,
+    make_drainer_factory,
+)
+from repro.chain.contracts.marketplace import NFTMarketplace
+from repro.chain.contracts.benign import (
+    PaymentSplitter,
+    ForwarderRouter,
+    AirdropDistributor,
+)
+
+__all__ = [
+    "BlacklistableERC20",
+    "ERC20Token",
+    "ERC721Token",
+    "permit_signature",
+    "ProfitSharingContract",
+    "ClaimDrainerContract",
+    "FallbackDrainerContract",
+    "NetworkMergeDrainerContract",
+    "DRAINER_STYLES",
+    "make_drainer_factory",
+    "NFTMarketplace",
+    "PaymentSplitter",
+    "ForwarderRouter",
+    "AirdropDistributor",
+]

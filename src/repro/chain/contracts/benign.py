@@ -1,0 +1,95 @@
+"""Benign contracts that superficially resemble profit-sharing drainers.
+
+These provide the true negatives the detector must reject:
+
+* :class:`PaymentSplitter` — a legitimate revenue splitter.  Real-world
+  splitters (royalties, team wallets) produce multi-transfer fund flows,
+  but their shares are arbitrary (50/50, 60/40, three-way, ...) rather
+  than the drainer ratio set, and the recipient set is fixed at
+  deployment rather than caller-supplied.
+* :class:`ForwarderRouter` — forwards the full amount to one recipient
+  (single-transfer flows, e.g. payment processors).
+* :class:`AirdropDistributor` — fans out many equal transfers.
+"""
+
+from __future__ import annotations
+
+from repro.chain.transaction import CallTrace
+from repro.chain.vm import Contract, ExecutionContext, ExecutionError
+
+__all__ = ["PaymentSplitter", "ForwarderRouter", "AirdropDistributor"]
+
+
+class PaymentSplitter(Contract):
+    """Splits incoming ETH among fixed payees with fixed shares."""
+
+    contract_kind = "payment_splitter"
+
+    def __init__(
+        self,
+        address: str,
+        creator: str = "",
+        created_at: int = 0,
+        payees: list[str] | None = None,
+        shares_bps: list[int] | None = None,
+    ) -> None:
+        super().__init__(address, creator, created_at)
+        self.payees = payees or []
+        self.shares_bps = shares_bps or []
+        if len(self.payees) != len(self.shares_bps):
+            raise ValueError("payees and shares must align")
+        if self.payees and sum(self.shares_bps) != 10_000:
+            raise ValueError("shares must total 10000 bps")
+
+    def fn_release(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        """Distribute the ETH carried by the call among the payees."""
+        if frame.value <= 0:
+            raise ExecutionError("nothing to release")
+        remaining = frame.value
+        for payee, share in zip(self.payees[:-1], self.shares_bps[:-1]):
+            cut = frame.value * share // 10_000
+            ctx.call(self.address, payee, value=cut)
+            remaining -= cut
+        ctx.call(self.address, self.payees[-1], value=remaining)
+
+    def fallback(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        self.fn_release(ctx, frame, args)
+
+
+class ForwarderRouter(Contract):
+    """Forwards the entire received amount to a fixed beneficiary."""
+
+    contract_kind = "forwarder"
+
+    def __init__(
+        self,
+        address: str,
+        creator: str = "",
+        created_at: int = 0,
+        beneficiary: str = "",
+    ) -> None:
+        super().__init__(address, creator, created_at)
+        self.beneficiary = beneficiary
+
+    def fallback(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        if frame.value <= 0:
+            raise ExecutionError("nothing to forward")
+        ctx.call(self.address, self.beneficiary, value=frame.value)
+
+
+class AirdropDistributor(Contract):
+    """Fans incoming ETH out in equal parts to a caller-supplied list."""
+
+    contract_kind = "airdrop"
+
+    def fn_airdrop(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        recipients = list(args.get("recipients", []))
+        if not recipients:
+            raise ExecutionError("no recipients")
+        if frame.value < len(recipients):
+            raise ExecutionError("value too small to split")
+        cut = frame.value // len(recipients)
+        remainder = frame.value - cut * len(recipients)
+        for i, recipient in enumerate(recipients):
+            amount = cut + (remainder if i == 0 else 0)
+            ctx.call(self.address, recipient, value=amount)

@@ -1,0 +1,254 @@
+"""Profit-sharing drainer contracts (ground truth for the detector).
+
+These model the three contract styles the paper observes in dominant DaaS
+families (Table 3):
+
+* Angel-style   — a payable function named ``Claim`` plus ``multicall``;
+* Inferno-style — a payable *fallback* plus ``multicall``;
+* Pink-style    — a payable function named ``NetworkMerge`` plus ``multicall``.
+
+Every style shares the same economics (paper Listing 1): the ETH received
+from the victim is split between the operator account (fixed at deployment)
+and the affiliate account passed in the call, with the operator taking the
+smaller share.  The ``multicall`` function (paper Listing 3) executes a
+batch of caller-crafted sub-calls — the mechanism drainers use to pull
+approved ERC-20 tokens and NFTs — and is gated to the operator's executor
+account.
+
+The contracts are inert simulation state machines: they only exist so the
+*detection* pipeline has realistic traces to classify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chain.transaction import CallTrace
+from repro.chain.vm import Contract, ExecutionContext, ExecutionError
+
+__all__ = [
+    "ProfitSharingContract",
+    "ClaimDrainerContract",
+    "FallbackDrainerContract",
+    "NetworkMergeDrainerContract",
+    "DRAINER_STYLES",
+    "make_drainer_factory",
+]
+
+BPS_DENOMINATOR = 10_000
+
+
+class ProfitSharingContract(Contract):
+    """Base class: operator/affiliate ETH split plus gated multicall."""
+
+    contract_kind = "profit_sharing"
+    #: Name of the payable entry point, or ``None`` when the style uses the
+    #: fallback function (Inferno).  Subclasses override.
+    entry_function: str | None = None
+
+    def __init__(
+        self,
+        address: str,
+        creator: str,
+        created_at: int,
+        operator_account: str,
+        executor: str,
+        operator_share_bps: int,
+    ) -> None:
+        super().__init__(address, creator, created_at)
+        if not 0 < operator_share_bps < BPS_DENOMINATOR:
+            raise ValueError(f"operator share must be within (0, 10000) bps: {operator_share_bps}")
+        self.operator_account = operator_account
+        self.executor = executor
+        self.operator_share_bps = operator_share_bps
+
+    # -- profit sharing ------------------------------------------------------
+
+    def share_value(self, ctx: ExecutionContext, amount: int, affiliate: str) -> None:
+        """Split ``amount`` wei held by this contract between operator and affiliate."""
+        if amount <= 0:
+            raise ExecutionError("nothing to distribute")
+        operator_cut = amount * self.operator_share_bps // BPS_DENOMINATOR
+        affiliate_cut = amount - operator_cut
+        ctx.call(self.address, self.operator_account, value=operator_cut)
+        ctx.call(self.address, affiliate, value=affiliate_cut)
+
+    def split_amounts(self, amount: int) -> tuple[int, int]:
+        """Return ``(operator_cut, affiliate_cut)`` for a given gross amount."""
+        operator_cut = amount * self.operator_share_bps // BPS_DENOMINATOR
+        return operator_cut, amount - operator_cut
+
+    def fallback(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        """Payable receive: accept plain ETH (e.g. marketplace sale
+        proceeds) without distributing; reject unknown function calls."""
+        if not frame.input_data and frame.value > 0:
+            return
+        super().fallback(ctx, frame, args)
+
+    # -- multicall (ERC-20 / NFT theft) ---------------------------------------
+
+    def fn_multicall(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        """Execute a batch of sub-calls crafted by the drainer backend.
+
+        ``args["calls"]`` is a list of ``{"target", "func", "args"}``
+        mappings.  Only the executor account configured at deployment may
+        invoke it (paper Listing 3's ``require(phishing_account == msg.sender)``).
+        """
+        if frame.sender != self.executor:
+            raise ExecutionError("multicall restricted to the drainer executor")
+        calls = args.get("calls", [])
+        if not calls:
+            raise ExecutionError("multicall requires at least one sub-call")
+        for call in calls:
+            ctx.call(
+                self.address,
+                call["target"],
+                value=int(call.get("value", 0)),
+                func=call.get("func", ""),
+                args=dict(call.get("args", {})),
+            )
+
+    def fn_withdraw(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        """Owner rescue hatch: sweep any ETH stuck in the contract.
+
+        Real drainer contracts ship one (misdirected transfers, rounding
+        dust, sale proceeds that failed to distribute).  Gated to the
+        operator account; sweeps are single transfers, so they never look
+        like profit sharing.
+        """
+        if frame.sender != self.operator_account and frame.sender != self.executor:
+            raise ExecutionError("withdraw restricted to the operator")
+        balance = ctx.state.balance_of(self.address)
+        if balance <= 0:
+            raise ExecutionError("nothing to withdraw")
+        ctx.call(self.address, self.operator_account, value=balance)
+
+    # -- NFT monetization -------------------------------------------------------
+
+    def fn_sellAndShare(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        """Sell an NFT this contract holds and distribute the proceeds.
+
+        Transfers the NFT to the marketplace sink and receives the sale
+        price as an internal ETH transfer, which is then shared.
+        """
+        if frame.sender != self.executor:
+            raise ExecutionError("sellAndShare restricted to the drainer executor")
+        marketplace, collection = args["marketplace"], args["collection"]
+        token_id, price = int(args["tokenId"]), int(args["price"])
+        ctx.call(
+            self.address,
+            marketplace,
+            func="buy",
+            args={
+                "collection": collection,
+                "tokenId": token_id,
+                "seller": self.address,
+                "price": price,
+            },
+        )
+        self.share_value(ctx, price, args["affiliate"])
+
+
+class ClaimDrainerContract(ProfitSharingContract):
+    """Angel-style drainer: a payable function named ``Claim``.
+
+    Minor families reuse this shape under other lure names
+    (``claimRewards``, ``mint``, ``securityUpdate``); the entry name is
+    configurable per deployment.
+    """
+
+    contract_kind = "drainer_claim"
+    entry_function = "Claim"
+
+    def __init__(self, *args, entry_name: str = "Claim", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.entry_name = entry_name
+
+    def handle(self, ctx: ExecutionContext, frame: CallTrace, func: str, args: dict) -> object:
+        if func == self.entry_name:
+            self.share_value(ctx, frame.value, args["affiliate"])
+            return None
+        return super().handle(ctx, frame, func, args)
+
+    def public_functions(self) -> list[str]:
+        return sorted(set(super().public_functions()) | {self.entry_name})
+
+
+class FallbackDrainerContract(ProfitSharingContract):
+    """Inferno-style drainer: the payable *fallback* performs the split.
+
+    The phishing site has the victim send a plain ETH transfer carrying no
+    recognizable function call; the affiliate attribution is resolved by the
+    drainer backend, which pre-registers the affiliate for each victim
+    address (modelled by :meth:`register_affiliate`).
+    """
+
+    contract_kind = "drainer_fallback"
+    entry_function = None
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.affiliate_for: dict[str, str] = {}
+        self.default_affiliate: str | None = None
+
+    def register_affiliate(self, victim: str, affiliate: str) -> None:
+        self.affiliate_for[victim] = affiliate
+
+    def fallback(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        if ctx.state.is_contract(frame.sender):
+            # Internal proceeds (marketplace payouts): plain receive; the
+            # drainer backend distributes through the explicit code path.
+            if frame.value > 0:
+                return
+            raise ExecutionError("contract call with no value and no function")
+        affiliate = args.get("affiliate") or self.affiliate_for.get(frame.sender) or self.default_affiliate
+        if affiliate is None:
+            raise ExecutionError("no affiliate registered for sender")
+        if frame.value <= 0:
+            raise ExecutionError("fallback requires value")
+        self.share_value(ctx, frame.value, affiliate)
+
+
+class NetworkMergeDrainerContract(ProfitSharingContract):
+    """Pink-style drainer: a payable function named ``NetworkMerge``."""
+
+    contract_kind = "drainer_network_merge"
+    entry_function = "NetworkMerge"
+
+    def fn_NetworkMerge(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        self.share_value(ctx, frame.value, args["affiliate"])
+
+
+#: Style key -> contract class, used by the family profiles.
+DRAINER_STYLES: dict[str, type[ProfitSharingContract]] = {
+    "claim": ClaimDrainerContract,
+    "fallback": FallbackDrainerContract,
+    "network_merge": NetworkMergeDrainerContract,
+}
+
+
+def make_drainer_factory(
+    style: str,
+    operator_account: str,
+    executor: str,
+    operator_share_bps: int,
+    entry_name: str | None = None,
+) -> Callable[[str, str, int], ProfitSharingContract]:
+    """Build a deployment factory for :meth:`Blockchain.deploy_contract`."""
+    cls = DRAINER_STYLES[style]
+
+    def factory(address: str, creator: str, created_at: int) -> ProfitSharingContract:
+        kwargs: dict[str, object] = {}
+        if style == "claim" and entry_name:
+            kwargs["entry_name"] = entry_name
+        return cls(
+            address,
+            creator,
+            created_at,
+            operator_account=operator_account,
+            executor=executor,
+            operator_share_bps=operator_share_bps,
+            **kwargs,
+        )
+
+    return factory

@@ -1,0 +1,117 @@
+"""A minimal NFT marketplace used to monetize stolen NFTs.
+
+The paper (§4.2) notes that stolen NFTs "are sold on marketplaces like Blur
+or OpenSea in exchange for ETH, which is then distributed".  The simulator
+needs only the observable effect: an NFT leaves the seller, ETH of the sale
+price arrives at the seller, both within one internal call tree.  The
+marketplace holds an ETH liquidity balance (standing bids) and a sink
+address that collects purchased NFTs.
+
+The marketplace also supports signed off-chain *sell orders* (Seaport
+style).  Drainers abuse these for the "NFT zero-order purchase" scheme the
+paper names in its Listing 3 discussion: the victim is tricked into
+signing a sell order at a near-zero price, and the drainer fulfils it —
+the victim never sends a transaction.  As with EIP-2612 permits, the
+owner's ECDSA signature is stood in for by a keyed digest with a per-order
+nonce (see :func:`order_signature`).
+"""
+
+from __future__ import annotations
+
+from repro.chain.crypto import keccak256_hex
+from repro.chain.transaction import CallTrace
+from repro.chain.vm import Contract, ExecutionContext, ExecutionError
+
+__all__ = ["NFTMarketplace", "order_signature"]
+
+
+def order_signature(
+    marketplace: str, collection: str, token_id: int, seller: str, price: int, nonce: int
+) -> str:
+    """Deterministic stand-in for a signed marketplace sell order."""
+    payload = (
+        f"order|{marketplace}|{collection}|{token_id}|{seller}|{price}|{nonce}"
+    ).encode("ascii")
+    return keccak256_hex(payload)
+
+
+class NFTMarketplace(Contract):
+    """Instant-sale marketplace: pays standing-bid ETH for any NFT."""
+
+    contract_kind = "marketplace"
+
+    def __init__(self, address: str, creator: str = "", created_at: int = 0) -> None:
+        super().__init__(address, creator, created_at)
+        self.buyer_sink = address  # purchased NFTs are held by the marketplace
+        #: Per-seller order nonces (consumed on fulfilment).
+        self.order_nonces: dict[str, int] = {}
+
+    def fn_buy(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        """Buy ``tokenId`` of ``collection`` from ``seller`` at ``price``.
+
+        Pulls the NFT from the seller (who must be the caller or have
+        approved the marketplace) and pays the seller ``price`` wei from
+        the marketplace's bid liquidity.
+        """
+        collection, seller = args["collection"], args["seller"]
+        token_id, price = int(args["tokenId"]), int(args["price"])
+        if price <= 0:
+            raise ExecutionError("sale price must be positive")
+        if ctx.state.balance_of(self.address) < price:
+            raise ExecutionError("marketplace has insufficient bid liquidity")
+        if frame.sender != seller:
+            raise ExecutionError("only the seller can accept the standing bid")
+
+        collection_contract = ctx.state.contract_at(collection)
+        if collection_contract is None:
+            raise ExecutionError(f"no NFT collection at {collection}")
+        if collection_contract.owner_of(token_id) != seller:
+            raise ExecutionError("seller does not own the token")
+        # Move the NFT directly (the marketplace acts with seller consent,
+        # expressed by the seller being the caller).
+        collection_contract.owners[token_id] = self.buyer_sink
+        collection_contract.token_approvals.pop(token_id, None)
+        ctx.emit(
+            collection,
+            "Transfer",
+            {"from": seller, "to": self.buyer_sink, "tokenId": token_id},
+        )
+        ctx.call(self.address, seller, value=price)
+
+    def fn_fulfillOrder(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        """Fulfil an off-chain signed sell order (zero-order purchase path).
+
+        Anyone holding a valid order signature can execute it: the NFT
+        moves from the seller to ``recipient`` and the seller is paid the
+        order's ``price`` — which in the phishing scheme is near zero.
+        """
+        collection, seller = args["collection"], args["seller"]
+        token_id, price = int(args["tokenId"]), int(args["price"])
+        recipient = args.get("recipient", frame.sender)
+        if price < 0:
+            raise ExecutionError("order price must be non-negative")
+        nonce = self.order_nonces.get(seller, 0)
+        expected = order_signature(
+            self.address, collection, token_id, seller, price, nonce
+        )
+        if args.get("signature") != expected:
+            raise ExecutionError("invalid order signature")
+
+        collection_contract = ctx.state.contract_at(collection)
+        if collection_contract is None:
+            raise ExecutionError(f"no NFT collection at {collection}")
+        if collection_contract.owner_of(token_id) != seller:
+            raise ExecutionError("seller no longer owns the token")
+        if ctx.state.balance_of(self.address) < price:
+            raise ExecutionError("marketplace has insufficient liquidity")
+
+        self.order_nonces[seller] = nonce + 1
+        collection_contract.owners[token_id] = recipient
+        collection_contract.token_approvals.pop(token_id, None)
+        ctx.emit(
+            collection,
+            "Transfer",
+            {"from": seller, "to": recipient, "tokenId": token_id},
+        )
+        if price > 0:
+            ctx.call(self.address, seller, value=price)

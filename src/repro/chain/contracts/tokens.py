@@ -1,0 +1,259 @@
+"""ERC-20 and ERC-721 token contracts.
+
+Both implement the standard approval/transfer surface the paper's §2.1
+describes: approval functions grant another account authority over a
+user's tokens; transfer functions move them.  Events mirror the standard
+``Transfer`` / ``Approval`` / ``ApprovalForAll`` logs that indexers decode.
+"""
+
+from __future__ import annotations
+
+from repro.chain.crypto import keccak256_hex
+from repro.chain.transaction import CallTrace
+from repro.chain.vm import Contract, ExecutionContext, ExecutionError
+
+__all__ = ["ERC20Token", "BlacklistableERC20", "ERC721Token", "permit_signature"]
+
+
+def permit_signature(token: str, owner: str, spender: str, amount: int, nonce: int) -> str:
+    """Deterministic stand-in for an EIP-2612 owner signature.
+
+    On mainnet this would be an ECDSA signature over the EIP-712 permit
+    struct, verified by ecrecover; the simulator replaces the key pair
+    with a digest over the same tuple (plus the owner's permit nonce, so
+    signatures are single-use).  Only the account owner — here, the
+    simulator acting for the victim — can produce it at signing time.
+    """
+    payload = f"permit|{token}|{owner}|{spender}|{amount}|{nonce}".encode("ascii")
+    return keccak256_hex(payload)
+
+
+class ERC20Token(Contract):
+    """A fungible token following the ERC-20 standard."""
+
+    contract_kind = "erc20"
+
+    def __init__(
+        self,
+        address: str,
+        creator: str = "",
+        created_at: int = 0,
+        symbol: str = "TKN",
+        decimals: int = 18,
+    ) -> None:
+        super().__init__(address, creator, created_at)
+        self.symbol = symbol
+        self.decimals = decimals
+        self.balances: dict[str, int] = {}
+        self.allowances: dict[tuple[str, str], int] = {}
+        self.permit_nonces: dict[str, int] = {}
+        self.total_supply = 0
+
+    # -- views --------------------------------------------------------------
+
+    def balance_of(self, owner: str) -> int:
+        return self.balances.get(owner, 0)
+
+    def allowance(self, owner: str, spender: str) -> int:
+        return self.allowances.get((owner, spender), 0)
+
+    # -- supply (test/simulation fixture, not part of the public ABI) --------
+
+    def mint(self, to: str, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("mint amount must be non-negative")
+        self.balances[to] = self.balances.get(to, 0) + amount
+        self.total_supply += amount
+
+    # -- public functions -----------------------------------------------------
+
+    def fn_transfer(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> bool:
+        sender = frame.sender
+        to, amount = args["to"], int(args["amount"])
+        self._move(ctx, sender, to, amount)
+        return True
+
+    def fn_approve(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> bool:
+        owner = frame.sender
+        spender, amount = args["spender"], int(args["amount"])
+        if amount < 0:
+            raise ExecutionError("approve amount must be non-negative")
+        self.allowances[(owner, spender)] = amount
+        ctx.emit(self.address, "Approval", {"owner": owner, "spender": spender, "amount": amount})
+        return True
+
+    def fn_transferFrom(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> bool:
+        spender = frame.sender
+        source, to, amount = args["from"], args["to"], int(args["amount"])
+        allowed = self.allowance(source, spender)
+        if allowed < amount:
+            raise ExecutionError(
+                f"allowance {allowed} of {source}->{spender} below transfer of {amount}"
+            )
+        self._move(ctx, source, to, amount)
+        self.allowances[(source, spender)] = allowed - amount
+        return True
+
+    def fn_permit(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> bool:
+        """EIP-2612 gasless approval: set an allowance from an off-chain
+        owner signature, submitted by anyone.
+
+        Drainers exploit permit for "ERC20 permit phishing" (paper §7.2):
+        the victim signs only an off-chain message, and the drainer batches
+        ``permit`` + ``transferFrom`` into one multicall.  The simulator
+        stands in for ecrecover with :func:`permit_signature` — a keyed
+        digest over the permit tuple including the owner's nonce.
+        """
+        owner, spender = args["owner"], args["spender"]
+        amount = int(args["amount"])
+        if amount < 0:
+            raise ExecutionError("permit amount must be non-negative")
+        nonce = self.permit_nonces.get(owner, 0)
+        expected = permit_signature(self.address, owner, spender, amount, nonce)
+        if args.get("signature") != expected:
+            raise ExecutionError("invalid permit signature")
+        self.permit_nonces[owner] = nonce + 1
+        self.allowances[(owner, spender)] = amount
+        ctx.emit(self.address, "Approval", {"owner": owner, "spender": spender, "amount": amount})
+        return True
+
+    # -- internals -------------------------------------------------------------
+
+    def _move(self, ctx: ExecutionContext, source: str, to: str, amount: int) -> None:
+        if amount < 0:
+            raise ExecutionError("transfer amount must be non-negative")
+        balance = self.balance_of(source)
+        if balance < amount:
+            raise ExecutionError(f"balance {balance} of {source} below transfer of {amount}")
+        self.balances[source] = balance - amount
+        self.balances[to] = self.balances.get(to, 0) + amount
+        ctx.emit(self.address, "Transfer", {"from": source, "to": to, "amount": amount})
+
+
+class ERC721Token(Contract):
+    """A non-fungible token collection following the ERC-721 standard."""
+
+    contract_kind = "erc721"
+
+    def __init__(
+        self,
+        address: str,
+        creator: str = "",
+        created_at: int = 0,
+        symbol: str = "NFT",
+    ) -> None:
+        super().__init__(address, creator, created_at)
+        self.symbol = symbol
+        self.owners: dict[int, str] = {}
+        self.token_approvals: dict[int, str] = {}
+        self.operator_approvals: dict[tuple[str, str], bool] = {}
+        self.next_token_id = 1
+
+    # -- views --------------------------------------------------------------
+
+    def owner_of(self, token_id: int) -> str:
+        owner = self.owners.get(token_id)
+        if owner is None:
+            raise ExecutionError(f"token {token_id} does not exist")
+        return owner
+
+    def tokens_of(self, owner: str) -> list[int]:
+        return sorted(tid for tid, own in self.owners.items() if own == owner)
+
+    def is_approved(self, spender: str, token_id: int) -> bool:
+        owner = self.owner_of(token_id)
+        return (
+            spender == owner
+            or self.token_approvals.get(token_id) == spender
+            or self.operator_approvals.get((owner, spender), False)
+        )
+
+    # -- supply ---------------------------------------------------------------
+
+    def mint(self, to: str) -> int:
+        token_id = self.next_token_id
+        self.next_token_id += 1
+        self.owners[token_id] = to
+        return token_id
+
+    # -- public functions -------------------------------------------------------
+
+    def fn_approve(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        token_id = int(args["tokenId"])
+        owner = self.owner_of(token_id)
+        if frame.sender != owner and not self.operator_approvals.get((owner, frame.sender)):
+            raise ExecutionError("approve caller is not owner nor operator")
+        spender = args["spender"]
+        self.token_approvals[token_id] = spender
+        ctx.emit(
+            self.address,
+            "Approval",
+            {"owner": owner, "spender": spender, "tokenId": token_id},
+        )
+
+    def fn_setApprovalForAll(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        operator, approved = args["operator"], bool(args["approved"])
+        self.operator_approvals[(frame.sender, operator)] = approved
+        ctx.emit(
+            self.address,
+            "ApprovalForAll",
+            {"owner": frame.sender, "operator": operator, "approved": approved},
+        )
+
+    def fn_transferFrom(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        source, to, token_id = args["from"], args["to"], int(args["tokenId"])
+        owner = self.owner_of(token_id)
+        if owner != source:
+            raise ExecutionError(f"{source} does not own token {token_id}")
+        if not self.is_approved(frame.sender, token_id):
+            raise ExecutionError(f"{frame.sender} not approved for token {token_id}")
+        self.owners[token_id] = to
+        self.token_approvals.pop(token_id, None)
+        ctx.emit(
+            self.address,
+            "Transfer",
+            {"from": source, "to": to, "tokenId": token_id},
+        )
+
+
+class BlacklistableERC20(ERC20Token):
+    """A centrally-administered stablecoin with an issuer blacklist.
+
+    §9 points at the USDC blacklist as a deployable countermeasure: once a
+    DaaS account is reported, the issuer can freeze it, stranding stolen
+    stablecoins.  Blacklisted accounts can neither send nor receive, and
+    allowances they hold are unusable.
+    """
+
+    contract_kind = "erc20_blacklistable"
+
+    def __init__(self, *args, issuer: str = "", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.issuer = issuer or self.creator
+        self.blacklisted: set[str] = set()
+
+    def fn_blacklist(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        if frame.sender != self.issuer:
+            raise ExecutionError("blacklist is issuer-only")
+        account = args["account"]
+        self.blacklisted.add(account)
+        ctx.emit(self.address, "Blacklisted", {"account": account})
+
+    def fn_unblacklist(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> None:
+        if frame.sender != self.issuer:
+            raise ExecutionError("unblacklist is issuer-only")
+        account = args["account"]
+        self.blacklisted.discard(account)
+        ctx.emit(self.address, "UnBlacklisted", {"account": account})
+
+    def _move(self, ctx: ExecutionContext, source: str, to: str, amount: int) -> None:
+        if source in self.blacklisted:
+            raise ExecutionError(f"{source} is blacklisted by the issuer")
+        if to in self.blacklisted:
+            raise ExecutionError(f"{to} is blacklisted by the issuer")
+        super()._move(ctx, source, to, amount)
+
+    def fn_transferFrom(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> bool:
+        if frame.sender in self.blacklisted:
+            raise ExecutionError(f"spender {frame.sender} is blacklisted by the issuer")
+        return super().fn_transferFrom(ctx, frame, args)

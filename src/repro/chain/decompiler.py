@@ -1,0 +1,160 @@
+"""Selector-level contract introspection (the paper's Dedaub step).
+
+On the real chain a contract exposes only bytecode; its public surface is
+a dispatch table of 4-byte function selectors.  Analysts recover readable
+names by decompiling and looking selectors up in public signature
+databases (4byte.directory et al.) — §7.2: "we decompile the bytecode of
+their profit-sharing contracts with Dedaub and analyze their functions".
+
+The simulator mirrors that: every contract's "dispatch table" is the set
+of selectors derived from its Python methods, and :class:`Decompiler`
+resolves them back to names through a :class:`SignatureDatabase` that —
+like the real ones — is incomplete: unknown selectors stay opaque
+(``0x1234abcd``).  Table 3 can therefore be reproduced through the same
+lossy channel the paper used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.rpc import EthereumRPC
+from repro.chain.vm import Contract, function_selector
+
+__all__ = [
+    "canonical_signature",
+    "SignatureDatabase",
+    "DecompiledFunction",
+    "DecompiledContract",
+    "Decompiler",
+    "KNOWN_SIGNATURES",
+]
+
+#: Canonical argument lists for the simulator's function names, used to
+#: form real keccak selectors.  Unlisted names fall back to ``name()``.
+_ARG_HINTS: dict[str, str] = {
+    "transfer": "address,uint256",
+    "approve": "address,uint256",
+    "transferFrom": "address,address,uint256",
+    "permit": "address,address,uint256,bytes",
+    "setApprovalForAll": "address,bool",
+    "multicall": "bytes[]",
+    "Claim": "address",
+    "claim": "address",
+    "claimRewards": "address",
+    "mint": "address",
+    "securityUpdate": "address",
+    "NetworkMerge": "address",
+    "sellAndShare": "address,address,uint256,uint256,address",
+    "buy": "address,uint256,address,uint256",
+    "fulfillOrder": "address,uint256,address,uint256,bytes,address",
+    "release": "",
+    "airdrop": "address[]",
+}
+
+
+def canonical_signature(name: str) -> str:
+    """Canonical ``name(argtypes)`` signature for a simulator function."""
+    return f"{name}({_ARG_HINTS.get(name, '')})"
+
+
+#: The public signature corpus: selector -> canonical signature.  Built
+#: from the hints above — i.e., common/standard functions are resolvable,
+#: just as 4byte.directory covers well-known signatures.
+KNOWN_SIGNATURES: dict[str, str] = {
+    function_selector(canonical_signature(name)): canonical_signature(name)
+    for name in _ARG_HINTS
+}
+
+
+@dataclass
+class SignatureDatabase:
+    """A 4byte.directory-style lookup, optionally with gaps."""
+
+    signatures: dict[str, str] = field(default_factory=lambda: dict(KNOWN_SIGNATURES))
+
+    def lookup(self, selector: str) -> str | None:
+        return self.signatures.get(selector)
+
+    def add(self, signature: str) -> str:
+        """Register a signature; returns its selector."""
+        selector = function_selector(signature)
+        self.signatures[selector] = signature
+        return selector
+
+    def forget(self, name: str) -> None:
+        """Drop every signature for ``name`` (models database gaps)."""
+        self.signatures = {
+            sel: sig for sel, sig in self.signatures.items()
+            if not sig.startswith(name + "(")
+        }
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+
+@dataclass(frozen=True, slots=True)
+class DecompiledFunction:
+    selector: str
+    #: Resolved name, or None when the database has no entry.
+    name: str | None
+    payable_hint: bool = False
+
+    @property
+    def display(self) -> str:
+        return self.name if self.name is not None else self.selector
+
+
+@dataclass
+class DecompiledContract:
+    address: str
+    kind: str
+    functions: list[DecompiledFunction]
+    has_payable_fallback: bool
+
+    def named_functions(self) -> list[str]:
+        return sorted(f.name for f in self.functions if f.name is not None)
+
+    def unresolved_selectors(self) -> list[str]:
+        return sorted(f.selector for f in self.functions if f.name is None)
+
+
+class Decompiler:
+    """Recovers a contract's public surface through the selector channel."""
+
+    def __init__(self, rpc: EthereumRPC, database: SignatureDatabase | None = None) -> None:
+        self.rpc = rpc
+        self.database = database or SignatureDatabase()
+
+    def dispatch_table(self, contract: Contract) -> list[str]:
+        """The selectors a contract's bytecode would expose."""
+        selectors = []
+        for name in contract.public_functions():
+            selectors.append(function_selector(canonical_signature(name)))
+        return sorted(selectors)
+
+    def decompile(self, address: str) -> DecompiledContract | None:
+        contract = self.rpc.get_contract(address)
+        if contract is None:
+            return None
+        entry_name = getattr(contract, "entry_name", None) or getattr(
+            type(contract), "entry_function", None
+        )
+        functions = []
+        for name in contract.public_functions():
+            selector = function_selector(canonical_signature(name))
+            resolved = self.database.lookup(selector)
+            functions.append(
+                DecompiledFunction(
+                    selector=selector,
+                    name=resolved.split("(", 1)[0] if resolved else None,
+                    payable_hint=(name == entry_name),
+                )
+            )
+        functions.sort(key=lambda f: f.selector)
+        return DecompiledContract(
+            address=address,
+            kind=contract.contract_kind,
+            functions=functions,
+            has_payable_fallback=contract.has_payable_fallback(),
+        )

@@ -1,0 +1,90 @@
+"""Etherscan-like explorer: address activity, labels, contract metadata.
+
+The paper relies on two explorer capabilities: (1) per-address transaction
+history, used by snowball expansion to walk from known accounts to new
+contracts; and (2) the public *label* registry ("Fake_Phishing..." tags),
+used both to seed the dataset and in the clustering step (two operators
+transacting with the same labeled phishing account belong together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.chain import Blockchain
+from repro.chain.transaction import Transaction
+
+__all__ = ["AddressLabel", "Explorer"]
+
+
+@dataclass(frozen=True, slots=True)
+class AddressLabel:
+    """A public tag attached to an address by the explorer community."""
+
+    address: str
+    tag: str           # e.g. "Fake_Phishing66332" or "Angel Drainer"
+    category: str      # "phish" | "exchange" | "dex" | "token" | ...
+
+    @property
+    def is_phishing(self) -> bool:
+        return self.category == "phish"
+
+
+class Explorer:
+    """Read-side indexer with a community label registry."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self._chain = chain
+        self._labels: dict[str, AddressLabel] = {}
+
+    # -- labels -----------------------------------------------------------
+
+    def add_label(self, address: str, tag: str, category: str) -> None:
+        self._labels[address] = AddressLabel(address=address, tag=tag, category=category)
+
+    def get_label(self, address: str) -> AddressLabel | None:
+        return self._labels.get(address)
+
+    def is_labeled_phishing(self, address: str) -> bool:
+        label = self._labels.get(address)
+        return label is not None and label.is_phishing
+
+    def labeled_phishing_addresses(self) -> list[str]:
+        return sorted(a for a, lbl in self._labels.items() if lbl.is_phishing)
+
+    def label_count(self) -> int:
+        return len(self._labels)
+
+    # -- address activity ----------------------------------------------------
+
+    def transactions_of(self, address: str) -> list[Transaction]:
+        """All transactions the address participated in, oldest first.
+
+        Includes internal-transfer and token-transfer participation, the
+        way Etherscan's "internal txns" and "token transfers" tabs do.
+        """
+        return self._chain.transactions_of(address)
+
+    def first_seen(self, address: str) -> int | None:
+        """Timestamp of the address's first on-chain activity."""
+        txs = self.transactions_of(address)
+        return txs[0].timestamp if txs else None
+
+    def last_seen(self, address: str) -> int | None:
+        txs = self.transactions_of(address)
+        return txs[-1].timestamp if txs else None
+
+    # -- contract metadata ------------------------------------------------------
+
+    def contract_creator(self, address: str) -> str | None:
+        contract = self._chain.state.contract_at(address)
+        return contract.creator if contract else None
+
+    def contract_created_at(self, address: str) -> int | None:
+        contract = self._chain.state.contract_at(address)
+        return contract.created_at if contract else None
+
+    def contract_functions(self, address: str) -> list[str]:
+        """Public function list, as a decompiler (Dedaub) would recover."""
+        contract = self._chain.state.contract_at(address)
+        return contract.public_functions() if contract else []

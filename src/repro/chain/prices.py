@@ -1,0 +1,74 @@
+"""Deterministic price oracle for USD valuation.
+
+The paper reports all losses and profits in USD, so every transfer must be
+valued at its transaction timestamp.  The oracle provides a smooth,
+deterministic ETH/USD path over the study window (March 2023 – April 2025,
+roughly $1,600 → $3,300 with cyclical structure) and fixed prices for
+simulated ERC-20 tokens (stablecoins at $1, others configurable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.chain.types import WEI_PER_ETH
+
+__all__ = ["PriceOracle", "STUDY_START_TS", "STUDY_END_TS", "DAY_SECONDS"]
+
+DAY_SECONDS = 86_400
+#: 2023-03-01 00:00 UTC — start of the paper's collection window.
+STUDY_START_TS = 1_677_628_800
+#: 2025-04-01 00:00 UTC — end of the collection window.
+STUDY_END_TS = 1_743_465_600
+
+
+@dataclass
+class PriceOracle:
+    """Deterministic prices; no randomness, so USD values are reproducible."""
+
+    base_eth_usd: float = 1_650.0
+    end_eth_usd: float = 3_300.0
+    token_prices_usd: dict[str, float] = field(default_factory=dict)
+    token_decimals: dict[str, int] = field(default_factory=dict)
+
+    def register_token(self, address: str, price_usd: float, decimals: int = 18) -> None:
+        self.token_prices_usd[address] = price_usd
+        self.token_decimals[address] = decimals
+
+    def eth_usd(self, timestamp: int) -> float:
+        """ETH/USD at ``timestamp``: linear drift plus two market cycles."""
+        span = max(STUDY_END_TS - STUDY_START_TS, 1)
+        progress = min(max((timestamp - STUDY_START_TS) / span, 0.0), 1.0)
+        drift = self.base_eth_usd + (self.end_eth_usd - self.base_eth_usd) * progress
+        cycle = 0.12 * math.sin(2 * math.pi * 2 * progress) + 0.05 * math.sin(
+            2 * math.pi * 7 * progress
+        )
+        return drift * (1.0 + cycle)
+
+    def token_usd(self, token: str, timestamp: int) -> float:
+        """USD price of one whole token unit at ``timestamp``."""
+        if token == "ETH":
+            return self.eth_usd(timestamp)
+        try:
+            return self.token_prices_usd[token]
+        except KeyError:
+            raise KeyError(f"no price registered for token {token}") from None
+
+    def value_usd(self, token: str, raw_amount: int, timestamp: int) -> float:
+        """USD value of ``raw_amount`` base units of ``token``."""
+        if token == "ETH":
+            return raw_amount / WEI_PER_ETH * self.eth_usd(timestamp)
+        decimals = self.token_decimals.get(token, 18)
+        return raw_amount / 10**decimals * self.token_usd(token, timestamp)
+
+    def usd_to_wei(self, usd: float, timestamp: int) -> int:
+        """Inverse helper: wei worth ``usd`` dollars at ``timestamp``."""
+        return int(usd / self.eth_usd(timestamp) * WEI_PER_ETH)
+
+    def usd_to_raw(self, token: str, usd: float, timestamp: int) -> int:
+        """Raw token base units worth ``usd`` dollars at ``timestamp``."""
+        if token == "ETH":
+            return self.usd_to_wei(usd, timestamp)
+        decimals = self.token_decimals.get(token, 18)
+        return int(usd / self.token_usd(token, timestamp) * 10**decimals)

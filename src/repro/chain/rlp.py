@@ -1,0 +1,121 @@
+"""Recursive Length Prefix (RLP) encoding and decoding.
+
+RLP is Ethereum's canonical serialization for transactions, accounts and
+contract-address derivation.  Items are either byte strings or (possibly
+nested) lists of items.  Integers must be converted by callers to their
+big-endian minimal byte representation (``int_to_min_bytes``) before
+encoding, matching the Yellow Paper convention.
+"""
+
+from __future__ import annotations
+
+__all__ = ["rlp_encode", "rlp_decode", "int_to_min_bytes", "min_bytes_to_int", "RLPDecodingError"]
+
+RLPItem = bytes | list  # recursive: list of RLPItem
+
+
+class RLPDecodingError(ValueError):
+    """Raised when an RLP payload is malformed or has trailing bytes."""
+
+
+def int_to_min_bytes(value: int) -> bytes:
+    """Encode a non-negative integer as minimal big-endian bytes (0 -> b'')."""
+    if value < 0:
+        raise ValueError("RLP integers must be non-negative")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def min_bytes_to_int(data: bytes) -> int:
+    """Decode minimal big-endian bytes into an integer (b'' -> 0)."""
+    if data and data[0] == 0:
+        raise RLPDecodingError("integer encoding has a leading zero byte")
+    return int.from_bytes(data, "big")
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    if length < 56:
+        return bytes([offset + length])
+    length_bytes = int_to_min_bytes(length)
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def rlp_encode(item: RLPItem) -> bytes:
+    """Encode a byte string or nested list of byte strings as RLP."""
+    if isinstance(item, (bytes, bytearray, memoryview)):
+        data = bytes(item)
+        if len(data) == 1 and data[0] < 0x80:
+            return data
+        return _encode_length(len(data), 0x80) + data
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(rlp_encode(sub) for sub in item)
+        return _encode_length(len(payload), 0xC0) + payload
+    raise TypeError(f"cannot RLP-encode {type(item).__name__}; convert to bytes first")
+
+
+def rlp_decode(data: bytes) -> RLPItem:
+    """Decode an RLP payload; raises RLPDecodingError on malformed input."""
+    item, consumed = _decode_at(bytes(data), 0)
+    if consumed != len(data):
+        raise RLPDecodingError(f"trailing bytes after RLP item ({len(data) - consumed} left)")
+    return item
+
+
+def _read_length(data: bytes, pos: int, prefix: int, offset: int) -> tuple[int, int]:
+    """Return (payload_length, payload_start) for a long-form prefix."""
+    n_length_bytes = prefix - offset - 55
+    start = pos + 1 + n_length_bytes
+    if start > len(data):
+        raise RLPDecodingError("truncated length prefix")
+    length_bytes = data[pos + 1 : start]
+    if length_bytes and length_bytes[0] == 0:
+        raise RLPDecodingError("length has leading zero byte")
+    length = int.from_bytes(length_bytes, "big")
+    if length < 56:
+        raise RLPDecodingError("long form used for short payload")
+    return length, start
+
+
+def _decode_at(data: bytes, pos: int) -> tuple[RLPItem, int]:
+    if pos >= len(data):
+        raise RLPDecodingError("unexpected end of input")
+    prefix = data[pos]
+
+    if prefix < 0x80:  # single byte, self-encoding
+        return bytes([prefix]), pos + 1
+
+    if prefix <= 0xB7:  # short string
+        length = prefix - 0x80
+        end = pos + 1 + length
+        if end > len(data):
+            raise RLPDecodingError("truncated string payload")
+        payload = data[pos + 1 : end]
+        if length == 1 and payload[0] < 0x80:
+            raise RLPDecodingError("non-minimal single-byte encoding")
+        return payload, end
+
+    if prefix <= 0xBF:  # long string
+        length, start = _read_length(data, pos, prefix, 0x80)
+        end = start + length
+        if end > len(data):
+            raise RLPDecodingError("truncated string payload")
+        return data[start:end], end
+
+    if prefix <= 0xF7:  # short list
+        length = prefix - 0xC0
+        start = pos + 1
+    else:  # long list
+        length, start = _read_length(data, pos, prefix, 0xC0)
+
+    end = start + length
+    if end > len(data):
+        raise RLPDecodingError("truncated list payload")
+    items: list[RLPItem] = []
+    cursor = start
+    while cursor < end:
+        item, cursor = _decode_at(data, cursor)
+        if cursor > end:
+            raise RLPDecodingError("list item overruns list payload")
+        items.append(item)
+    return items, end

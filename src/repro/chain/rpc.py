@@ -1,0 +1,127 @@
+"""JSON-RPC-style read facade over the simulated chain.
+
+The measurement pipeline accesses the chain exclusively through this class,
+mirroring how the paper's tooling sits on web3.py over an archive node.
+Method names follow the Ethereum JSON-RPC / web3 conventions so that the
+analysis code reads like real chain-analysis code:
+
+* ``get_transaction`` / ``get_transaction_receipt``  — ``eth_getTransaction*``
+* ``trace_transaction``                              — ``debug_traceTransaction``
+* ``get_balance`` / ``get_code_kind``                — ``eth_getBalance`` / ``eth_getCode``
+* ``get_block`` / ``block_number``                   — ``eth_getBlockByNumber`` / ``eth_blockNumber``
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain
+from repro.chain.transaction import CallTrace, Log, Receipt, Transaction
+
+__all__ = ["EthereumRPC", "TransactionNotFoundError"]
+
+
+class TransactionNotFoundError(KeyError):
+    """Raised when a hash does not correspond to a known transaction."""
+
+
+class EthereumRPC:
+    """Read-only node interface; all lookups are O(1) or indexed."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self._chain = chain
+
+    # -- chain metadata -----------------------------------------------------
+
+    @property
+    def genesis_timestamp(self) -> int:
+        return self._chain.genesis_timestamp
+
+    def block_number(self) -> int:
+        """Height of the newest materialized block."""
+        if not self._chain.blocks:
+            return 0
+        return max(self._chain.blocks)
+
+    def get_block(self, number: int) -> Block | None:
+        return self._chain.blocks.get(number)
+
+    # -- transactions ---------------------------------------------------------
+
+    def get_transaction(self, tx_hash: str) -> Transaction:
+        tx = self._chain.transactions.get(tx_hash)
+        if tx is None:
+            raise TransactionNotFoundError(tx_hash)
+        return tx
+
+    def get_transaction_receipt(self, tx_hash: str) -> Receipt:
+        receipt = self._chain.receipts.get(tx_hash)
+        if receipt is None:
+            raise TransactionNotFoundError(tx_hash)
+        return receipt
+
+    def trace_transaction(self, tx_hash: str) -> CallTrace | None:
+        """Internal call tree (``debug_traceTransaction`` with callTracer)."""
+        return self.get_transaction_receipt(tx_hash).trace
+
+    # -- accounts ---------------------------------------------------------------
+
+    def get_balance(self, address: str) -> int:
+        return self._chain.state.balance_of(address)
+
+    def is_contract(self, address: str) -> bool:
+        """Equivalent of checking ``eth_getCode`` for non-empty bytecode."""
+        return self._chain.state.is_contract(address)
+
+    def get_code_kind(self, address: str) -> str | None:
+        """Coarse contract classification, as a decompiler view would give.
+
+        Returns the contract's ``contract_kind`` or ``None`` for EOAs.
+        Used only for reporting (Table 3); the detector itself relies on
+        behaviour, not on this oracle.
+        """
+        contract = self._chain.state.contract_at(address)
+        return contract.contract_kind if contract else None
+
+    def get_contract(self, address: str):
+        """Direct contract object access, for explorer-style metadata."""
+        return self._chain.state.contract_at(address)
+
+    # -- logs (eth_getLogs) -------------------------------------------------
+
+    def get_logs(
+        self,
+        address: str | None = None,
+        event: str | None = None,
+        from_ts: int | None = None,
+        to_ts: int | None = None,
+    ) -> Iterator[tuple[Transaction, Log]]:
+        """Filtered event logs, as ``eth_getLogs`` provides.
+
+        Yields ``(transaction, log)`` pairs in chain order, filtered by
+        emitting ``address``, decoded ``event`` name, and an inclusive
+        timestamp window.
+        """
+        for tx in self._chain.iter_transactions():
+            if from_ts is not None and tx.timestamp < from_ts:
+                continue
+            if to_ts is not None and tx.timestamp > to_ts:
+                continue
+            receipt = self._chain.receipts.get(tx.hash)
+            if receipt is None or not receipt.succeeded:
+                continue
+            for log in receipt.logs:
+                if address is not None and log.address != address:
+                    continue
+                if event is not None and log.event != event:
+                    continue
+                yield tx, log
+
+    # -- bulk iteration (node-level export used to seed indexers) ----------------
+
+    def iter_transactions(self):
+        return self._chain.iter_transactions()
+
+    def transaction_count(self) -> int:
+        return len(self._chain)

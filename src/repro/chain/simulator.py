@@ -1,0 +1,104 @@
+"""Pre-signature transaction simulation (paper §9).
+
+The paper recommends that "before a user signs any transaction, the wallet
+can simulate its execution using APIs such as Alchemy.  If the transaction
+attempts to transfer or approve tokens to accounts on a phishing
+blacklist, the user should be alerted."
+
+:class:`TransactionSimulator` provides that dry-run: it executes a
+candidate transaction against a deep copy of the world state, returns the
+asset movements and logs it *would* cause, and discards all effects.  The
+killer case it handles — which static recipient screening cannot — is a
+freshly deployed profit-sharing contract that is not yet blacklisted but
+internally forwards to a blacklisted operator account.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.chain.chain import Blockchain
+from repro.chain.state import InsufficientBalanceError
+from repro.chain.transaction import CallTrace, Log, Transaction
+from repro.chain.vm import ExecutionContext, ExecutionError
+from repro.core.fundflow import Transfer, extract_fund_flow
+
+__all__ = ["SimulationResult", "TransactionSimulator"]
+
+
+@dataclass
+class SimulationResult:
+    """What a candidate transaction would do."""
+
+    success: bool
+    transfers: list[Transfer] = field(default_factory=list)
+    logs: list[Log] = field(default_factory=list)
+    revert_reason: str = ""
+
+    def recipients(self) -> set[str]:
+        """Every account that would receive assets."""
+        return {t.recipient for t in self.transfers}
+
+    def approval_targets(self) -> set[str]:
+        """Every account that would gain an allowance or operator right."""
+        targets = set()
+        for log in self.logs:
+            if log.event in ("Approval", "ApprovalForAll"):
+                spender = log.args.get("spender") or log.args.get("operator")
+                if isinstance(spender, str):
+                    granted = log.args.get("amount", log.args.get("approved", 1))
+                    if granted:
+                        targets.add(spender)
+        return targets
+
+
+class TransactionSimulator:
+    """Dry-runs transactions against a copied world state."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self._chain = chain
+
+    def simulate(
+        self,
+        sender: str,
+        to: str,
+        value: int = 0,
+        func: str = "",
+        args: dict | None = None,
+        timestamp: int | None = None,
+    ) -> SimulationResult:
+        """Execute without committing; the real chain is never mutated.
+
+        The cost is a deep copy of the world state per call — the
+        simulator stands in for a remote simulation API (Alchemy), where
+        the fork happens server-side.
+        """
+        state = copy.deepcopy(self._chain.state)
+        ts = timestamp if timestamp is not None else self._chain.genesis_timestamp
+        root = CallTrace(call_type="CALL", sender=sender, recipient=to,
+                         value=value, input_data=func)
+        ctx = ExecutionContext(state=state, origin=sender, timestamp=ts, root_frame=root)
+
+        try:
+            if value:
+                state.transfer(sender, to, value)
+            target = state.contract_at(to)
+            if target is not None:
+                target.handle(ctx, root, func, args or {})
+        except (ExecutionError, InsufficientBalanceError) as exc:
+            return SimulationResult(success=False, revert_reason=str(exc))
+
+        tx = Transaction(sender=sender, to=to, value=value, nonce=0, timestamp=ts, data=func)
+        receipt_like = _ReceiptView(trace=root, logs=ctx.logs)
+        transfers = extract_fund_flow(tx, receipt_like)
+        return SimulationResult(success=True, transfers=transfers, logs=list(ctx.logs))
+
+
+@dataclass
+class _ReceiptView:
+    """Minimal receipt interface for fund-flow extraction."""
+
+    trace: CallTrace
+    logs: list[Log]
+    succeeded: bool = True

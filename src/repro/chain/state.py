@@ -1,0 +1,97 @@
+"""Account model and world state for the simulated chain.
+
+The world state maps addresses to :class:`Account` records (balance, nonce,
+and — for contract accounts — a reference to the executing contract
+object).  Token balances live inside the token contracts themselves, as on
+the real chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.chain.types import Address
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.vm import Contract
+
+__all__ = ["Account", "WorldState", "InsufficientBalanceError"]
+
+
+class InsufficientBalanceError(RuntimeError):
+    """Raised when a transfer would overdraw an account."""
+
+
+@dataclass(slots=True)
+class Account:
+    """One Ethereum account.
+
+    ``contract`` is ``None`` for externally owned accounts (EOAs) and the
+    executing contract object for contract accounts (CAs).
+    """
+
+    address: Address
+    balance: int = 0
+    nonce: int = 0
+    contract: "Contract | None" = None
+
+    @property
+    def is_contract(self) -> bool:
+        return self.contract is not None
+
+
+@dataclass
+class WorldState:
+    """Mutable mapping of addresses to accounts."""
+
+    accounts: dict[Address, Account] = field(default_factory=dict)
+
+    def get(self, address: Address) -> Account:
+        """Return the account at ``address``, creating an empty EOA if new."""
+        account = self.accounts.get(address)
+        if account is None:
+            account = Account(address=address)
+            self.accounts[address] = account
+        return account
+
+    def balance_of(self, address: Address) -> int:
+        account = self.accounts.get(address)
+        return account.balance if account else 0
+
+    def credit(self, address: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        self.get(address).balance += amount
+
+    def debit(self, address: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("debit amount must be non-negative")
+        account = self.get(address)
+        if account.balance < amount:
+            raise InsufficientBalanceError(
+                f"{address} has {account.balance} wei, cannot debit {amount}"
+            )
+        account.balance -= amount
+
+    def transfer(self, sender: Address, recipient: Address, amount: int) -> None:
+        """Move ETH between accounts atomically."""
+        self.debit(sender, amount)
+        self.credit(recipient, amount)
+
+    def deploy(self, contract: "Contract") -> None:
+        """Register a contract object at its address."""
+        account = self.get(contract.address)
+        if account.contract is not None:
+            raise ValueError(f"address {contract.address} already has code")
+        account.contract = contract
+
+    def contract_at(self, address: Address) -> "Contract | None":
+        account = self.accounts.get(address)
+        return account.contract if account else None
+
+    def is_contract(self, address: Address) -> bool:
+        return self.contract_at(address) is not None
+
+    def __len__(self) -> int:
+        return len(self.accounts)

@@ -1,0 +1,140 @@
+"""Transaction, receipt, log and call-trace models.
+
+These mirror what a real Ethereum node exposes over JSON-RPC:
+
+* ``Transaction`` — the signed message (sender, recipient, value, calldata).
+* ``Receipt`` — execution outcome plus emitted ``Log`` entries.
+* ``CallTrace`` — the internal call tree as returned by
+  ``debug_traceTransaction`` with the ``callTracer``; internal ETH
+  transfers (the heart of profit-sharing detection) appear here as
+  positive-value calls.
+
+The measurement pipeline in :mod:`repro.core` consumes only these
+structures, so it is agnostic to whether the chain behind them is real or
+simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.chain.crypto import keccak256_hex
+from repro.chain.rlp import int_to_min_bytes, rlp_encode
+
+__all__ = ["Transaction", "Receipt", "Log", "CallTrace", "TxStatus"]
+
+
+class TxStatus:
+    """Receipt status codes, matching EIP-658."""
+
+    FAILURE = 0
+    SUCCESS = 1
+
+
+@dataclass(slots=True)
+class Log:
+    """An emitted contract event.
+
+    Instead of raw 32-byte topics we store the decoded form (event name and
+    argument mapping), which is what an indexer such as Etherscan presents
+    after ABI decoding.  ``address`` is the emitting contract.
+    """
+
+    address: str
+    event: str
+    args: dict[str, object]
+
+    def is_token_transfer(self) -> bool:
+        return self.event == "Transfer"
+
+    def is_approval(self) -> bool:
+        return self.event in ("Approval", "ApprovalForAll")
+
+
+@dataclass(slots=True)
+class CallTrace:
+    """One frame of the internal call tree.
+
+    ``call_type`` is ``CALL``, ``STATICCALL``, ``DELEGATECALL`` or
+    ``CREATE``.  ``value`` is the ETH (wei) carried by the frame.  Children
+    are sub-calls in execution order.
+    """
+
+    call_type: str
+    sender: str
+    recipient: str
+    value: int
+    input_data: str = ""
+    children: list["CallTrace"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["CallTrace"]:
+        """Yield this frame and all descendants in depth-first order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def value_transfers(self) -> Iterator["CallTrace"]:
+        """Yield frames that move ETH (value > 0, excluding static calls)."""
+        for frame in self.walk():
+            if frame.value > 0 and frame.call_type != "STATICCALL":
+                yield frame
+
+
+@dataclass(slots=True)
+class Transaction:
+    """A confirmed transaction.
+
+    ``to`` is ``None`` for contract creation.  ``data`` holds the decoded
+    function name (e.g. ``"claimRewards"``) followed by an optional
+    hex-encoded argument blob, the way explorers display calldata after
+    signature lookup; the raw 4-byte selector is ``selector``.
+    """
+
+    sender: str
+    to: str | None
+    value: int
+    nonce: int
+    timestamp: int
+    data: str = ""
+    selector: str = "0x"
+    gas_used: int = 21_000
+    block_number: int = 0
+    tx_index: int = 0
+    hash: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.hash:
+            self.hash = self._compute_hash()
+
+    def _compute_hash(self) -> str:
+        payload = rlp_encode(
+            [
+                bytes.fromhex(self.sender[2:]),
+                bytes.fromhex(self.to[2:]) if self.to else b"",
+                int_to_min_bytes(self.value),
+                int_to_min_bytes(self.nonce),
+                int_to_min_bytes(self.timestamp),
+                self.data.encode("utf-8"),
+            ]
+        )
+        return keccak256_hex(payload)
+
+    @property
+    def is_contract_creation(self) -> bool:
+        return self.to is None
+
+
+@dataclass(slots=True)
+class Receipt:
+    """Execution result of a transaction."""
+
+    tx_hash: str
+    status: int = TxStatus.SUCCESS
+    logs: list[Log] = field(default_factory=list)
+    trace: CallTrace | None = None
+    contract_created: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == TxStatus.SUCCESS

@@ -1,0 +1,87 @@
+"""Shared value types and unit helpers for the simulated chain.
+
+Addresses are plain ``str`` in EIP-55 checksum form throughout the code
+base; this module centralizes construction and validation so the rest of
+the system can treat them as opaque identifiers.  Monetary amounts are
+integers in wei (1 ETH = 10**18 wei), mirroring Ethereum's arithmetic and
+avoiding float rounding in profit-sharing ratio checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.crypto import keccak256, to_checksum_address
+
+__all__ = [
+    "WEI_PER_ETH",
+    "ZERO_ADDRESS",
+    "Address",
+    "address_from_seed",
+    "eth_to_wei",
+    "wei_to_eth",
+    "TokenAmount",
+]
+
+WEI_PER_ETH = 10**18
+ZERO_ADDRESS = "0x" + "0" * 40
+
+Address = str  # EIP-55 checksummed hex string; alias for documentation.
+
+
+def address_from_seed(seed: str | bytes) -> Address:
+    """Derive a deterministic, checksummed address from an arbitrary seed.
+
+    Used by the simulator to mint unique account addresses: the last 20
+    bytes of ``keccak256(seed)``, exactly how Ethereum derives addresses
+    from public keys.
+    """
+    if isinstance(seed, str):
+        seed = seed.encode("utf-8")
+    return to_checksum_address("0x" + keccak256(seed)[-20:].hex())
+
+
+def eth_to_wei(amount: float | int | str) -> int:
+    """Convert an ETH amount to integer wei.
+
+    Accepts ints, floats and decimal strings.  Floats are rounded to the
+    nearest wei; for exact amounts pass a string or an int.
+    """
+    if isinstance(amount, int):
+        return amount * WEI_PER_ETH
+    if isinstance(amount, str):
+        whole, _, frac = amount.partition(".")
+        frac = (frac + "0" * 18)[:18]
+        sign = -1 if whole.startswith("-") else 1
+        whole_wei = abs(int(whole or "0")) * WEI_PER_ETH
+        return sign * (whole_wei + int(frac or "0"))
+    return round(amount * WEI_PER_ETH)
+
+
+def wei_to_eth(amount: int) -> float:
+    """Convert integer wei to a float ETH amount (for reporting only)."""
+    return amount / WEI_PER_ETH
+
+
+@dataclass(frozen=True, slots=True)
+class TokenAmount:
+    """An amount of a specific token.
+
+    ``token`` is the token contract address, or the sentinel ``"ETH"`` for
+    the native asset.  ``raw`` is the integer amount in the token's base
+    unit (wei for ETH).
+    """
+
+    token: str
+    raw: int
+
+    ETH = "ETH"
+
+    @property
+    def is_native(self) -> bool:
+        return self.token == self.ETH
+
+    def __add__(self, other: "TokenAmount") -> "TokenAmount":
+        if self.token != other.token:
+            raise ValueError(f"cannot add amounts of {self.token} and {other.token}")
+        return TokenAmount(self.token, self.raw + other.raw)

@@ -1,0 +1,140 @@
+"""Minimal contract-execution framework.
+
+Contracts in the simulator are Python objects registered in the world
+state.  Execution faithfully reproduces the observable artifacts of real
+EVM execution — internal call frames with ETH values, emitted event logs,
+and state mutations — without interpreting bytecode.  That is exactly the
+level of detail the paper's measurement pipeline works at (it analyses
+traces and logs obtained over RPC, not opcodes).
+
+A contract exposes callable functions via :meth:`Contract.handle`; the
+:class:`ExecutionContext` gives it the ability to transfer ETH (recorded as
+internal ``CALL`` frames), invoke other contracts, and emit logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.crypto import keccak256
+from repro.chain.state import WorldState
+from repro.chain.transaction import CallTrace, Log
+
+__all__ = ["Contract", "ExecutionContext", "ExecutionError", "function_selector"]
+
+
+class ExecutionError(RuntimeError):
+    """Raised by contract code to revert the transaction."""
+
+
+def function_selector(signature: str) -> str:
+    """Return the 4-byte selector for a canonical function signature.
+
+    >>> function_selector("transfer(address,uint256)")
+    '0xa9059cbb'
+    """
+    return "0x" + keccak256(signature.encode("ascii"))[:4].hex()
+
+
+@dataclass
+class ExecutionContext:
+    """Per-transaction execution environment handed to contract code."""
+
+    state: WorldState
+    origin: str
+    timestamp: int
+    root_frame: CallTrace
+    logs: list[Log] = field(default_factory=list)
+    _frame_stack: list[CallTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._frame_stack:
+            self._frame_stack = [self.root_frame]
+
+    @property
+    def current_frame(self) -> CallTrace:
+        return self._frame_stack[-1]
+
+    def emit(self, address: str, event: str, args: dict[str, object]) -> None:
+        """Record an event log emitted by ``address``."""
+        self.logs.append(Log(address=address, event=event, args=args))
+
+    def call(
+        self,
+        sender: str,
+        recipient: str,
+        value: int = 0,
+        func: str = "",
+        args: dict[str, object] | None = None,
+        call_type: str = "CALL",
+    ) -> object:
+        """Perform an internal call, recording a trace frame.
+
+        Moves ``value`` wei from ``sender`` to ``recipient`` and, if the
+        recipient is a contract, dispatches into its handler.  Returns the
+        handler's return value (``None`` for plain transfers).
+        """
+        frame = CallTrace(
+            call_type=call_type,
+            sender=sender,
+            recipient=recipient,
+            value=value,
+            input_data=func,
+        )
+        self.current_frame.children.append(frame)
+
+        if value:
+            self.state.transfer(sender, recipient, value)
+
+        target = self.state.contract_at(recipient)
+        if target is None:
+            return None
+
+        self._frame_stack.append(frame)
+        try:
+            return target.handle(self, frame, func, args or {})
+        finally:
+            self._frame_stack.pop()
+
+
+class Contract:
+    """Base class for simulated contracts.
+
+    Subclasses implement public functions as ``fn_<name>`` methods taking
+    ``(ctx, frame, args)``.  A payable fallback can be provided by
+    overriding :meth:`fallback`.  ``contract_kind`` is a short machine
+    identifier used by the explorer's "decompiler" view (Table 3).
+    """
+
+    contract_kind = "generic"
+
+    def __init__(self, address: str, creator: str = "", created_at: int = 0) -> None:
+        self.address = address
+        self.creator = creator
+        self.created_at = created_at
+
+    # -- dispatch ---------------------------------------------------------
+
+    def handle(self, ctx: ExecutionContext, frame: CallTrace, func: str, args: dict) -> object:
+        """Route a call to the matching ``fn_`` method or the fallback."""
+        if func:
+            method = getattr(self, f"fn_{func}", None)
+            if method is not None:
+                return method(ctx, frame, args)
+        return self.fallback(ctx, frame, args)
+
+    def fallback(self, ctx: ExecutionContext, frame: CallTrace, args: dict) -> object:
+        """Default fallback: reject calls to unknown functions."""
+        raise ExecutionError(f"{type(self).__name__} has no function {frame.input_data!r}")
+
+    # -- introspection (what a decompiler such as Dedaub would report) ----
+
+    def public_functions(self) -> list[str]:
+        """Names of the contract's public functions, for explorer metadata."""
+        return sorted(
+            name.removeprefix("fn_") for name in dir(self) if name.startswith("fn_")
+        )
+
+    def has_payable_fallback(self) -> bool:
+        """True if the contract overrides the fallback to accept ETH."""
+        return type(self).fallback is not Contract.fallback

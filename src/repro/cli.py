@@ -1,0 +1,253 @@
+"""Command-line interface: ``daas-repro <command>``.
+
+Commands:
+
+* ``build-dataset`` — build the simulated world, run seed + snowball, and
+  write the released-style dataset JSON.
+* ``analyze``       — run the §6 measurement suite and print the findings.
+* ``cluster``       — run §7 family clustering and print Table 2.
+* ``webdetect``     — run the §8 website-detection pipeline and Table 4.
+* ``report``        — everything above as one paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import fmt_month, fmt_pct, fmt_usd, render_table
+from repro.analysis.laundering import LaunderingAnalyzer
+from repro.api import run_pipeline
+from repro.core import ContractAnalyzer, DatasetValidator
+from repro.core.release import build_report_bundle, export_accounts_csv, export_transactions_csv
+from repro.simulation import SimulationParams
+from repro.webdetect import (
+    PhishingSiteDetector,
+    WebWorldParams,
+    build_fingerprint_db,
+    build_web_world,
+)
+from repro.webdetect.detector import tld_distribution
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="world size relative to the paper (default 0.05)")
+    parser.add_argument("--seed", type=int, default=2025, help="world seed")
+
+
+def _params(args: argparse.Namespace) -> SimulationParams:
+    return SimulationParams(scale=args.scale, seed=args.seed)
+
+
+def cmd_build_dataset(args: argparse.Namespace) -> int:
+    result = run_pipeline(_params(args))
+    print(render_table(
+        ["stage"] + list(result.seed_summary),
+        [
+            ["seed"] + [str(v) for v in result.seed_summary.values()],
+            ["expanded"] + [str(v) for v in result.dataset.summary().values()],
+        ],
+        title="Dataset collection (Table 1)",
+    ))
+    if args.out:
+        result.dataset.save(args.out)
+        print(f"\ndataset written to {args.out}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    result = run_pipeline(_params(args))
+    vr, orr, ar = result.victim_report, result.operator_report, result.affiliate_report
+    print(f"victim accounts:        {vr.victim_count}")
+    print(f"total losses:           {fmt_usd(vr.total_loss_usd)}")
+    print(f"losses below $1,000:    {fmt_pct(vr.share_below(1000))} (paper 83.5%)")
+    print(f"losses below $100:      {fmt_pct(vr.share_below(100))} (paper 50.9%)")
+    print(f"repeat victims:         {len(vr.repeat_victims())}")
+    print(f"  simultaneous signing: {fmt_pct(vr.simultaneous_share())} (paper 78.1%)")
+    print(f"  unrevoked approvals:  {fmt_pct(result.victim_analyzer.unrevoked_share(vr))} (paper 28.6%)")
+    print(f"operator profits:       {fmt_usd(orr.total_profit_usd)} (paper $23.1M at scale 1.0)")
+    print(f"  head for 75.7%:       {fmt_pct(orr.head_fraction_for(0.757))} of operators (paper 25.0%)")
+    print(f"affiliate profits:      {fmt_usd(ar.total_profit_usd)} (paper $111.9M at scale 1.0)")
+    print(f"  above $1,000:         {fmt_pct(ar.share_above(1000))} (paper 50.2%)")
+    print(f"  above $10,000:        {fmt_pct(ar.share_above(10000))} (paper 22.0%)")
+    print(f"  head for 75.6%:       {fmt_pct(ar.head_fraction_for(0.756))} (paper 7.4%)")
+    print(f"  reach > 10 victims:   {fmt_pct(ar.reach_share_above(10))} (paper 26.1%)")
+    print(f"  single operator:      {fmt_pct(ar.operator_count_shares().get(1, 0.0))} (paper 60.4%)")
+    print(f"  at most 3 operators:  {fmt_pct(ar.share_with_at_most(3))} (paper 90.2%)")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    result = run_pipeline(_params(args))
+    rows = []
+    for family in result.clustering.sorted_by_victims():
+        rows.append([
+            family.name,
+            str(len(family.contracts)),
+            str(len(family.operators)),
+            str(len(family.affiliates)),
+            str(len(family.victims)),
+            fmt_usd(family.total_profit_usd),
+            fmt_month(family.first_tx_ts),
+            fmt_month(family.last_tx_ts),
+        ])
+    print(render_table(
+        ["family", "contracts", "operators", "affiliates", "victims", "profits", "start", "end"],
+        rows,
+        title=f"DaaS families (Table 2) — {result.clustering.family_count} clusters",
+    ))
+    print(f"\ntop-3 profit share: {fmt_pct(result.clustering.top_families_profit_share(3))}"
+          " (paper 93.9%)")
+    return 0
+
+
+def cmd_webdetect(args: argparse.Namespace) -> int:
+    web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
+    if getattr(args, "streaming", False):
+        from repro.webdetect import (
+            FAMILY_TOOLKIT_FILES,
+            FingerprintDB,
+            StreamingSiteDetector,
+            ToolkitFingerprint,
+            content_digest,
+        )
+        from repro.webdetect.webworld import _variant_content
+
+        db = FingerprintDB()
+        for family, names in FAMILY_TOOLKIT_FILES.items():
+            db.add(ToolkitFingerprint(
+                family=family,
+                files=frozenset(
+                    (n, content_digest(_variant_content(family, n, 0))) for n in names
+                ),
+            ))
+        reports, stats = StreamingSiteDetector(web, db).run()
+        print(f"streaming mode: {stats.fingerprints_harvested} variants harvested, "
+              f"{stats.late_confirmations} late confirmations")
+    else:
+        db = build_fingerprint_db(web)
+        reports, stats = PhishingSiteDetector(web, db).run()
+    print(f"fingerprints:     {len(db)} (paper 867 at scale 1.0)")
+    print(f"CT entries:       {stats.ct_entries}")
+    print(f"suspicious:       {stats.suspicious}")
+    print(f"confirmed:        {stats.confirmed} (paper 32,819 at scale 1.0)")
+    tld = tld_distribution(reports)
+    rows = [[t, fmt_pct(s)] for t, s in list(tld.items())[:10]]
+    print(render_table(["TLD", "share"], rows, title="\nTop-10 TLDs (Table 4)"))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    result = run_pipeline(_params(args))
+    analyzer = ContractAnalyzer(result.world.rpc, result.world.explorer, result.world.oracle)
+    report = DatasetValidator(analyzer).validate(result.dataset)
+    print(f"accounts reviewed:       {report.accounts_reviewed:,}")
+    print(f"transactions reviewed:   {report.transactions_reviewed:,}")
+    print(f"false positives:         {len(report.false_positives)}")
+    print(f"reviewer disagreements:  {report.disagreements}")
+    print(f"estimated man-hours:     {report.estimated_man_hours:.0f} "
+          "(paper: 584 at full scale)")
+    return 0 if not report.false_positives else 1
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    result = run_pipeline(_params(args))
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "daas_dataset.json").write_text(result.dataset.to_json())
+    (out / "accounts.csv").write_text(export_accounts_csv(result.dataset))
+    (out / "transactions.csv").write_text(export_transactions_csv(result.dataset))
+    bundle = build_report_bundle(result.dataset)
+    bundle.save(out / "community_report.json")
+    print(f"wrote dataset + CSVs + community report ({bundle.account_count:,} "
+          f"accounts) to {out}/")
+    return 0
+
+
+def cmd_laundering(args: argparse.Namespace) -> int:
+    result = run_pipeline(_params(args))
+    report = LaunderingAnalyzer(result.context).analyze()
+    totals = report.total_by_category()
+    print(f"traced routes:            {len(report.routes):,}")
+    print(f"accounts reaching sinks:  {len(report.accounts_reaching_sinks()):,}")
+    print(f"mean hops to cash-out:    {report.mean_hops():.2f}")
+    for category, wei in sorted(totals.items(), key=lambda kv: -kv[1]):
+        print(f"  via {category:<9} {wei / 10**18:,.1f} ETH")
+    print(f"untraced (funds parked):  {len(report.untraced_accounts):,} accounts")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    for fn in (cmd_build_dataset, cmd_analyze, cmd_cluster, cmd_webdetect):
+        fn(args)
+        print()
+    if getattr(args, "md", ""):
+        from repro.analysis.document import render_markdown_report
+
+        result = run_pipeline(_params(args))
+        web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
+        db = build_fingerprint_db(web)
+        reports, stats = PhishingSiteDetector(web, db).run()
+        text = render_markdown_report(result, reports, stats)
+        with open(args.md, "w") as handle:
+            handle.write(text)
+        print(f"markdown report written to {args.md}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="daas-repro",
+        description="Reproduction of the IMC'25 Drainer-as-a-Service measurement study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-dataset", help="seed + snowball, optionally write JSON")
+    _add_common(p)
+    p.add_argument("--out", default="", help="path for the dataset JSON")
+    p.set_defaults(fn=cmd_build_dataset)
+
+    p = sub.add_parser("analyze", help="run the §6 measurement suite")
+    _add_common(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("cluster", help="run §7 family clustering (Table 2)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser("webdetect", help="run the §8 website detector (Table 4)")
+    _add_common(p)
+    p.add_argument("--streaming", action="store_true",
+                   help="continuous mode with in-stream fingerprint growth")
+    p.set_defaults(fn=cmd_webdetect)
+
+    p = sub.add_parser("validate", help="run the §5.2 two-reviewer validation protocol")
+    _add_common(p)
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("export", help="write dataset JSON, CSVs and the community report")
+    _add_common(p)
+    p.add_argument("--out-dir", default="release", help="output directory")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("laundering", help="trace cash-out routes to mixers/bridges (§8.1)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_laundering)
+
+    p = sub.add_parser("report", help="full paper-vs-measured report")
+    _add_common(p)
+    p.add_argument("--out", default="", help="path for the dataset JSON")
+    p.add_argument("--md", default="", help="also write a markdown report here")
+    p.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

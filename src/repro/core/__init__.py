@@ -1,0 +1,49 @@
+"""The paper's core contribution: profit-sharing detection, seed dataset
+construction, snowball expansion, and the released dataset model."""
+
+from repro.core.dataset import DaaSDataset, PSTransactionRecord, Provenance
+from repro.core.fundflow import FundFlowExtractor, Transfer, extract_fund_flow, group_by_source
+from repro.core.metrics import SetMetrics, dataset_metrics, score_sets
+from repro.core.monitor import Alert, MonitorStats, StreamingMonitor
+from repro.core.pipeline import ContractAnalysis, ContractAnalyzer, split_roles
+from repro.core.profit_sharing import ProfitShareMatch, ProfitSharingClassifier, RPCClassifier
+from repro.core.ratios import (
+    DEFAULT_TOLERANCE,
+    KNOWN_OPERATOR_RATIOS_BPS,
+    match_operator_share,
+)
+from repro.core.seed import SeedBuilder, SeedReport
+from repro.core.snowball import ExpansionReport, IterationStats, SnowballExpander
+from repro.core.validation import DatasetValidator, ValidationReport
+
+__all__ = [
+    "DaaSDataset",
+    "PSTransactionRecord",
+    "Provenance",
+    "FundFlowExtractor",
+    "Transfer",
+    "extract_fund_flow",
+    "group_by_source",
+    "SetMetrics",
+    "dataset_metrics",
+    "score_sets",
+    "Alert",
+    "MonitorStats",
+    "StreamingMonitor",
+    "ContractAnalysis",
+    "ContractAnalyzer",
+    "split_roles",
+    "ProfitShareMatch",
+    "ProfitSharingClassifier",
+    "RPCClassifier",
+    "DEFAULT_TOLERANCE",
+    "KNOWN_OPERATOR_RATIOS_BPS",
+    "match_operator_share",
+    "SeedBuilder",
+    "SeedReport",
+    "ExpansionReport",
+    "IterationStats",
+    "SnowballExpander",
+    "DatasetValidator",
+    "ValidationReport",
+]

@@ -1,0 +1,137 @@
+"""Fund-flow extraction from transactions.
+
+A transaction's *fund flow* is the set of asset movements it caused:
+
+* ETH movements come from the internal call tree (``debug_traceTransaction``)
+  — every positive-value call frame below the root is an internal transfer,
+  and the root frame itself is the transaction's own value transfer;
+* token movements come from decoded ``Transfer`` event logs (ERC-20 carries
+  an ``amount``; ERC-721 a ``tokenId`` and is treated as a unit transfer).
+
+This is exactly the view an explorer's "Internal Txns" and "Token
+Transfers" tabs give, which is what the paper's examples (Figures 1 and 4)
+reason over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.rpc import EthereumRPC
+from repro.chain.transaction import Receipt, Transaction
+
+__all__ = ["Transfer", "extract_fund_flow", "group_by_source", "FundFlowExtractor"]
+
+ETH = "ETH"
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One asset movement inside a transaction."""
+
+    token: str        # "ETH" or the token contract address
+    source: str
+    recipient: str
+    amount: int       # wei / token base units; 1 for NFTs
+    is_nft: bool = False
+    token_id: int | None = None
+    #: True for the transaction's own top-level value transfer (the root
+    #: call frame), False for internal transfers and token movements.
+    is_root: bool = False
+
+
+def extract_fund_flow(tx: Transaction, receipt: Receipt) -> list[Transfer]:
+    """All asset movements of a confirmed transaction, in trace order."""
+    if not receipt.succeeded:
+        return []
+    flows: list[Transfer] = []
+
+    if receipt.trace is not None:
+        root = receipt.trace
+        if root.value > 0:
+            flows.append(
+                Transfer(
+                    token=ETH,
+                    source=root.sender,
+                    recipient=root.recipient,
+                    amount=root.value,
+                    is_root=True,
+                )
+            )
+        for frame in root.walk():
+            if frame is root:
+                continue
+            if frame.value > 0 and frame.call_type != "STATICCALL":
+                flows.append(
+                    Transfer(
+                        token=ETH,
+                        source=frame.sender,
+                        recipient=frame.recipient,
+                        amount=frame.value,
+                    )
+                )
+
+    for log in receipt.logs:
+        if log.event != "Transfer":
+            continue
+        source = log.args.get("from")
+        recipient = log.args.get("to")
+        if not isinstance(source, str) or not isinstance(recipient, str):
+            continue
+        if "tokenId" in log.args:
+            flows.append(
+                Transfer(
+                    token=log.address,
+                    source=source,
+                    recipient=recipient,
+                    amount=1,
+                    is_nft=True,
+                    token_id=int(log.args["tokenId"]),
+                )
+            )
+        else:
+            flows.append(
+                Transfer(
+                    token=log.address,
+                    source=source,
+                    recipient=recipient,
+                    amount=int(log.args.get("amount", 0)),
+                )
+            )
+    return flows
+
+
+def group_by_source(flows: list[Transfer]) -> dict[tuple[str, str], list[Transfer]]:
+    """Group non-root fungible transfers by ``(source, token)``.
+
+    The root value transfer (victim paying the contract) is the *inflow*;
+    profit sharing manifests as the grouped *outflows* from a single
+    source, so the root is excluded from grouping.  NFT movements are
+    excluded too: NFTs cannot be split and are monetized first (§4.2).
+    """
+    groups: dict[tuple[str, str], list[Transfer]] = {}
+    for transfer in flows:
+        if transfer.is_root or transfer.is_nft:
+            continue
+        groups.setdefault((transfer.source, transfer.token), []).append(transfer)
+    return groups
+
+
+class FundFlowExtractor:
+    """RPC-backed convenience wrapper with a small LRU-ish cache."""
+
+    def __init__(self, rpc: EthereumRPC, cache_size: int = 200_000) -> None:
+        self._rpc = rpc
+        self._cache: dict[str, list[Transfer]] = {}
+        self._cache_size = cache_size
+
+    def fund_flow(self, tx_hash: str) -> list[Transfer]:
+        cached = self._cache.get(tx_hash)
+        if cached is not None:
+            return cached
+        tx = self._rpc.get_transaction(tx_hash)
+        receipt = self._rpc.get_transaction_receipt(tx_hash)
+        flows = extract_fund_flow(tx, receipt)
+        if len(self._cache) < self._cache_size:
+            self._cache[tx_hash] = flows
+        return flows

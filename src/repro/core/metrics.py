@@ -1,0 +1,60 @@
+"""Detection-quality metrics against planted ground truth.
+
+The benchmarks and ablations repeatedly score recovered sets against the
+generator's ground truth; this module centralizes the arithmetic.
+Only evaluation code imports it — the measurement pipeline itself never
+touches ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SetMetrics", "score_sets", "dataset_metrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class SetMetrics:
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_row(self) -> list[str]:
+        return [f"{self.precision:.3f}", f"{self.recall:.3f}", f"{self.f1:.3f}"]
+
+
+def score_sets(detected: set, truth: set) -> SetMetrics:
+    """Precision/recall of a detected set against the planted truth set."""
+    tp = len(detected & truth)
+    return SetMetrics(
+        true_positives=tp,
+        false_positives=len(detected) - tp,
+        false_negatives=len(truth) - tp,
+    )
+
+
+def dataset_metrics(dataset, ground_truth) -> dict[str, SetMetrics]:
+    """Score a DaaSDataset against a simulation GroundTruth, per entity kind."""
+    return {
+        "contracts": score_sets(dataset.contracts, ground_truth.all_contracts),
+        "operators": score_sets(dataset.operators, ground_truth.all_operators),
+        "affiliates": score_sets(dataset.affiliates, ground_truth.all_affiliates),
+        "transactions": score_sets(
+            {r.tx_hash for r in dataset.transactions}, ground_truth.all_ps_tx_hashes
+        ),
+    }

@@ -1,0 +1,104 @@
+"""Shared analysis machinery for the seed and expansion stages.
+
+:class:`ContractAnalyzer` implements the per-contract work both stages
+share: classify every historical transaction of a contract (§5.1 Step 2),
+convert matches into dataset records with USD valuation, and split the
+recipients into operator and affiliate roles by share size (Step 3 —
+"operators receive the smaller share").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.explorer import Explorer
+from repro.chain.prices import PriceOracle
+from repro.chain.rpc import EthereumRPC
+from repro.core.dataset import PSTransactionRecord
+from repro.core.profit_sharing import ProfitShareMatch, ProfitSharingClassifier, RPCClassifier
+
+__all__ = ["ContractAnalysis", "ContractAnalyzer", "split_roles"]
+
+
+@dataclass
+class ContractAnalysis:
+    """Result of analyzing one candidate contract."""
+
+    contract: str
+    matches: list[ProfitShareMatch] = field(default_factory=list)
+    total_txs: int = 0
+
+    @property
+    def is_profit_sharing(self) -> bool:
+        return bool(self.matches)
+
+
+def split_roles(matches: list[ProfitShareMatch]) -> tuple[set[str], set[str]]:
+    """Split match recipients into (operators, affiliates) by majority vote.
+
+    Every match names the smaller-share recipient as operator and the
+    larger-share one as affiliate.  An address that somehow appears on
+    both sides is resolved by majority, operator winning ties (a single
+    mislabeled operator pollutes clustering more than a mislabeled
+    affiliate, so the conservative tie-break is operator).
+    """
+    op_votes: dict[str, int] = {}
+    aff_votes: dict[str, int] = {}
+    for match in matches:
+        op_votes[match.operator] = op_votes.get(match.operator, 0) + 1
+        aff_votes[match.affiliate] = aff_votes.get(match.affiliate, 0) + 1
+    operators: set[str] = set()
+    affiliates: set[str] = set()
+    for address in set(op_votes) | set(aff_votes):
+        if op_votes.get(address, 0) >= aff_votes.get(address, 0):
+            operators.add(address)
+        else:
+            affiliates.add(address)
+    return operators, affiliates
+
+
+class ContractAnalyzer:
+    """Per-contract classification, with memoization across stages."""
+
+    def __init__(
+        self,
+        rpc: EthereumRPC,
+        explorer: Explorer,
+        oracle: PriceOracle,
+        classifier: ProfitSharingClassifier | None = None,
+        min_ps_txs: int = 1,
+    ) -> None:
+        self.rpc = rpc
+        self.explorer = explorer
+        self.oracle = oracle
+        self.rpc_classifier = RPCClassifier(rpc, classifier)
+        self.min_ps_txs = min_ps_txs
+        self._analyses: dict[str, ContractAnalysis] = {}
+
+    def analyze(self, contract: str) -> ContractAnalysis:
+        """Classify every historical transaction of ``contract``."""
+        cached = self._analyses.get(contract)
+        if cached is not None:
+            return cached
+        analysis = ContractAnalysis(contract=contract)
+        for tx in self.explorer.transactions_of(contract):
+            analysis.total_txs += 1
+            if tx.to != contract:
+                # The contract merely appeared in someone else's trace; the
+                # split must be performed by the invoked contract itself.
+                continue
+            analysis.matches.extend(self.rpc_classifier.classify_hash(tx.hash))
+        if len(analysis.matches) < self.min_ps_txs:
+            analysis.matches.clear()
+        self._analyses[contract] = analysis
+        return analysis
+
+    def to_records(self, matches: list[ProfitShareMatch]) -> list[PSTransactionRecord]:
+        """Convert matches to dataset records, valuing them in USD."""
+        records = []
+        for match in matches:
+            total_usd = self.oracle.value_usd(
+                match.token, match.total_amount, match.timestamp
+            )
+            records.append(PSTransactionRecord.from_match(match, total_usd=total_usd))
+        return records

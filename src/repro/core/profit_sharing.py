@@ -1,0 +1,135 @@
+"""The profit-sharing transaction classifier (paper §5.1, Step 2).
+
+A transaction is classified as *profit-sharing* when its fund flow contains
+a pair of transfers that satisfies the paper's three criteria:
+
+1. the fund flow consists of two transfers;
+2. both transfers originate from the same account;
+3. the amounts split in one of the known drainer proportions (§4.3),
+   with the smaller share going to the operator.
+
+Two evaluation modes:
+
+* **grouped** (default) — criteria are applied per ``(source, token)``
+  group of the fund flow.  This matches how the split actually appears on
+  chain: an ETH claim transaction carries the victim's inbound transfer
+  *plus* the two outbound shares, and an NFT monetization carries the
+  marketplace payout too.  Grouping by source isolates the two-way split.
+* **strict** — the entire non-root fund flow must be exactly the two
+  transfers (the paper's literal wording).  Catches the same ERC-20 flows
+  but misses monetization transactions; exposed for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.rpc import EthereumRPC
+from repro.chain.transaction import Receipt, Transaction
+from repro.core.fundflow import Transfer, extract_fund_flow, group_by_source
+from repro.core.ratios import DEFAULT_TOLERANCE, match_operator_share
+
+__all__ = ["ProfitShareMatch", "ProfitSharingClassifier", "RPCClassifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfitShareMatch:
+    """One detected profit-sharing split inside a transaction."""
+
+    tx_hash: str
+    contract: str          # the invoked contract (tx recipient)
+    source: str            # account both transfers originate from
+    token: str
+    operator: str          # recipient of the smaller share
+    affiliate: str         # recipient of the larger share
+    operator_amount: int
+    affiliate_amount: int
+    ratio_bps: int         # matched operator share
+    timestamp: int
+
+    @property
+    def total_amount(self) -> int:
+        return self.operator_amount + self.affiliate_amount
+
+
+class ProfitSharingClassifier:
+    """Stateless classifier over (transaction, receipt) pairs."""
+
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        strict_two_transfers: bool = False,
+    ) -> None:
+        self.tolerance = tolerance
+        self.strict_two_transfers = strict_two_transfers
+
+    # -- core API -----------------------------------------------------------
+
+    def classify(self, tx: Transaction, receipt: Receipt) -> list[ProfitShareMatch]:
+        """Return the profit-sharing matches of a transaction (possibly [])."""
+        if tx.to is None or not receipt.succeeded:
+            return []
+        flows = extract_fund_flow(tx, receipt)
+        return self.classify_flows(tx, flows)
+
+    def classify_flows(self, tx: Transaction, flows: list[Transfer]) -> list[ProfitShareMatch]:
+        """Classifier body, reusable with pre-extracted fund flows."""
+        if tx.to is None:
+            return []
+        if self.strict_two_transfers:
+            non_root = [t for t in flows if not t.is_root and not t.is_nft]
+            if len(non_root) != 2:
+                return []
+        matches: list[ProfitShareMatch] = []
+        for (source, token), group in group_by_source(flows).items():
+            if len(group) != 2:
+                continue
+            first, second = group
+            if first.recipient == second.recipient:
+                continue
+            bps = match_operator_share(first.amount, second.amount, self.tolerance)
+            if bps is None:
+                continue
+            smaller, larger = sorted(group, key=lambda t: t.amount)
+            matches.append(
+                ProfitShareMatch(
+                    tx_hash=tx.hash,
+                    contract=tx.to,
+                    source=source,
+                    token=token,
+                    operator=smaller.recipient,
+                    affiliate=larger.recipient,
+                    operator_amount=smaller.amount,
+                    affiliate_amount=larger.amount,
+                    ratio_bps=bps,
+                    timestamp=tx.timestamp,
+                )
+            )
+        return matches
+
+    def is_profit_sharing(self, tx: Transaction, receipt: Receipt) -> bool:
+        return bool(self.classify(tx, receipt))
+
+
+class RPCClassifier:
+    """Classifier bound to an RPC handle, with per-tx memoization.
+
+    Snowball expansion re-visits the same transactions from many angles
+    (contract side, operator side, affiliate side); memoizing per hash
+    keeps the walk linear in distinct transactions.
+    """
+
+    def __init__(self, rpc: EthereumRPC, classifier: ProfitSharingClassifier | None = None) -> None:
+        self._rpc = rpc
+        self.classifier = classifier or ProfitSharingClassifier()
+        self._memo: dict[str, list[ProfitShareMatch]] = {}
+
+    def classify_hash(self, tx_hash: str) -> list[ProfitShareMatch]:
+        cached = self._memo.get(tx_hash)
+        if cached is not None:
+            return cached
+        tx = self._rpc.get_transaction(tx_hash)
+        receipt = self._rpc.get_transaction_receipt(tx_hash)
+        matches = self.classifier.classify(tx, receipt)
+        self._memo[tx_hash] = matches
+        return matches

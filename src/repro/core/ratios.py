@@ -1,0 +1,49 @@
+"""The drainer profit-sharing ratio set and ratio matching.
+
+§4.3: operators' shares observed in the wild are 10 %, 12.5 %, 15 %,
+17.5 %, 20 %, 25 %, 30 %, 33 % and 40 %.  Adjacent ratios are as little as
+2.5 percentage points apart, so the matching tolerance must stay well
+below 1.25 points; the default is 0.5 points, which also absorbs the
+integer rounding drainer contracts introduce (``value * bps // 10000``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["KNOWN_OPERATOR_RATIOS_BPS", "DEFAULT_TOLERANCE", "match_operator_share"]
+
+#: Operator share in basis points, ascending.
+KNOWN_OPERATOR_RATIOS_BPS: tuple[int, ...] = (
+    1000, 1250, 1500, 1750, 2000, 2500, 3000, 3300, 4000,
+)
+
+#: Default matching tolerance, in fraction-of-total units (0.005 = 0.5 pp).
+DEFAULT_TOLERANCE = 0.005
+
+
+def match_operator_share(
+    smaller: int,
+    larger: int,
+    tolerance: float = DEFAULT_TOLERANCE,
+    ratios_bps: tuple[int, ...] = KNOWN_OPERATOR_RATIOS_BPS,
+) -> int | None:
+    """Match a two-transfer split against the known ratio set.
+
+    ``smaller``/``larger`` are the two transfer amounts (any order is
+    accepted; they are sorted internally).  Returns the matched operator
+    share in basis points, or ``None``.  Exactly equal amounts never match:
+    the operator share is strictly below 50 % by construction (§4.3 —
+    affiliates always get the larger cut).
+    """
+    if smaller > larger:
+        smaller, larger = larger, smaller
+    total = smaller + larger
+    if total <= 0 or smaller <= 0 or smaller == larger:
+        return None
+    share = smaller / total
+    best: int | None = None
+    best_err = tolerance
+    for bps in ratios_bps:
+        err = abs(share - bps / 10_000)
+        if err <= best_err:
+            best, best_err = bps, err
+    return best

@@ -1,0 +1,141 @@
+"""Release artifacts: the community-report bundle (paper §8).
+
+The paper reports every DaaS account to Etherscan/Chainabuse/Forta and
+every detected phishing website to the Web3 security community.  This
+module renders those deliverables from a built dataset: CSV exports of
+accounts and transactions, and a submission-style JSON bundle combining
+on-chain accounts with detected websites, with per-entry evidence
+pointers (the profit-sharing transactions that justify each report).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.dataset import DaaSDataset
+
+__all__ = ["ReportBundle", "export_accounts_csv", "export_transactions_csv", "build_report_bundle"]
+
+
+def export_transactions_csv(dataset: DaaSDataset) -> str:
+    """CSV of every profit-sharing transaction in the dataset."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "tx_hash", "timestamp", "contract", "operator", "affiliate",
+        "token", "operator_amount", "affiliate_amount", "ratio_bps", "total_usd",
+    ])
+    for record in sorted(dataset.transactions, key=lambda r: r.timestamp):
+        writer.writerow([
+            record.tx_hash, record.timestamp, record.contract, record.operator,
+            record.affiliate, record.token, record.operator_amount,
+            record.affiliate_amount, record.ratio_bps, f"{record.total_usd:.2f}",
+        ])
+    return buffer.getvalue()
+
+
+def export_accounts_csv(dataset: DaaSDataset) -> str:
+    """CSV of every DaaS account with role, provenance and evidence count."""
+    evidence: dict[str, int] = {}
+    for record in dataset.transactions:
+        for account in (record.contract, record.operator, record.affiliate):
+            evidence[account] = evidence.get(account, 0) + 1
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["address", "role", "stage", "source", "ps_tx_count"])
+    for role, accounts in (
+        ("profit_sharing_contract", dataset.contracts),
+        ("operator", dataset.operators),
+        ("affiliate", dataset.affiliates),
+    ):
+        for address in sorted(accounts):
+            provenance = dataset.provenance.get(address)
+            writer.writerow([
+                address,
+                role,
+                provenance.stage if provenance else "",
+                provenance.source if provenance else "",
+                evidence.get(address, 0),
+            ])
+    return buffer.getvalue()
+
+
+@dataclass
+class ReportBundle:
+    """The submission bundle sent to explorers and security teams."""
+
+    accounts: list[dict]
+    websites: list[dict]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "report": "DaaS accounts and phishing websites",
+                "account_count": len(self.accounts),
+                "website_count": len(self.websites),
+                "accounts": self.accounts,
+                "websites": self.websites,
+            },
+            indent=2,
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @property
+    def account_count(self) -> int:
+        return len(self.accounts)
+
+    @property
+    def website_count(self) -> int:
+        return len(self.websites)
+
+
+def build_report_bundle(
+    dataset: DaaSDataset,
+    site_reports: list | None = None,
+    max_evidence_per_account: int = 3,
+) -> ReportBundle:
+    """Assemble the community-report bundle.
+
+    ``site_reports`` is the output of the §8.2 website detector
+    (:class:`repro.webdetect.detector.SiteReport` items) when available.
+    Each account entry carries up to ``max_evidence_per_account`` recent
+    profit-sharing transaction hashes as evidence, the form explorer abuse
+    desks expect.
+    """
+    evidence: dict[str, list[str]] = {}
+    for record in sorted(dataset.transactions, key=lambda r: -r.timestamp):
+        for account in (record.contract, record.operator, record.affiliate):
+            hashes = evidence.setdefault(account, [])
+            if len(hashes) < max_evidence_per_account:
+                hashes.append(record.tx_hash)
+
+    accounts = []
+    for role, pool in (
+        ("profit_sharing_contract", dataset.contracts),
+        ("operator", dataset.operators),
+        ("affiliate", dataset.affiliates),
+    ):
+        for address in sorted(pool):
+            accounts.append({
+                "address": address,
+                "role": role,
+                "category": "phishing",
+                "evidence_txs": evidence.get(address, []),
+            })
+
+    websites = []
+    for report in site_reports or []:
+        websites.append({
+            "domain": report.domain,
+            "family": report.family,
+            "detected_at": report.detected_at,
+            "matched_keyword": report.matched_keyword,
+        })
+    return ReportBundle(accounts=accounts, websites=websites)

@@ -1,0 +1,167 @@
+"""Snowball expansion of the DaaS dataset (paper §5.1, Step 4).
+
+Starting from the seed operators and affiliates, walk each known account's
+transaction history.  When a transaction is profit-sharing and invokes a
+contract not yet in the dataset, the contract is admitted if it has
+*previously interacted with another phishing account already in the
+dataset* (the paper's guard against pulling in unrelated contracts).
+Admitted contracts go through the same Step 2/3 analysis, their operators
+and affiliates join the frontier, and the walk repeats until a fixpoint.
+
+The iteration-by-iteration statistics are kept for the convergence
+ablation (how much of the ecosystem each hop recovers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import DaaSDataset
+from repro.core.pipeline import ContractAnalyzer, split_roles
+
+__all__ = ["IterationStats", "ExpansionReport", "SnowballExpander"]
+
+
+@dataclass(slots=True)
+class IterationStats:
+    """One snowball iteration's yield."""
+
+    iteration: int
+    accounts_scanned: int = 0
+    candidates_seen: int = 0
+    candidates_rejected: int = 0
+    new_contracts: int = 0
+    new_operators: int = 0
+    new_affiliates: int = 0
+    new_transactions: int = 0
+
+
+@dataclass
+class ExpansionReport:
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def total_new_contracts(self) -> int:
+        return sum(s.new_contracts for s in self.iterations)
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.iterations) and self.iterations[-1].new_contracts == 0
+
+
+class SnowballExpander:
+    """Iterative dataset expansion until no new contracts appear."""
+
+    def __init__(self, analyzer: ContractAnalyzer, max_iterations: int = 50) -> None:
+        self.analyzer = analyzer
+        self.max_iterations = max_iterations
+        self._counterparties: dict[str, set[str]] = {}
+        self._rejected: set[str] = set()
+
+    # -- public ------------------------------------------------------------
+
+    def expand(self, dataset: DaaSDataset) -> ExpansionReport:
+        """Mutate ``dataset`` in place; returns per-iteration statistics."""
+        report = ExpansionReport()
+        frontier = sorted(dataset.operators | dataset.affiliates)
+
+        for iteration in range(1, self.max_iterations + 1):
+            stats = IterationStats(iteration=iteration)
+            new_contracts = self._discover_contracts(frontier, dataset, stats)
+            frontier = self._admit_contracts(new_contracts, dataset, stats, iteration)
+            report.iterations.append(stats)
+            if not new_contracts:
+                break
+        return report
+
+    # -- discovery -------------------------------------------------------------
+
+    def _discover_contracts(
+        self, frontier: list[str], dataset: DaaSDataset, stats: IterationStats
+    ) -> list[str]:
+        found: list[str] = []
+        seen: set[str] = set()
+        for account in frontier:
+            stats.accounts_scanned += 1
+            for tx in self.analyzer.explorer.transactions_of(account):
+                candidate = tx.to
+                if (
+                    candidate is None
+                    or candidate in dataset.contracts
+                    or candidate in seen
+                    or candidate in self._rejected
+                ):
+                    continue
+                matches = self.analyzer.rpc_classifier.classify_hash(tx.hash)
+                if not matches:
+                    continue
+                if not self.analyzer.rpc.is_contract(candidate):
+                    continue
+                stats.candidates_seen += 1
+                if self._interacts_with_dataset(candidate, exclude=account, dataset=dataset):
+                    found.append(candidate)
+                    seen.add(candidate)
+                else:
+                    stats.candidates_rejected += 1
+        return found
+
+    def _interacts_with_dataset(
+        self, contract: str, exclude: str, dataset: DaaSDataset
+    ) -> bool:
+        """Has the contract interacted with a dataset account other than
+        the one whose history surfaced it?"""
+        parties = self._counterparty_set(contract)
+        known = dataset.all_accounts
+        return any(p != exclude and p != contract and p in known for p in parties)
+
+    def _counterparty_set(self, contract: str) -> set[str]:
+        cached = self._counterparties.get(contract)
+        if cached is not None:
+            return cached
+        parties: set[str] = set()
+        for tx in self.analyzer.explorer.transactions_of(contract):
+            parties.add(tx.sender)
+            if tx.to:
+                parties.add(tx.to)
+            for match in self.analyzer.rpc_classifier.classify_hash(tx.hash):
+                parties.add(match.operator)
+                parties.add(match.affiliate)
+                parties.add(match.source)
+        parties.discard(contract)
+        self._counterparties[contract] = parties
+        return parties
+
+    # -- admission ----------------------------------------------------------------
+
+    def _admit_contracts(
+        self,
+        candidates: list[str],
+        dataset: DaaSDataset,
+        stats: IterationStats,
+        iteration: int,
+    ) -> list[str]:
+        """Run Step 2/3 on discovered contracts; returns the new frontier."""
+        new_frontier: list[str] = []
+        source = f"snowball:{iteration}"
+        for contract in sorted(candidates):
+            analysis = self.analyzer.analyze(contract)
+            if not analysis.is_profit_sharing:
+                self._rejected.add(contract)
+                stats.candidates_rejected += 1
+                continue
+            dataset.add_contract(contract, stage="expansion", source=source)
+            stats.new_contracts += 1
+
+            operators, affiliates = split_roles(analysis.matches)
+            for operator in operators:
+                if dataset.add_operator(operator, stage="expansion", source=source):
+                    stats.new_operators += 1
+                    new_frontier.append(operator)
+            for affiliate in affiliates:
+                if dataset.add_affiliate(affiliate, stage="expansion", source=source):
+                    stats.new_affiliates += 1
+                    new_frontier.append(affiliate)
+            for record in self.analyzer.to_records(analysis.matches):
+                if dataset.add_transaction(record):
+                    stats.new_transactions += 1
+        return new_frontier

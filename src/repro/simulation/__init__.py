@@ -1,0 +1,33 @@
+"""Calibrated DaaS ecosystem generator (the paper's data substrate)."""
+
+from repro.simulation.actors import mint_address, vanity_address
+from repro.simulation.ground_truth import GroundTruth, PlantedFamily, PlantedIncident
+from repro.simulation.labels import AbuseReport, LabelFeeds, build_label_feeds
+from repro.simulation.params import (
+    FamilyProfile,
+    PAPER_FAMILIES,
+    PAPER_RATIO_MIX,
+    PAPER_TOTALS,
+    SimulationParams,
+    month_ts,
+)
+from repro.simulation.world import SimulatedWorld, build_world
+
+__all__ = [
+    "mint_address",
+    "vanity_address",
+    "GroundTruth",
+    "PlantedFamily",
+    "PlantedIncident",
+    "AbuseReport",
+    "LabelFeeds",
+    "build_label_feeds",
+    "FamilyProfile",
+    "PAPER_FAMILIES",
+    "PAPER_RATIO_MIX",
+    "PAPER_TOTALS",
+    "SimulationParams",
+    "month_ts",
+    "SimulatedWorld",
+    "build_world",
+]

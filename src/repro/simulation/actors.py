@@ -1,0 +1,45 @@
+"""Account minting helpers for the simulator.
+
+All addresses are deterministic functions of (world seed, role, index), so
+the same parameters always produce the same world.  Drainer operators on
+mainnet famously use *vanity* addresses (the paper's examples:
+``0x0000b6...0000``, ``0x00006d...0000``); :func:`vanity_address` mimics the
+result of such grinding by pinning prefix/suffix nibbles.
+"""
+
+from __future__ import annotations
+
+from repro.chain.crypto import keccak256, to_checksum_address
+from repro.chain.types import Address
+
+__all__ = ["mint_address", "vanity_address"]
+
+
+def mint_address(namespace: str, index: int, world_seed: int) -> Address:
+    """Deterministic EOA address for (namespace, index) under a world seed."""
+    material = f"repro/{world_seed}/{namespace}/{index}".encode("ascii")
+    return to_checksum_address("0x" + keccak256(material)[-20:].hex())
+
+
+def vanity_address(
+    namespace: str,
+    index: int,
+    world_seed: int,
+    prefix: str = "",
+    suffix: str = "",
+) -> Address:
+    """Deterministic address with pinned hex prefix and/or suffix nibbles.
+
+    ``prefix``/``suffix`` are lowercase hex strings without ``0x``.  This
+    reproduces the observable result of vanity-address grinding without the
+    compute cost.
+    """
+    for part in (prefix, suffix):
+        if any(c not in "0123456789abcdef" for c in part):
+            raise ValueError(f"vanity part {part!r} must be lowercase hex")
+    if len(prefix) + len(suffix) > 40:
+        raise ValueError("prefix and suffix exceed address length")
+    material = f"repro/{world_seed}/vanity/{namespace}/{index}".encode("ascii")
+    body = keccak256(material)[-20:].hex()
+    middle = body[len(prefix) : 40 - len(suffix)]
+    return to_checksum_address("0x" + prefix + middle + suffix)

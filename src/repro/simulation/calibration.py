@@ -1,0 +1,94 @@
+"""Statistical samplers used by the world generator.
+
+Deterministic given a :class:`random.Random` instance.  The heavy-tailed
+assignments (contract volume, affiliate reach, operator weight) all use
+Zipf-style rank weights; the loss model is log-normal per family with a
+final proportional rescale so each family lands exactly on its Table 2
+profit total.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = [
+    "lognormal_weights",
+    "zipf_weights",
+    "weighted_assignments",
+    "sample_categorical",
+    "sample_lognormal_losses",
+    "rescale_to_total",
+]
+
+
+def lognormal_weights(rng: random.Random, n: int, mu: float, sigma: float) -> list[float]:
+    """Normalized log-normal weights (heavy-tailed but with a fat middle,
+    unlike Zipf; used for affiliate reach, see SimulationParams)."""
+    if n <= 0:
+        return []
+    raw = [rng.lognormvariate(mu, sigma) for _ in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Normalized Zipf weights ``1/rank^s`` for ranks 1..n."""
+    if n <= 0:
+        return []
+    raw = [1.0 / (rank**s) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def sample_categorical(rng: random.Random, items: list, weights: list[float]):
+    """Draw one item; ``random.choices`` wrapper kept for call-site clarity."""
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def weighted_assignments(
+    rng: random.Random, n_draws: int, items: list, weights: list[float]
+) -> list:
+    """Draw ``n_draws`` items with replacement, guaranteeing every item
+    appears at least once when ``n_draws >= len(items)``.
+
+    The guarantee matters for world generation: every planted contract /
+    affiliate / operator must actually participate (Table 2 counts planted
+    entities that *did* share profits), so pure sampling — which can starve
+    low-weight items — is corrected by reserving one draw per item first.
+    """
+    if not items:
+        return []
+    if n_draws >= len(items):
+        reserved = list(items)
+        sampled = rng.choices(items, weights=weights, k=n_draws - len(items))
+        combined = reserved + sampled
+    else:
+        combined = rng.choices(items, weights=weights, k=n_draws)
+    rng.shuffle(combined)
+    return combined
+
+
+def sample_lognormal_losses(
+    rng: random.Random, n: int, mean_usd: float, sigma: float, floor_usd: float
+) -> list[float]:
+    """Per-incident USD losses: log-normal with the requested mean."""
+    if n <= 0:
+        return []
+    mu = math.log(max(mean_usd, 1.0)) - sigma**2 / 2
+    return [max(rng.lognormvariate(mu, sigma), floor_usd) for _ in range(n)]
+
+
+def rescale_to_total(values: list[float], target_total: float) -> list[float]:
+    """Proportionally rescale ``values`` to sum to ``target_total``.
+
+    With the log-normal mean already matched to the family mean, the factor
+    is ~1.0 and only corrects sampling noise, so distribution percentiles
+    are preserved (paper footnote: family profits hinge on whale victims,
+    and the whales scale with everything else here).
+    """
+    actual = sum(values)
+    if actual <= 0:
+        return values
+    factor = target_total / actual
+    return [v * factor for v in values]

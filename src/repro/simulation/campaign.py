@@ -1,0 +1,745 @@
+"""Per-family campaign generation and on-chain execution.
+
+For one :class:`FamilyProfile` this module:
+
+1. mints operator, executor and affiliate accounts (operators get vanity
+   addresses, as observed on mainnet);
+2. plans phishing incidents — victims, affiliates, operators, contracts,
+   timestamps, losses — honouring every distributional target the paper
+   reports (loss log-normal, Zipf reach, repeat victims, ratio mix,
+   contract lifecycles);
+3. deploys the family's profit-sharing contracts in the style of Table 3;
+4. executes each incident as real transactions on the simulated chain
+   (ETH claim calls, ERC-20 approve + multicall, NFT approve + multicall +
+   marketplace sale);
+5. plants the intra-family fund flows (operator-to-operator transfers,
+   executor gas funding, mixer cash-outs) that the clustering step relies on.
+
+The planted truth is recorded in a :class:`PlantedFamily`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token, ERC721Token, NFTMarketplace
+from repro.chain.contracts.tokens import permit_signature
+from repro.chain.contracts.drainers import make_drainer_factory
+from repro.chain.prices import DAY_SECONDS, PriceOracle
+from repro.chain.types import eth_to_wei
+from repro.simulation.actors import mint_address, vanity_address
+from repro.simulation.calibration import (
+    lognormal_weights,
+    rescale_to_total,
+    sample_lognormal_losses,
+    weighted_assignments,
+    zipf_weights,
+)
+from repro.simulation.ground_truth import PlantedFamily, PlantedIncident
+from repro.simulation.params import FamilyProfile, SimulationParams
+
+__all__ = ["FamilyCampaign", "SharedInfrastructure"]
+
+
+@dataclass
+class SharedInfrastructure:
+    """World-level fixtures shared by all families."""
+
+    exchange: str
+    mixer: str
+    bridge: str
+    erc20_tokens: list[ERC20Token]
+    nft_collections: list[ERC721Token]
+    marketplace: NFTMarketplace
+
+
+@dataclass
+class _ContractPlan:
+    """Planned (not yet deployed) profit-sharing contract."""
+
+    key: str
+    operator: str
+    window_start: int
+    window_end: int
+    operator_share_bps: int = 2000
+    n_incidents: int = 0
+    address: str = ""
+
+
+class FamilyCampaign:
+    """Builds and executes one family's campaign."""
+
+    def __init__(
+        self,
+        profile: FamilyProfile,
+        params: SimulationParams,
+        rng: random.Random,
+        chain: Blockchain,
+        oracle: PriceOracle,
+        infra: SharedInfrastructure,
+        victim_pool: list[str],
+    ) -> None:
+        self.profile = profile
+        self.params = params
+        self.rng = rng
+        self.chain = chain
+        self.oracle = oracle
+        self.infra = infra
+        #: Victims are drawn from a world-level pool so cross-family repeat
+        #: victims can exist without inflating the global victim count.
+        self.victim_pool = victim_pool
+        self.truth = PlantedFamily(name=profile.name, etherscan_label=profile.etherscan_label)
+        self._contract_plans: list[_ContractPlan] = []
+        self._incidents: list[PlantedIncident] = []
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def build(self) -> PlantedFamily:
+        self._mint_accounts()
+        self._plan_contracts()
+        self._plan_incidents()
+        self._assign_ratios()
+        self._deploy_contracts()
+        self._execute_incidents()
+        self._plant_operator_fund_flows()
+        self._plant_cashouts()
+        return self.truth
+
+    # ------------------------------------------------------------------
+    # account minting
+    # ------------------------------------------------------------------
+
+    def _mint_accounts(self) -> None:
+        p, prof = self.params, self.profile
+        n_ops = p.scaled(prof.n_operators)
+        n_affs = p.scaled(prof.n_affiliates)
+
+        for i in range(n_ops):
+            # Drainer operators grind vanity addresses (paper's examples all
+            # carry 0000-style prefixes/suffixes).
+            if self.rng.random() < 0.5:
+                addr = vanity_address(f"{prof.name}/op", i, p.seed, prefix="0000", suffix="0000")
+            else:
+                addr = mint_address(f"{prof.name}/op", i, p.seed)
+            self.truth.operator_accounts.append(addr)
+
+        n_executors = max(1, n_ops // 8)
+        for i in range(n_executors):
+            self.truth.executor_accounts.append(
+                mint_address(f"{prof.name}/executor", i, p.seed)
+            )
+
+        for i in range(n_affs):
+            self.truth.affiliate_accounts.append(
+                mint_address(f"{prof.name}/aff", i, p.seed)
+            )
+
+    # ------------------------------------------------------------------
+    # contract and incident planning
+    # ------------------------------------------------------------------
+
+    def _operator_weights(self) -> list[float]:
+        return zipf_weights(len(self.truth.operator_accounts), self.params.operator_zipf_s)
+
+    def _plan_contracts(self) -> None:
+        """Plan contracts with operators and activity windows.
+
+        Every busy contract in family *f* lives about
+        ``primary_lifecycle_days(f)`` — operators rotate their contracts to
+        stay ahead of blacklists (§7.2) — so each planned contract gets a
+        window of that length (±25 %) placed inside the family window.
+        """
+        p, prof = self.params, self.profile
+        n_contracts = p.scaled(prof.n_contracts)
+        ops = self.truth.operator_accounts
+        op_weights = self._operator_weights()
+        operator_of = weighted_assignments(self.rng, n_contracts, ops, op_weights)
+
+        window = prof.active_end - prof.active_start
+        for i in range(n_contracts):
+            length = int(
+                prof.primary_lifecycle_days * DAY_SECONDS * self.rng.uniform(0.85, 1.25)
+            )
+            length = min(length, window)
+            if i == 0:
+                # The first contract anchors the family's active-time Start
+                # (Table 2's Start column is the first observed PS tx)...
+                start = prof.active_start
+            elif i == n_contracts - 1:
+                # ...and the last one anchors the End column.
+                start = prof.active_end - length
+            else:
+                start = prof.active_start + int(self.rng.random() * max(window - length, 1))
+            self._contract_plans.append(
+                _ContractPlan(
+                    key=f"{prof.name}/contract/{i}",
+                    operator=operator_of[i],
+                    window_start=start,
+                    window_end=start + length,
+                )
+            )
+
+    def _plan_incidents(self) -> None:
+        p, prof = self.params, self.profile
+        n_victims = p.scaled(prof.n_victims)
+        victims = self.rng.sample(self.victim_pool, min(n_victims, len(self.victim_pool)))
+
+        # Repeat victims: fraction and per-victim incident counts (§6.1).
+        n_repeat = round(p.repeat_victim_fraction * len(victims))
+        repeat_victims = set(victims[:n_repeat])
+        geometric_p = 1.0 / max(p.repeat_incident_mean - 1.0, 1e-9)
+
+        # (victim, n_incidents, simultaneous, unrevoked, revoked)
+        plan: list[tuple[str, int, bool, bool, bool]] = []
+        for victim in victims:
+            if victim in repeat_victims:
+                extra = 1
+                while self.rng.random() > geometric_p and extra < 6:
+                    extra += 1
+                simultaneous = self.rng.random() < p.repeat_simultaneous_fraction
+                unrevoked = self.rng.random() < p.repeat_unrevoked_fraction
+                revoked = not unrevoked and self.rng.random() < p.revoke_fraction
+                plan.append((victim, 1 + extra, simultaneous, unrevoked, revoked))
+            else:
+                plan.append((victim, 1, False, False, False))
+
+        n_incidents = sum(n for _, n, _, _, _ in plan)
+
+        # Losses: log-normal around the family mean, rescaled to land on the
+        # family's Table 2 profit exactly.
+        losses = sample_lognormal_losses(
+            self.rng, n_incidents, prof.mean_loss_usd, p.loss_sigma, p.min_loss_usd
+        )
+        losses = rescale_to_total(losses, prof.total_profit_usd * p.scale)
+
+        # Affiliate reach (Figure 7 / §6.3): log-normal weights, everyone used.
+        affiliates = self.truth.affiliate_accounts
+        aff_weights = lognormal_weights(
+            self.rng, len(affiliates), p.affiliate_weight_mu, p.affiliate_weight_sigma
+        )
+        affiliate_of = weighted_assignments(self.rng, n_incidents, affiliates, aff_weights)
+
+        # Affiliate -> operator-account association (§6.3: 60.4 % single).
+        ops = self.truth.operator_accounts
+        op_weights = self._operator_weights()
+        counts, count_weights = zip(*p.affiliate_operator_counts.items())
+        ops_of_affiliate: dict[str, list[str]] = {}
+        for affiliate in affiliates:
+            k = min(self.rng.choices(counts, weights=count_weights, k=1)[0], len(ops))
+            chosen: list[str] = []
+            while len(chosen) < k:
+                op = self.rng.choices(ops, weights=op_weights, k=1)[0]
+                if op not in chosen:
+                    chosen.append(op)
+            ops_of_affiliate[affiliate] = chosen
+
+        # Contract volume skew: Zipf over each operator's contracts.
+        contracts_by_op: dict[str, list[_ContractPlan]] = {}
+        for cp in self._contract_plans:
+            contracts_by_op.setdefault(cp.operator, []).append(cp)
+        contract_weights_by_op = {
+            op: zipf_weights(len(cps), p.contract_zipf_s)
+            for op, cps in contracts_by_op.items()
+        }
+
+        token_kinds = ["eth", "erc20", "nft"]
+        idx = 0
+        for victim, n_inc, simultaneous, unrevoked, revoked in plan:
+            base_contract: _ContractPlan | None = None
+            base_ts = 0
+            base_kind = ""
+            base_delay = 0
+            for j in range(n_inc):
+                affiliate = affiliate_of[idx]
+                candidate_ops = [
+                    op for op in ops_of_affiliate[affiliate] if op in contracts_by_op
+                ]
+                if not candidate_ops:
+                    candidate_ops = [op for op in ops if op in contracts_by_op]
+                operator = self.rng.choice(candidate_ops)
+
+                # Re-drains and same-sitting signatures reuse the first
+                # contract; independent repeats hit a fresh contract with a
+                # fresh timestamp inside *its* window.
+                if j > 0 and base_contract is not None and (simultaneous or unrevoked):
+                    contract = base_contract
+                    operator = contract.operator
+                else:
+                    cps = contracts_by_op[operator]
+                    contract = self.rng.choices(
+                        cps, weights=contract_weights_by_op[operator], k=1
+                    )[0]
+
+                # Simultaneous and unrevoked coexist in the paper (78.1 %
+                # + 28.6 % of the same repeat population): a sitting of
+                # same-timestamp signatures measures as simultaneous, while
+                # the over-approval alone (never fully spent) measures as
+                # unrevoked.  Re-drains only model the non-simultaneous
+                # unrevoked victims, whose extra incidents come later.
+                is_redrain = j > 0 and unrevoked and not simultaneous
+                is_sitting = j > 0 and simultaneous
+
+                if j == 0:
+                    ts = contract.window_start + int(
+                        self.rng.random() * max(contract.window_end - contract.window_start, 1)
+                    )
+                    # Unrevoked and explicitly-revoked victims are both the
+                    # ERC-20 over-approval case.
+                    kind = "erc20" if (unrevoked or revoked) else (
+                        self.rng.choices(token_kinds, weights=p.token_mix, k=1)[0]
+                    )
+                    delay = self.rng.randint(60, 3600)
+                    base_contract, base_ts, base_kind, base_delay = contract, ts, kind, delay
+                elif is_sitting:
+                    # Same sitting: same timestamp, same asset kind and
+                    # backend delay, so the profit-sharing txs land on the
+                    # same timestamp (the paper's "signed multiple phishing
+                    # transactions simultaneously").
+                    ts, kind, delay = base_ts, base_kind, base_delay
+                elif is_redrain:
+                    remaining = max(contract.window_end - base_ts, DAY_SECONDS)
+                    ts = base_ts + int(self.rng.random() * remaining)
+                    kind = "erc20"  # re-drains exploit the stale approval
+                    delay = self.rng.randint(60, 3600)
+                else:
+                    ts = contract.window_start + int(
+                        self.rng.random() * max(contract.window_end - contract.window_start, 1)
+                    )
+                    kind = self.rng.choices(token_kinds, weights=p.token_mix, k=1)[0]
+                    delay = self.rng.randint(60, 3600)
+
+                incident = PlantedIncident(
+                    family=prof.name,
+                    victim=victim,
+                    affiliate=affiliate,
+                    operator=operator,
+                    contract=contract.key,  # resolved to an address at deploy
+                    timestamp=ts,
+                    loss_usd=losses[idx],
+                    asset_kind=kind,
+                    operator_share_bps=0,  # set by _assign_ratios
+                    unrevoked=unrevoked,
+                    simultaneous=is_sitting,
+                    delay_s=delay,
+                    revoked=revoked and j == 0,
+                )
+                contract.n_incidents += 1
+                self._incidents.append(incident)
+                idx += 1
+
+        self._rescue_unused_contracts()
+
+    def _rescue_unused_contracts(self) -> None:
+        """Reassign single incidents so no planted contract (or operator)
+        ends up with zero profit-sharing activity.
+
+        Table 2 counts *profit-sharing* contracts — entities that actually
+        shared — so a planted-but-never-used contract would silently shrink
+        the ground truth.  Zipf volume sampling can starve low-weight
+        contracts; this pass moves one single-victim incident from the
+        busiest sibling contract of the same operator (or, for a starved
+        operator, from the family's busiest contract, re-pointing the
+        incident's operator).
+        """
+        by_contract: dict[str, list[PlantedIncident]] = {}
+        singles_by_victim: dict[str, int] = {}
+        for incident in self._incidents:
+            by_contract.setdefault(incident.contract, []).append(incident)
+            singles_by_victim[incident.victim] = singles_by_victim.get(incident.victim, 0) + 1
+
+        def movable(cands: list[PlantedIncident]) -> PlantedIncident | None:
+            for incident in cands:
+                if singles_by_victim[incident.victim] == 1:
+                    return incident
+            return None
+
+        plans_by_key = {cp.key: cp for cp in self._contract_plans}
+        plans_by_op: dict[str, list[_ContractPlan]] = {}
+        for cp in self._contract_plans:
+            plans_by_op.setdefault(cp.operator, []).append(cp)
+
+        for cp in self._contract_plans:
+            if cp.n_incidents > 0:
+                continue
+            # Prefer a donor under the same operator; fall back to the
+            # family's busiest contract and adopt the operator change.
+            donors = sorted(plans_by_op[cp.operator], key=lambda c: -c.n_incidents)
+            donor = next((d for d in donors if d.n_incidents > 1), None)
+            adopt_operator = False
+            if donor is None:
+                donors = sorted(self._contract_plans, key=lambda c: -c.n_incidents)
+                donor = next((d for d in donors if d.n_incidents > 1), None)
+                adopt_operator = True
+            if donor is None:
+                continue  # degenerate tiny world; nothing to move
+            incident = movable(by_contract[donor.key])
+            if incident is None:
+                continue
+            by_contract[donor.key].remove(incident)
+            by_contract.setdefault(cp.key, []).append(incident)
+            donor.n_incidents -= 1
+            cp.n_incidents += 1
+            incident.contract = cp.key
+            if adopt_operator:
+                incident.operator = cp.operator
+            incident.timestamp = cp.window_start + int(
+                self.rng.random() * max(cp.window_end - cp.window_start, 1)
+            )
+
+    def _assign_ratios(self) -> None:
+        """Assign each contract a ratio so the *transaction-level* mix
+        matches §4.3 (20 % -> 46 % of txs, ...).
+
+        Greedy: walk contracts in descending volume, give each the ratio
+        with the largest remaining transaction deficit.
+        """
+        total = sum(cp.n_incidents for cp in self._contract_plans) or 1
+        deficit = {bps: share * total for bps, share in self.params.ratio_mix.items()}
+        for cp in sorted(self._contract_plans, key=lambda c: -c.n_incidents):
+            bps = max(deficit, key=lambda b: deficit[b])
+            cp.operator_share_bps = bps
+            deficit[bps] -= cp.n_incidents
+        plans_by_key = {cp.key: cp for cp in self._contract_plans}
+        for incident in self._incidents:
+            incident.operator_share_bps = plans_by_key[incident.contract].operator_share_bps
+
+    # ------------------------------------------------------------------
+    # deployment & execution
+    # ------------------------------------------------------------------
+
+    def _deploy_contracts(self) -> None:
+        prof = self.profile
+        executors = self.truth.executor_accounts
+        plans_by_key: dict[str, _ContractPlan] = {}
+        for i, cp in enumerate(self._contract_plans):
+            executor = executors[i % len(executors)]
+            deployer = executor  # operators deploy through their executor
+            factory = make_drainer_factory(
+                prof.contract_style,
+                operator_account=cp.operator,
+                executor=executor,
+                operator_share_bps=cp.operator_share_bps,
+                entry_name=prof.entry_name,
+            )
+            contract = self.chain.deploy_contract(
+                deployer, factory, timestamp=max(cp.window_start - DAY_SECONDS, 0)
+            )
+            cp.address = contract.address
+            plans_by_key[cp.key] = cp
+            self.truth.contracts.append(contract.address)
+        # Resolve incident contract keys to deployed addresses.
+        for incident in self._incidents:
+            incident.contract = plans_by_key[incident.contract].address
+
+    def _pick_erc20(self) -> ERC20Token:
+        return self.rng.choice(self.infra.erc20_tokens)
+
+    def _execute_incidents(self) -> None:
+        self._incidents.sort(key=lambda i: i.timestamp)
+        for incident in self._incidents:
+            if incident.asset_kind == "eth":
+                self._execute_eth(incident)
+            elif incident.asset_kind == "erc20":
+                self._execute_erc20(incident)
+            else:
+                self._execute_nft(incident)
+            self.truth.incidents.append(incident)
+
+    def _fund_victim_eth(self, incident: PlantedIncident, wei_needed: int) -> None:
+        """Give the victim the ETH it is about to lose.
+
+        Usually a silent genesis-style credit; occasionally an explicit
+        exchange-withdrawal transaction for on-chain texture.
+        """
+        if self.rng.random() < 0.15:
+            lead = int(self.rng.uniform(3600, 20 * DAY_SECONDS))
+            self.chain.fund(self.infra.exchange, wei_needed)
+            self.chain.send_transaction(
+                self.infra.exchange,
+                incident.victim,
+                value=wei_needed,
+                timestamp=max(incident.timestamp - lead, 0),
+            )
+        else:
+            self.chain.fund(incident.victim, wei_needed)
+
+    def _execute_eth(self, incident: PlantedIncident) -> None:
+        prof = self.profile
+        loss_wei = self.oracle.usd_to_wei(incident.loss_usd, incident.timestamp)
+        loss_wei = max(loss_wei, 10_000)  # keep ratio arithmetic meaningful
+        self._fund_victim_eth(incident, loss_wei)
+
+        contract = self.chain.state.contract_at(incident.contract)
+        if prof.contract_style == "fallback":
+            contract.register_affiliate(incident.victim, incident.affiliate)
+            func, args = "", {}
+        elif prof.contract_style == "network_merge":
+            func, args = "NetworkMerge", {"affiliate": incident.affiliate}
+        else:
+            func, args = prof.entry_name, {"affiliate": incident.affiliate}
+
+        tx, receipt = self.chain.send_transaction(
+            incident.victim,
+            incident.contract,
+            value=loss_wei,
+            func=func,
+            args=args,
+            timestamp=incident.timestamp,
+        )
+        if not receipt.succeeded:
+            raise RuntimeError(f"ETH incident failed: {incident}")
+        incident.ps_tx_hash = tx.hash
+        incident.tx_hashes.append(tx.hash)
+
+    def _execute_erc20(self, incident: PlantedIncident) -> None:
+        token = self._pick_erc20()
+        raw = self.oracle.usd_to_raw(token.address, incident.loss_usd, incident.timestamp)
+        raw = max(raw, 1_000)
+        contract = self.chain.state.contract_at(incident.contract)
+        executor = contract.executor
+
+        # Permit phishing (§7.2's "ERC20 permit phishing"): the victim only
+        # signs an off-chain EIP-2612 message; the drainer batches
+        # permit + transferFrom in a single multicall.  Not used for
+        # over-approval victims (re-drains need a standing allowance).
+        allowance = token.allowance(incident.victim, incident.contract)
+        use_permit = (
+            allowance < raw
+            and not incident.unrevoked
+            and not incident.revoked
+            and self.rng.random() < self.params.permit_fraction
+        )
+
+        calls: list[dict] = []
+        if use_permit:
+            token.mint(incident.victim, raw)
+            nonce = token.permit_nonces.get(incident.victim, 0)
+            signature = permit_signature(
+                token.address, incident.victim, incident.contract, raw, nonce
+            )
+            calls.append({
+                "target": token.address,
+                "func": "permit",
+                "args": {
+                    "owner": incident.victim,
+                    "spender": incident.contract,
+                    "amount": raw,
+                    "signature": signature,
+                },
+            })
+        elif allowance < raw:
+            token.mint(incident.victim, raw)
+            over_approve = incident.unrevoked or incident.revoked
+            approve_amount = raw * 5 if over_approve else raw
+            tx1, r1 = self.chain.send_transaction(
+                incident.victim,
+                token.address,
+                func="approve",
+                args={"spender": incident.contract, "amount": approve_amount},
+                timestamp=incident.timestamp,
+            )
+            if not r1.succeeded:
+                raise RuntimeError("approve failed")
+            incident.tx_hashes.append(tx1.hash)
+        else:
+            token.mint(incident.victim, raw)  # tokens reacquired, then re-drained
+
+        op_cut, aff_cut = contract.split_amounts(raw)
+        delay = incident.delay_s or 600
+        calls.extend([
+            {
+                "target": token.address,
+                "func": "transferFrom",
+                "args": {"from": incident.victim, "to": contract.operator_account, "amount": op_cut},
+            },
+            {
+                "target": token.address,
+                "func": "transferFrom",
+                "args": {"from": incident.victim, "to": incident.affiliate, "amount": aff_cut},
+            },
+        ])
+        tx2, r2 = self.chain.send_transaction(
+            executor,
+            incident.contract,
+            func="multicall",
+            args={"calls": calls},
+            timestamp=incident.timestamp + delay,
+        )
+        if not r2.succeeded:
+            raise RuntimeError(f"ERC20 multicall failed: {incident}")
+        incident.ps_tx_hash = tx2.hash
+        incident.tx_hashes.append(tx2.hash)
+        incident.via_permit = use_permit
+
+        if incident.revoked:
+            # Approval hygiene: the victim notices and revokes the leftover
+            # allowance days later (the complement of §6.1's unrevoked 28.6%).
+            tx3, r3 = self.chain.send_transaction(
+                incident.victim,
+                token.address,
+                func="approve",
+                args={"spender": incident.contract, "amount": 0},
+                timestamp=incident.timestamp + delay + self.rng.randint(1, 20) * DAY_SECONDS,
+            )
+            if not r3.succeeded:
+                raise RuntimeError("revoke failed")
+            incident.tx_hashes.append(tx3.hash)
+
+    def _execute_nft(self, incident: PlantedIncident) -> None:
+        if self.rng.random() < self.params.zero_order_fraction:
+            self._execute_nft_zero_order(incident)
+            return
+        collection = self.rng.choice(self.infra.nft_collections)
+        token_id = collection.mint(incident.victim)
+        contract = self.chain.state.contract_at(incident.contract)
+        executor = contract.executor
+        price_wei = max(self.oracle.usd_to_wei(incident.loss_usd, incident.timestamp), 10_000)
+        self.chain.fund(self.infra.marketplace.address, price_wei)
+
+        tx1, r1 = self.chain.send_transaction(
+            incident.victim,
+            collection.address,
+            func="approve",
+            args={"spender": incident.contract, "tokenId": token_id},
+            timestamp=incident.timestamp,
+        )
+        tx2, r2 = self.chain.send_transaction(
+            executor,
+            incident.contract,
+            func="multicall",
+            args={
+                "calls": [
+                    {
+                        "target": collection.address,
+                        "func": "transferFrom",
+                        "args": {"from": incident.victim, "to": incident.contract, "tokenId": token_id},
+                    }
+                ]
+            },
+            timestamp=incident.timestamp + max(incident.delay_s // 4, 30),
+        )
+        tx3, r3 = self.chain.send_transaction(
+            executor,
+            incident.contract,
+            func="sellAndShare",
+            args={
+                "marketplace": self.infra.marketplace.address,
+                "collection": collection.address,
+                "tokenId": token_id,
+                "price": price_wei,
+                "affiliate": incident.affiliate,
+            },
+            timestamp=incident.timestamp + max(incident.delay_s, 60),
+        )
+        if not (r1.succeeded and r2.succeeded and r3.succeeded):
+            raise RuntimeError(f"NFT incident failed: {incident}")
+        incident.ps_tx_hash = tx3.hash
+        incident.tx_hashes.extend([tx1.hash, tx2.hash, tx3.hash])
+
+    def _execute_nft_zero_order(self, incident: PlantedIncident) -> None:
+        """The "NFT zero-order purchase" scheme: the victim signs an
+        off-chain sell order at a near-zero price; the drainer fulfils it
+        (NFT -> profit-sharing contract for 1 wei) and monetizes via the
+        marketplace's standing bid.  The victim sends no transaction."""
+        from repro.chain.contracts.marketplace import order_signature
+
+        collection = self.rng.choice(self.infra.nft_collections)
+        token_id = collection.mint(incident.victim)
+        contract = self.chain.state.contract_at(incident.contract)
+        executor = contract.executor
+        marketplace = self.infra.marketplace
+        price_wei = max(self.oracle.usd_to_wei(incident.loss_usd, incident.timestamp), 10_000)
+        self.chain.fund(marketplace.address, price_wei + 1)
+
+        nonce = marketplace.order_nonces.get(incident.victim, 0)
+        signature = order_signature(
+            marketplace.address, collection.address, token_id, incident.victim, 1, nonce
+        )
+        tx1, r1 = self.chain.send_transaction(
+            executor,
+            marketplace.address,
+            func="fulfillOrder",
+            args={
+                "collection": collection.address,
+                "tokenId": token_id,
+                "seller": incident.victim,
+                "price": 1,
+                "signature": signature,
+                "recipient": incident.contract,
+            },
+            timestamp=incident.timestamp + max(incident.delay_s // 4, 30),
+        )
+        tx2, r2 = self.chain.send_transaction(
+            executor,
+            incident.contract,
+            func="sellAndShare",
+            args={
+                "marketplace": marketplace.address,
+                "collection": collection.address,
+                "tokenId": token_id,
+                "price": price_wei,
+                "affiliate": incident.affiliate,
+            },
+            timestamp=incident.timestamp + max(incident.delay_s, 60),
+        )
+        if not (r1.succeeded and r2.succeeded):
+            raise RuntimeError(f"zero-order NFT incident failed: {incident}")
+        incident.ps_tx_hash = tx2.hash
+        incident.tx_hashes.extend([tx1.hash, tx2.hash])
+        incident.via_zero_order = True
+
+    # ------------------------------------------------------------------
+    # intra-family fund flows (clustering signal)
+    # ------------------------------------------------------------------
+
+    def _plant_operator_fund_flows(self) -> None:
+        """Spanning chain of operator-to-operator transfers (§6.2's
+        observation, e.g. 0x7a0d6f -> 0x00006d moving 1 ETH), guaranteeing
+        the family forms one fund-flow component."""
+        prof = self.profile
+        ops = self.truth.operator_accounts
+        mid = (prof.active_start + prof.active_end) // 2
+        for a, b in zip(ops, ops[1:]):
+            amount = eth_to_wei(round(self.rng.uniform(0.2, 2.0), 3))
+            self.chain.fund(a, amount)
+            self.chain.send_transaction(
+                a, b, value=amount, timestamp=mid + self.rng.randint(-30, 30) * DAY_SECONDS
+            )
+        # Executor gas funding from the top operator: a second, realistic
+        # connectivity channel (shared labeled-phishing counterparties).
+        if ops:
+            for executor in self.truth.executor_accounts:
+                gas = eth_to_wei("0.2")
+                self.chain.fund(ops[0], gas)
+                self.chain.send_transaction(
+                    ops[0], executor, value=gas, timestamp=prof.active_start
+                )
+
+    def _plant_cashouts(self) -> None:
+        """Operators and top affiliates launder through mixers/bridges
+        (§8.1).  All families share the same sinks, which clustering must
+        *not* treat as family links (the sinks are not phishing-labeled)."""
+        sinks = [self.infra.mixer, self.infra.bridge]
+        for op in self.truth.operator_accounts:
+            balance = self.chain.state.balance_of(op)
+            if balance > eth_to_wei("0.5") and self.rng.random() < 0.8:
+                amount = balance // 2
+                self.chain.send_transaction(
+                    op,
+                    self.rng.choice(sinks),
+                    value=amount,
+                    timestamp=self.profile.active_end - DAY_SECONDS,
+                )
+        for affiliate in self.truth.affiliate_accounts[: max(3, len(self.truth.affiliate_accounts) // 10)]:
+            balance = self.chain.state.balance_of(affiliate)
+            if balance > eth_to_wei("1"):
+                self.chain.send_transaction(
+                    affiliate,
+                    self.rng.choice(sinks),
+                    value=balance // 2,
+                    timestamp=self.profile.active_end - DAY_SECONDS,
+                )

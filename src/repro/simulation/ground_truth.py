@@ -1,0 +1,119 @@
+"""Ground-truth record of everything the simulator plants.
+
+The measurement pipeline never sees this; it exists so tests and benchmarks
+can score detection precision/recall and compare recovered statistics
+against the planted ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PlantedIncident", "PlantedFamily", "GroundTruth"]
+
+
+@dataclass(slots=True)
+class PlantedIncident:
+    """One phishing incident: a victim drained through one contract."""
+
+    family: str
+    victim: str
+    affiliate: str
+    operator: str
+    contract: str
+    timestamp: int
+    loss_usd: float
+    asset_kind: str            # "eth" | "erc20" | "nft"
+    operator_share_bps: int
+    #: Hash of the profit-sharing transaction (set during execution).
+    ps_tx_hash: str = ""
+    #: Hashes of every transaction the incident produced.
+    tx_hashes: list[str] = field(default_factory=list)
+    #: Victim left an approval unrevoked after this incident.
+    unrevoked: bool = False
+    #: Incident was signed in the same sitting as another (same timestamp).
+    simultaneous: bool = False
+    #: Drainer-backend delay between the victim's signature and the
+    #: profit-sharing transaction, for ERC-20/NFT incidents.
+    delay_s: int = 0
+    #: ERC-20 incident executed via EIP-2612 permit (off-chain signature
+    #: only) rather than an on-chain approve.
+    via_permit: bool = False
+    #: NFT incident executed via a signed zero-price sell order.
+    via_zero_order: bool = False
+    #: Victim over-approved but explicitly revoked afterwards.
+    revoked: bool = False
+
+
+@dataclass
+class PlantedFamily:
+    """Planted accounts of one DaaS family."""
+
+    name: str
+    etherscan_label: str | None
+    operator_accounts: list[str] = field(default_factory=list)
+    executor_accounts: list[str] = field(default_factory=list)
+    affiliate_accounts: list[str] = field(default_factory=list)
+    contracts: list[str] = field(default_factory=list)
+    incidents: list[PlantedIncident] = field(default_factory=list)
+
+    @property
+    def victim_accounts(self) -> set[str]:
+        return {incident.victim for incident in self.incidents}
+
+    @property
+    def total_loss_usd(self) -> float:
+        return sum(incident.loss_usd for incident in self.incidents)
+
+
+@dataclass
+class GroundTruth:
+    """Everything planted, plus global account sets for scoring."""
+
+    families: dict[str, PlantedFamily] = field(default_factory=dict)
+    #: Benign contracts planted as true negatives.
+    benign_contracts: list[str] = field(default_factory=list)
+    #: Benign EOAs used by background traffic.
+    benign_accounts: list[str] = field(default_factory=list)
+
+    # -- aggregates -------------------------------------------------------
+
+    @property
+    def all_contracts(self) -> set[str]:
+        return {c for fam in self.families.values() for c in fam.contracts}
+
+    @property
+    def all_operators(self) -> set[str]:
+        return {o for fam in self.families.values() for o in fam.operator_accounts}
+
+    @property
+    def all_affiliates(self) -> set[str]:
+        return {a for fam in self.families.values() for a in fam.affiliate_accounts}
+
+    @property
+    def all_victims(self) -> set[str]:
+        return {v for fam in self.families.values() for v in fam.victim_accounts}
+
+    @property
+    def all_incidents(self) -> list[PlantedIncident]:
+        return [i for fam in self.families.values() for i in fam.incidents]
+
+    @property
+    def all_ps_tx_hashes(self) -> set[str]:
+        return {i.ps_tx_hash for i in self.all_incidents if i.ps_tx_hash}
+
+    def family_of(self, address: str) -> str | None:
+        """Family name an address belongs to (operator/affiliate/contract)."""
+        for fam in self.families.values():
+            if (
+                address in fam.contracts
+                or address in fam.operator_accounts
+                or address in fam.affiliate_accounts
+                or address in fam.executor_accounts
+            ):
+                return fam.name
+        return None
+
+    def daas_account_count(self) -> int:
+        """Contracts + operators + affiliates, the paper's 'DaaS accounts'."""
+        return len(self.all_contracts) + len(self.all_operators) + len(self.all_affiliates)

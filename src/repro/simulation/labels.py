@@ -1,0 +1,222 @@
+"""Simulated public label sources.
+
+The paper seeds its dataset from four feeds: Chainabuse incident reports,
+Etherscan address labels, and two open phishing datasets (ScamSniffer's
+scam-database and TxPhishScope).  We reproduce their essential properties:
+
+* coverage is *partial* — only ~20 % of profit-sharing contracts carry any
+  public label (Table 1: 391 seed of 1,910 total), and the labeled subset
+  is volume-biased (busy contracts get reported), covering ~57 % of
+  profit-sharing transactions (49,837 / 87,077);
+* feeds overlap but none subsumes another;
+* feeds are noisy — they contain EOAs (which Step 1 must filter out) and a
+  few outright false reports (benign contracts, which Step 2's
+  profit-sharing check must reject);
+* only 10.8 % of *all* DaaS accounts are labeled on Etherscan (§8.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chain.explorer import Explorer
+from repro.simulation.ground_truth import GroundTruth
+from repro.simulation.params import SimulationParams
+
+__all__ = ["AbuseReport", "LabelFeeds", "build_label_feeds"]
+
+
+@dataclass(frozen=True, slots=True)
+class AbuseReport:
+    """One Chainabuse-style community report."""
+
+    address: str
+    category: str
+    reporter: str
+    timestamp: int
+    description: str
+
+
+@dataclass
+class LabelFeeds:
+    """The four public sources the seed step consumes."""
+
+    chainabuse_reports: list[AbuseReport] = field(default_factory=list)
+    etherscan_phish_labels: list[str] = field(default_factory=list)
+    scamsniffer_addresses: list[str] = field(default_factory=list)
+    txphishscope_addresses: list[str] = field(default_factory=list)
+
+    def all_reported_addresses(self) -> set[str]:
+        """Union of addresses across all four sources (paper Step 1)."""
+        addresses = {report.address for report in self.chainabuse_reports}
+        addresses.update(self.etherscan_phish_labels)
+        addresses.update(self.scamsniffer_addresses)
+        addresses.update(self.txphishscope_addresses)
+        return addresses
+
+    def sources_of(self, address: str) -> list[str]:
+        sources = []
+        if any(r.address == address for r in self.chainabuse_reports):
+            sources.append("chainabuse")
+        if address in self.etherscan_phish_labels:
+            sources.append("etherscan")
+        if address in self.scamsniffer_addresses:
+            sources.append("scamsniffer")
+        if address in self.txphishscope_addresses:
+            sources.append("txphishscope")
+        return sources
+
+
+def _select_labeled_contracts(
+    rng: random.Random,
+    volumes: dict[str, int],
+    count_target: int,
+    coverage_target: float,
+    must_include: list[str],
+) -> list[str]:
+    """Pick ``count_target`` contracts whose tx volume covers
+    ``coverage_target`` of all profit-sharing transactions.
+
+    ``must_include`` (each family's busiest contract) is always labeled —
+    every family that operated during the study window was publicly
+    reported at least once, which is precisely why the paper could
+    discover all nine.  The rest is greedy from the busiest down until
+    coverage is met, then a random sample of quiet contracts: both
+    headline drainers and a long tail of small ones get reported.
+    """
+    total = sum(volumes.values()) or 1
+    ranked = sorted(volumes, key=lambda a: -volumes[a])
+    picked: list[str] = list(dict.fromkeys(must_include))
+    covered = sum(volumes.get(a, 0) for a in picked)
+    chosen = set(picked)
+    for address in ranked:
+        if len(picked) >= count_target or covered / total >= coverage_target:
+            break
+        if address in chosen:
+            continue
+        picked.append(address)
+        chosen.add(address)
+        covered += volumes[address]
+    remaining = [a for a in ranked if a not in chosen]
+    rng.shuffle(remaining)
+    picked.extend(remaining[: max(count_target - len(picked), 0)])
+    return picked
+
+
+def build_label_feeds(
+    rng: random.Random,
+    params: SimulationParams,
+    truth: GroundTruth,
+    explorer: Explorer,
+) -> LabelFeeds:
+    """Construct the four feeds and plant the Etherscan label registry."""
+    feeds = LabelFeeds()
+
+    # Per-contract profit-sharing volume from ground truth.
+    volumes: dict[str, int] = {}
+    first_ts: dict[str, int] = {}
+    for incident in truth.all_incidents:
+        volumes[incident.contract] = volumes.get(incident.contract, 0) + 1
+        first_ts[incident.contract] = min(
+            first_ts.get(incident.contract, incident.timestamp), incident.timestamp
+        )
+    for fam in truth.families.values():
+        for contract in fam.contracts:
+            volumes.setdefault(contract, 0)
+
+    must_include = []
+    for fam in truth.families.values():
+        if fam.contracts:
+            must_include.append(max(fam.contracts, key=lambda c: volumes.get(c, 0)))
+
+    count_target = max(len(must_include), round(params.contract_label_fraction * len(volumes)))
+    labeled = _select_labeled_contracts(
+        rng, volumes, count_target, coverage_target=0.572, must_include=must_include
+    )
+
+    # Distribute labeled contracts over the four overlapping feeds.
+    reporters = [f"reporter_{i}" for i in range(40)]
+    for i, address in enumerate(labeled):
+        n_sources = rng.choices([1, 2, 3, 4], weights=[0.55, 0.28, 0.12, 0.05], k=1)[0]
+        sources = rng.sample(["chainabuse", "etherscan", "scamsniffer", "txphishscope"], n_sources)
+        ts = first_ts.get(address, 0) + rng.randint(3600, 14 * 86_400)
+        for source in sources:
+            if source == "chainabuse":
+                feeds.chainabuse_reports.append(
+                    AbuseReport(
+                        address=address,
+                        category="phishing",
+                        reporter=rng.choice(reporters),
+                        timestamp=ts,
+                        description="wallet drainer: signed tx drained my tokens",
+                    )
+                )
+            elif source == "etherscan":
+                feeds.etherscan_phish_labels.append(address)
+            elif source == "scamsniffer":
+                feeds.scamsniffer_addresses.append(address)
+            else:
+                feeds.txphishscope_addresses.append(address)
+
+    # Noise: EOAs in the feeds (Step 1 must filter to contracts)...
+    daas_eoas = sorted(truth.all_operators | truth.all_affiliates)
+    for address in rng.sample(daas_eoas, min(len(daas_eoas), max(2, len(labeled) // 10))):
+        feeds.scamsniffer_addresses.append(address)
+    # ...and a few false reports pointing at benign contracts (Step 2's
+    # behaviour check must reject these).
+    for address in rng.sample(
+        truth.benign_contracts, min(3, len(truth.benign_contracts))
+    ):
+        feeds.chainabuse_reports.append(
+            AbuseReport(
+                address=address,
+                category="phishing",
+                reporter=rng.choice(reporters),
+                timestamp=0,
+                description="false report: mistaken for a drainer",
+            )
+        )
+
+    _plant_etherscan_labels(rng, params, truth, explorer, labeled)
+    return feeds
+
+
+def _plant_etherscan_labels(
+    rng: random.Random,
+    params: SimulationParams,
+    truth: GroundTruth,
+    explorer: Explorer,
+    labeled_contracts: list[str],
+) -> None:
+    """Etherscan's registry: Fake_Phishing tags on ~10.8 % of DaaS accounts,
+    family tags on headline operator accounts."""
+    tag_counter = rng.randint(60_000, 70_000)
+
+    # Family-name labels on each family's top operator account — the
+    # clustering result takes family names from these (§7.1).
+    for fam in truth.families.values():
+        if fam.etherscan_label and fam.operator_accounts:
+            explorer.add_label(fam.operator_accounts[0], fam.etherscan_label, "phish")
+
+    all_daas = sorted(truth.all_contracts | truth.all_operators | truth.all_affiliates)
+    target = round(params.etherscan_account_label_fraction * len(all_daas))
+    # Labeled contracts from the feeds are necessarily tagged; fill the rest.
+    tagged = set(labeled_contracts[: target])
+    pool = [a for a in all_daas if a not in tagged]
+    rng.shuffle(pool)
+    for address in pool[: max(target - len(tagged), 0)]:
+        tagged.add(address)
+    for address in sorted(tagged):
+        if explorer.get_label(address) is None:
+            explorer.add_label(address, f"Fake_Phishing{tag_counter}", "phish")
+            tag_counter += rng.randint(1, 9)
+
+    # Executor (multicall caller) accounts are highly visible and often
+    # tagged; they provide the "shared labeled phishing counterparty"
+    # clustering signal of §7.1.
+    for fam in truth.families.values():
+        for executor in fam.executor_accounts:
+            if rng.random() < 0.5 and explorer.get_label(executor) is None:
+                explorer.add_label(executor, f"Fake_Phishing{tag_counter}", "phish")
+                tag_counter += rng.randint(1, 9)

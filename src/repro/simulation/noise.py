@@ -1,0 +1,127 @@
+"""Benign background traffic: the detector's true negatives.
+
+Real-chain analysis happens against an overwhelming majority of benign
+transactions.  We plant a representative slice: plain ETH transfers, token
+activity, and — crucially — *look-alike contracts* whose fund flows
+resemble profit sharing (multi-transfer splitters, forwarders, airdrops)
+but whose ratios fall outside the drainer set.
+
+An optional adversarial mode plants splitters whose ratios sit *inside*
+the drainer set, to measure how classifier precision degrades (ablation,
+not part of the paper's headline results — their manual validation found
+no false positives).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import AirdropDistributor, ForwarderRouter, PaymentSplitter
+from repro.chain.explorer import Explorer
+from repro.chain.prices import STUDY_END_TS, STUDY_START_TS
+from repro.chain.types import eth_to_wei
+from repro.simulation.actors import mint_address
+from repro.simulation.ground_truth import GroundTruth
+from repro.simulation.params import SimulationParams
+
+__all__ = ["plant_noise"]
+
+#: Benign splitter ratios, all outside the drainer set of §4.3.  Note that
+#: 40/60 is *not* benign-safe: 40 % is in the drainer ratio set, so a
+#: legitimate 40/60 splitter is genuinely indistinguishable from a drainer
+#: split by fund flow alone — it lives in the adversarial set below.
+_BENIGN_SPLITS: list[list[int]] = [
+    [5000, 5000],
+    [3500, 6500],
+    [4500, 5500],
+    [3333, 3333, 3334],
+    [2000, 3000, 5000],
+    [700, 9300],
+]
+
+#: Splits that *collide* with drainer ratios; adversarial mode only.
+_ADVERSARIAL_SPLITS: list[list[int]] = [
+    [2000, 8000],  # exactly the most common drainer ratio
+    [4000, 6000],
+    [3000, 7000],
+    [1500, 8500],
+]
+
+
+def plant_noise(
+    rng: random.Random,
+    params: SimulationParams,
+    chain: Blockchain,
+    explorer: Explorer,
+    truth: GroundTruth,
+    n_daas_txs: int,
+    adversarial_splitters: int = 0,
+) -> None:
+    """Plant benign accounts, look-alike contracts and background traffic."""
+    n_accounts = max(10, round(params.noise_account_fraction * len(truth.all_victims)))
+    accounts = [mint_address("noise/eoa", i, params.seed) for i in range(n_accounts)]
+    truth.benign_accounts.extend(accounts)
+    for account in accounts:
+        chain.fund(account, eth_to_wei(rng.uniform(0.5, 20.0)))
+
+    deployer = mint_address("noise/deployer", 0, params.seed)
+    splitters: list[PaymentSplitter] = []
+    split_specs = list(_BENIGN_SPLITS) + _ADVERSARIAL_SPLITS[:adversarial_splitters]
+    for i, shares in enumerate(split_specs):
+        payees = [mint_address(f"noise/payee{i}", j, params.seed) for j in range(len(shares))]
+
+        def factory(address, creator, created_at, payees=payees, shares=shares):
+            return PaymentSplitter(address, creator, created_at, payees=payees, shares_bps=shares)
+
+        contract = chain.deploy_contract(deployer, factory, timestamp=STUDY_START_TS)
+        splitters.append(contract)
+        truth.benign_contracts.append(contract.address)
+
+    forwarders: list[ForwarderRouter] = []
+    for i in range(4):
+        beneficiary = mint_address("noise/merchant", i, params.seed)
+
+        def factory(address, creator, created_at, beneficiary=beneficiary):
+            return ForwarderRouter(address, creator, created_at, beneficiary=beneficiary)
+
+        contract = chain.deploy_contract(deployer, factory, timestamp=STUDY_START_TS)
+        forwarders.append(contract)
+        truth.benign_contracts.append(contract.address)
+
+    airdrop = chain.deploy_contract(
+        deployer, lambda a, c, t: AirdropDistributor(a, c, t), timestamp=STUDY_START_TS
+    )
+    truth.benign_contracts.append(airdrop.address)
+    explorer.add_label(airdrop.address, "TokenDrop: Distributor", "dex")
+
+    window = STUDY_END_TS - STUDY_START_TS
+    n_noise = round(params.noise_factor * n_daas_txs)
+    kinds = ["transfer", "splitter", "forwarder", "airdrop"]
+    weights = [0.70, 0.15, 0.10, 0.05]
+    for _ in range(n_noise):
+        ts = STUDY_START_TS + int(rng.random() * window)
+        sender = rng.choice(accounts)
+        amount = eth_to_wei(round(rng.uniform(0.001, 2.0), 6))
+        chain.fund(sender, amount)
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "transfer":
+            chain.send_transaction(sender, rng.choice(accounts), value=amount, timestamp=ts)
+        elif kind == "splitter":
+            target = rng.choice(splitters)
+            chain.send_transaction(
+                sender, target.address, value=amount, func="release", timestamp=ts
+            )
+        elif kind == "forwarder":
+            target = rng.choice(forwarders)
+            chain.send_transaction(sender, target.address, value=amount, timestamp=ts)
+        else:
+            recipients = rng.sample(accounts, k=min(rng.randint(3, 8), len(accounts)))
+            chain.send_transaction(
+                sender,
+                airdrop.address,
+                value=amount,
+                func="airdrop",
+                args={"recipients": recipients},
+                timestamp=ts,
+            )

@@ -1,0 +1,283 @@
+"""Calibration parameters for the simulated DaaS ecosystem.
+
+Every number here is taken from the paper (Table 2, §4.3, §5.2, §6) or, where
+the paper gives only aggregates, chosen so the aggregates come out right; the
+mapping is documented inline.  Counts scale linearly with
+``SimulationParams.scale`` (1.0 = paper scale), while all proportions —
+ratio mix, loss distribution, concentration — are scale-invariant.
+
+Two cells of Table 2 were lost in PDF text extraction (one value in the
+contract row and one in the operator row).  We assign Medusa 6 contracts and
+Spawn 2 operators, the unique values consistent with the published totals
+(1,910 contracts and 56 operators).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FamilyProfile",
+    "SimulationParams",
+    "PAPER_FAMILIES",
+    "PAPER_RATIO_MIX",
+    "month_ts",
+    "PAPER_TOTALS",
+]
+
+
+def month_ts(year: int, month: int) -> int:
+    """UNIX timestamp of the first second of a UTC month."""
+    return int(_dt.datetime(year, month, 1, tzinfo=_dt.timezone.utc).timestamp())
+
+
+#: Operator-share mix over profit-sharing transactions (§4.3).  The paper
+#: reports 20 % -> 46.0 %, 15 % -> 19.3 %, 17.5 % -> 9.2 % of transactions;
+#: the remaining mass is spread over the other observed ratios.
+PAPER_RATIO_MIX: dict[int, float] = {
+    2000: 0.460,  # 20 %
+    1500: 0.193,  # 15 %
+    1750: 0.092,  # 17.5 %
+    2500: 0.070,  # 25 %
+    3000: 0.050,  # 30 %
+    1000: 0.045,  # 10 %
+    1250: 0.040,  # 12.5 %
+    3300: 0.030,  # 33 %
+    4000: 0.020,  # 40 %
+}
+
+
+@dataclass(frozen=True)
+class FamilyProfile:
+    """Ground-truth profile of one DaaS family (one column of Table 2)."""
+
+    name: str
+    #: Etherscan label, or None for families named by address prefix.
+    etherscan_label: str | None
+    n_contracts: int
+    n_operators: int
+    n_affiliates: int
+    n_victims: int
+    total_profit_usd: float
+    active_start: int  # unix ts
+    active_end: int    # unix ts
+    #: Contract style: "claim" | "fallback" | "network_merge" (Table 3).
+    contract_style: str
+    #: Entry-point name for claim-style contracts.
+    entry_name: str = "Claim"
+    #: Number of "primary" contracts (>100 PS txs each) and their average
+    #: lifecycle in days (§7.2 gives 102.3 / 198.6 / 96.8 for the big three).
+    primary_lifecycle_days: float = 120.0
+
+    @property
+    def mean_loss_usd(self) -> float:
+        return self.total_profit_usd / max(self.n_victims, 1)
+
+
+_NOW = month_ts(2025, 4)  # "Now" in Table 2 = end of the collection window.
+
+#: The nine families of Table 2, ordered by victim count as in the paper.
+PAPER_FAMILIES: tuple[FamilyProfile, ...] = (
+    FamilyProfile(
+        name="Angel", etherscan_label="Angel Drainer",
+        n_contracts=1239, n_operators=29, n_affiliates=3338, n_victims=37755,
+        total_profit_usd=53.1e6,
+        active_start=month_ts(2023, 4), active_end=_NOW,
+        contract_style="claim", entry_name="Claim",
+        primary_lifecycle_days=102.3,
+    ),
+    FamilyProfile(
+        name="Inferno", etherscan_label="Inferno Drainer",
+        n_contracts=435, n_operators=7, n_affiliates=1958, n_victims=32740,
+        total_profit_usd=59.0e6,
+        active_start=month_ts(2023, 5), active_end=month_ts(2024, 11),
+        contract_style="fallback",
+        primary_lifecycle_days=198.6,
+    ),
+    FamilyProfile(
+        name="Pink", etherscan_label="Pink Drainer",
+        n_contracts=94, n_operators=10, n_affiliates=279, n_victims=2814,
+        total_profit_usd=14.7e6,
+        active_start=month_ts(2023, 4), active_end=month_ts(2024, 5),
+        contract_style="network_merge",
+        primary_lifecycle_days=96.8,
+    ),
+    FamilyProfile(
+        name="Ace", etherscan_label="Ace Drainer",
+        n_contracts=2, n_operators=2, n_affiliates=335, n_victims=1879,
+        total_profit_usd=3.1e6,
+        active_start=month_ts(2023, 10), active_end=_NOW,
+        contract_style="claim", entry_name="claimRewards",
+        primary_lifecycle_days=150.0,
+    ),
+    FamilyProfile(
+        name="Pussy", etherscan_label="Pussy Drainer",
+        n_contracts=1, n_operators=1, n_affiliates=30, n_victims=537,
+        total_profit_usd=1.1e6,
+        active_start=month_ts(2023, 3), active_end=month_ts(2023, 10),
+        contract_style="claim", entry_name="claim",
+        primary_lifecycle_days=120.0,
+    ),
+    FamilyProfile(
+        name="Venom", etherscan_label="Venom Drainer",
+        n_contracts=130, n_operators=1, n_affiliates=77, n_victims=491,
+        total_profit_usd=1.3e6,
+        active_start=month_ts(2023, 4), active_end=month_ts(2023, 8),
+        contract_style="claim", entry_name="mint",
+        primary_lifecycle_days=60.0,
+    ),
+    FamilyProfile(
+        name="Medusa", etherscan_label="Medusa Drainer",
+        n_contracts=6, n_operators=3, n_affiliates=56, n_victims=306,
+        total_profit_usd=2.5e6,
+        active_start=month_ts(2024, 5), active_end=_NOW,
+        contract_style="claim", entry_name="securityUpdate",
+        primary_lifecycle_days=100.0,
+    ),
+    FamilyProfile(
+        # Named by the first characters of its operator account on Etherscan.
+        name="0x0000b6", etherscan_label=None,
+        n_contracts=2, n_operators=1, n_affiliates=8, n_victims=43,
+        total_profit_usd=0.1e6,
+        active_start=month_ts(2023, 7), active_end=month_ts(2023, 8),
+        contract_style="claim", entry_name="claim",
+        primary_lifecycle_days=30.0,
+    ),
+    FamilyProfile(
+        name="Spawn", etherscan_label="Spawn Drainer",
+        n_contracts=1, n_operators=2, n_affiliates=6, n_victims=17,
+        total_profit_usd=0.01e6,
+        active_start=month_ts(2023, 5), active_end=month_ts(2023, 9),
+        contract_style="claim", entry_name="claim",
+        primary_lifecycle_days=60.0,
+    ),
+)
+
+#: Headline totals (§5.2 / Table 1) used for sanity checks and reporting.
+PAPER_TOTALS = {
+    "profit_sharing_contracts": 1910,
+    "operator_accounts": 56,
+    "affiliate_accounts": 6087,
+    "profit_sharing_transactions": 87077,
+    "victim_accounts": 76582,
+    "operator_profit_usd": 23.1e6,
+    "affiliate_profit_usd": 111.9e6,
+    "seed_contracts": 391,
+    "seed_operators": 48,
+    "seed_affiliates": 3970,
+    "seed_transactions": 49837,
+}
+
+
+@dataclass
+class SimulationParams:
+    """Knobs for world generation.  Defaults reproduce the paper's shapes."""
+
+    #: Linear size factor; 1.0 = paper scale (87k profit-sharing txs).
+    scale: float = 0.05
+    seed: int = 2025
+
+    # -- incident composition ------------------------------------------------
+    #: Fraction of phishing incidents by stolen-asset type (§4.2's three
+    #: scenarios).  ETH dominates; ERC-20 approvals next; NFTs the rest.
+    token_mix: tuple[float, float, float] = (0.62, 0.28, 0.10)
+    #: Operator-share mix in basis points -> probability (§4.3).
+    ratio_mix: dict[int, float] = field(default_factory=lambda: dict(PAPER_RATIO_MIX))
+    #: Of ERC-20 incidents eligible for it: fraction executed as EIP-2612
+    #: permit phishing (victim signs off-chain only; §7.2 names the scheme).
+    permit_fraction: float = 0.25
+    #: Of NFT incidents: fraction executed as "NFT zero-order purchase" —
+    #: the victim signs a near-zero off-chain sell order (§7.2's Listing 3
+    #: discussion) instead of an on-chain approval.
+    zero_order_fraction: float = 0.35
+    #: Of repeat victims without stale approvals: fraction that granted an
+    #: over-approval but explicitly revoked it afterwards (the complement
+    #: of §6.1's 28.6 % unrevoked finding).
+    revoke_fraction: float = 0.5
+    #: Fraction of victims phished more than once (8,856 / 76,582, §6.1)
+    repeat_victim_fraction: float = 0.1156
+    #: Mean incidents for a repeat victim (calibrated so total incidents /
+    #: victims = 87,077 / 76,582).
+    repeat_incident_mean: float = 2.19
+    #: Of repeat victims: fraction that signed several phishing txs in one
+    #: sitting, and fraction that left approvals unrevoked (§6.1).
+    repeat_simultaneous_fraction: float = 0.781
+    repeat_unrevoked_fraction: float = 0.286
+
+    # -- loss distribution (Figure 6) ----------------------------------------
+    #: Log-normal sigma of per-incident USD losses; family means come from
+    #: Table 2 (profit / victims), so mu_f = ln(mean_f) - sigma^2 / 2.
+    loss_sigma: float = 2.42
+    min_loss_usd: float = 0.5
+
+    # -- skew / concentration --------------------------------------------------
+    #: Affiliate reach is log-normal (calibrated numerically at paper scale
+    #: against four §6.3 statistics simultaneously: 50.2 % of affiliates
+    #: above $1k, 22.0 % above $10k, the top 7.4 % holding 75.6 % of
+    #: affiliate profit, and 26.1 % reaching more than 10 victims).  A pure
+    #: Zipf law cannot satisfy all four: it over-concentrates the head.
+    affiliate_weight_mu: float = 1.10
+    affiliate_weight_sigma: float = 1.80
+    #: Zipf exponent for contract volume (primaries get >100 PS txs).
+    contract_zipf_s: float = 1.35
+    #: Zipf exponent for operator weight within a family (25 % of operators
+    #: take 75.7 % of operator profits).
+    operator_zipf_s: float = 1.1
+    #: Distribution of operator-accounts-per-affiliate (§6.3: 60.4 % with
+    #: one, 90.2 % with at most three).
+    affiliate_operator_counts: dict[int, float] = field(
+        default_factory=lambda: {1: 0.604, 2: 0.190, 3: 0.108, 4: 0.060, 5: 0.038}
+    )
+
+    # -- label sources (Table 1 seed calibration) --------------------------------
+    #: Fraction of contracts carrying at least one public label
+    #: (391 / 1,910).  Labeling is volume-biased: busy contracts get
+    #: reported more, which is why 20 % of contracts cover 57 % of PS txs.
+    contract_label_fraction: float = 0.205
+    #: Strength of the volume bias when sampling labeled contracts.
+    label_volume_bias: float = 1.0
+    #: Fraction of *all* DaaS accounts that end up with an Etherscan tag
+    #: (§8.1: only 10.8 % of DaaS accounts were labeled).
+    etherscan_account_label_fraction: float = 0.108
+
+    # -- background traffic ---------------------------------------------------------
+    #: Benign transactions per DaaS transaction (look-alike splitters,
+    #: routers, airdrops, plain transfers).
+    noise_factor: float = 0.35
+    #: Number of benign EOAs as a fraction of victim count.
+    noise_account_fraction: float = 0.25
+
+    # -- ablation hooks -----------------------------------------------------------
+    #: Plant an extra, unlabeled, disconnected mini-family to demonstrate the
+    #: snowball-coverage limitation (§5.2).  Off by default so Table 1/2
+    #: benches match the paper exactly.
+    include_isolated_family: bool = False
+    isolated_family_contracts: int = 8
+
+    families: tuple[FamilyProfile, ...] = PAPER_FAMILIES
+
+    def scaled(self, count: int, minimum: int = 1) -> int:
+        """Scale a paper-level count, keeping at least ``minimum``."""
+        return max(minimum, round(count * self.scale))
+
+    def loss_mu(self, family: FamilyProfile) -> float:
+        """Log-normal mu for a family's per-incident loss distribution."""
+        return math.log(max(family.mean_loss_usd, 1.0)) - self.loss_sigma**2 / 2
+
+    def validate(self) -> None:
+        """Raise ValueError if parameters are inconsistent."""
+        if not 0 < self.scale <= 2.0:
+            raise ValueError("scale must be in (0, 2]")
+        if abs(sum(self.token_mix) - 1.0) > 1e-9:
+            raise ValueError("token_mix must sum to 1")
+        if abs(sum(self.ratio_mix.values()) - 1.0) > 1e-9:
+            raise ValueError("ratio_mix must sum to 1")
+        if abs(sum(self.affiliate_operator_counts.values()) - 1.0) > 1e-9:
+            raise ValueError("affiliate_operator_counts must sum to 1")
+        for bps in self.ratio_mix:
+            if not 0 < bps < 5000:
+                raise ValueError(
+                    f"operator share {bps} bps not below 50%: operators take the smaller cut"
+                )

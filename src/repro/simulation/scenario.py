@@ -1,0 +1,115 @@
+"""Compact scenario builders for experimentation and documentation.
+
+`build_world` produces the full nine-family paper calibration; downstream
+users often want something smaller and controllable — a single family
+with chosen parameters, or a minimal "one victim, one drainer" chain for
+walkthroughs.  These builders provide that without touching the paper
+calibration.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chain.chain import Blockchain
+from repro.chain.explorer import Explorer
+from repro.chain.prices import PriceOracle, STUDY_START_TS
+from repro.chain.rpc import EthereumRPC
+from repro.chain.types import eth_to_wei
+from repro.chain.contracts.drainers import make_drainer_factory
+from repro.simulation.actors import mint_address
+from repro.simulation.campaign import FamilyCampaign
+from repro.simulation.ground_truth import GroundTruth
+from repro.simulation.labels import build_label_feeds
+from repro.simulation.params import FamilyProfile, SimulationParams, month_ts
+from repro.simulation.world import SimulatedWorld, _build_infrastructure
+
+__all__ = ["single_family_world", "minimal_drain_chain"]
+
+
+def single_family_world(
+    name: str = "Solo",
+    n_contracts: int = 10,
+    n_operators: int = 2,
+    n_affiliates: int = 25,
+    n_victims: int = 200,
+    total_profit_usd: float = 500_000.0,
+    contract_style: str = "claim",
+    seed: int = 7,
+    noise: bool = False,
+) -> SimulatedWorld:
+    """A world containing exactly one custom DaaS family.
+
+    Useful for controlled experiments: every knob of the family is a
+    parameter, and the rest of the machinery (feeds, labels, analysis)
+    works unchanged.
+    """
+    profile = FamilyProfile(
+        name=name,
+        etherscan_label=f"{name} Drainer",
+        n_contracts=n_contracts,
+        n_operators=n_operators,
+        n_affiliates=n_affiliates,
+        n_victims=n_victims,
+        total_profit_usd=total_profit_usd,
+        active_start=month_ts(2023, 6),
+        active_end=month_ts(2024, 6),
+        contract_style=contract_style,
+        entry_name="claim",
+        primary_lifecycle_days=90.0,
+    )
+    params = SimulationParams(scale=1.0, seed=seed, families=(profile,))
+    if not noise:
+        params.noise_factor = 0.0
+        params.noise_account_fraction = 0.05
+    params.validate()
+
+    chain = Blockchain(genesis_timestamp=STUDY_START_TS - 30 * 86_400)
+    explorer = Explorer(chain)
+    oracle = PriceOracle()
+    truth = GroundTruth()
+    infra = _build_infrastructure(chain, explorer, oracle, seed)
+
+    victims = [mint_address("scenario/victim", i, seed) for i in range(n_victims)]
+    campaign = FamilyCampaign(
+        profile=profile,
+        params=params,
+        rng=random.Random(f"{seed}/scenario/{name}"),
+        chain=chain,
+        oracle=oracle,
+        infra=infra,
+        victim_pool=victims,
+    )
+    truth.families[name] = campaign.build()
+
+    feeds = build_label_feeds(random.Random(f"{seed}/scenario/labels"), params, truth, explorer)
+    return SimulatedWorld(
+        params=params,
+        chain=chain,
+        rpc=EthereumRPC(chain),
+        explorer=explorer,
+        oracle=oracle,
+        feeds=feeds,
+        truth=truth,
+        infra=infra,
+    )
+
+
+def minimal_drain_chain(seed: int = 1):
+    """The smallest meaningful fixture: one drainer, one funded victim.
+
+    Returns ``(chain, drainer_contract, victim, operator, affiliate)``
+    with nothing executed yet — walkthroughs drive it themselves.
+    """
+    chain = Blockchain(genesis_timestamp=STUDY_START_TS)
+    operator = mint_address("mini/op", 0, seed)
+    executor = mint_address("mini/exec", 0, seed)
+    affiliate = mint_address("mini/aff", 0, seed)
+    victim = mint_address("mini/victim", 0, seed)
+    chain.fund(victim, eth_to_wei(10))
+    drainer = chain.deploy_contract(
+        executor,
+        make_drainer_factory("claim", operator, executor, 2000),
+        timestamp=STUDY_START_TS,
+    )
+    return chain, drainer, victim, operator, affiliate

@@ -1,0 +1,282 @@
+"""Off-chain DaaS social infrastructure (paper §4.1 and §7.2).
+
+The collaboration between operators and affiliates runs through Telegram:
+operators promote the drainer, affiliates onboard, customized toolkits are
+handed out, and private groups stream real-time hit notifications.  §7.2
+additionally documents per-family *affiliate management*: admin panels,
+leveling systems with profit thresholds, and reward mechanisms.
+
+This module models that layer:
+
+* :data:`FAMILY_POLICIES` — each family's affiliate requirements and
+  management policy, straight from §7.2;
+* :class:`TelegramGroup` — the message stream a researcher sees after
+  joining (the paper's data source for the anatomy section);
+* :func:`affiliate_tier` / :func:`compute_tiers` — the leveling systems;
+* :func:`plan_rewards` — Inferno's periodic ETH rewards (0.5 / 1 / 3 ETH
+  by level, 1 BTC to the period's top earner) and Angel's NFT awards.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+
+from repro.simulation.ground_truth import PlantedFamily
+
+__all__ = [
+    "FamilyPolicy",
+    "FAMILY_POLICIES",
+    "TelegramGroup",
+    "GroupMessage",
+    "affiliate_tier",
+    "compute_tiers",
+    "RewardEvent",
+    "plan_rewards",
+]
+
+
+@dataclass(frozen=True)
+class FamilyPolicy:
+    """One family's affiliate requirements and management policy (§7.2)."""
+
+    family: str
+    #: What a prospective affiliate must demonstrate.
+    requirements: tuple[str, ...]
+    has_admin_panel: bool
+    #: Ascending profit thresholds (USD) for levels 1..n; empty = no levels.
+    level_thresholds_usd: tuple[float, ...]
+    #: Reward scheme description + parameters.
+    reward_kind: str | None = None           # "nft_award" | "periodic_eth" | None
+    reward_min_profit_usd: float = 0.0
+    #: For periodic_eth: payout in ETH by level (level 1 first).
+    reward_eth_by_level: tuple[float, ...] = ()
+    #: For periodic_eth: the period's top earner bonus, denominated in BTC.
+    top_earner_btc: float = 0.0
+
+
+#: §7.2's comparison, encoded.  Families not discussed get the minimal
+#: Inferno-style requirements and no management extras.
+FAMILY_POLICIES: dict[str, FamilyPolicy] = {
+    "Angel": FamilyPolicy(
+        family="Angel",
+        requirements=(
+            "detailed traffic data",
+            "prior experience launching phishing websites",
+            "an Ethereum account for profit sharing",
+        ),
+        has_admin_panel=True,
+        level_thresholds_usd=(100_000.0, 1_000_000.0, 5_000_000.0),
+        reward_kind="nft_award",
+        reward_min_profit_usd=10_000.0,
+    ),
+    "Inferno": FamilyPolicy(
+        family="Inferno",
+        requirements=(
+            "understand the concept of drainers",
+            "an Ethereum account for profit sharing",
+        ),
+        has_admin_panel=True,
+        level_thresholds_usd=(10_000.0, 100_000.0, 1_000_000.0),
+        reward_kind="periodic_eth",
+        reward_min_profit_usd=1_000.0,
+        reward_eth_by_level=(0.5, 1.0, 3.0),
+        top_earner_btc=1.0,
+    ),
+    "Pink": FamilyPolicy(
+        family="Pink",
+        requirements=(
+            "detailed traffic data",
+            "prior experience launching phishing websites",
+            "an Ethereum account for profit sharing",
+        ),
+        has_admin_panel=False,
+        level_thresholds_usd=(),
+    ),
+}
+
+_DEFAULT_POLICY_REQUIREMENTS = (
+    "understand the concept of drainers",
+    "an Ethereum account for profit sharing",
+)
+
+
+def policy_for(family: str) -> FamilyPolicy:
+    """The §7.2 policy, or the minimal default for undocumented families."""
+    base = family.split()[0] if family.endswith("Drainer") else family
+    policy = FAMILY_POLICIES.get(base)
+    if policy is not None:
+        return policy
+    return FamilyPolicy(
+        family=base,
+        requirements=_DEFAULT_POLICY_REQUIREMENTS,
+        has_admin_panel=False,
+        level_thresholds_usd=(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Telegram groups
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class GroupMessage:
+    timestamp: int
+    author: str        # "operator" | "drainer_bot"
+    text: str
+
+
+@dataclass
+class TelegramGroup:
+    """The private group an affiliate (or an undercover researcher) joins."""
+
+    family: str
+    messages: list[GroupMessage] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def hit_notifications(self) -> list[GroupMessage]:
+        return [m for m in self.messages if m.author == "drainer_bot"]
+
+
+def _fmt_day(ts: int) -> str:
+    return _dt.datetime.fromtimestamp(ts, tz=_dt.timezone.utc).strftime("%Y-%m-%d")
+
+
+def build_group(family: PlantedFamily, max_hits: int = 500) -> TelegramGroup:
+    """Reconstruct the family's group feed from its planted activity.
+
+    Operators post onboarding/announcement messages; the drainer bot posts
+    a real-time notification per hit ("the number of tokens stolen from
+    various users", §4.1), capped at ``max_hits`` for practicality.
+    """
+    policy = policy_for(family.name)
+    group = TelegramGroup(family=family.name)
+    incidents = sorted(family.incidents, key=lambda i: i.timestamp)
+    if not incidents:
+        return group
+
+    start = incidents[0].timestamp
+    group.messages.append(GroupMessage(
+        timestamp=start - 86_400,
+        author="operator",
+        text=(
+            f"{family.name} drainer is live. Requirements: "
+            + "; ".join(policy.requirements)
+            + ". Profit split favours you — we only take the smaller cut."
+        ),
+    ))
+    if policy.has_admin_panel:
+        group.messages.append(GroupMessage(
+            timestamp=start - 86_400,
+            author="operator",
+            text="Admin panel access after onboarding: live stats, toolkit "
+                 "configuration, and payout history.",
+        ))
+
+    for incident in incidents[:max_hits]:
+        group.messages.append(GroupMessage(
+            timestamp=incident.timestamp,
+            author="drainer_bot",
+            text=(
+                f"[{_fmt_day(incident.timestamp)}] hit {incident.victim[:10]}… "
+                f"for ${incident.loss_usd:,.0f} ({incident.asset_kind}); "
+                f"your share is on the way."
+            ),
+        ))
+    return group
+
+
+# ----------------------------------------------------------------------
+# Leveling systems and rewards
+# ----------------------------------------------------------------------
+
+
+def affiliate_tier(profit_usd: float, thresholds: tuple[float, ...]) -> int:
+    """Level for a profit under ascending thresholds (0 = below level 1)."""
+    tier = 0
+    for threshold in thresholds:
+        if profit_usd >= threshold:
+            tier += 1
+        else:
+            break
+    return tier
+
+
+def compute_tiers(
+    profit_by_affiliate: dict[str, float], thresholds: tuple[float, ...]
+) -> dict[int, int]:
+    """Tier -> number of affiliates, under a family's leveling system."""
+    counts: dict[int, int] = {}
+    for profit in profit_by_affiliate.values():
+        tier = affiliate_tier(profit, thresholds)
+        counts[tier] = counts.get(tier, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True, slots=True)
+class RewardEvent:
+    family: str
+    affiliate: str
+    kind: str          # "nft_award" | "eth_reward" | "top_earner_btc"
+    amount: float      # ETH for eth_reward, BTC for top_earner, 1 for NFT
+    period_start: int
+
+
+def plan_rewards(
+    family_name: str,
+    profit_by_affiliate: dict[str, float],
+    rng: random.Random,
+    periods: int = 4,
+) -> list[RewardEvent]:
+    """Apply a family's reward mechanism over ``periods`` payout rounds.
+
+    Inferno-style: each period, one random affiliate above the minimum
+    profit receives the ETH amount for their level, and the top earner
+    receives 1 BTC.  Angel-style: affiliates above $10k may randomly
+    receive an NFT.  Families without a scheme yield no events.
+    """
+    policy = policy_for(family_name)
+    events: list[RewardEvent] = []
+    if policy.reward_kind is None or not profit_by_affiliate:
+        return events
+
+    if policy.reward_kind == "nft_award":
+        eligible = sorted(
+            a for a, p in profit_by_affiliate.items()
+            if p > policy.reward_min_profit_usd
+        )
+        for affiliate in eligible:
+            if rng.random() < 0.3:
+                events.append(RewardEvent(
+                    family=family_name, affiliate=affiliate,
+                    kind="nft_award", amount=1.0, period_start=0,
+                ))
+        return events
+
+    # periodic_eth (Inferno)
+    eligible = sorted(
+        a for a, p in profit_by_affiliate.items()
+        if p > policy.reward_min_profit_usd
+    )
+    if not eligible:
+        return events
+    top_earner = max(profit_by_affiliate, key=profit_by_affiliate.get)
+    for period in range(periods):
+        winner = rng.choice(eligible)
+        tier = affiliate_tier(
+            profit_by_affiliate[winner], policy.level_thresholds_usd
+        )
+        eth = policy.reward_eth_by_level[min(max(tier, 1), len(policy.reward_eth_by_level)) - 1]
+        events.append(RewardEvent(
+            family=family_name, affiliate=winner,
+            kind="eth_reward", amount=eth, period_start=period,
+        ))
+        events.append(RewardEvent(
+            family=family_name, affiliate=top_earner,
+            kind="top_earner_btc", amount=policy.top_earner_btc, period_start=period,
+        ))
+    return events

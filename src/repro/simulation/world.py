@@ -1,0 +1,189 @@
+"""World orchestration: build a full simulated Ethereum + DaaS ecosystem.
+
+:func:`build_world` wires everything together:
+
+1. genesis: shared infrastructure (exchange, mixer, bridge, ERC-20 tokens,
+   NFT collections, marketplace) with explorer labels;
+2. nine family campaigns (Table 2), each executed as real transactions;
+3. benign background traffic and look-alike contracts;
+4. the four public label feeds plus the Etherscan label registry.
+
+The result is a :class:`SimulatedWorld` whose read-side handles
+(:class:`EthereumRPC`, :class:`Explorer`, :class:`PriceOracle`,
+:class:`LabelFeeds`) are all the measurement pipeline ever touches; the
+:class:`GroundTruth` is reserved for evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token, ERC721Token, NFTMarketplace
+from repro.chain.explorer import Explorer
+from repro.chain.prices import PriceOracle, STUDY_START_TS
+from repro.chain.rpc import EthereumRPC
+from repro.chain.types import eth_to_wei
+from repro.simulation.actors import mint_address
+from repro.simulation.campaign import FamilyCampaign, SharedInfrastructure
+from repro.simulation.ground_truth import GroundTruth
+from repro.simulation.labels import LabelFeeds, build_label_feeds
+from repro.simulation.noise import plant_noise
+from repro.simulation.params import FamilyProfile, SimulationParams, month_ts
+
+__all__ = ["SimulatedWorld", "build_world"]
+
+_GENESIS_TS = STUDY_START_TS - 30 * 86_400  # a month of pre-study history
+
+
+@dataclass
+class SimulatedWorld:
+    """A fully built world: write side, read side, and planted truth."""
+
+    params: SimulationParams
+    chain: Blockchain
+    rpc: EthereumRPC
+    explorer: Explorer
+    oracle: PriceOracle
+    feeds: LabelFeeds
+    truth: GroundTruth
+    infra: SharedInfrastructure
+
+
+def _build_infrastructure(
+    chain: Blockchain, explorer: Explorer, oracle: PriceOracle, seed: int
+) -> SharedInfrastructure:
+    exchange = mint_address("infra/exchange", 0, seed)
+    mixer = mint_address("infra/mixer", 0, seed)
+    bridge = mint_address("infra/bridge", 0, seed)
+    chain.fund(exchange, eth_to_wei(1_000_000))
+    explorer.add_label(exchange, "Binance 14", "exchange")
+    explorer.add_label(mixer, "Tornado.Cash-like Mixer", "mixer")
+    explorer.add_label(bridge, "Across-like Bridge", "bridge")
+
+    deployer = mint_address("infra/deployer", 0, seed)
+    token_specs = [
+        ("USDT", 6, 1.0),
+        ("USDC", 6, 1.0),
+        ("DAI", 18, 1.0),
+        ("WETH", 18, 2500.0),
+        ("SHIB2", 18, 2.1e-5),
+    ]
+    tokens: list[ERC20Token] = []
+    for symbol, decimals, price in token_specs:
+        def factory(address, creator, created_at, symbol=symbol, decimals=decimals):
+            return ERC20Token(address, creator, created_at, symbol=symbol, decimals=decimals)
+
+        token = chain.deploy_contract(deployer, factory, timestamp=_GENESIS_TS)
+        oracle.register_token(token.address, price, decimals)
+        explorer.add_label(token.address, f"{symbol}: Token", "token")
+        tokens.append(token)
+
+    collections: list[ERC721Token] = []
+    for symbol in ("PUNKX", "APEY", "AZUKI2"):
+        def nft_factory(address, creator, created_at, symbol=symbol):
+            return ERC721Token(address, creator, created_at, symbol=symbol)
+
+        collection = chain.deploy_contract(deployer, nft_factory, timestamp=_GENESIS_TS)
+        explorer.add_label(collection.address, f"{symbol}: NFT Collection", "token")
+        collections.append(collection)
+
+    marketplace = chain.deploy_contract(
+        deployer, lambda a, c, t: NFTMarketplace(a, c, t), timestamp=_GENESIS_TS
+    )
+    chain.fund(marketplace.address, eth_to_wei(100_000))
+    explorer.add_label(marketplace.address, "Blur-like Marketplace", "dex")
+
+    return SharedInfrastructure(
+        exchange=exchange,
+        mixer=mixer,
+        bridge=bridge,
+        erc20_tokens=tokens,
+        nft_collections=collections,
+        marketplace=marketplace,
+    )
+
+
+def _isolated_family_profile(params: SimulationParams) -> FamilyProfile:
+    """The optional disconnected mini-family for the coverage ablation."""
+    return FamilyProfile(
+        name="Isolated",
+        etherscan_label=None,
+        n_contracts=params.isolated_family_contracts,
+        n_operators=2,
+        n_affiliates=20,
+        n_victims=120,
+        total_profit_usd=0.25e6,
+        active_start=month_ts(2024, 1),
+        active_end=month_ts(2024, 6),
+        contract_style="claim",
+        entry_name="claim",
+        primary_lifecycle_days=45.0,
+    )
+
+
+def build_world(params: SimulationParams | None = None) -> SimulatedWorld:
+    """Build a deterministic world for the given parameters."""
+    params = params or SimulationParams()
+    params.validate()
+
+    chain = Blockchain(genesis_timestamp=_GENESIS_TS)
+    rpc = EthereumRPC(chain)
+    explorer = Explorer(chain)
+    oracle = PriceOracle()
+    truth = GroundTruth()
+
+    infra = _build_infrastructure(chain, explorer, oracle, params.seed)
+
+    profiles = list(params.families)
+    if params.include_isolated_family:
+        profiles.append(_isolated_family_profile(params))
+
+    # Disjoint victim slices per family (Table 2's per-family victim counts
+    # sum exactly to the global victim total, so families do not share
+    # victims).
+    victim_counts = [params.scaled(p.n_victims) for p in profiles]
+    pool = [
+        mint_address("victim", i, params.seed) for i in range(sum(victim_counts))
+    ]
+    offset = 0
+
+    for profile, count in zip(profiles, victim_counts):
+        family_rng = random.Random(f"{params.seed}/family/{profile.name}")
+        campaign = FamilyCampaign(
+            profile=profile,
+            params=params,
+            rng=family_rng,
+            chain=chain,
+            oracle=oracle,
+            infra=infra,
+            victim_pool=pool[offset : offset + count],
+        )
+        offset += count
+        truth.families[profile.name] = campaign.build()
+
+    daas_tx_count = len(chain)
+    noise_rng = random.Random(f"{params.seed}/noise")
+    plant_noise(noise_rng, params, chain, explorer, truth, daas_tx_count)
+
+    # Isolated-family contracts must stay unlabeled for the ablation to
+    # demonstrate the snowball coverage limitation.
+    feeds_rng = random.Random(f"{params.seed}/labels")
+    if params.include_isolated_family:
+        isolated = truth.families.pop("Isolated")
+        feeds = build_label_feeds(feeds_rng, params, truth, explorer)
+        truth.families["Isolated"] = isolated
+    else:
+        feeds = build_label_feeds(feeds_rng, params, truth, explorer)
+
+    return SimulatedWorld(
+        params=params,
+        chain=chain,
+        rpc=rpc,
+        explorer=explorer,
+        oracle=oracle,
+        feeds=feeds,
+        truth=truth,
+        infra=infra,
+    )

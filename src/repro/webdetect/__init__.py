@@ -1,0 +1,65 @@
+"""Toolkit-based phishing-website detection (paper §8.2)."""
+
+from repro.webdetect.crawler import Crawler
+from repro.webdetect.ctlog import CertEntry, CTLog
+from repro.webdetect.detector import (
+    DetectionStats,
+    PhishingSiteDetector,
+    SiteReport,
+    build_fingerprint_db,
+    tld_distribution,
+)
+from repro.webdetect.fingerprints import (
+    FAMILY_TOOLKIT_FILES,
+    FingerprintDB,
+    ToolkitFingerprint,
+    content_digest,
+)
+from repro.webdetect.keywords import SUSPICIOUS_KEYWORDS, DomainFilter
+from repro.webdetect.html import (
+    CDN_SCRIPTS,
+    extract_script_sources,
+    local_script_names,
+    render_site_html,
+)
+from repro.webdetect.levenshtein import levenshtein_distance, similarity_ratio
+from repro.webdetect.streaming import StreamingDetectionStats, StreamingSiteDetector
+from repro.webdetect.webworld import (
+    TABLE4_TLD_MIX,
+    Site,
+    WebTruth,
+    WebWorld,
+    WebWorldParams,
+    build_web_world,
+)
+
+__all__ = [
+    "Crawler",
+    "CertEntry",
+    "CTLog",
+    "DetectionStats",
+    "PhishingSiteDetector",
+    "SiteReport",
+    "build_fingerprint_db",
+    "tld_distribution",
+    "FAMILY_TOOLKIT_FILES",
+    "FingerprintDB",
+    "ToolkitFingerprint",
+    "content_digest",
+    "SUSPICIOUS_KEYWORDS",
+    "DomainFilter",
+    "CDN_SCRIPTS",
+    "extract_script_sources",
+    "local_script_names",
+    "render_site_html",
+    "levenshtein_distance",
+    "similarity_ratio",
+    "StreamingDetectionStats",
+    "StreamingSiteDetector",
+    "TABLE4_TLD_MIX",
+    "Site",
+    "WebTruth",
+    "WebWorld",
+    "WebWorldParams",
+    "build_web_world",
+]

@@ -1,0 +1,29 @@
+"""Site crawler (the paper uses urlscan for this step)."""
+
+from __future__ import annotations
+
+from repro.webdetect.webworld import WebWorld
+
+__all__ = ["Crawler"]
+
+
+class Crawler:
+    """Fetches a site's file manifest from the simulated web.
+
+    Returns ``None`` for domains that are unreachable at crawl time
+    (certificate issued before the site content went live, or the site was
+    taken down) — a real-world friction the pipeline must tolerate.
+    """
+
+    def __init__(self, web: WebWorld) -> None:
+        self._web = web
+        self.fetch_count = 0
+
+    def fetch(self, domain: str, at_ts: int | None = None) -> dict[str, str] | None:
+        self.fetch_count += 1
+        site = self._web.sites.get(domain)
+        if site is None:
+            return None
+        if at_ts is not None and at_ts < site.online_from:
+            return None
+        return dict(site.files)

@@ -1,0 +1,57 @@
+"""Certificate Transparency log simulation (paper §8.2 Step 1).
+
+Real CT logs publish every newly issued X.509 certificate; the paper
+tails them to see new phishing domains the moment they go live.  The
+simulated log holds one entry per TLS-enabled site, ordered by issuance
+time, and supports windowed iteration like a log tail would.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["CertEntry", "CTLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class CertEntry:
+    """One observed certificate issuance."""
+
+    domain: str
+    issued_at: int
+    issuer: str = "LetsEncrypt-like CA"
+
+
+@dataclass
+class CTLog:
+    """Append-only, time-ordered certificate log."""
+
+    entries: list[CertEntry] = field(default_factory=list)
+    _sorted: bool = field(default=True, repr=False)
+
+    def append(self, entry: CertEntry) -> None:
+        if self.entries and entry.issued_at < self.entries[-1].issued_at:
+            self._sorted = False
+        self.entries.append(entry)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self.entries.sort(key=lambda e: e.issued_at)
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CertEntry]:
+        self._ensure_sorted()
+        return iter(self.entries)
+
+    def window(self, start_ts: int, end_ts: int) -> Iterator[CertEntry]:
+        """Entries issued in [start_ts, end_ts), oldest first."""
+        self._ensure_sorted()
+        keys = [e.issued_at for e in self.entries]
+        lo = bisect.bisect_left(keys, start_ts)
+        hi = bisect.bisect_left(keys, end_ts)
+        return iter(self.entries[lo:hi])

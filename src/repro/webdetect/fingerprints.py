@@ -1,0 +1,100 @@
+"""Drainer toolkit fingerprints (paper §8.2).
+
+A fingerprint is a set of characteristic toolkit files — file name plus a
+content digest.  The paper seeded its database with toolkits acquired from
+operators' Telegram groups (whose file names differ per family: Angel ships
+``settings.js``/``webchunk.js``, Pink ships ``contract.js``/``main.js``/
+``vendor.js``, Inferno embeds a UUID-named script), then grew it with
+variants harvested from reported phishing sites that reuse the same file
+names with different content — 867 fingerprints in total.
+
+Matching requires name *and* content to agree: a benign site that happens
+to ship a file called ``main.js`` never matches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["FAMILY_TOOLKIT_FILES", "content_digest", "ToolkitFingerprint", "FingerprintDB"]
+
+#: Characteristic local-file names per family (§7.2's toolkit comparison).
+FAMILY_TOOLKIT_FILES: dict[str, tuple[str, ...]] = {
+    "Angel Drainer": ("settings.js", "webchunk.js"),
+    "Inferno Drainer": ("seaport.js", "wallet_connect.js", "8839a83b.js"),
+    "Pink Drainer": ("contract.js", "main.js", "vendor.js"),
+    "Ace Drainer": ("ace_loader.js", "drain_core.js"),
+    "Pussy Drainer": ("pd_init.js",),
+    "Venom Drainer": ("venom.js", "inject.js"),
+    "Medusa Drainer": ("medusa_bundle.js",),
+    "0x0000b6": ("loader.js",),
+    "Spawn Drainer": ("spawn_kit.js",),
+}
+
+
+def content_digest(content: str) -> str:
+    """Stable short digest of a file's content."""
+    return hashlib.sha256(content.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class ToolkitFingerprint:
+    """One toolkit variant: family plus (file name, content digest) pairs."""
+
+    family: str
+    files: frozenset[tuple[str, str]]  # (name, digest)
+
+    def matches(self, site_files: dict[str, str]) -> bool:
+        """True when every fingerprint file appears with matching content."""
+        if not self.files:
+            return False
+        for name, digest in self.files:
+            content = site_files.get(name)
+            if content is None or content_digest(content) != digest:
+                return False
+        return True
+
+
+@dataclass
+class FingerprintDB:
+    """The growing fingerprint knowledge base."""
+
+    fingerprints: list[ToolkitFingerprint] = field(default_factory=list)
+    _seen: set[frozenset] = field(default_factory=set, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def add(self, fingerprint: ToolkitFingerprint) -> bool:
+        if fingerprint.files in self._seen:
+            return False
+        self._seen.add(fingerprint.files)
+        self.fingerprints.append(fingerprint)
+        return True
+
+    def add_from_site(self, family: str, site_files: dict[str, str]) -> bool:
+        """Grow the DB from a confirmed phishing site: take the files whose
+        *names* match the family's known toolkit files (§8.2's name-match,
+        content-differs rule)."""
+        names = FAMILY_TOOLKIT_FILES.get(family)
+        if not names:
+            return False
+        files = frozenset(
+            (name, content_digest(site_files[name]))
+            for name in names
+            if name in site_files
+        )
+        if not files:
+            return False
+        return self.add(ToolkitFingerprint(family=family, files=files))
+
+    def match(self, site_files: dict[str, str]) -> ToolkitFingerprint | None:
+        """First fingerprint fully contained in the site, or None."""
+        for fingerprint in self.fingerprints:
+            if fingerprint.matches(site_files):
+                return fingerprint
+        return None
+
+    def families(self) -> set[str]:
+        return {f.family for f in self.fingerprints}

@@ -1,0 +1,74 @@
+"""Phishing-page HTML handling (paper Listing 2).
+
+Drainer toolkits ship an HTML snippet the affiliate pastes into a cloned
+project site: CDN references (ethers.js, merkletreejs, sweetalert) plus
+*local* JavaScript files provided by the operator — and those local file
+names are exactly the per-family fingerprint surface (§7.2: Angel ships
+``settings.js``/``webchunk.js``, Pink ``contract.js``/``main.js``/
+``vendor.js``, Inferno a UUID-named script).
+
+This module renders such pages for the simulated web and parses script
+references back out of crawled HTML, letting the detector verify that the
+fingerprinted files are actually wired into the page rather than stale
+leftovers.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["CDN_SCRIPTS", "render_site_html", "extract_script_sources", "local_script_names"]
+
+#: The CDN includes observed in Inferno's snippet (Listing 2).
+CDN_SCRIPTS: tuple[str, ...] = (
+    "https://cdnjs.cloudflare.com/ajax/libs/ethers/5.6.9/ethers.umd.min.js",
+    "https://cdn.jsdelivr.net/npm/merkletreejs@latest/merkletree.js",
+    "https://cdn.jsdelivr.net/npm/sweetalert2@11",
+)
+
+_SCRIPT_SRC = re.compile(r"""<script[^>]*\bsrc=["']([^"']+)["']""", re.IGNORECASE)
+
+
+def render_site_html(
+    domain: str,
+    local_scripts: tuple[str, ...] | list[str],
+    title: str | None = None,
+    cloned_from: str | None = None,
+) -> str:
+    """Render a phishing-page skeleton embedding the toolkit snippet."""
+    lines = [
+        "<!DOCTYPE html>",
+        "<html>",
+        "<head>",
+        f"  <title>{title or domain}</title>",
+    ]
+    if cloned_from:
+        lines.append(f"  <!-- cloned from {cloned_from} -->")
+    for src in CDN_SCRIPTS:
+        lines.append(f'  <script src="{src}"></script>')
+    for name in local_scripts:
+        prefix = "./scripts/" if name.endswith("_connect.js") else "./"
+        lines.append(f'  <script src="{prefix}{name}"></script>')
+    lines += [
+        "</head>",
+        "<body>",
+        f'  <button id="connect">Connect Wallet</button>',
+        "</body>",
+        "</html>",
+    ]
+    return "\n".join(lines)
+
+
+def extract_script_sources(html: str) -> list[str]:
+    """All ``<script src=...>`` references, in document order."""
+    return _SCRIPT_SRC.findall(html)
+
+
+def local_script_names(html: str) -> list[str]:
+    """File names of *local* (non-CDN) scripts — the fingerprint surface."""
+    names = []
+    for src in extract_script_sources(html):
+        if src.startswith(("http://", "https://", "//")):
+            continue
+        names.append(src.rsplit("/", 1)[-1])
+    return names

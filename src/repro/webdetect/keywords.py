@@ -1,0 +1,80 @@
+"""The suspicious-keyword list and the domain filter (paper §8.2 Step 1).
+
+The paper curated 63 keywords ("claim", "airdrop", "mint", ...) and flags
+domains containing a keyword exactly or a token whose Levenshtein
+similarity to a keyword exceeds 0.8.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.webdetect.levenshtein import similarity_ratio
+
+__all__ = ["SUSPICIOUS_KEYWORDS", "DomainFilter"]
+
+#: The 63-keyword list (§8.2 curates 63; composition is ours).
+SUSPICIOUS_KEYWORDS: tuple[str, ...] = (
+    "claim", "airdrop", "mint", "reward", "rewards", "bonus", "stake",
+    "restake", "presale", "whitelist", "allowlist", "eligible", "drop",
+    "free", "bridge", "swap", "connect", "wallet", "verify", "migration",
+    "migrate", "upgrade", "snapshot", "redeem", "gift", "win", "prize",
+    "voucher", "vesting", "unlock", "points", "quest", "season", "genesis",
+    "early", "beta", "exclusive", "limited", "official", "support",
+    "helpdesk", "restore", "recovery", "sync", "validate", "validation",
+    "register", "registration", "event", "celebration", "anniversary",
+    "giveaway", "double", "payout", "bounty", "faucet", "launch", "portal",
+    "dashboard", "checker", "allocation", "distribution", "incentive",
+)
+
+assert len(SUSPICIOUS_KEYWORDS) == 63, "the paper curates exactly 63 keywords"
+
+# Split on separators only — digits stay inside tokens, so leet-speak
+# obfuscations ("all0wlist", "a1rdrop") remain intact for the Levenshtein
+# comparison.
+_TOKEN_SPLIT = re.compile(r"[-_.]+")
+
+
+class DomainFilter:
+    """Keyword + Levenshtein domain filter."""
+
+    def __init__(
+        self,
+        keywords: tuple[str, ...] = SUSPICIOUS_KEYWORDS,
+        similarity_threshold: float = 0.8,
+    ) -> None:
+        self.keywords = tuple(k.lower() for k in keywords)
+        self.similarity_threshold = similarity_threshold
+        self._keyword_set = set(self.keywords)
+
+    def tokens(self, domain: str) -> list[str]:
+        """Lowercased alphabetic tokens of the registrable name (no TLD)."""
+        name = domain.lower()
+        if "." in name:
+            name = name.rsplit(".", 1)[0]
+        return [t for t in _TOKEN_SPLIT.split(name) if t]
+
+    def matched_keyword(self, domain: str) -> str | None:
+        """The keyword that makes ``domain`` suspicious, or None.
+
+        Exact containment is checked first (cheap), then per-token
+        Levenshtein similarity against every keyword.
+        """
+        name = domain.lower().rsplit(".", 1)[0] if "." in domain else domain.lower()
+        for keyword in self.keywords:
+            if keyword in name:
+                return keyword
+        for token in self.tokens(domain):
+            for keyword in self.keywords:
+                # Cheap length bound before the DP: similarity above t
+                # requires the lengths to be within a factor of t.
+                if min(len(token), len(keyword)) < self.similarity_threshold * max(
+                    len(token), len(keyword)
+                ):
+                    continue
+                if similarity_ratio(token, keyword) > self.similarity_threshold:
+                    return keyword
+        return None
+
+    def is_suspicious(self, domain: str) -> bool:
+        return self.matched_keyword(domain) is not None

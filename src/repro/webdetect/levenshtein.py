@@ -1,0 +1,46 @@
+"""Levenshtein edit distance and similarity ratio.
+
+The paper's domain filter (§8.2) keeps domains containing tokens whose
+Levenshtein similarity to a suspicious keyword exceeds 0.8 — catching
+obfuscations like ``c1aim`` or ``airdr0p``.  Implemented with the standard
+two-row dynamic program; O(len(a) * len(b)) time, O(min) space.
+"""
+
+from __future__ import annotations
+
+__all__ = ["levenshtein_distance", "similarity_ratio"]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of single-character edits transforming ``a`` into ``b``."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a  # keep the inner row short
+
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost, # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def similarity_ratio(a: str, b: str) -> float:
+    """1 - distance / max(len); 1.0 for identical strings, 0.0 for disjoint."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest

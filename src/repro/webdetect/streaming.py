@@ -1,0 +1,160 @@
+"""Continuous website detection with in-stream fingerprint growth.
+
+The paper's detection ran continuously from December 2023 to April 2025:
+certificates are tailed as they are issued, and the fingerprint database
+*keeps growing* — each confirmed site may carry a toolkit variant not yet
+in the DB (harvested via the name-match/content-differs rule), improving
+recall for later sites.  The batch detector in :mod:`repro.webdetect.detector`
+evaluates with a frozen DB; this module implements the continuous mode
+and lets the growth ablation quantify the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.webdetect.crawler import Crawler
+from repro.webdetect.detector import DetectionStats, SiteReport
+from repro.webdetect.fingerprints import FingerprintDB
+from repro.webdetect.html import local_script_names
+from repro.webdetect.keywords import DomainFilter
+from repro.webdetect.webworld import WebWorld
+
+__all__ = ["StreamingDetectionStats", "StreamingSiteDetector"]
+
+
+@dataclass
+class StreamingDetectionStats(DetectionStats):
+    fingerprints_harvested: int = 0
+    #: Sites confirmed only thanks to a fingerprint harvested in-stream.
+    late_confirmations: int = 0
+
+
+class StreamingSiteDetector:
+    """CT tail with a self-growing fingerprint database.
+
+    On every confirmed site, files whose *names* match the family's
+    toolkit but whose digests are new are added to the DB; additionally,
+    suspicious-but-unmatched sites are kept in a review queue and retried
+    whenever the DB grows (the manual-review feedback loop security teams
+    run in practice, bounded by ``max_retry_queue``).
+    """
+
+    def __init__(
+        self,
+        web: WebWorld,
+        db: FingerprintDB,
+        domain_filter: DomainFilter | None = None,
+        max_retry_queue: int = 5_000,
+    ) -> None:
+        self.web = web
+        self.db = db
+        self.filter = domain_filter or DomainFilter()
+        self.crawler = Crawler(web)
+        self.max_retry_queue = max_retry_queue
+        self._pending: list[tuple[str, int, str, dict[str, str]]] = []
+
+    def run(
+        self, start_ts: int | None = None, end_ts: int | None = None
+    ) -> tuple[list[SiteReport], StreamingDetectionStats]:
+        """Process the merged event stream: CT issuances interleaved, by
+        time, with community abuse reports (MetaMask/Chainabuse), which
+        are the variant-harvest channel."""
+        params = self.web.params
+        start = start_ts if start_ts is not None else params.detection_start
+        end = end_ts if end_ts is not None else params.detection_end
+        stats = StreamingDetectionStats()
+        reports: list[SiteReport] = []
+
+        events: list[tuple[int, int, str, object]] = [
+            (entry.issued_at, 0, "cert", entry)
+            for entry in self.web.ct_log.window(start, end)
+        ]
+        for domain in self.web.truth.reported:
+            site = self.web.sites.get(domain)
+            if site is None:
+                continue
+            report_ts = site.online_from + self._report_delay(domain)
+            if start <= report_ts < end:
+                events.append((report_ts, 1, "report", domain))
+        events.sort(key=lambda e: (e[0], e[1], str(e[3])))
+
+        for ts, _, kind, payload in events:
+            if kind == "report":
+                self._ingest_community_report(payload, ts, stats)
+                reports.extend(self._retry_pending(stats))
+                continue
+
+            entry = payload
+            stats.ct_entries += 1
+            keyword = self.filter.matched_keyword(entry.domain)
+            if keyword is None:
+                continue
+            stats.suspicious += 1
+
+            files = self.crawler.fetch(entry.domain, at_ts=entry.issued_at)
+            if files is None:
+                stats.unreachable += 1
+                continue
+            stats.crawled += 1
+
+            report = self._try_confirm(entry.domain, entry.issued_at, keyword, files, stats)
+            if report is not None:
+                reports.append(report)
+            else:
+                stats.no_fingerprint_match += 1
+                if len(self._pending) < self.max_retry_queue:
+                    self._pending.append((entry.domain, entry.issued_at, keyword, files))
+        return reports, stats
+
+    @staticmethod
+    def _report_delay(domain: str) -> int:
+        """Deterministic 1-14 day lag between deployment and the first
+        community report naming the site."""
+        digest = sum(ord(c) for c in domain)
+        return (1 + digest % 14) * 86_400
+
+    def _ingest_community_report(self, domain: str, ts: int, stats) -> None:
+        """A victim/researcher reported the site: crawl it and harvest any
+        new toolkit variant (name matches, content differs — §8.2)."""
+        files = self.crawler.fetch(domain, at_ts=ts)
+        if files is None:
+            return
+        family, _ = self.web.truth.phishing.get(domain, (None, None))
+        if family is None:
+            return
+        self._harvest(family, files, stats)
+
+    # ------------------------------------------------------------------
+
+    def _try_confirm(self, domain, issued_at, keyword, files, stats) -> SiteReport | None:
+        fingerprint = self.db.match(files)
+        if fingerprint is None:
+            return None
+        referenced = set(local_script_names(files.get("index.html", "")))
+        if not all(name in referenced for name, _ in fingerprint.files):
+            return None
+        stats.confirmed += 1
+        return SiteReport(
+            domain=domain, family=fingerprint.family,
+            detected_at=issued_at, matched_keyword=keyword,
+        )
+
+    def _harvest(self, family: str, files: dict[str, str], stats) -> None:
+        if self.db.add_from_site(family, files):
+            stats.fingerprints_harvested += 1
+
+    def _retry_pending(self, stats) -> list[SiteReport]:
+        """Re-examine the queue after DB growth; confirmed entries leave it."""
+        confirmed: list[SiteReport] = []
+        remaining: list[tuple[str, int, str, dict[str, str]]] = []
+        for domain, issued_at, keyword, files in self._pending:
+            report = self._try_confirm(domain, issued_at, keyword, files, stats)
+            if report is not None:
+                stats.late_confirmations += 1
+                confirmed.append(report)
+                self._harvest(report.family, files, stats)
+            else:
+                remaining.append((domain, issued_at, keyword, files))
+        self._pending = remaining
+        return confirmed

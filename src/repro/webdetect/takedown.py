@@ -1,0 +1,134 @@
+"""Takedown dynamics: what happens after sites are reported (§8 follow-on).
+
+The paper reports 32,819 sites to the community; hosts and registrars then
+take them down, and affiliates redeploy under fresh domains (the paper's
+observation that operators/affiliates continuously rotate infrastructure).
+This module models that feedback loop so its cost-effectiveness can be
+quantified: given detection reports and a takedown latency, how much
+victim exposure time does the reporting remove, and how quickly does the
+whack-a-mole redeployment erode it?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.webdetect.detector import SiteReport
+from repro.webdetect.webworld import WebWorld
+
+__all__ = ["TakedownEvent", "TakedownReport", "TakedownSimulator"]
+
+_DAY = 86_400
+
+
+@dataclass(frozen=True, slots=True)
+class TakedownEvent:
+    domain: str
+    family: str
+    reported_at: int
+    taken_down_at: int
+    #: Fresh domain the affiliate redeployed to, if any.
+    redeployed_as: str | None
+
+    @property
+    def exposure_removed_days(self) -> float:
+        """Days of operation the takedown removed, relative to the site
+        simply running to the end of the study window."""
+        return max(0.0, (self._study_end - self.taken_down_at) / _DAY)
+
+    # populated by the simulator (dataclass frozen -> class attribute)
+    _study_end: int = 0
+
+
+@dataclass
+class TakedownReport:
+    events: list[TakedownEvent] = field(default_factory=list)
+    redeployments: int = 0
+
+    @property
+    def takedown_count(self) -> int:
+        return len(self.events)
+
+    def median_latency_days(self) -> float:
+        if not self.events:
+            return 0.0
+        latencies = sorted(
+            (e.taken_down_at - e.reported_at) / _DAY for e in self.events
+        )
+        return latencies[len(latencies) // 2]
+
+    def redeployment_rate(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.redeployments / len(self.events)
+
+
+class TakedownSimulator:
+    """Applies takedowns to detected sites and models redeployment."""
+
+    def __init__(
+        self,
+        web: WebWorld,
+        seed: int = 0,
+        median_latency_days: float = 3.0,
+        redeploy_probability: float = 0.45,
+        redeploy_delay_days: float = 2.0,
+    ) -> None:
+        self.web = web
+        self.rng = random.Random(f"{seed}/takedown")
+        self.median_latency_days = median_latency_days
+        self.redeploy_probability = redeploy_probability
+        self.redeploy_delay_days = redeploy_delay_days
+
+    def apply(self, reports: list[SiteReport]) -> TakedownReport:
+        """Process detection reports in time order.
+
+        Each reported site is taken down after an exponential-ish latency;
+        with probability ``redeploy_probability`` the affiliate redeploys
+        the same toolkit under a fresh domain (name-mangled, so the
+        keyword filter may or may not catch the successor).
+        """
+        result = TakedownReport()
+        end = self.web.params.detection_end
+        for report in sorted(reports, key=lambda r: r.detected_at):
+            latency = self.rng.expovariate(1.0 / max(self.median_latency_days, 0.1))
+            taken_down_at = min(
+                int(report.detected_at + latency * _DAY), end
+            )
+            redeployed_as = None
+            if self.rng.random() < self.redeploy_probability:
+                redeployed_as = self._mangle(report.domain)
+                result.redeployments += 1
+            event = TakedownEvent(
+                domain=report.domain,
+                family=report.family,
+                reported_at=report.detected_at,
+                taken_down_at=taken_down_at,
+                redeployed_as=redeployed_as,
+            )
+            object.__setattr__(event, "_study_end", end)
+            result.events.append(event)
+        return result
+
+    def _mangle(self, domain: str) -> str:
+        name, _, tld = domain.rpartition(".")
+        suffix = self.rng.randint(2, 99)
+        return f"{name}{suffix}.{tld}"
+
+    def exposure_removed_days(self, report: TakedownReport) -> float:
+        """Total site-days of operation the campaign removed, net of the
+        exposure the redeployed successors restore (they run from their
+        redeploy time to the end of the window, until reported again —
+        modelled here as a single generation)."""
+        removed = sum(e.exposure_removed_days for e in report.events)
+        restored = sum(
+            max(
+                0.0,
+                (self.web.params.detection_end - e.taken_down_at) / _DAY
+                - self.redeploy_delay_days,
+            )
+            for e in report.events
+            if e.redeployed_as is not None
+        )
+        return removed - restored

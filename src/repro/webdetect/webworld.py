@@ -1,0 +1,244 @@
+"""Simulated web: phishing and benign sites plus the CT log.
+
+What the paper observed, we plant:
+
+* ~50k drainer phishing sites (so that the detectable subset lands on the
+  reported 32,819 at scale 1.0 after the TLS and keyword funnels), each
+  deployed by an affiliate of one of the nine families with one toolkit
+  *variant* (file name set per family, content differing per variant);
+* TLDs drawn from the Table 4 distribution;
+* ~72 % of phishing sites use TLS (the paper cites >70 %), so only those
+  appear in CT;
+* a benign background with keyword-bearing false-friend domains
+  ("claims-insurance.dev") that pass the filter but fail fingerprinting.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.simulation.params import PAPER_FAMILIES, month_ts
+from repro.webdetect.ctlog import CertEntry, CTLog
+from repro.webdetect.fingerprints import FAMILY_TOOLKIT_FILES
+from repro.webdetect.html import render_site_html
+from repro.webdetect.keywords import SUSPICIOUS_KEYWORDS
+
+__all__ = ["WebWorldParams", "Site", "WebTruth", "WebWorld", "build_web_world", "TABLE4_TLD_MIX"]
+
+#: Table 4 TLD mix (top 10 explicit, remainder spread over a long tail).
+TABLE4_TLD_MIX: dict[str, float] = {
+    "com": 0.300, "dev": 0.136, "app": 0.116, "xyz": 0.075, "net": 0.056,
+    "org": 0.038, "network": 0.024, "io": 0.020, "top": 0.016, "online": 0.014,
+    # long tail (the paper's top 10 sum to 79.5 %, leaving 20.5 %):
+    # composition ours
+    "site": 0.040, "club": 0.028, "finance": 0.025, "live": 0.025,
+    "pro": 0.021, "info": 0.021, "cc": 0.018, "me": 0.014, "co": 0.013,
+}
+
+_PROJECTS = (
+    "pepe", "azuki", "arbitrum", "zksync", "blur", "opensea", "uniswap",
+    "metamask", "lido", "blast", "scroll", "starknet", "sui", "apecoin",
+    "doodles", "milady", "bayc", "linea", "optimism", "basechain",
+)
+
+#: Leet-speak obfuscations the Levenshtein filter must still catch.
+_OBFUSCATE = {"a": "4", "e": "3", "i": "1", "o": "0", "l": "1"}
+
+_BENIGN_WORDS = (
+    "bakery", "garden", "travel", "books", "fitness", "studio", "museum",
+    "recipes", "weather", "cinema", "florist", "academy", "hardware",
+    "gallery", "journal", "atelier", "botanics", "cartography", "pottery",
+    # near-misses of suspicious keywords (clam~claim, minty~mint) that a
+    # loose Levenshtein threshold starts flagging — the ablation's knee
+    "clam", "minty", "drooping", "frieze",
+)
+#: Benign names that legitimately contain a suspicious keyword.
+_BENIGN_KEYWORD_NAMES = (
+    "claims-insurance", "giftshop", "eventplanner", "supportdesk",
+    "free-recipes", "prizefish", "register-office", "launchpadcareers",
+    "walletleather", "bridgeclub", "mintcondition-books", "doubleglazing",
+)
+
+
+@dataclass
+class WebWorldParams:
+    scale: float = 0.05
+    seed: int = 2025
+    #: True phishing population at scale 1.0; the detected subset lands on
+    #: ~32,819 after TLS (x0.72) and keyword (x0.93) funnels.
+    n_phishing_sites: int = 50_000
+    tls_fraction: float = 0.72
+    keyword_name_fraction: float = 0.93
+    #: Benign sites per phishing site; a quarter carry false-friend keywords.
+    benign_factor: float = 1.0
+    benign_keyword_fraction: float = 0.25
+    #: Toolkit variants in circulation at scale 1.0 (the paper's fingerprint
+    #: DB converged to 867).
+    n_variants: int = 867
+    #: Fraction of phishing sites reported to MetaMask/Chainabuse, from
+    #: which the fingerprint DB is grown.
+    reported_fraction: float = 0.20
+    detection_start: int = month_ts(2023, 12)
+    detection_end: int = month_ts(2025, 4)
+
+
+@dataclass(slots=True)
+class Site:
+    domain: str
+    files: dict[str, str]
+    tls: bool
+    online_from: int
+
+
+@dataclass
+class WebTruth:
+    #: domain -> (family, variant index)
+    phishing: dict[str, tuple[str, int]] = field(default_factory=dict)
+    benign: set[str] = field(default_factory=set)
+    reported: set[str] = field(default_factory=set)
+    keyword_named: set[str] = field(default_factory=set)
+
+
+@dataclass
+class WebWorld:
+    params: WebWorldParams
+    sites: dict[str, Site]
+    ct_log: CTLog
+    truth: WebTruth
+
+
+def _draw_tld(rng: random.Random) -> str:
+    tlds = list(TABLE4_TLD_MIX)
+    weights = list(TABLE4_TLD_MIX.values())
+    return rng.choices(tlds, weights=weights, k=1)[0]
+
+
+def _obfuscate(word: str, rng: random.Random) -> str:
+    """Single-character leet substitution (Levenshtein similarity stays
+    above 0.8 for the keyword lengths involved)."""
+    candidates = [i for i, c in enumerate(word) if c in _OBFUSCATE]
+    if not candidates:
+        return word
+    i = rng.choice(candidates)
+    return word[:i] + _OBFUSCATE[word[i]] + word[i + 1 :]
+
+
+def _phishing_domain(rng: random.Random, keyworded: bool, used: set[str]) -> str:
+    for _ in range(100):
+        project = rng.choice(_PROJECTS)
+        if keyworded:
+            keyword = rng.choice(SUSPICIOUS_KEYWORDS)
+            if rng.random() < 0.15:
+                keyword = _obfuscate(keyword, rng)
+            order = rng.random()
+            if order < 0.45:
+                name = f"{keyword}-{project}"
+            elif order < 0.8:
+                name = f"{project}-{keyword}"
+            else:
+                name = f"{project}{keyword}"
+        else:
+            # Brand-only lure, invisible to the keyword filter.
+            name = f"{project}-{rng.choice(_PROJECTS)}"
+        domain = f"{name}.{_draw_tld(rng)}"
+        if domain not in used:
+            used.add(domain)
+            return domain
+    raise RuntimeError("domain space exhausted")
+
+
+def _benign_domain(rng: random.Random, keyworded: bool, used: set[str]) -> str:
+    for _ in range(100):
+        if keyworded:
+            name = rng.choice(_BENIGN_KEYWORD_NAMES)
+            name = f"{name}-{rng.randint(1, 9999)}"
+        else:
+            name = f"{rng.choice(_BENIGN_WORDS)}-{rng.choice(_BENIGN_WORDS)}-{rng.randint(1, 999)}"
+        domain = f"{name}.{_draw_tld(rng)}"
+        if domain not in used:
+            used.add(domain)
+            return domain
+    raise RuntimeError("domain space exhausted")
+
+
+def _variant_content(family: str, file_name: str, variant: int) -> str:
+    """Deterministic toolkit file content for a (family, variant) pair."""
+    return (
+        f"/* {family} toolkit {file_name} v{variant} */\n"
+        f"const CONFIG = {{family: '{family}', build: {variant}}};\n"
+        "window.__drain = () => {/* obfuscated payload placeholder */};\n"
+    )
+
+
+def build_web_world(params: WebWorldParams | None = None) -> WebWorld:
+    params = params or WebWorldParams()
+    rng = random.Random(f"{params.seed}/web")
+    sites: dict[str, Site] = {}
+    ct_log = CTLog()
+    truth = WebTruth()
+    used_domains: set[str] = set()
+
+    # Family site shares proportional to victim counts (Table 2).
+    total_victims = sum(f.n_victims for f in PAPER_FAMILIES)
+    family_names = []
+    family_weights = []
+    variants_per_family: dict[str, int] = {}
+    for profile in PAPER_FAMILIES:
+        label = profile.etherscan_label or profile.name
+        if label not in FAMILY_TOOLKIT_FILES:
+            label = profile.name
+        family_names.append(label)
+        share = profile.n_victims / total_victims
+        family_weights.append(share)
+        variants_per_family[label] = max(1, round(params.n_variants * share * params.scale))
+
+    n_phish = max(9, round(params.n_phishing_sites * params.scale))
+    window = params.detection_end - params.detection_start
+
+    for i in range(n_phish):
+        family = rng.choices(family_names, weights=family_weights, k=1)[0]
+        keyworded = rng.random() < params.keyword_name_fraction
+        domain = _phishing_domain(rng, keyworded, used_domains)
+        variant = rng.randint(0, variants_per_family[family] - 1)
+        online_from = params.detection_start + int(rng.random() * window)
+
+        toolkit_files = FAMILY_TOOLKIT_FILES[family]
+        files = {
+            "index.html": render_site_html(
+                domain, toolkit_files, cloned_from=domain.split("-")[0]
+            )
+        }
+        for file_name in toolkit_files:
+            files[file_name] = _variant_content(family, file_name, variant)
+
+        tls = rng.random() < params.tls_fraction
+        sites[domain] = Site(domain=domain, files=files, tls=tls, online_from=online_from)
+        truth.phishing[domain] = (family, variant)
+        if keyworded:
+            truth.keyword_named.add(domain)
+        if rng.random() < params.reported_fraction:
+            truth.reported.add(domain)
+        if tls:
+            ct_log.append(CertEntry(domain=domain, issued_at=online_from))
+
+    n_benign = round(n_phish * params.benign_factor)
+    for i in range(n_benign):
+        keyworded = rng.random() < params.benign_keyword_fraction
+        domain = _benign_domain(rng, keyworded, used_domains)
+        online_from = params.detection_start + int(rng.random() * window)
+        files = {
+            "index.html": render_site_html(
+                domain, ("app.js", "main.js"), title=f"welcome to {domain}"
+            ),
+            "app.js": f"console.log('{domain}');",
+            # Benign sites may reuse common toolkit file *names*.
+            "main.js": f"/* legitimate bundle for {domain} */",
+        }
+        sites[domain] = Site(domain=domain, files=files, tls=True, online_from=online_from)
+        truth.benign.add(domain)
+        ct_log.append(CertEntry(domain=domain, issued_at=online_from))
+
+    return WebWorld(params=params, sites=sites, ct_log=ct_log, truth=truth)

@@ -1,0 +1,48 @@
+"""Markdown report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.document import render_markdown_report
+
+
+@pytest.fixture(scope="module")
+def report_md(pipeline):
+    return render_markdown_report(pipeline)
+
+
+class TestReportDocument:
+    def test_all_sections_present(self, report_md):
+        for heading in (
+            "# DaaS Measurement Report",
+            "## Dataset collection",
+            "## Victims",
+            "## Operators and affiliates",
+            "## Family clustering",
+            "## Timeline",
+        ):
+            assert heading in report_md
+
+    def test_family_rows_rendered(self, report_md, pipeline):
+        for family in pipeline.clustering.families:
+            assert family.name in report_md
+
+    def test_counts_match_dataset(self, report_md, pipeline):
+        summary = pipeline.dataset.summary()
+        assert f"{summary['profit_sharing_contracts']:,}" in report_md
+
+    def test_markdown_tables_well_formed(self, report_md):
+        for line in report_md.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_webdetect_section_optional(self, pipeline, web_world):
+        from repro.webdetect import PhishingSiteDetector, build_fingerprint_db
+
+        db = build_fingerprint_db(web_world)
+        reports, stats = PhishingSiteDetector(web_world, db).run()
+        with_web = render_markdown_report(pipeline, reports, stats)
+        assert "## Website detection" in with_web
+        without_web = render_markdown_report(pipeline)
+        assert "## Website detection" not in without_web

@@ -1,0 +1,130 @@
+"""Family clustering (§7) against the planted family structure."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestClusterCount:
+    def test_exactly_nine_families(self, pipeline):
+        assert pipeline.clustering.family_count == 9
+
+    def test_every_operator_assigned_once(self, world, pipeline):
+        assigned = [op for f in pipeline.clustering.families for op in f.operators]
+        assert len(assigned) == len(set(assigned))
+        assert set(assigned) == world.truth.all_operators
+
+
+class TestClusterPurity:
+    def test_clusters_match_planted_families(self, world, pipeline):
+        planted = {
+            name: set(fam.operator_accounts) for name, fam in world.truth.families.items()
+        }
+        recovered = [f.operators for f in pipeline.clustering.families]
+        for ops in planted.values():
+            assert ops in recovered
+
+    def test_contracts_follow_operators(self, world, pipeline):
+        planted_by_op = {}
+        for fam in world.truth.families.values():
+            for op in fam.operator_accounts:
+                planted_by_op[op] = set(fam.contracts)
+        for family in pipeline.clustering.families:
+            expected = set()
+            for op in family.operators:
+                expected |= planted_by_op[op]
+            assert family.contracts == expected
+
+    def test_affiliates_follow_operators(self, world, pipeline):
+        planted = {
+            name: set(fam.affiliate_accounts) for name, fam in world.truth.families.items()
+        }
+        for family in pipeline.clustering.families:
+            truth_fam = next(
+                fam for fam in world.truth.families.values()
+                if set(fam.operator_accounts) == family.operators
+            )
+            assert family.affiliates == planted[truth_fam.name]
+
+
+class TestNaming:
+    def test_labeled_families_named_from_etherscan(self, world, pipeline):
+        names = {f.name for f in pipeline.clustering.families}
+        for fam in world.truth.families.values():
+            if fam.etherscan_label:
+                assert fam.etherscan_label in names
+
+    def test_unlabeled_family_named_by_address_prefix(self, world, pipeline):
+        unlabeled = [f for f in world.truth.families.values() if not f.etherscan_label]
+        assert unlabeled
+        names = {f.name for f in pipeline.clustering.families}
+        for fam in unlabeled:
+            prefixes = {op[:8] for op in fam.operator_accounts}
+            assert names & prefixes
+
+
+class TestDominance:
+    def test_top3_share_matches_paper(self, pipeline):
+        share = pipeline.clustering.top_families_profit_share(3)
+        assert share == pytest.approx(0.939, abs=0.03)
+
+    def test_dominant_families_are_the_big_three(self, pipeline):
+        top = sorted(
+            pipeline.clustering.families, key=lambda f: -f.total_profit_usd
+        )[:3]
+        assert {f.name for f in top} == {"Angel Drainer", "Inferno Drainer", "Pink Drainer"}
+
+    def test_sorted_by_victims_order(self, pipeline):
+        ordered = pipeline.clustering.sorted_by_victims()
+        counts = [len(f.victims) for f in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestContractImplementations:
+    def test_table3_rows(self, pipeline):
+        rows = {
+            r.family: r
+            for r in pipeline.family_clusterer.contract_implementations(pipeline.clustering)
+        }
+        angel = rows["Angel Drainer"]
+        assert 'named "Claim"' in angel.eth_entry
+        assert angel.uses_multicall and not angel.uses_payable_fallback
+
+        inferno = rows["Inferno Drainer"]
+        assert inferno.eth_entry == "payable fallback function"
+        assert inferno.uses_multicall and inferno.uses_payable_fallback
+
+        pink = rows["Pink Drainer"]
+        assert 'named "NetworkMerge"' in pink.eth_entry
+        assert pink.uses_multicall
+
+    def test_all_families_use_multicall(self, pipeline):
+        rows = pipeline.family_clusterer.contract_implementations(pipeline.clustering)
+        assert all(r.uses_multicall for r in rows)
+
+
+class TestLifecycles:
+    def test_primary_lifecycles_near_planted_targets(self, world, pipeline):
+        # Threshold scales with world size (paper uses >100 PS txs at 1.0).
+        threshold = max(3, int(100 * world.params.scale))
+        lifecycles = pipeline.family_clusterer.primary_contract_lifecycles(
+            pipeline.clustering, min_ps_txs=threshold
+        )
+        targets = {
+            "Angel Drainer": 102.3,
+            "Inferno Drainer": 198.6,
+            "Pink Drainer": 96.8,
+        }
+        for name, target in targets.items():
+            assert lifecycles[name] == pytest.approx(target, rel=0.45)
+
+    def test_active_windows_match_table2(self, world, pipeline):
+        for family in pipeline.clustering.families:
+            truth_fam = next(
+                fam for fam in world.truth.families.values()
+                if set(fam.operator_accounts) == family.operators
+            )
+            profile = next(p for p in world.params.families if p.name == truth_fam.name)
+            slack = 60 * 86_400
+            assert family.first_tx_ts >= profile.active_start - slack
+            assert family.last_tx_ts <= profile.active_end + slack

@@ -1,0 +1,104 @@
+"""Wallet guard (§9 countermeasures) and report rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.guard import TransactionIntent, WalletGuard
+from repro.analysis.reporting import (
+    fmt_month,
+    fmt_pct,
+    fmt_usd,
+    paper_vs_measured,
+    render_table,
+)
+
+
+class TestWalletGuard:
+    def _guard(self, pipeline):
+        return WalletGuard(
+            pipeline.context.rpc, blacklist=pipeline.dataset.all_accounts
+        )
+
+    def test_blocks_value_transfer_to_ps_contract(self, pipeline):
+        guard = self._guard(pipeline)
+        contract = next(iter(pipeline.dataset.contracts))
+        verdict = guard.screen(TransactionIntent(sender="0x" + "ab" * 20, to=contract, value=10**18))
+        assert not verdict.allowed
+        assert verdict.alerts
+
+    def test_blocks_approval_to_blacklisted_spender(self, pipeline):
+        guard = self._guard(pipeline)
+        contract = next(iter(pipeline.dataset.contracts))
+        token = pipeline.world.infra.erc20_tokens[0]
+        verdict = guard.screen(
+            TransactionIntent(
+                sender="0x" + "ab" * 20, to=token.address,
+                func="approve", args={"spender": contract, "amount": 10**18},
+            )
+        )
+        assert not verdict.allowed
+
+    def test_allows_plain_transfer_to_clean_eoa(self, pipeline):
+        guard = self._guard(pipeline)
+        verdict = guard.screen(
+            TransactionIntent(sender="0x" + "ab" * 20, to="0x" + "cd" * 20, value=1)
+        )
+        assert verdict.allowed
+        assert verdict.alerts == []
+
+    def test_allows_clean_token_approval(self, pipeline):
+        guard = self._guard(pipeline)
+        token = pipeline.world.infra.erc20_tokens[0]
+        verdict = guard.screen(
+            TransactionIntent(
+                sender="0x" + "ab" * 20, to=token.address,
+                func="approve", args={"spender": "0x" + "cd" * 20, "amount": 1},
+            )
+        )
+        assert verdict.allowed
+
+    def test_multi_account_drain_everything_heuristic(self, pipeline):
+        guard = self._guard(pipeline)
+        spender = "0x" + "ee" * 20  # not even blacklisted yet
+        intents = [
+            TransactionIntent(
+                sender="0x" + "ab" * 20, to=f"0x{i:02x}" + "00" * 19,
+                func="approve", args={"spender": spender, "amount": 2**256 - 1},
+            )
+            for i in range(4)
+        ]
+        verdict = guard.multi_account_test(intents)
+        assert not verdict.allowed
+
+    def test_multi_account_passes_single_approval(self, pipeline):
+        guard = self._guard(pipeline)
+        intent = TransactionIntent(
+            sender="0x" + "ab" * 20, to="0x" + "cd" * 20,
+            func="approve", args={"spender": "0x" + "ee" * 20, "amount": 1},
+        )
+        assert guard.multi_account_test([intent]).allowed
+
+
+class TestReporting:
+    def test_fmt_usd(self):
+        assert fmt_usd(53_100_000) == "$53.1M"
+        assert fmt_usd(2_300) == "$2.3K"
+        assert fmt_usd(12.5) == "$12.50"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(0.835) == "83.5%"
+        assert fmt_pct(0.5, digits=0) == "50%"
+
+    def test_fmt_month(self):
+        assert fmt_month(1_677_628_800) == "2023-03"
+        assert fmt_month(None) == "-"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bbbb"], [["x", "y"], ["zz", "w"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured([("victims", "76,582", "1,234")])
+        assert "victims" in out and "76,582" in out

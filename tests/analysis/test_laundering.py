@@ -1,0 +1,87 @@
+"""Laundering-route tracing (§8.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.laundering import SINK_CATEGORIES, LaunderingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def laundering(pipeline):
+    analyzer = LaunderingAnalyzer(pipeline.context)
+    return analyzer, analyzer.analyze()
+
+
+class TestRoutes:
+    def test_routes_found(self, laundering):
+        _, report = laundering
+        assert report.routes
+
+    def test_sinks_are_mixers_or_bridges(self, laundering, world):
+        _, report = laundering
+        categories = {r.sink_category for r in report.routes}
+        # the generator plants cash-outs to the mixer and the bridge only
+        assert categories <= {"mixer", "bridge"}
+        sinks = {r.sink for r in report.routes}
+        assert sinks <= {world.infra.mixer, world.infra.bridge}
+
+    def test_sources_are_daas_accounts(self, laundering, pipeline):
+        _, report = laundering
+        daas = pipeline.dataset.operators | pipeline.dataset.affiliates
+        assert {r.source for r in report.routes} <= daas
+
+    def test_operators_mostly_cash_out(self, laundering, pipeline, world):
+        """The generator has ~80 % of funded operators launder half their
+        balance; the tracer must find those direct routes."""
+        _, report = laundering
+        reaching = report.accounts_reaching_sinks()
+        operators = pipeline.dataset.operators
+        # every family cashes out through at least one operator
+        for fam in world.truth.families.values():
+            if any(
+                world.chain.transactions_of(op) for op in fam.operator_accounts
+            ):
+                pass
+        assert reaching & operators
+
+    def test_direct_routes_have_one_hop(self, laundering):
+        _, report = laundering
+        direct = [r for r in report.routes if r.hops == 1]
+        assert direct
+        for route in direct:
+            assert len(route.path) == 2
+            assert route.amount_wei > 0
+
+    def test_mean_hops_reasonable(self, laundering):
+        analyzer, report = laundering
+        assert 1.0 <= report.mean_hops() <= analyzer.max_hops
+
+
+class TestAggregation:
+    def test_totals_by_category_positive(self, laundering):
+        _, report = laundering
+        totals = report.total_by_category()
+        assert sum(totals.values()) > 0
+        assert set(totals) <= set(SINK_CATEGORIES)
+
+    def test_trace_single_account(self, laundering, pipeline, world):
+        analyzer, report = laundering
+        source = report.routes[0].source
+        routes = analyzer.trace_account(source)
+        assert routes
+        assert all(r.source == source for r in routes)
+
+    def test_account_with_no_outflow_untraced_or_absent(self, laundering, pipeline):
+        analyzer, report = laundering
+        # pick an affiliate that never sent anything
+        explorer = pipeline.context.explorer
+        for affiliate in sorted(pipeline.dataset.affiliates):
+            outgoing = [
+                t for t in explorer.transactions_of(affiliate)
+                if t.sender == affiliate and t.value > 0
+            ]
+            if not outgoing:
+                assert affiliate not in report.accounts_reaching_sinks()
+                assert affiliate not in report.untraced_accounts
+                break

@@ -1,0 +1,56 @@
+"""Terminal plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import bar_chart, histogram, lorenz_ascii
+from repro.analysis.stats import lorenz_curve
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        out = bar_chart(["a", "bb"], [0.25, 0.75], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert "25.0%" in lines[1]
+        assert "75.0%" in lines[2]
+
+    def test_bars_scale_with_fraction(self):
+        out = bar_chart(["small", "large"], [0.1, 0.9])
+        small, large = out.splitlines()
+        assert large.count("█") > small.count("█")
+
+    def test_zero_fraction_has_no_bar(self):
+        out = bar_chart(["z"], [0.0])
+        assert "█" not in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.5, 0.5])
+
+
+class TestLorenzAscii:
+    def test_contains_curve_and_diagonal(self):
+        curve = lorenz_curve([1.0, 10.0, 100.0], points=21)
+        out = lorenz_ascii(curve, size=10, title="L")
+        assert out.splitlines()[0] == "L"
+        assert "*" in out
+        assert "." in out
+
+    def test_grid_dimensions(self):
+        out = lorenz_ascii(lorenz_curve([1.0, 2.0]), size=8)
+        lines = out.splitlines()
+        assert lines[0] == "cumulative value share ^"
+        assert lines[-1].endswith("population share (poorest first)")
+        assert len(lines) == 1 + (8 + 1) + 1  # header + grid rows + axis
+
+
+class TestHistogram:
+    def test_labels_and_shares(self):
+        out = histogram([50, 500, 5_000], [100, 1_000], title="H")
+        assert "< 100" in out
+        assert "100 - 1,000" in out
+        assert ">= 1,000" in out
+        assert out.count("33.3%") == 3

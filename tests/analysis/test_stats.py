@@ -1,0 +1,115 @@
+"""Distribution statistics: concentration, Lorenz/Gini, buckets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bucket_shares,
+    gini,
+    lorenz_curve,
+    min_head_fraction_for_share,
+    percentile,
+    top_k_share,
+)
+
+values_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestTopKShare:
+    def test_basic(self):
+        assert top_k_share([1, 2, 3, 4], 1) == pytest.approx(0.4)
+        assert top_k_share([1, 2, 3, 4], 2) == pytest.approx(0.7)
+
+    def test_k_covers_all(self):
+        assert top_k_share([5, 5], 10) == pytest.approx(1.0)
+
+    def test_empty_or_zero(self):
+        assert top_k_share([], 3) == 0.0
+        assert top_k_share([0.0, 0.0], 1) == 0.0
+
+    @given(values_lists, st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_k(self, values, k):
+        assert top_k_share(values, k) <= top_k_share(values, k + 1) + 1e-12
+
+
+class TestHeadFraction:
+    def test_concentrated(self):
+        # one whale holds 90%
+        values = [90.0] + [1.0] * 10
+        assert min_head_fraction_for_share(values, 0.9) == pytest.approx(1 / 11)
+
+    def test_uniform(self):
+        values = [1.0] * 10
+        assert min_head_fraction_for_share(values, 0.5) == pytest.approx(0.5)
+
+    def test_full_share_needs_everyone_with_uniform(self):
+        assert min_head_fraction_for_share([1.0] * 4, 1.0) == 1.0
+
+    @given(values_lists, st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_result_in_unit_interval(self, values, share):
+        fraction = min_head_fraction_for_share(values, share)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestLorenzGini:
+    def test_perfect_equality_gini_zero(self):
+        assert gini([5.0] * 100) == pytest.approx(0.0, abs=0.02)
+
+    def test_perfect_inequality_gini_near_one(self):
+        assert gini([0.0] * 99 + [100.0]) == pytest.approx(0.99, abs=0.02)
+
+    def test_gini_empty(self):
+        assert gini([]) == 0.0
+
+    def test_lorenz_endpoints(self):
+        curve = lorenz_curve([1.0, 2.0, 3.0])
+        assert curve[0] == (0.0, 0.0)
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_lorenz_below_diagonal(self):
+        curve = lorenz_curve([1.0, 10.0, 100.0])
+        assert all(y <= x + 1e-9 for x, y in curve)
+
+    @given(values_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_gini_in_unit_interval(self, values):
+        assert -1e-9 <= gini(values) <= 1.0
+
+
+class TestBuckets:
+    def test_fig6_style_buckets(self):
+        values = [50, 500, 2_000, 10_000]
+        shares = bucket_shares(values, [100, 1_000, 5_000])
+        assert shares == [0.25, 0.25, 0.25, 0.25]
+
+    def test_boundary_goes_to_upper_bucket(self):
+        assert bucket_shares([100.0], [100.0]) == [0.0, 1.0]
+
+    def test_empty(self):
+        assert bucket_shares([], [1.0, 2.0]) == [0.0, 0.0, 0.0]
+
+    @given(values_lists, st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                                  max_size=5, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_shares_sum_to_one(self, values, edges):
+        shares = bucket_shares(values, sorted(edges))
+        assert sum(shares) == pytest.approx(1.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_extremes(self):
+        assert percentile([1, 2, 3], 100) == 3
+        assert percentile([1, 2, 3], 1) == 1
+
+    def test_empty(self):
+        assert percentile([], 50) == 0.0

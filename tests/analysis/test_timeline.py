@@ -1,0 +1,93 @@
+"""Monthly timeline analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import MonthlyPoint, TimelineAnalyzer, month_key
+
+
+@pytest.fixture(scope="module")
+def timeline(pipeline):
+    analyzer = TimelineAnalyzer(pipeline.context)
+    return analyzer, analyzer.analyze(pipeline.clustering)
+
+
+class TestMonthKey:
+    def test_known_value(self):
+        assert month_key(1_677_628_800) == "2023-03"
+
+    def test_ordering(self):
+        assert month_key(1_677_628_800) < month_key(1_700_000_000)
+
+
+class TestTimeline:
+    def test_months_contiguous(self, timeline):
+        _, tl = timeline
+        keys = [p.month for p in tl.points]
+        assert keys == sorted(keys)
+        # contiguous: every month between first and last present exactly once
+        assert len(keys) == len(set(keys))
+
+    def test_totals_match_dataset(self, timeline, pipeline):
+        _, tl = timeline
+        assert sum(p.ps_transactions for p in tl.points) == len(
+            pipeline.dataset.transactions
+        )
+        assert sum(p.loss_usd for p in tl.points) == pytest.approx(
+            pipeline.dataset.total_profit_usd(), rel=1e-9
+        )
+
+    def test_new_contracts_sum_to_contract_count(self, timeline, pipeline):
+        _, tl = timeline
+        assert sum(p.new_contracts for p in tl.points) == len(pipeline.dataset.contracts)
+
+    def test_active_families_bounded(self, timeline, pipeline):
+        _, tl = timeline
+        peak = max(p.active_families for p in tl.points)
+        assert 1 <= peak <= pipeline.clustering.family_count
+
+    def test_window_matches_study_period(self, timeline):
+        _, tl = timeline
+        assert tl.points[0].month >= "2023-03"
+        assert tl.points[-1].month <= "2025-04"
+
+    def test_cumulative_series_monotone(self, timeline):
+        _, tl = timeline
+        series = tl.cumulative_loss_series()
+        values = [v for _, v in series]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(sum(p.loss_usd for p in tl.points))
+
+    def test_peak_month_is_a_real_month(self, timeline):
+        _, tl = timeline
+        peak = tl.peak_month
+        assert peak is not None
+        assert tl.month(peak.month) is peak
+
+    def test_empty_dataset_yields_empty_timeline(self, pipeline):
+        from repro.analysis.context import AnalysisContext
+        from repro.core.dataset import DaaSDataset
+
+        ctx = AnalysisContext(
+            pipeline.context.rpc, pipeline.context.explorer,
+            pipeline.context.oracle, DaaSDataset(),
+        )
+        tl = TimelineAnalyzer(ctx).analyze()
+        assert tl.points == []
+        assert tl.peak_month is None
+
+
+class TestFamilyActivity:
+    def test_activity_matches_table2_windows(self, timeline, pipeline, world):
+        analyzer, _ = timeline
+        activity = analyzer.family_activity(pipeline.clustering)
+        assert len(activity) == 9
+        # The dominant families' start months match Table 2.
+        assert activity["Angel Drainer"][0] == "2023-04"
+        assert activity["Inferno Drainer"][0] == "2023-05"
+
+    def test_monthly_point_defaults(self):
+        point = MonthlyPoint(month="2024-01")
+        assert point.ps_transactions == 0
+        assert point.loss_usd == 0.0

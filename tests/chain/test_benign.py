@@ -1,0 +1,151 @@
+"""Benign look-alike contracts and the NFT marketplace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import (
+    AirdropDistributor,
+    ERC721Token,
+    ForwarderRouter,
+    NFTMarketplace,
+    PaymentSplitter,
+)
+from repro.chain.transaction import TxStatus
+from repro.chain.types import eth_to_wei
+
+A = "0x" + "aa" * 20
+P1 = "0x" + "b1" * 20
+P2 = "0x" + "b2" * 20
+P3 = "0x" + "b3" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def chain():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    chain.fund(A, eth_to_wei(100))
+    return chain
+
+
+class TestPaymentSplitter:
+    def test_two_way_split(self, chain):
+        splitter = chain.deploy_contract(
+            A, lambda a, c, t: PaymentSplitter(a, c, t, payees=[P1, P2], shares_bps=[6500, 3500]),
+            timestamp=GENESIS,
+        )
+        _, receipt = chain.send_transaction(
+            A, splitter.address, value=10_000, func="release", timestamp=GENESIS
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(P1) == 6_500
+        assert chain.state.balance_of(P2) == 3_500
+
+    def test_three_way_split_conserves_value(self, chain):
+        splitter = chain.deploy_contract(
+            A, lambda a, c, t: PaymentSplitter(
+                a, c, t, payees=[P1, P2, P3], shares_bps=[3333, 3333, 3334]),
+            timestamp=GENESIS,
+        )
+        chain.send_transaction(A, splitter.address, value=10_001, func="release", timestamp=GENESIS)
+        total = sum(chain.state.balance_of(p) for p in (P1, P2, P3))
+        assert total == 10_001
+
+    def test_fallback_releases_too(self, chain):
+        splitter = chain.deploy_contract(
+            A, lambda a, c, t: PaymentSplitter(a, c, t, payees=[P1, P2], shares_bps=[5000, 5000]),
+            timestamp=GENESIS,
+        )
+        _, receipt = chain.send_transaction(A, splitter.address, value=100, timestamp=GENESIS)
+        assert receipt.succeeded
+        assert chain.state.balance_of(P1) == 50
+
+    def test_shares_must_total_10000(self):
+        with pytest.raises(ValueError):
+            PaymentSplitter("0x" + "99" * 20, A, 0, payees=[P1], shares_bps=[9999])
+
+    def test_payees_shares_must_align(self):
+        with pytest.raises(ValueError):
+            PaymentSplitter("0x" + "99" * 20, A, 0, payees=[P1, P2], shares_bps=[10000])
+
+
+class TestForwarder:
+    def test_forwards_full_amount(self, chain):
+        fwd = chain.deploy_contract(
+            A, lambda a, c, t: ForwarderRouter(a, c, t, beneficiary=P1), timestamp=GENESIS
+        )
+        _, receipt = chain.send_transaction(A, fwd.address, value=777, timestamp=GENESIS)
+        assert receipt.succeeded
+        assert chain.state.balance_of(P1) == 777
+        assert chain.state.balance_of(fwd.address) == 0
+
+    def test_zero_value_reverts(self, chain):
+        fwd = chain.deploy_contract(
+            A, lambda a, c, t: ForwarderRouter(a, c, t, beneficiary=P1), timestamp=GENESIS
+        )
+        _, receipt = chain.send_transaction(A, fwd.address, value=0, timestamp=GENESIS)
+        assert receipt.status == TxStatus.FAILURE
+
+
+class TestAirdrop:
+    def test_equal_fanout_with_remainder(self, chain):
+        drop = chain.deploy_contract(
+            A, lambda a, c, t: AirdropDistributor(a, c, t), timestamp=GENESIS
+        )
+        _, receipt = chain.send_transaction(
+            A, drop.address, value=10, func="airdrop",
+            args={"recipients": [P1, P2, P3]}, timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(P1) == 4  # 3 + remainder 1
+        assert chain.state.balance_of(P2) == 3
+        assert chain.state.balance_of(P3) == 3
+
+    def test_no_recipients_reverts(self, chain):
+        drop = chain.deploy_contract(
+            A, lambda a, c, t: AirdropDistributor(a, c, t), timestamp=GENESIS
+        )
+        _, receipt = chain.send_transaction(
+            A, drop.address, value=10, func="airdrop", args={"recipients": []}, timestamp=GENESIS
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+
+class TestMarketplace:
+    def test_buy_requires_seller_caller(self, chain):
+        nft = chain.deploy_contract(A, lambda a, c, t: ERC721Token(a, c, t), timestamp=GENESIS)
+        market = chain.deploy_contract(A, lambda a, c, t: NFTMarketplace(a, c, t), timestamp=GENESIS)
+        chain.fund(market.address, eth_to_wei(10))
+        tid = nft.mint(P1)
+        _, receipt = chain.send_transaction(
+            A, market.address, func="buy",
+            args={"collection": nft.address, "tokenId": tid, "seller": P1, "price": 100},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_direct_sale_pays_seller(self, chain):
+        nft = chain.deploy_contract(A, lambda a, c, t: ERC721Token(a, c, t), timestamp=GENESIS)
+        market = chain.deploy_contract(A, lambda a, c, t: NFTMarketplace(a, c, t), timestamp=GENESIS)
+        chain.fund(market.address, eth_to_wei(10))
+        tid = nft.mint(P1)
+        _, receipt = chain.send_transaction(
+            P1, market.address, func="buy",
+            args={"collection": nft.address, "tokenId": tid, "seller": P1, "price": 500},
+            timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(P1) == 500
+        assert nft.owner_of(tid) == market.buyer_sink
+
+    def test_insufficient_liquidity_reverts(self, chain):
+        nft = chain.deploy_contract(A, lambda a, c, t: ERC721Token(a, c, t), timestamp=GENESIS)
+        market = chain.deploy_contract(A, lambda a, c, t: NFTMarketplace(a, c, t), timestamp=GENESIS)
+        tid = nft.mint(P1)
+        _, receipt = chain.send_transaction(
+            P1, market.address, func="buy",
+            args={"collection": nft.address, "tokenId": tid, "seller": P1, "price": 500},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE

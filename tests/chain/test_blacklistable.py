@@ -1,0 +1,140 @@
+"""USDC-style issuer blacklist (§9's project-level countermeasure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import BlacklistableERC20
+from repro.chain.contracts.drainers import make_drainer_factory
+from repro.chain.transaction import TxStatus
+
+ISSUER = "0x" + "10" * 20
+OP = "0x" + "11" * 20
+EXEC = "0x" + "22" * 20
+VICTIM = "0x" + "33" * 20
+AFF = "0x" + "44" * 20
+GENESIS = 1_700_000_000
+
+
+@pytest.fixture()
+def env():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    usdc = chain.deploy_contract(
+        ISSUER,
+        lambda a, c, t: BlacklistableERC20(a, c, t, symbol="USDC", decimals=6),
+        timestamp=GENESIS,
+    )
+    drainer = chain.deploy_contract(
+        EXEC, make_drainer_factory("claim", OP, EXEC, 2000), timestamp=GENESIS
+    )
+    return chain, usdc, drainer
+
+
+def drain(chain, usdc, drainer, amount=10_000):
+    usdc.mint(VICTIM, amount)
+    chain.send_transaction(VICTIM, usdc.address, func="approve",
+                           args={"spender": drainer.address, "amount": amount},
+                           timestamp=GENESIS)
+    op_cut, aff_cut = drainer.split_amounts(amount)
+    return chain.send_transaction(
+        EXEC, drainer.address, func="multicall",
+        args={"calls": [
+            {"target": usdc.address, "func": "transferFrom",
+             "args": {"from": VICTIM, "to": OP, "amount": op_cut}},
+            {"target": usdc.address, "func": "transferFrom",
+             "args": {"from": VICTIM, "to": AFF, "amount": aff_cut}},
+        ]},
+        timestamp=GENESIS,
+    )
+
+
+class TestBlacklistAdministration:
+    def test_only_issuer_can_blacklist(self, env):
+        chain, usdc, _ = env
+        _, receipt = chain.send_transaction(
+            OP, usdc.address, func="blacklist", args={"account": VICTIM},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+        _, receipt = chain.send_transaction(
+            ISSUER, usdc.address, func="blacklist", args={"account": OP},
+            timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert OP in usdc.blacklisted
+        assert receipt.logs[0].event == "Blacklisted"
+
+    def test_unblacklist_restores(self, env):
+        chain, usdc, _ = env
+        chain.send_transaction(ISSUER, usdc.address, func="blacklist",
+                               args={"account": OP}, timestamp=GENESIS)
+        chain.send_transaction(ISSUER, usdc.address, func="unblacklist",
+                               args={"account": OP}, timestamp=GENESIS)
+        assert OP not in usdc.blacklisted
+
+
+class TestFreezingStolenFunds:
+    def test_drain_succeeds_before_blacklist(self, env):
+        chain, usdc, drainer = env
+        _, receipt = drain(chain, usdc, drainer)
+        assert receipt.succeeded
+        assert usdc.balance_of(OP) == 2_000
+
+    def test_blacklisted_operator_cannot_move_loot(self, env):
+        chain, usdc, drainer = env
+        drain(chain, usdc, drainer)
+        chain.send_transaction(ISSUER, usdc.address, func="blacklist",
+                               args={"account": OP}, timestamp=GENESIS)
+        _, receipt = chain.send_transaction(
+            OP, usdc.address, func="transfer",
+            args={"to": "0x" + "99" * 20, "amount": 1_000}, timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+        assert usdc.balance_of(OP) == 2_000  # frozen in place
+
+    def test_preemptive_blacklist_blocks_the_drain_itself(self, env):
+        chain, usdc, drainer = env
+        # the dataset names the operator before the next victim is hit
+        chain.send_transaction(ISSUER, usdc.address, func="blacklist",
+                               args={"account": OP}, timestamp=GENESIS)
+        _, receipt = drain(chain, usdc, drainer)
+        assert receipt.status == TxStatus.FAILURE
+        assert usdc.balance_of(VICTIM) == 10_000  # victim keeps everything
+
+    def test_blacklisted_recipient_cannot_receive(self, env):
+        chain, usdc, _ = env
+        usdc.mint(VICTIM, 100)
+        chain.send_transaction(ISSUER, usdc.address, func="blacklist",
+                               args={"account": AFF}, timestamp=GENESIS)
+        _, receipt = chain.send_transaction(
+            VICTIM, usdc.address, func="transfer",
+            args={"to": AFF, "amount": 50}, timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_dataset_to_blacklist_workflow(self, pipeline, world):
+        """End-to-end §9 flow: take the recovered dataset, blacklist the
+        top operator on a fresh blacklistable token, verify freezing."""
+        chain = world.chain
+        top_operator = max(
+            pipeline.operator_report.profit_by_operator,
+            key=pipeline.operator_report.profit_by_operator.get,
+        )
+        usdc = chain.deploy_contract(
+            ISSUER,
+            lambda a, c, t: BlacklistableERC20(a, c, t, symbol="USDC", decimals=6),
+            timestamp=GENESIS,
+        )
+        _, receipt = chain.send_transaction(
+            ISSUER, usdc.address, func="blacklist",
+            args={"account": top_operator}, timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        usdc.mint(top_operator, 1_000)
+        _, receipt = chain.send_transaction(
+            top_operator, usdc.address, func="transfer",
+            args={"to": "0x" + "99" * 20, "amount": 1}, timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE

@@ -1,0 +1,135 @@
+"""Blockchain execution, indexing and block mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import SLOT_SECONDS, block_number_for_timestamp, timestamp_for_block
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token
+from repro.chain.transaction import TxStatus
+
+A = "0x" + "aa" * 20
+B = "0x" + "bb" * 20
+C = "0x" + "cc" * 20
+
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def chain():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    chain.fund(A, 10**20)
+    return chain
+
+
+class TestBlockMapping:
+    def test_block_number_for_timestamp(self):
+        assert block_number_for_timestamp(GENESIS, GENESIS) == 0
+        assert block_number_for_timestamp(GENESIS + SLOT_SECONDS, GENESIS) == 1
+        assert block_number_for_timestamp(GENESIS + 25, GENESIS) == 2
+
+    def test_roundtrip(self):
+        n = block_number_for_timestamp(GENESIS + 120, GENESIS)
+        assert timestamp_for_block(n, GENESIS) == GENESIS + 120
+
+    def test_pre_genesis_rejected(self):
+        with pytest.raises(ValueError):
+            block_number_for_timestamp(GENESIS - 1, GENESIS)
+
+
+class TestTransfers:
+    def test_simple_transfer(self, chain):
+        tx, receipt = chain.send_transaction(A, B, value=100, timestamp=GENESIS + 60)
+        assert receipt.succeeded
+        assert chain.state.balance_of(B) == 100
+        assert tx.block_number == 5
+
+    def test_nonce_increments(self, chain):
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS)
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS)
+        assert chain.state.get(A).nonce == 2
+
+    def test_overdraw_yields_failed_receipt(self, chain):
+        _, receipt = chain.send_transaction(B, C, value=1, timestamp=GENESIS)
+        assert receipt.status == TxStatus.FAILURE
+        assert chain.state.balance_of(C) == 0
+
+    def test_failed_tx_still_indexed(self, chain):
+        tx, _ = chain.send_transaction(B, C, value=1, timestamp=GENESIS)
+        assert tx.hash in chain.transactions
+
+
+class TestIndexing:
+    def test_sender_and_recipient_indexed(self, chain):
+        tx, _ = chain.send_transaction(A, B, value=5, timestamp=GENESIS)
+        assert tx.hash in chain.address_index[A]
+        assert tx.hash in chain.address_index[B]
+
+    def test_transactions_of_ordering(self, chain):
+        tx2, _ = chain.send_transaction(A, B, value=1, timestamp=GENESIS + 100)
+        tx1, _ = chain.send_transaction(A, C, value=1, timestamp=GENESIS + 50)
+        ordered = chain.transactions_of(A)
+        assert [t.hash for t in ordered] == [tx1.hash, tx2.hash]
+
+    def test_internal_parties_indexed(self, chain):
+        token = chain.deploy_contract(
+            A, lambda a, c, t: ERC20Token(a, c, t, symbol="T"), timestamp=GENESIS
+        )
+        token.mint(A, 100)
+        tx, receipt = chain.send_transaction(
+            A, token.address, func="transfer",
+            args={"to": C, "amount": 40}, timestamp=GENESIS + 12,
+        )
+        assert receipt.succeeded
+        # C only appears in the token Transfer log, yet is indexed.
+        assert tx.hash in chain.address_index[C]
+
+    def test_iter_transactions_time_ordered(self, chain):
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS + 240)
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS + 12)
+        times = [t.timestamp for t in chain.iter_transactions()]
+        assert times == sorted(times)
+
+
+class TestDeployment:
+    def test_deploy_returns_contract_with_derived_address(self, chain):
+        token = chain.deploy_contract(
+            A, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS
+        )
+        assert chain.state.contract_at(token.address) is token
+        assert token.creator == A
+        assert token.created_at == GENESIS
+
+    def test_deploy_records_creation_tx(self, chain):
+        token = chain.deploy_contract(
+            A, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS
+        )
+        creations = [t for t in chain.iter_transactions() if t.is_contract_creation]
+        assert len(creations) == 1
+        receipt = chain.receipts[creations[0].hash]
+        assert receipt.contract_created == token.address
+
+    def test_sequential_deploys_get_distinct_addresses(self, chain):
+        t1 = chain.deploy_contract(A, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+        t2 = chain.deploy_contract(A, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+        assert t1.address != t2.address
+
+    def test_factory_must_honor_address(self, chain):
+        with pytest.raises(ValueError):
+            chain.deploy_contract(
+                A, lambda a, c, t: ERC20Token("0x" + "99" * 20, c, t), timestamp=GENESIS
+            )
+
+
+class TestContractExecution:
+    def test_revert_produces_failed_receipt_without_logs(self, chain):
+        token = chain.deploy_contract(A, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+        # transfer without balance -> ExecutionError -> failed receipt
+        _, receipt = chain.send_transaction(
+            A, token.address, func="transfer",
+            args={"to": B, "amount": 1}, timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+        assert receipt.logs == []
+        assert receipt.trace is not None and receipt.trace.children == []

@@ -1,0 +1,185 @@
+"""Keccak-256, EIP-55 and contract-address derivation tests.
+
+The unrolled Keccak-f permutation is verified against an independent
+straight-from-the-spec implementation, and the full hash against
+published test vectors.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.crypto import (
+    _ROUND_CONSTANTS,
+    _keccak_f,
+    contract_address,
+    is_checksum_address,
+    keccak256,
+    keccak256_hex,
+    to_checksum_address,
+)
+
+# -- reference permutation (loop form, straight from the spec) --------------
+
+_MASK = (1 << 64) - 1
+
+
+def _rot(value: int, r: int) -> int:
+    return ((value << r) | (value >> (64 - r))) & _MASK if r else value
+
+
+def _reference_rotations() -> dict[tuple[int, int], int]:
+    rotations = {(0, 0): 0}
+    x, y, r = 1, 0, 0
+    for t in range(24):
+        r = (r + t + 1) % 64
+        rotations[(x, y)] = r
+        x, y = y, (2 * x + 3 * y) % 5
+    return rotations
+
+
+_ROTS = _reference_rotations()
+
+
+def reference_keccak_f(state: list[int]) -> None:
+    lanes = [[state[x + 5 * y] for y in range(5)] for x in range(5)]
+    for rc in _ROUND_CONSTANTS:
+        c = [lanes[x][0] ^ lanes[x][1] ^ lanes[x][2] ^ lanes[x][3] ^ lanes[x][4] for x in range(5)]
+        d = [c[(x - 1) % 5] ^ _rot(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                lanes[x][y] ^= d[x]
+        b = [[0] * 5 for _ in range(5)]
+        for x in range(5):
+            for y in range(5):
+                b[y][(2 * x + 3 * y) % 5] = _rot(lanes[x][y], _ROTS[(x, y)])
+        for x in range(5):
+            for y in range(5):
+                lanes[x][y] = b[x][y] ^ ((~b[(x + 1) % 5][y]) & b[(x + 2) % 5][y])
+        lanes[0][0] = (lanes[0][0] ^ rc) & _MASK
+    state[:] = [lanes[i % 5][i // 5] for i in range(25)]
+
+
+class TestKeccakF:
+    def test_matches_reference_on_zero_state(self):
+        a, b = [0] * 25, [0] * 25
+        _keccak_f(a)
+        reference_keccak_f(b)
+        assert a == b
+
+    def test_matches_reference_on_random_states(self):
+        rng = random.Random(42)
+        for _ in range(10):
+            state = [rng.getrandbits(64) for _ in range(25)]
+            a, b = list(state), list(state)
+            _keccak_f(a)
+            reference_keccak_f(b)
+            assert a == b
+
+    def test_permutation_changes_state(self):
+        state = [0] * 25
+        _keccak_f(state)
+        assert any(lane != 0 for lane in state)
+
+
+class TestKeccak256Vectors:
+    # Published Keccak-256 (original padding) test vectors.
+    VECTORS = {
+        b"": "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470",
+        b"abc": "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45",
+        b"The quick brown fox jumps over the lazy dog":
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15",
+        b"testing": "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02",
+    }
+
+    def test_vectors(self):
+        for message, digest in self.VECTORS.items():
+            assert keccak256(message).hex() == digest
+
+    def test_multiblock_input(self):
+        # > 136-byte rate forces multiple absorb rounds.
+        digest = keccak256(b"x" * 500)
+        assert len(digest) == 32
+        assert digest != keccak256(b"x" * 501)
+
+    def test_rate_boundary_lengths(self):
+        # Padding edge cases: exactly rate-1, rate, rate+1 bytes.
+        digests = {keccak256(b"a" * n) for n in (135, 136, 137)}
+        assert len(digests) == 3
+
+    def test_hex_form(self):
+        assert keccak256_hex(b"abc").startswith("0x")
+        assert keccak256_hex(b"abc")[2:] == keccak256(b"abc").hex()
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            keccak256("not bytes")  # type: ignore[arg-type]
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_digest_always_32_bytes(self, data):
+        assert len(keccak256(data)) == 32
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, data):
+        assert keccak256(data) == keccak256(data)
+
+
+class TestChecksumAddress:
+    # EIP-55 reference vectors.
+    VECTORS = [
+        "0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed",
+        "0xfB6916095ca1df60bB79Ce92cE3Ea74c37c5d359",
+        "0xdbF03B407c01E7cD3CBea99509d93f8DDDC8C6FB",
+        "0xD1220A0cf47c7B9Be7A2E6BA89F429762e7b9aDb",
+    ]
+
+    def test_vectors(self):
+        for address in self.VECTORS:
+            assert to_checksum_address(address.lower()) == address
+
+    def test_idempotent(self):
+        for address in self.VECTORS:
+            assert to_checksum_address(address) == address
+
+    def test_is_checksum_address(self):
+        assert is_checksum_address(self.VECTORS[0])
+        assert not is_checksum_address(self.VECTORS[0].lower())
+        assert not is_checksum_address("0x123")
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            to_checksum_address("0x12345")
+        with pytest.raises(ValueError):
+            to_checksum_address("0x" + "zz" * 20)
+
+
+class TestContractAddress:
+    def test_known_vector(self):
+        # Classic Ethereum test vector: sender at nonce 0.
+        derived = contract_address("0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0", 0)
+        assert derived.lower() == "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d"
+        assert is_checksum_address(derived)
+
+    def test_nonce_changes_address(self):
+        sender = "0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0"
+        addresses = {contract_address(sender, nonce) for nonce in range(5)}
+        assert len(addresses) == 5
+
+    def test_sender_changes_address(self):
+        a = contract_address("0x" + "11" * 20, 0)
+        b = contract_address("0x" + "22" * 20, 0)
+        assert a != b
+
+    def test_result_is_checksummed(self):
+        address = contract_address("0x" + "ab" * 20, 7)
+        assert is_checksum_address(address)
+
+    def test_rejects_bad_sender(self):
+        with pytest.raises(ValueError):
+            contract_address("0x1234", 0)

@@ -1,0 +1,121 @@
+"""Selector-level decompilation and signature-database resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token
+from repro.chain.contracts.drainers import make_drainer_factory
+from repro.chain.decompiler import (
+    KNOWN_SIGNATURES,
+    Decompiler,
+    SignatureDatabase,
+    canonical_signature,
+)
+from repro.chain.rpc import EthereumRPC
+from repro.chain.vm import function_selector
+
+OP = "0x" + "11" * 20
+EXEC = "0x" + "22" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def env():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    rpc = EthereumRPC(chain)
+    token = chain.deploy_contract(OP, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+    drainer = chain.deploy_contract(
+        EXEC, make_drainer_factory("claim", OP, EXEC, 2000), timestamp=GENESIS
+    )
+    return chain, rpc, token, drainer
+
+
+class TestSignatureDatabase:
+    def test_known_corpus_resolves_erc20(self):
+        db = SignatureDatabase()
+        assert db.lookup("0xa9059cbb") == "transfer(address,uint256)"
+        assert db.lookup(function_selector("approve(address,uint256)")) is not None
+
+    def test_unknown_selector_unresolved(self):
+        assert SignatureDatabase().lookup("0xdeadbeef") is None
+
+    def test_add_and_forget(self):
+        db = SignatureDatabase()
+        selector = db.add("drainAll(address)")
+        assert db.lookup(selector) == "drainAll(address)"
+        db.forget("drainAll")
+        assert db.lookup(selector) is None
+
+    def test_corpus_is_selector_keyed(self):
+        for selector, signature in KNOWN_SIGNATURES.items():
+            assert function_selector(signature) == selector
+
+
+class TestDecompiler:
+    def test_erc20_surface_recovered(self, env):
+        _, rpc, token, _ = env
+        result = Decompiler(rpc).decompile(token.address)
+        assert result is not None
+        assert result.kind == "erc20"
+        assert {"transfer", "approve", "transferFrom", "permit"} <= set(
+            result.named_functions()
+        )
+        assert not result.has_payable_fallback
+
+    def test_drainer_surface_recovered(self, env):
+        _, rpc, _, drainer = env
+        result = Decompiler(rpc).decompile(drainer.address)
+        assert "Claim" in result.named_functions()
+        assert "multicall" in result.named_functions()
+
+    def test_eoa_decompiles_to_none(self, env):
+        _, rpc, _, _ = env
+        assert Decompiler(rpc).decompile(OP) is None
+
+    def test_database_gap_leaves_selector_opaque(self, env):
+        _, rpc, _, drainer = env
+        db = SignatureDatabase()
+        db.forget("Claim")
+        result = Decompiler(rpc, db).decompile(drainer.address)
+        assert "Claim" not in result.named_functions()
+        claim_selector = function_selector(canonical_signature("Claim"))
+        assert claim_selector in result.unresolved_selectors()
+
+    def test_dispatch_table_sorted_selectors(self, env):
+        _, rpc, token, _ = env
+        table = Decompiler(rpc).dispatch_table(token)
+        assert table == sorted(table)
+        assert all(sel.startswith("0x") and len(sel) == 10 for sel in table)
+
+    def test_payable_hint_marks_entry_point(self, env):
+        _, rpc, _, drainer = env
+        result = Decompiler(rpc).decompile(drainer.address)
+        payable = [f for f in result.functions if f.payable_hint]
+        assert [f.name for f in payable] == ["Claim"]
+
+
+class TestPipelineBridge:
+    def test_table3_recoverable_via_decompiler(self, pipeline, world):
+        """Table 3's derivation through the lossy selector channel: the
+        dominant families' ETH entry points resolve from selectors alone."""
+        decompiler = Decompiler(world.rpc)
+        expected = {
+            "Angel Drainer": "Claim",
+            "Pink Drainer": "NetworkMerge",
+        }
+        for family in pipeline.clustering.families:
+            entry = expected.get(family.name)
+            if entry is None:
+                continue
+            contract = next(iter(family.contracts))
+            result = decompiler.decompile(contract)
+            assert entry in result.named_functions()
+            assert "multicall" in result.named_functions()
+
+    def test_inferno_contracts_expose_fallback_not_entry(self, pipeline, world):
+        decompiler = Decompiler(world.rpc)
+        inferno = pipeline.clustering.by_name("Inferno Drainer")
+        result = decompiler.decompile(next(iter(inferno.contracts)))
+        assert result.has_payable_fallback

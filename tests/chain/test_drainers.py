@@ -1,0 +1,257 @@
+"""Profit-sharing drainer contracts: the three Table 3 styles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token, ERC721Token, NFTMarketplace
+from repro.chain.contracts.drainers import (
+    DRAINER_STYLES,
+    ClaimDrainerContract,
+    make_drainer_factory,
+)
+from repro.chain.transaction import TxStatus
+from repro.chain.types import eth_to_wei
+
+OP = "0x" + "11" * 20
+EXEC = "0x" + "22" * 20
+VICTIM = "0x" + "33" * 20
+AFF = "0x" + "44" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def chain():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    chain.fund(VICTIM, eth_to_wei(100))
+    return chain
+
+
+def deploy(chain, style, bps=2000, entry_name=None):
+    return chain.deploy_contract(
+        EXEC,
+        make_drainer_factory(style, OP, EXEC, bps, entry_name=entry_name),
+        timestamp=GENESIS,
+    )
+
+
+class TestClaimStyle:
+    def test_claim_splits_20_80(self, chain):
+        drainer = deploy(chain, "claim")
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, value=eth_to_wei(10),
+            func="Claim", args={"affiliate": AFF}, timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(OP) == eth_to_wei(2)
+        assert chain.state.balance_of(AFF) == eth_to_wei(8)
+        assert chain.state.balance_of(drainer.address) == 0
+
+    def test_custom_entry_name(self, chain):
+        drainer = deploy(chain, "claim", entry_name="claimRewards")
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, value=eth_to_wei(1),
+            func="claimRewards", args={"affiliate": AFF}, timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert "claimRewards" in drainer.public_functions()
+
+    def test_unknown_function_with_no_value_reverts(self, chain):
+        drainer = deploy(chain, "claim")
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, func="noSuchFunction", timestamp=GENESIS
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_plain_receive_accepts_eth_silently(self, chain):
+        drainer = deploy(chain, "claim")
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, value=eth_to_wei(1), timestamp=GENESIS
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(drainer.address) == eth_to_wei(1)
+
+
+class TestFallbackStyle:
+    def test_fallback_distributes_by_registration(self, chain):
+        drainer = deploy(chain, "fallback", bps=1500)
+        drainer.register_affiliate(VICTIM, AFF)
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, value=eth_to_wei(20), timestamp=GENESIS
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(OP) == eth_to_wei(3)
+        assert chain.state.balance_of(AFF) == eth_to_wei(17)
+
+    def test_unregistered_sender_reverts(self, chain):
+        drainer = deploy(chain, "fallback")
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, value=eth_to_wei(1), timestamp=GENESIS
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_has_payable_fallback(self, chain):
+        assert deploy(chain, "fallback").has_payable_fallback()
+
+
+class TestNetworkMergeStyle:
+    def test_network_merge_splits(self, chain):
+        drainer = deploy(chain, "network_merge", bps=3000)
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, value=eth_to_wei(10),
+            func="NetworkMerge", args={"affiliate": AFF}, timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(OP) == eth_to_wei(3)
+        assert chain.state.balance_of(AFF) == eth_to_wei(7)
+
+
+class TestSplitArithmetic:
+    @pytest.mark.parametrize("bps", [1000, 1250, 1500, 1750, 2000, 2500, 3000, 3300, 4000])
+    def test_split_amounts_sum_exactly(self, chain, bps):
+        drainer = deploy(chain, "claim", bps=bps)
+        for amount in (10_001, 999_999_999_999_999_999, 7):
+            op_cut, aff_cut = drainer.split_amounts(amount)
+            assert op_cut + aff_cut == amount
+            assert op_cut <= aff_cut
+
+    def test_invalid_share_rejected(self, chain):
+        with pytest.raises(ValueError):
+            ClaimDrainerContract(
+                "0x" + "55" * 20, EXEC, 0,
+                operator_account=OP, executor=EXEC, operator_share_bps=0,
+            )
+        with pytest.raises(ValueError):
+            ClaimDrainerContract(
+                "0x" + "55" * 20, EXEC, 0,
+                operator_account=OP, executor=EXEC, operator_share_bps=10_000,
+            )
+
+    def test_all_styles_registered(self):
+        assert set(DRAINER_STYLES) == {"claim", "fallback", "network_merge"}
+
+
+class TestMulticall:
+    def test_multicall_pulls_approved_tokens_in_ratio(self, chain):
+        drainer = deploy(chain, "claim", bps=2000)
+        token = chain.deploy_contract(
+            OP, lambda a, c, t: ERC20Token(a, c, t, symbol="USDX"), timestamp=GENESIS
+        )
+        token.mint(VICTIM, 1_000)
+        chain.send_transaction(VICTIM, token.address, func="approve",
+                               args={"spender": drainer.address, "amount": 1_000},
+                               timestamp=GENESIS)
+        op_cut, aff_cut = drainer.split_amounts(1_000)
+        _, receipt = chain.send_transaction(
+            EXEC, drainer.address, func="multicall",
+            args={"calls": [
+                {"target": token.address, "func": "transferFrom",
+                 "args": {"from": VICTIM, "to": OP, "amount": op_cut}},
+                {"target": token.address, "func": "transferFrom",
+                 "args": {"from": VICTIM, "to": AFF, "amount": aff_cut}},
+            ]},
+            timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert token.balance_of(OP) == 200
+        assert token.balance_of(AFF) == 800
+
+    def test_multicall_gated_to_executor(self, chain):
+        drainer = deploy(chain, "claim")
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, func="multicall",
+            args={"calls": [{"target": VICTIM, "func": "", "args": {}}]},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_multicall_requires_calls(self, chain):
+        drainer = deploy(chain, "claim")
+        _, receipt = chain.send_transaction(
+            EXEC, drainer.address, func="multicall", args={"calls": []}, timestamp=GENESIS
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+
+class TestSellAndShare:
+    def test_nft_monetization_flow(self, chain):
+        drainer = deploy(chain, "claim", bps=2500)
+        nft = chain.deploy_contract(
+            OP, lambda a, c, t: ERC721Token(a, c, t, symbol="APE"), timestamp=GENESIS
+        )
+        market = chain.deploy_contract(
+            OP, lambda a, c, t: NFTMarketplace(a, c, t), timestamp=GENESIS
+        )
+        chain.fund(market.address, eth_to_wei(50))
+
+        tid = nft.mint(VICTIM)
+        chain.send_transaction(VICTIM, nft.address, func="approve",
+                               args={"spender": drainer.address, "tokenId": tid},
+                               timestamp=GENESIS)
+        chain.send_transaction(
+            EXEC, drainer.address, func="multicall",
+            args={"calls": [{"target": nft.address, "func": "transferFrom",
+                             "args": {"from": VICTIM, "to": drainer.address, "tokenId": tid}}]},
+            timestamp=GENESIS,
+        )
+        price = eth_to_wei(4)
+        _, receipt = chain.send_transaction(
+            EXEC, drainer.address, func="sellAndShare",
+            args={"marketplace": market.address, "collection": nft.address,
+                  "tokenId": tid, "price": price, "affiliate": AFF},
+            timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(OP) == eth_to_wei(1)
+        assert chain.state.balance_of(AFF) == eth_to_wei(3)
+        assert nft.owner_of(tid) == market.buyer_sink
+
+    def test_sell_and_share_gated_to_executor(self, chain):
+        drainer = deploy(chain, "claim")
+        _, receipt = chain.send_transaction(
+            VICTIM, drainer.address, func="sellAndShare",
+            args={"marketplace": VICTIM, "collection": VICTIM, "tokenId": 1,
+                  "price": 1, "affiliate": AFF},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+
+class TestWithdraw:
+    def test_operator_sweeps_stuck_funds(self, chain):
+        drainer = deploy(chain, "claim")
+        # plain receive leaves ETH parked in the contract
+        chain.send_transaction(VICTIM, drainer.address, value=eth_to_wei(3), timestamp=GENESIS)
+        assert chain.state.balance_of(drainer.address) == eth_to_wei(3)
+        _, receipt = chain.send_transaction(
+            OP, drainer.address, func="withdraw", timestamp=GENESIS
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(drainer.address) == 0
+        assert chain.state.balance_of(OP) == eth_to_wei(3)
+
+    def test_withdraw_gated(self, chain):
+        drainer = deploy(chain, "claim")
+        chain.send_transaction(VICTIM, drainer.address, value=eth_to_wei(1), timestamp=GENESIS)
+        _, receipt = chain.send_transaction(
+            AFF, drainer.address, func="withdraw", timestamp=GENESIS
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_withdraw_on_empty_contract_reverts(self, chain):
+        drainer = deploy(chain, "claim")
+        _, receipt = chain.send_transaction(
+            OP, drainer.address, func="withdraw", timestamp=GENESIS
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_sweep_is_not_classified_as_profit_sharing(self, chain):
+        from repro.core import ProfitSharingClassifier
+
+        drainer = deploy(chain, "claim")
+        chain.send_transaction(VICTIM, drainer.address, value=eth_to_wei(2), timestamp=GENESIS)
+        tx, receipt = chain.send_transaction(
+            OP, drainer.address, func="withdraw", timestamp=GENESIS
+        )
+        assert ProfitSharingClassifier().classify(tx, receipt) == []

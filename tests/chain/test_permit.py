@@ -1,0 +1,138 @@
+"""EIP-2612 permit phishing: the §7.2 scheme end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token, permit_signature
+from repro.chain.contracts.drainers import make_drainer_factory
+from repro.chain.transaction import TxStatus
+from repro.core.profit_sharing import ProfitSharingClassifier
+
+OP = "0x" + "11" * 20
+EXEC = "0x" + "22" * 20
+VICTIM = "0x" + "33" * 20
+AFF = "0x" + "44" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def setup():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    token = chain.deploy_contract(OP, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+    drainer = chain.deploy_contract(
+        EXEC, make_drainer_factory("claim", OP, EXEC, 2000), timestamp=GENESIS
+    )
+    token.mint(VICTIM, 10_000)
+    return chain, token, drainer
+
+
+class TestPermitFunction:
+    def test_valid_permit_sets_allowance(self, setup):
+        chain, token, drainer = setup
+        signature = permit_signature(token.address, VICTIM, drainer.address, 10_000, 0)
+        _, receipt = chain.send_transaction(
+            EXEC, token.address, func="permit",
+            args={"owner": VICTIM, "spender": drainer.address,
+                  "amount": 10_000, "signature": signature},
+            timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert token.allowance(VICTIM, drainer.address) == 10_000
+        assert receipt.logs[0].event == "Approval"
+
+    def test_forged_signature_rejected(self, setup):
+        chain, token, drainer = setup
+        _, receipt = chain.send_transaction(
+            EXEC, token.address, func="permit",
+            args={"owner": VICTIM, "spender": drainer.address,
+                  "amount": 10_000, "signature": "0xdeadbeef"},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+        assert token.allowance(VICTIM, drainer.address) == 0
+
+    def test_signature_is_single_use(self, setup):
+        chain, token, drainer = setup
+        signature = permit_signature(token.address, VICTIM, drainer.address, 100, 0)
+        args = {"owner": VICTIM, "spender": drainer.address,
+                "amount": 100, "signature": signature}
+        _, r1 = chain.send_transaction(EXEC, token.address, func="permit",
+                                       args=args, timestamp=GENESIS)
+        _, r2 = chain.send_transaction(EXEC, token.address, func="permit",
+                                       args=args, timestamp=GENESIS)
+        assert r1.succeeded and not r2.succeeded
+
+    def test_signature_binds_amount_and_spender(self, setup):
+        chain, token, drainer = setup
+        signature = permit_signature(token.address, VICTIM, drainer.address, 100, 0)
+        _, receipt = chain.send_transaction(
+            EXEC, token.address, func="permit",
+            args={"owner": VICTIM, "spender": drainer.address,
+                  "amount": 999, "signature": signature},
+            timestamp=GENESIS,
+        )
+        assert not receipt.succeeded
+
+
+class TestPermitPhishingFlow:
+    def test_single_tx_permit_drain_is_classified(self, setup):
+        """The full §7.2 scheme: permit + 2x transferFrom in one multicall.
+
+        The victim appears in no on-chain transaction at all — yet the
+        profit-sharing classifier still flags the drain and names the
+        victim as the fund-flow source."""
+        chain, token, drainer = setup
+        op_cut, aff_cut = drainer.split_amounts(10_000)
+        signature = permit_signature(token.address, VICTIM, drainer.address, 10_000, 0)
+        tx, receipt = chain.send_transaction(
+            EXEC, drainer.address, func="multicall",
+            args={"calls": [
+                {"target": token.address, "func": "permit",
+                 "args": {"owner": VICTIM, "spender": drainer.address,
+                          "amount": 10_000, "signature": signature}},
+                {"target": token.address, "func": "transferFrom",
+                 "args": {"from": VICTIM, "to": OP, "amount": op_cut}},
+                {"target": token.address, "func": "transferFrom",
+                 "args": {"from": VICTIM, "to": AFF, "amount": aff_cut}},
+            ]},
+            timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert token.balance_of(OP) == 2_000
+        assert token.balance_of(AFF) == 8_000
+        assert token.allowance(VICTIM, drainer.address) == 0
+
+        matches = ProfitSharingClassifier().classify(tx, receipt)
+        assert len(matches) == 1
+        assert matches[0].source == VICTIM
+        assert matches[0].ratio_bps == 2000
+        # the victim never sent a transaction
+        assert chain.state.get(VICTIM).nonce == 0
+
+
+class TestWorldUsesPermit:
+    def test_generator_plants_permit_incidents(self, world):
+        permits = [i for i in world.truth.all_incidents if i.via_permit]
+        erc20 = [i for i in world.truth.all_incidents if i.asset_kind == "erc20"]
+        assert permits
+        assert all(i.asset_kind == "erc20" for i in permits)
+        # roughly the configured fraction of eligible ERC-20 incidents
+        assert 0.05 < len(permits) / len(erc20) < 0.5
+
+    def test_permit_victims_have_no_approve_tx(self, world):
+        incident = next(
+            i for i in world.truth.all_incidents
+            if i.via_permit and len(i.tx_hashes) == 1
+        )
+        # only the executor's multicall exists for this incident
+        tx = world.rpc.get_transaction(incident.tx_hashes[0])
+        assert tx.sender != incident.victim
+
+    def test_permit_incidents_recovered_by_pipeline(self, world, pipeline):
+        permit_hashes = {
+            i.ps_tx_hash for i in world.truth.all_incidents if i.via_permit
+        }
+        recovered = {r.tx_hash for r in pipeline.dataset.transactions}
+        assert permit_hashes <= recovered

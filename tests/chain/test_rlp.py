@@ -1,0 +1,138 @@
+"""RLP encode/decode: known vectors, error handling, round-trip property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.rlp import (
+    RLPDecodingError,
+    int_to_min_bytes,
+    min_bytes_to_int,
+    rlp_decode,
+    rlp_encode,
+)
+
+
+class TestKnownVectors:
+    """Vectors from the Ethereum wiki RLP specification."""
+
+    def test_empty_string(self):
+        assert rlp_encode(b"") == b"\x80"
+
+    def test_single_low_byte_is_itself(self):
+        assert rlp_encode(b"\x0f") == b"\x0f"
+        assert rlp_encode(b"\x7f") == b"\x7f"
+
+    def test_single_high_byte_gets_prefix(self):
+        assert rlp_encode(b"\x80") == b"\x81\x80"
+
+    def test_dog(self):
+        assert rlp_encode(b"dog") == b"\x83dog"
+
+    def test_cat_dog_list(self):
+        assert rlp_encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_empty_list(self):
+        assert rlp_encode([]) == b"\xc0"
+
+    def test_nested_lists(self):
+        # [ [], [[]], [ [], [[]] ] ] — the set-theoretic three.
+        payload = [[], [[]], [[], [[]]]]
+        assert rlp_encode(payload) == bytes.fromhex("c7c0c1c0c3c0c1c0")
+
+    def test_lorem_long_string(self):
+        text = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+        encoded = rlp_encode(text)
+        assert encoded[0] == 0xB8
+        assert encoded[1] == len(text)
+        assert encoded[2:] == text
+
+    def test_integers_via_min_bytes(self):
+        assert rlp_encode(int_to_min_bytes(0)) == b"\x80"
+        assert rlp_encode(int_to_min_bytes(15)) == b"\x0f"
+        assert rlp_encode(int_to_min_bytes(1024)) == b"\x82\x04\x00"
+
+
+class TestIntHelpers:
+    def test_zero_is_empty(self):
+        assert int_to_min_bytes(0) == b""
+        assert min_bytes_to_int(b"") == 0
+
+    def test_roundtrip(self):
+        for value in (1, 127, 128, 255, 256, 1024, 2**64 - 1, 2**255):
+            assert min_bytes_to_int(int_to_min_bytes(value)) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_min_bytes(-1)
+
+    def test_rejects_leading_zero(self):
+        with pytest.raises(RLPDecodingError):
+            min_bytes_to_int(b"\x00\x01")
+
+
+class TestDecodeErrors:
+    def test_empty_input(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"")
+
+    def test_trailing_bytes(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x83dogX")
+
+    def test_truncated_string(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x83do")
+
+    def test_truncated_list(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\xc8\x83cat")
+
+    def test_non_minimal_single_byte(self):
+        # 0x7f must be encoded as itself, not as 0x81 0x7f.
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x81\x7f")
+
+    def test_long_form_for_short_payload(self):
+        # 3-byte payload must use the short form.
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\xb8\x03dog")
+
+    def test_encode_rejects_int(self):
+        with pytest.raises(TypeError):
+            rlp_encode(42)  # type: ignore[arg-type]
+
+
+# -- round-trip property -----------------------------------------------------
+
+rlp_items = st.recursive(
+    st.binary(max_size=80),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=20,
+)
+
+
+def _normalize(item):
+    """Decoded lists come back as lists; encoded tuples compare equal."""
+    if isinstance(item, (bytes, bytearray)):
+        return bytes(item)
+    return [_normalize(sub) for sub in item]
+
+
+class TestRoundTrip:
+    @given(rlp_items)
+    @settings(max_examples=200, deadline=None)
+    def test_decode_inverts_encode(self, item):
+        assert _normalize(rlp_decode(rlp_encode(item))) == _normalize(item)
+
+    @given(rlp_items)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_deterministic(self, item):
+        assert rlp_encode(item) == rlp_encode(item)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_long_strings_roundtrip(self, data):
+        assert rlp_decode(rlp_encode(data)) == data

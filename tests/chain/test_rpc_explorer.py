@@ -1,0 +1,127 @@
+"""RPC facade, explorer indexing/labels, and the price oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token
+from repro.chain.explorer import Explorer
+from repro.chain.prices import DAY_SECONDS, PriceOracle, STUDY_END_TS, STUDY_START_TS
+from repro.chain.rpc import EthereumRPC, TransactionNotFoundError
+from repro.chain.types import WEI_PER_ETH
+
+A = "0x" + "aa" * 20
+B = "0x" + "bb" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def setup():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    chain.fund(A, 10**20)
+    rpc = EthereumRPC(chain)
+    explorer = Explorer(chain)
+    return chain, rpc, explorer
+
+
+class TestRPC:
+    def test_transaction_lookup(self, setup):
+        chain, rpc, _ = setup
+        tx, receipt = chain.send_transaction(A, B, value=1, timestamp=GENESIS)
+        assert rpc.get_transaction(tx.hash) is tx
+        assert rpc.get_transaction_receipt(tx.hash).tx_hash == tx.hash
+        assert rpc.trace_transaction(tx.hash) is receipt.trace
+
+    def test_unknown_hash_raises(self, setup):
+        _, rpc, _ = setup
+        with pytest.raises(TransactionNotFoundError):
+            rpc.get_transaction("0xmissing")
+
+    def test_balance_and_code(self, setup):
+        chain, rpc, _ = setup
+        token = chain.deploy_contract(A, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+        assert rpc.get_balance(A) == 10**20
+        assert rpc.is_contract(token.address)
+        assert not rpc.is_contract(A)
+        assert rpc.get_code_kind(token.address) == "erc20"
+        assert rpc.get_code_kind(A) is None
+
+    def test_block_number_tracks_latest(self, setup):
+        chain, rpc, _ = setup
+        assert rpc.block_number() == 0
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS + 120)
+        assert rpc.block_number() == 10
+        assert rpc.get_block(10) is not None
+        assert rpc.get_block(3) is None
+
+    def test_transaction_count(self, setup):
+        chain, rpc, _ = setup
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS)
+        assert rpc.transaction_count() == 1
+
+
+class TestExplorer:
+    def test_labels(self, setup):
+        _, _, explorer = setup
+        explorer.add_label(A, "Fake_Phishing123", "phish")
+        explorer.add_label(B, "Binance 14", "exchange")
+        assert explorer.is_labeled_phishing(A)
+        assert not explorer.is_labeled_phishing(B)
+        assert explorer.labeled_phishing_addresses() == [A]
+        assert explorer.label_count() == 2
+
+    def test_first_last_seen(self, setup):
+        chain, _, explorer = setup
+        assert explorer.first_seen(B) is None
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS + 100)
+        chain.send_transaction(A, B, value=1, timestamp=GENESIS + 900)
+        assert explorer.first_seen(B) == GENESIS + 100
+        assert explorer.last_seen(B) == GENESIS + 900
+
+    def test_contract_metadata(self, setup):
+        chain, _, explorer = setup
+        token = chain.deploy_contract(A, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+        assert explorer.contract_creator(token.address) == A
+        assert explorer.contract_created_at(token.address) == GENESIS
+        assert "transfer" in explorer.contract_functions(token.address)
+        assert explorer.contract_functions(A) == []
+
+
+class TestPriceOracle:
+    def test_eth_price_positive_over_window(self):
+        oracle = PriceOracle()
+        for ts in range(STUDY_START_TS, STUDY_END_TS, 30 * DAY_SECONDS):
+            assert 500 < oracle.eth_usd(ts) < 10_000
+
+    def test_eth_price_deterministic(self):
+        assert PriceOracle().eth_usd(STUDY_START_TS) == PriceOracle().eth_usd(STUDY_START_TS)
+
+    def test_token_registration_and_value(self):
+        oracle = PriceOracle()
+        token = "0x" + "dd" * 20
+        oracle.register_token(token, 1.0, decimals=6)
+        assert oracle.token_usd(token, STUDY_START_TS) == 1.0
+        assert oracle.value_usd(token, 5_000_000, STUDY_START_TS) == pytest.approx(5.0)
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(KeyError):
+            PriceOracle().token_usd("0x" + "ee" * 20, STUDY_START_TS)
+
+    def test_usd_wei_roundtrip(self):
+        oracle = PriceOracle()
+        ts = STUDY_START_TS + 90 * DAY_SECONDS
+        wei = oracle.usd_to_wei(1_000.0, ts)
+        assert oracle.value_usd("ETH", wei, ts) == pytest.approx(1_000.0, rel=1e-9)
+
+    def test_usd_to_raw_respects_decimals(self):
+        oracle = PriceOracle()
+        token = "0x" + "dd" * 20
+        oracle.register_token(token, 2.0, decimals=6)
+        raw = oracle.usd_to_raw(token, 10.0, STUDY_START_TS)
+        assert raw == 5_000_000
+
+    def test_eth_value_of_one_ether(self):
+        oracle = PriceOracle()
+        ts = STUDY_START_TS
+        assert oracle.value_usd("ETH", WEI_PER_ETH, ts) == pytest.approx(oracle.eth_usd(ts))

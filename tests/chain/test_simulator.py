@@ -1,0 +1,129 @@
+"""Pre-signature transaction simulation (§9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token
+from repro.chain.contracts.drainers import make_drainer_factory
+from repro.chain.simulator import TransactionSimulator
+from repro.chain.types import eth_to_wei
+
+OP = "0x" + "11" * 20
+EXEC = "0x" + "22" * 20
+USER = "0x" + "33" * 20
+AFF = "0x" + "44" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def env():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    chain.fund(USER, eth_to_wei(100))
+    drainer = chain.deploy_contract(
+        EXEC, make_drainer_factory("claim", OP, EXEC, 2000), timestamp=GENESIS
+    )
+    token = chain.deploy_contract(OP, lambda a, c, t: ERC20Token(a, c, t), timestamp=GENESIS)
+    token.mint(USER, 5_000)
+    return chain, drainer, token
+
+
+class TestDryRun:
+    def test_simulation_reveals_hidden_recipients(self, env):
+        chain, drainer, _ = env
+        result = TransactionSimulator(chain).simulate(
+            USER, drainer.address, value=eth_to_wei(10),
+            func="Claim", args={"affiliate": AFF},
+        )
+        assert result.success
+        # the split's true beneficiaries surface, though the user only
+        # addressed the contract
+        assert OP in result.recipients()
+        assert AFF in result.recipients()
+
+    def test_simulation_does_not_mutate_state(self, env):
+        chain, drainer, _ = env
+        before_user = chain.state.balance_of(USER)
+        before_txs = len(chain.transactions)  # contract-creation txs
+        TransactionSimulator(chain).simulate(
+            USER, drainer.address, value=eth_to_wei(10),
+            func="Claim", args={"affiliate": AFF},
+        )
+        assert chain.state.balance_of(USER) == before_user
+        assert chain.state.balance_of(OP) == 0
+        assert len(chain.transactions) == before_txs  # nothing recorded
+
+    def test_simulation_does_not_mutate_token_state(self, env):
+        chain, _, token = env
+        TransactionSimulator(chain).simulate(
+            USER, token.address, func="transfer", args={"to": AFF, "amount": 1_000},
+        )
+        assert token.balance_of(USER) == 5_000
+        assert token.balance_of(AFF) == 0
+
+    def test_revert_reported(self, env):
+        chain, drainer, _ = env
+        result = TransactionSimulator(chain).simulate(
+            USER, drainer.address, func="multicall", args={"calls": []},
+        )
+        assert not result.success
+        assert "executor" in result.revert_reason
+
+    def test_approval_targets_detected(self, env):
+        chain, drainer, token = env
+        result = TransactionSimulator(chain).simulate(
+            USER, token.address, func="approve",
+            args={"spender": drainer.address, "amount": 5_000},
+        )
+        assert result.success
+        assert drainer.address in result.approval_targets()
+
+    def test_revoke_is_not_an_approval_target(self, env):
+        chain, drainer, token = env
+        sim = TransactionSimulator(chain)
+        sim.simulate(USER, token.address, func="approve",
+                     args={"spender": drainer.address, "amount": 5_000})
+        result = sim.simulate(USER, token.address, func="approve",
+                              args={"spender": drainer.address, "amount": 0})
+        assert result.approval_targets() == set()
+
+
+class TestGuardWithSimulation:
+    def test_fresh_contract_caught_via_simulation(self, env):
+        """A brand-new profit-sharing contract is not blacklisted, but its
+        *operator* is: static screening passes, simulation blocks."""
+        from repro.analysis.guard import TransactionIntent, WalletGuard
+
+        chain, drainer, _ = env
+        guard = WalletGuard(__import__("repro.chain.rpc", fromlist=["EthereumRPC"]).EthereumRPC(chain),
+                            blacklist={OP})
+        # plain static screen on the contract's kind would catch it, so
+        # disguise the scenario: blacklist contains only the operator and
+        # the recipient check alone does not fire
+        intent = TransactionIntent(
+            sender=USER, to=drainer.address, value=eth_to_wei(1),
+            func="Claim", args={"affiliate": AFF},
+        )
+        static = guard.screen(intent)
+        # static screening fires only on the generic "value into a
+        # profit-sharing contract" heuristic here, not the blacklist
+        assert all("blacklisted" not in alert for alert in static.alerts)
+
+        simulated = guard.screen_with_simulation(
+            intent, TransactionSimulator(chain)
+        )
+        assert not simulated.allowed
+        assert any(OP in alert and "simulated" in alert for alert in simulated.alerts)
+
+    def test_benign_transfer_passes_simulation_screen(self, env):
+        from repro.analysis.guard import TransactionIntent, WalletGuard
+        from repro.chain.rpc import EthereumRPC
+
+        chain, _, _ = env
+        guard = WalletGuard(EthereumRPC(chain), blacklist={OP})
+        verdict = guard.screen_with_simulation(
+            TransactionIntent(sender=USER, to=AFF, value=eth_to_wei(1)),
+            TransactionSimulator(chain),
+        )
+        assert verdict.allowed

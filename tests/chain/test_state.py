@@ -1,0 +1,81 @@
+"""WorldState: balances, transfers, deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.state import InsufficientBalanceError, WorldState
+from repro.chain.vm import Contract
+
+A = "0x" + "aa" * 20
+B = "0x" + "bb" * 20
+
+
+@pytest.fixture()
+def state():
+    return WorldState()
+
+
+class TestBalances:
+    def test_unknown_account_has_zero(self, state):
+        assert state.balance_of(A) == 0
+
+    def test_credit_and_debit(self, state):
+        state.credit(A, 100)
+        assert state.balance_of(A) == 100
+        state.debit(A, 40)
+        assert state.balance_of(A) == 60
+
+    def test_debit_overdraw_raises(self, state):
+        state.credit(A, 10)
+        with pytest.raises(InsufficientBalanceError):
+            state.debit(A, 11)
+        assert state.balance_of(A) == 10  # untouched
+
+    def test_negative_amounts_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.credit(A, -1)
+        with pytest.raises(ValueError):
+            state.debit(A, -1)
+
+    def test_transfer_conserves_total(self, state):
+        state.credit(A, 100)
+        state.transfer(A, B, 30)
+        assert state.balance_of(A) == 70
+        assert state.balance_of(B) == 30
+
+    def test_transfer_overdraw_is_atomic(self, state):
+        state.credit(A, 5)
+        with pytest.raises(InsufficientBalanceError):
+            state.transfer(A, B, 6)
+        assert state.balance_of(A) == 5
+        assert state.balance_of(B) == 0
+
+
+class TestAccounts:
+    def test_get_creates_eoa(self, state):
+        account = state.get(A)
+        assert account.address == A
+        assert not account.is_contract
+        assert len(state) == 1
+
+    def test_nonce_starts_at_zero(self, state):
+        assert state.get(A).nonce == 0
+
+
+class TestDeployment:
+    def test_deploy_and_lookup(self, state):
+        contract = Contract(address=A)
+        state.deploy(contract)
+        assert state.is_contract(A)
+        assert state.contract_at(A) is contract
+
+    def test_double_deploy_rejected(self, state):
+        state.deploy(Contract(address=A))
+        with pytest.raises(ValueError):
+            state.deploy(Contract(address=A))
+
+    def test_eoa_is_not_contract(self, state):
+        state.credit(A, 1)
+        assert not state.is_contract(A)
+        assert state.contract_at(A) is None

@@ -1,0 +1,152 @@
+"""ERC-20 and ERC-721 token contract behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC20Token, ERC721Token
+from repro.chain.transaction import TxStatus
+
+A = "0x" + "aa" * 20
+B = "0x" + "bb" * 20
+C = "0x" + "cc" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def chain():
+    return Blockchain(genesis_timestamp=GENESIS)
+
+
+@pytest.fixture()
+def token(chain):
+    return chain.deploy_contract(
+        A, lambda a, c, t: ERC20Token(a, c, t, symbol="USDX", decimals=6), timestamp=GENESIS
+    )
+
+
+@pytest.fixture()
+def nft(chain):
+    return chain.deploy_contract(
+        A, lambda a, c, t: ERC721Token(a, c, t, symbol="APE"), timestamp=GENESIS
+    )
+
+
+class TestERC20:
+    def test_mint_and_balance(self, token):
+        token.mint(A, 500)
+        assert token.balance_of(A) == 500
+        assert token.total_supply == 500
+
+    def test_mint_rejects_negative(self, token):
+        with pytest.raises(ValueError):
+            token.mint(A, -1)
+
+    def test_transfer_moves_and_logs(self, chain, token):
+        token.mint(A, 100)
+        _, receipt = chain.send_transaction(
+            A, token.address, func="transfer", args={"to": B, "amount": 60}, timestamp=GENESIS
+        )
+        assert receipt.succeeded
+        assert token.balance_of(A) == 40
+        assert token.balance_of(B) == 60
+        transfers = [l for l in receipt.logs if l.event == "Transfer"]
+        assert transfers[0].args == {"from": A, "to": B, "amount": 60}
+
+    def test_transfer_insufficient_balance_reverts(self, chain, token):
+        _, receipt = chain.send_transaction(
+            A, token.address, func="transfer", args={"to": B, "amount": 1}, timestamp=GENESIS
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+    def test_approve_sets_allowance(self, chain, token):
+        _, receipt = chain.send_transaction(
+            A, token.address, func="approve", args={"spender": B, "amount": 25}, timestamp=GENESIS
+        )
+        assert receipt.succeeded
+        assert token.allowance(A, B) == 25
+        assert receipt.logs[0].event == "Approval"
+
+    def test_approve_overwrites(self, chain, token):
+        chain.send_transaction(A, token.address, func="approve",
+                               args={"spender": B, "amount": 25}, timestamp=GENESIS)
+        chain.send_transaction(A, token.address, func="approve",
+                               args={"spender": B, "amount": 5}, timestamp=GENESIS)
+        assert token.allowance(A, B) == 5
+
+    def test_transfer_from_spends_allowance(self, chain, token):
+        token.mint(A, 100)
+        chain.send_transaction(A, token.address, func="approve",
+                               args={"spender": B, "amount": 80}, timestamp=GENESIS)
+        _, receipt = chain.send_transaction(
+            B, token.address, func="transferFrom",
+            args={"from": A, "to": C, "amount": 50}, timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert token.balance_of(C) == 50
+        assert token.allowance(A, B) == 30
+
+    def test_transfer_from_without_allowance_reverts(self, chain, token):
+        token.mint(A, 100)
+        _, receipt = chain.send_transaction(
+            B, token.address, func="transferFrom",
+            args={"from": A, "to": C, "amount": 1}, timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+        assert token.balance_of(A) == 100
+
+
+class TestERC721:
+    def test_mint_assigns_sequential_ids(self, nft):
+        assert nft.mint(A) == 1
+        assert nft.mint(B) == 2
+        assert nft.owner_of(1) == A
+        assert nft.tokens_of(A) == [1]
+
+    def test_owner_of_unknown_token_raises(self, nft):
+        from repro.chain.vm import ExecutionError
+        with pytest.raises(ExecutionError):
+            nft.owner_of(99)
+
+    def test_approve_and_transfer(self, chain, nft):
+        tid = nft.mint(A)
+        chain.send_transaction(A, nft.address, func="approve",
+                               args={"spender": B, "tokenId": tid}, timestamp=GENESIS)
+        _, receipt = chain.send_transaction(
+            B, nft.address, func="transferFrom",
+            args={"from": A, "to": C, "tokenId": tid}, timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert nft.owner_of(tid) == C
+        # single-token approval is consumed by the transfer
+        assert tid not in nft.token_approvals
+
+    def test_unapproved_transfer_reverts(self, chain, nft):
+        tid = nft.mint(A)
+        _, receipt = chain.send_transaction(
+            B, nft.address, func="transferFrom",
+            args={"from": A, "to": C, "tokenId": tid}, timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+        assert nft.owner_of(tid) == A
+
+    def test_approval_for_all(self, chain, nft):
+        tid1, tid2 = nft.mint(A), nft.mint(A)
+        chain.send_transaction(A, nft.address, func="setApprovalForAll",
+                               args={"operator": B, "approved": True}, timestamp=GENESIS)
+        for tid in (tid1, tid2):
+            _, receipt = chain.send_transaction(
+                B, nft.address, func="transferFrom",
+                args={"from": A, "to": C, "tokenId": tid}, timestamp=GENESIS,
+            )
+            assert receipt.succeeded
+        assert nft.tokens_of(C) == [tid1, tid2]
+
+    def test_approve_by_non_owner_reverts(self, chain, nft):
+        tid = nft.mint(A)
+        _, receipt = chain.send_transaction(
+            B, nft.address, func="approve",
+            args={"spender": C, "tokenId": tid}, timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE

@@ -1,0 +1,76 @@
+"""Transaction/receipt/trace models."""
+
+from __future__ import annotations
+
+from repro.chain.transaction import CallTrace, Log, Receipt, Transaction, TxStatus
+
+A = "0x" + "aa" * 20
+B = "0x" + "bb" * 20
+
+
+class TestTransactionHash:
+    def test_hash_is_set_and_prefixed(self):
+        tx = Transaction(sender=A, to=B, value=1, nonce=0, timestamp=100)
+        assert tx.hash.startswith("0x")
+        assert len(tx.hash) == 66
+
+    def test_hash_depends_on_nonce(self):
+        a = Transaction(sender=A, to=B, value=1, nonce=0, timestamp=100)
+        b = Transaction(sender=A, to=B, value=1, nonce=1, timestamp=100)
+        assert a.hash != b.hash
+
+    def test_hash_depends_on_value_and_data(self):
+        base = Transaction(sender=A, to=B, value=1, nonce=0, timestamp=100)
+        assert base.hash != Transaction(sender=A, to=B, value=2, nonce=0, timestamp=100).hash
+        assert base.hash != Transaction(sender=A, to=B, value=1, nonce=0, timestamp=100, data="f").hash
+
+    def test_creation_has_no_recipient(self):
+        tx = Transaction(sender=A, to=None, value=0, nonce=0, timestamp=100)
+        assert tx.is_contract_creation
+
+    def test_explicit_hash_preserved(self):
+        tx = Transaction(sender=A, to=B, value=0, nonce=0, timestamp=0, hash="0xdead")
+        assert tx.hash == "0xdead"
+
+
+class TestCallTrace:
+    def _tree(self):
+        root = CallTrace("CALL", A, B, 10)
+        child1 = CallTrace("CALL", B, A, 4)
+        child2 = CallTrace("STATICCALL", B, A, 5)
+        grandchild = CallTrace("CALL", A, B, 0)
+        child1.children.append(grandchild)
+        root.children.extend([child1, child2])
+        return root
+
+    def test_walk_is_depth_first(self):
+        root = self._tree()
+        order = [(f.call_type, f.value) for f in root.walk()]
+        assert order == [("CALL", 10), ("CALL", 4), ("CALL", 0), ("STATICCALL", 5)]
+
+    def test_value_transfers_skip_static_and_zero(self):
+        root = self._tree()
+        values = [f.value for f in root.value_transfers()]
+        assert values == [10, 4]
+
+
+class TestReceipt:
+    def test_success_default(self):
+        receipt = Receipt(tx_hash="0x1")
+        assert receipt.succeeded
+        assert receipt.status == TxStatus.SUCCESS
+
+    def test_failure(self):
+        receipt = Receipt(tx_hash="0x1", status=TxStatus.FAILURE)
+        assert not receipt.succeeded
+
+
+class TestLog:
+    def test_token_transfer_detection(self):
+        log = Log(address=A, event="Transfer", args={"from": A, "to": B, "amount": 1})
+        assert log.is_token_transfer()
+        assert not log.is_approval()
+
+    def test_approval_detection(self):
+        assert Log(address=A, event="Approval", args={}).is_approval()
+        assert Log(address=A, event="ApprovalForAll", args={}).is_approval()

@@ -1,0 +1,76 @@
+"""Unit helpers: wei conversion, TokenAmount, deterministic addresses."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.crypto import is_checksum_address
+from repro.chain.types import (
+    WEI_PER_ETH,
+    ZERO_ADDRESS,
+    TokenAmount,
+    address_from_seed,
+    eth_to_wei,
+    wei_to_eth,
+)
+
+
+class TestWeiConversion:
+    def test_int_eth(self):
+        assert eth_to_wei(1) == WEI_PER_ETH
+        assert eth_to_wei(0) == 0
+
+    def test_string_exact(self):
+        assert eth_to_wei("1.5") == 15 * 10**17
+        assert eth_to_wei("0.000000000000000001") == 1
+        assert eth_to_wei("27.1") == 27_100_000_000_000_000_000
+
+    def test_string_without_fraction(self):
+        assert eth_to_wei("2") == 2 * WEI_PER_ETH
+
+    def test_negative_string(self):
+        assert eth_to_wei("-1.5") == -15 * 10**17
+
+    def test_float_rounds(self):
+        assert eth_to_wei(0.5) == WEI_PER_ETH // 2
+
+    def test_roundtrip(self):
+        assert wei_to_eth(eth_to_wei(3)) == 3.0
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_int_roundtrip_property(self, eth):
+        assert wei_to_eth(eth_to_wei(eth)) == float(eth)
+
+
+class TestTokenAmount:
+    def test_native_flag(self):
+        assert TokenAmount(TokenAmount.ETH, 1).is_native
+        assert not TokenAmount("0x" + "11" * 20, 1).is_native
+
+    def test_addition(self):
+        total = TokenAmount("T", 1) + TokenAmount("T", 2)
+        assert total == TokenAmount("T", 3)
+
+    def test_addition_rejects_mixed_tokens(self):
+        with pytest.raises(ValueError):
+            TokenAmount("A", 1) + TokenAmount("B", 1)
+
+
+class TestAddressFromSeed:
+    def test_deterministic(self):
+        assert address_from_seed("x") == address_from_seed("x")
+
+    def test_distinct_seeds(self):
+        assert address_from_seed("x") != address_from_seed("y")
+
+    def test_checksummed(self):
+        assert is_checksum_address(address_from_seed("anything"))
+
+    def test_accepts_bytes(self):
+        assert address_from_seed(b"x") == address_from_seed("x")
+
+    def test_zero_address_shape(self):
+        assert len(ZERO_ADDRESS) == 42

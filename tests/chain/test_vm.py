@@ -1,0 +1,93 @@
+"""Contract framework: dispatch, internal calls, traces, logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.state import WorldState
+from repro.chain.transaction import CallTrace
+from repro.chain.vm import Contract, ExecutionContext, ExecutionError, function_selector
+
+A = "0x" + "aa" * 20
+B = "0x" + "bb" * 20
+C = "0x" + "cc" * 20
+
+
+class Echo(Contract):
+    def fn_ping(self, ctx, frame, args):
+        ctx.emit(self.address, "Pinged", {"by": frame.sender})
+        return "pong"
+
+    def fn_forward(self, ctx, frame, args):
+        return ctx.call(self.address, args["to"], value=args["value"])
+
+
+def make_ctx(state, sender=A, recipient=B, value=0, func=""):
+    root = CallTrace(call_type="CALL", sender=sender, recipient=recipient, value=value, input_data=func)
+    return ExecutionContext(state=state, origin=sender, timestamp=1000, root_frame=root), root
+
+
+class TestDispatch:
+    def test_named_function(self):
+        state = WorldState()
+        echo = Echo(address=B)
+        state.deploy(echo)
+        ctx, root = make_ctx(state)
+        assert echo.handle(ctx, root, "ping", {}) == "pong"
+        assert ctx.logs[0].event == "Pinged"
+        assert ctx.logs[0].args["by"] == A
+
+    def test_unknown_function_raises(self):
+        state = WorldState()
+        echo = Echo(address=B)
+        ctx, root = make_ctx(state)
+        with pytest.raises(ExecutionError):
+            echo.handle(ctx, root, "nope", {})
+
+    def test_public_functions_listing(self):
+        assert Echo(address=B).public_functions() == ["forward", "ping"]
+
+    def test_default_has_no_payable_fallback(self):
+        assert not Echo(address=B).has_payable_fallback()
+
+
+class TestInternalCalls:
+    def test_call_moves_value_and_records_frame(self):
+        state = WorldState()
+        state.credit(B, 100)
+        ctx, root = make_ctx(state)
+        ctx.call(B, C, value=40)
+        assert state.balance_of(C) == 40
+        assert len(root.children) == 1
+        frame = root.children[0]
+        assert (frame.sender, frame.recipient, frame.value) == (B, C, 40)
+
+    def test_nested_call_tree(self):
+        state = WorldState()
+        echo = Echo(address=B)
+        state.deploy(echo)
+        state.credit(B, 100)
+        ctx, root = make_ctx(state)
+        ctx.call(A, B, func="forward", args={"to": C, "value": 25})
+        # root -> call(B) -> call(C)
+        frames = list(root.walk())
+        assert len(frames) == 3
+        inner = root.children[0].children[0]
+        assert inner.recipient == C
+        assert inner.value == 25
+
+    def test_plain_transfer_to_eoa_returns_none(self):
+        state = WorldState()
+        state.credit(A, 10)
+        ctx, root = make_ctx(state)
+        assert ctx.call(A, C, value=10) is None
+
+
+class TestFunctionSelector:
+    def test_known_selectors(self):
+        assert function_selector("transfer(address,uint256)") == "0xa9059cbb"
+        assert function_selector("approve(address,uint256)") == "0x095ea7b3"
+        assert function_selector("transferFrom(address,address,uint256)") == "0x23b872dd"
+
+    def test_distinct(self):
+        assert function_selector("a()") != function_selector("b()")

@@ -1,0 +1,136 @@
+"""NFT zero-order purchase scheme and explicit approval revokes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.contracts import ERC721Token, NFTMarketplace
+from repro.chain.contracts.marketplace import order_signature
+from repro.chain.transaction import TxStatus
+from repro.chain.types import eth_to_wei
+
+A = "0x" + "aa" * 20
+VICTIM = "0x" + "bb" * 20
+EXEC = "0x" + "cc" * 20
+GENESIS = 1_000_000
+
+
+@pytest.fixture()
+def setup():
+    chain = Blockchain(genesis_timestamp=GENESIS)
+    collection = chain.deploy_contract(A, lambda a, c, t: ERC721Token(a, c, t), timestamp=GENESIS)
+    market = chain.deploy_contract(A, lambda a, c, t: NFTMarketplace(a, c, t), timestamp=GENESIS)
+    chain.fund(market.address, eth_to_wei(10))
+    return chain, collection, market
+
+
+class TestFulfillOrder:
+    def test_valid_order_moves_nft_and_pays(self, setup):
+        chain, collection, market = setup
+        tid = collection.mint(VICTIM)
+        signature = order_signature(market.address, collection.address, tid, VICTIM, 5, 0)
+        _, receipt = chain.send_transaction(
+            EXEC, market.address, func="fulfillOrder",
+            args={"collection": collection.address, "tokenId": tid, "seller": VICTIM,
+                  "price": 5, "signature": signature, "recipient": EXEC},
+            timestamp=GENESIS,
+        )
+        assert receipt.succeeded
+        assert collection.owner_of(tid) == EXEC
+        assert chain.state.balance_of(VICTIM) == 5
+
+    def test_forged_order_rejected(self, setup):
+        chain, collection, market = setup
+        tid = collection.mint(VICTIM)
+        _, receipt = chain.send_transaction(
+            EXEC, market.address, func="fulfillOrder",
+            args={"collection": collection.address, "tokenId": tid, "seller": VICTIM,
+                  "price": 5, "signature": "0xbad", "recipient": EXEC},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+        assert collection.owner_of(tid) == VICTIM
+
+    def test_order_replay_blocked(self, setup):
+        chain, collection, market = setup
+        tid = collection.mint(VICTIM)
+        signature = order_signature(market.address, collection.address, tid, VICTIM, 1, 0)
+        args = {"collection": collection.address, "tokenId": tid, "seller": VICTIM,
+                "price": 1, "signature": signature, "recipient": EXEC}
+        _, r1 = chain.send_transaction(EXEC, market.address, func="fulfillOrder",
+                                       args=args, timestamp=GENESIS)
+        # give the NFT back and try to replay the consumed order
+        collection.owners[tid] = VICTIM
+        _, r2 = chain.send_transaction(EXEC, market.address, func="fulfillOrder",
+                                       args=args, timestamp=GENESIS)
+        assert r1.succeeded and not r2.succeeded
+
+    def test_order_binds_price(self, setup):
+        chain, collection, market = setup
+        tid = collection.mint(VICTIM)
+        signature = order_signature(market.address, collection.address, tid, VICTIM, 100, 0)
+        _, receipt = chain.send_transaction(
+            EXEC, market.address, func="fulfillOrder",
+            args={"collection": collection.address, "tokenId": tid, "seller": VICTIM,
+                  "price": 1, "signature": signature, "recipient": EXEC},
+            timestamp=GENESIS,
+        )
+        assert receipt.status == TxStatus.FAILURE
+
+
+class TestZeroOrderInWorld:
+    def test_zero_order_incidents_planted_and_recovered(self, world, pipeline):
+        zero_orders = [i for i in world.truth.all_incidents if i.via_zero_order]
+        assert zero_orders
+        recovered = {r.tx_hash for r in pipeline.dataset.transactions}
+        assert {i.ps_tx_hash for i in zero_orders} <= recovered
+
+    def test_zero_order_victim_sends_no_transaction(self, world):
+        incident = next(i for i in world.truth.all_incidents if i.via_zero_order)
+        for tx_hash in incident.tx_hashes:
+            tx = world.rpc.get_transaction(tx_hash)
+            assert tx.sender != incident.victim
+
+    def test_zero_order_victims_attributed(self, world, pipeline):
+        """Victim attribution works even though the victim never signed an
+        on-chain transaction: the NFT deposit index names them."""
+        zero_orders = [i for i in world.truth.all_incidents if i.via_zero_order]
+        attributed = {i.victim for i in pipeline.victim_report.incidents}
+        assert {i.victim for i in zero_orders} <= attributed
+
+
+class TestRevokedVictims:
+    def test_revoked_victims_have_zero_allowance(self, world):
+        revoked = [i for i in world.truth.all_incidents if i.revoked]
+        assert revoked
+        for incident in revoked[:20]:
+            contract = incident.contract
+            for token in world.infra.erc20_tokens:
+                assert token.allowance(incident.victim, contract) == 0
+
+    def test_revoke_transactions_on_chain(self, world):
+        incident = next(i for i in world.truth.all_incidents if i.revoked)
+        # last tx of the incident is the victim's approve(0)
+        revoke_tx = world.rpc.get_transaction(incident.tx_hashes[-1])
+        assert revoke_tx.sender == incident.victim
+        assert revoke_tx.data == "approve"
+        receipt = world.rpc.get_transaction_receipt(revoke_tx.hash)
+        approval = next(l for l in receipt.logs if l.event == "Approval")
+        assert approval.args["amount"] == 0
+
+    def test_revoked_not_counted_as_unrevoked(self, world, pipeline):
+        """Revoked victims granted an over-approval, but the live-allowance
+        check must not flag them (their allowance is back to zero)."""
+        repeats = pipeline.victim_report.repeat_victims()
+        revoked_victims = {
+            i.victim for i in world.truth.all_incidents if i.revoked
+        } & repeats
+        unrevoked_victims = {
+            i.victim for i in world.truth.all_incidents if i.unrevoked
+        }
+        pure_revoked = revoked_victims - unrevoked_victims
+        if pure_revoked:
+            victim = sorted(pure_revoked)[0]
+            analyzer = pipeline.victim_analyzer
+            assert not analyzer._has_unrevoked_approval(victim, pipeline.dataset.contracts)

@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+The simulated world and the full pipeline result are expensive (seconds),
+so they are built once per session at a small scale and shared read-only
+across test modules.  Tests that mutate state build their own fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_pipeline
+from repro.simulation import SimulationParams, build_world
+from repro.webdetect import WebWorldParams, build_web_world
+
+TEST_SCALE = 0.02
+TEST_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A deterministic small world shared by read-only tests."""
+    return build_world(SimulationParams(scale=TEST_SCALE, seed=TEST_SEED))
+
+
+@pytest.fixture(scope="session")
+def pipeline(world):
+    """Full pipeline result (seed + snowball + measurement) on `world`."""
+    return run_pipeline(world=world)
+
+
+@pytest.fixture(scope="session")
+def web_world():
+    return build_web_world(WebWorldParams(scale=TEST_SCALE, seed=TEST_SEED))

@@ -1,0 +1,123 @@
+"""DaaSDataset model: mutation, views, JSON round-trip."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import DaaSDataset, PSTransactionRecord
+
+C = "0x" + "c1" * 20
+OP = "0x" + "0a" * 20
+AFF = "0x" + "0b" * 20
+
+
+def make_record(i=0, ratio=2000, usd=100.0):
+    return PSTransactionRecord(
+        tx_hash=f"0x{i:064x}",
+        contract=C,
+        operator=OP,
+        affiliate=AFF,
+        token="ETH",
+        operator_amount=ratio,
+        affiliate_amount=10_000 - ratio,
+        ratio_bps=ratio,
+        timestamp=1_700_000_000 + i,
+        total_usd=usd,
+    )
+
+
+class TestMutation:
+    def test_add_contract_once(self):
+        ds = DaaSDataset()
+        assert ds.add_contract(C, "seed", "chainabuse")
+        assert not ds.add_contract(C, "expansion", "snowball:1")
+        assert ds.provenance[C].stage == "seed"
+
+    def test_add_roles(self):
+        ds = DaaSDataset()
+        assert ds.add_operator(OP, "seed", C)
+        assert ds.add_affiliate(AFF, "seed", C)
+        assert ds.all_accounts == {OP, AFF}
+        assert ds.account_count() == 2
+
+    def test_duplicate_transaction_ignored(self):
+        ds = DaaSDataset()
+        record = make_record()
+        assert ds.add_transaction(record)
+        assert not ds.add_transaction(record)
+        assert len(ds.transactions) == 1
+
+
+class TestViews:
+    def test_profit_split(self):
+        ds = DaaSDataset()
+        ds.add_transaction(make_record(usd=1_000.0, ratio=2000))
+        assert ds.operator_profit_usd() == 200.0
+        assert ds.affiliate_profit_usd() == 800.0
+        assert ds.total_profit_usd() == 1_000.0
+
+    def test_summary_counts(self):
+        ds = DaaSDataset()
+        ds.add_contract(C, "seed", "x")
+        ds.add_operator(OP, "seed", C)
+        ds.add_affiliate(AFF, "seed", C)
+        ds.add_transaction(make_record())
+        summary = ds.summary()
+        assert summary == {
+            "profit_sharing_contracts": 1,
+            "operator_accounts": 1,
+            "affiliate_accounts": 1,
+            "daas_accounts": 3,
+            "profit_sharing_transactions": 1,
+        }
+
+    def test_transactions_of_contract(self):
+        ds = DaaSDataset()
+        ds.add_transaction(make_record(0))
+        ds.add_transaction(make_record(1))
+        assert len(ds.transactions_of_contract(C)) == 2
+
+    def test_record_usd_split_consistency(self):
+        record = make_record(usd=500.0, ratio=2500)
+        assert record.operator_usd + record.affiliate_usd == 500.0
+        assert record.operator_usd == 125.0
+
+
+class TestJSONRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        ds = DaaSDataset()
+        ds.add_contract(C, "seed", "chainabuse,etherscan")
+        ds.add_operator(OP, "seed", C)
+        ds.add_affiliate(AFF, "expansion", "snowball:2")
+        ds.add_transaction(make_record(0))
+        ds.add_transaction(make_record(1, ratio=3300))
+
+        path = tmp_path / "dataset.json"
+        ds.save(path)
+        loaded = DaaSDataset.load(path)
+
+        assert loaded.contracts == ds.contracts
+        assert loaded.operators == ds.operators
+        assert loaded.affiliates == ds.affiliates
+        assert loaded.transactions == ds.transactions
+        assert loaded.provenance[AFF].stage == "expansion"
+        assert loaded.summary() == ds.summary()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=999),
+                st.sampled_from([1000, 2000, 3300]),
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, specs):
+        ds = DaaSDataset()
+        for i, ratio, usd in specs:
+            ds.add_transaction(make_record(i, ratio=ratio, usd=usd))
+        loaded = DaaSDataset.from_json(ds.to_json())
+        assert loaded.transactions == ds.transactions

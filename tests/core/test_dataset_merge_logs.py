@@ -1,0 +1,134 @@
+"""Dataset merge/diff and the eth_getLogs-style query API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import DaaSDataset, PSTransactionRecord
+
+C1, C2 = "0x" + "c1" * 20, "0x" + "c2" * 20
+OP, AFF = "0x" + "0a" * 20, "0x" + "0b" * 20
+
+
+def make_record(i, contract=C1):
+    return PSTransactionRecord(
+        tx_hash=f"0x{i:064x}", contract=contract, operator=OP, affiliate=AFF,
+        token="ETH", operator_amount=20, affiliate_amount=80, ratio_bps=2000,
+        timestamp=1_700_000_000 + i, total_usd=10.0,
+    )
+
+
+class TestMerge:
+    def _window(self, contracts, tx_range):
+        ds = DaaSDataset()
+        for c in contracts:
+            ds.add_contract(c, "seed", "w")
+        ds.add_operator(OP, "seed", "w")
+        ds.add_affiliate(AFF, "seed", "w")
+        for i in tx_range:
+            ds.add_transaction(make_record(i, contracts[0]))
+        return ds
+
+    def test_merge_unions_entities(self):
+        a = self._window([C1], range(3))
+        b = self._window([C2], range(3, 5))
+        merged = a.merge(b)
+        assert merged.contracts == {C1, C2}
+        assert len(merged.transactions) == 5
+
+    def test_merge_dedupes_overlap(self):
+        a = self._window([C1], range(4))
+        b = self._window([C1], range(2, 6))
+        merged = a.merge(b)
+        assert merged.contracts == {C1}
+        assert len(merged.transactions) == 6
+
+    def test_merge_keeps_first_seen_provenance(self):
+        a = DaaSDataset()
+        a.add_contract(C1, "seed", "chainabuse")
+        b = DaaSDataset()
+        b.add_contract(C1, "expansion", "snowball:2")
+        merged = a.merge(b)
+        assert merged.provenance[C1].stage == "seed"
+
+    def test_diff_reports_growth(self):
+        a = self._window([C1], range(3))
+        b = a.merge(self._window([C2], range(3, 5)))
+        growth = b.diff(a)
+        assert growth == {
+            "new_contracts": 1,
+            "new_operators": 0,
+            "new_affiliates": 0,
+            "new_transactions": 2,
+        }
+
+    def test_diff_against_self_is_zero(self):
+        a = self._window([C1], range(3))
+        assert all(v == 0 for v in a.diff(a).values())
+
+
+class TestGetLogs:
+    def test_filter_by_event(self, world):
+        approvals = list(world.rpc.get_logs(event="Approval"))
+        assert approvals
+        assert all(log.event == "Approval" for _, log in approvals)
+
+    def test_filter_by_address(self, world):
+        token = world.infra.erc20_tokens[0]
+        logs = list(world.rpc.get_logs(address=token.address, event="Transfer"))
+        assert logs
+        assert all(log.address == token.address for _, log in logs)
+
+    def test_time_window(self, world):
+        token = world.infra.erc20_tokens[0]
+        all_logs = list(world.rpc.get_logs(address=token.address))
+        mid = all_logs[len(all_logs) // 2][0].timestamp
+        early = list(world.rpc.get_logs(address=token.address, to_ts=mid))
+        late = list(world.rpc.get_logs(address=token.address, from_ts=mid + 1))
+        assert len(early) + len(late) == len(all_logs)
+        assert all(tx.timestamp <= mid for tx, _ in early)
+
+    def test_results_in_chain_order(self, world):
+        logs = list(world.rpc.get_logs(event="Transfer"))
+        times = [tx.timestamp for tx, _ in logs]
+        assert times == sorted(times)
+
+    def test_no_match_yields_empty(self, world):
+        assert list(world.rpc.get_logs(event="NoSuchEvent")) == []
+
+
+class TestSliceUntil:
+    def test_slice_keeps_only_past_transactions(self, pipeline):
+        records = sorted(pipeline.dataset.transactions, key=lambda r: r.timestamp)
+        cutoff = records[len(records) // 2].timestamp
+        sliced = pipeline.dataset.slice_until(cutoff)
+        assert all(r.timestamp <= cutoff for r in sliced.transactions)
+        assert len(sliced.transactions) < len(records)
+
+    def test_entities_require_evidence(self, pipeline):
+        records = sorted(pipeline.dataset.transactions, key=lambda r: r.timestamp)
+        cutoff = records[len(records) // 3].timestamp
+        sliced = pipeline.dataset.slice_until(cutoff)
+        referenced = set()
+        for record in sliced.transactions:
+            referenced.update((record.contract, record.operator, record.affiliate))
+        assert sliced.all_accounts == referenced
+
+    def test_slice_at_end_equals_full(self, pipeline):
+        last = max(r.timestamp for r in pipeline.dataset.transactions)
+        sliced = pipeline.dataset.slice_until(last)
+        assert len(sliced.transactions) == len(pipeline.dataset.transactions)
+
+    def test_growth_series_is_monotone(self, pipeline):
+        records = sorted(pipeline.dataset.transactions, key=lambda r: r.timestamp)
+        cuts = [records[len(records) // 4].timestamp,
+                records[len(records) // 2].timestamp,
+                records[-1].timestamp]
+        sizes = [pipeline.dataset.slice_until(c).account_count() for c in cuts]
+        assert sizes == sorted(sizes)
+
+    def test_diff_between_slices(self, pipeline):
+        records = sorted(pipeline.dataset.transactions, key=lambda r: r.timestamp)
+        early = pipeline.dataset.slice_until(records[len(records) // 2].timestamp)
+        growth = pipeline.dataset.diff(early)
+        assert growth["new_transactions"] > 0

@@ -1,0 +1,95 @@
+"""Ratio matching: the §4.3 drainer proportion set."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ratios import (
+    DEFAULT_TOLERANCE,
+    KNOWN_OPERATOR_RATIOS_BPS,
+    match_operator_share,
+)
+
+
+class TestExactRatios:
+    @pytest.mark.parametrize("bps", KNOWN_OPERATOR_RATIOS_BPS)
+    def test_exact_split_matches(self, bps):
+        total = 1_000_000
+        smaller = total * bps // 10_000
+        assert match_operator_share(smaller, total - smaller) == bps
+
+    def test_order_does_not_matter(self):
+        assert match_operator_share(8_000, 2_000) == 2000
+        assert match_operator_share(2_000, 8_000) == 2000
+
+    def test_equal_amounts_never_match(self):
+        assert match_operator_share(5_000, 5_000) is None
+
+    def test_zero_amounts_never_match(self):
+        assert match_operator_share(0, 10_000) is None
+        assert match_operator_share(0, 0) is None
+
+
+class TestTolerance:
+    def test_within_default_tolerance(self):
+        # 20.3% is 0.3pp from 20% -> inside the 0.5pp default.
+        assert match_operator_share(2_030, 7_970) == 2000
+
+    def test_outside_default_tolerance(self):
+        # 21% is 1pp away from 20% and 4pp from 25% -> no match.
+        assert match_operator_share(2_100, 7_900) is None
+
+    def test_benign_ratios_rejected(self):
+        for smaller, larger in [(4_500, 5_500), (3_500, 6_500), (700, 9_300)]:
+            assert match_operator_share(smaller, larger) is None
+
+    def test_wider_tolerance_admits_more(self):
+        assert match_operator_share(2_100, 7_900, tolerance=0.015) == 2000
+
+    def test_nearest_ratio_wins(self):
+        # 16.3% sits between 15% and 17.5%; nearest is 17.5% at 1.2pp,
+        # outside default tolerance; with a wide tolerance it matches 17.5%.
+        assert match_operator_share(1_630, 8_370, tolerance=0.02) == 1750
+
+    def test_custom_ratio_set(self):
+        assert match_operator_share(500, 9_500, ratios_bps=(500,)) == 500
+        assert match_operator_share(2_000, 8_000, ratios_bps=(500,)) is None
+
+
+class TestRoundingRobustness:
+    """Drainer contracts compute op = value * bps // 10000, so the split is
+    exact up to one wei; the classifier must absorb that."""
+
+    @pytest.mark.parametrize("bps", KNOWN_OPERATOR_RATIOS_BPS)
+    @pytest.mark.parametrize("total", [10_001, 333_333, 10**18 + 7])
+    def test_integer_division_splits_match(self, bps, total):
+        op_cut = total * bps // 10_000
+        aff_cut = total - op_cut
+        assert match_operator_share(op_cut, aff_cut) == bps
+
+
+class TestProperties:
+    @given(
+        st.sampled_from(KNOWN_OPERATOR_RATIOS_BPS),
+        st.integers(min_value=10_000, max_value=10**24),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_generated_splits_always_recovered(self, bps, total):
+        op_cut = total * bps // 10_000
+        assert match_operator_share(op_cut, total - op_cut) == bps
+
+    @given(st.integers(min_value=1, max_value=10**18), st.integers(min_value=1, max_value=10**18))
+    @settings(max_examples=200, deadline=None)
+    def test_result_is_known_ratio_or_none(self, a, b):
+        result = match_operator_share(a, b)
+        assert result is None or result in KNOWN_OPERATOR_RATIOS_BPS
+
+    @given(st.integers(min_value=1, max_value=10**18), st.integers(min_value=1, max_value=10**18))
+    @settings(max_examples=100, deadline=None)
+    def test_match_respects_tolerance_bound(self, a, b):
+        result = match_operator_share(a, b)
+        if result is not None:
+            share = min(a, b) / (a + b)
+            assert abs(share - result / 10_000) <= DEFAULT_TOLERANCE + 1e-12

@@ -1,0 +1,91 @@
+"""Release artifacts: CSV exports and the community-report bundle."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.core.release import (
+    build_report_bundle,
+    export_accounts_csv,
+    export_transactions_csv,
+)
+
+
+class TestTransactionsCSV:
+    def test_row_per_transaction(self, pipeline):
+        text = export_transactions_csv(pipeline.dataset)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == len(pipeline.dataset.transactions) + 1
+
+    def test_chronological_order(self, pipeline):
+        text = export_transactions_csv(pipeline.dataset)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        timestamps = [int(r["timestamp"]) for r in rows]
+        assert timestamps == sorted(timestamps)
+
+    def test_columns(self, pipeline):
+        header = export_transactions_csv(pipeline.dataset).splitlines()[0]
+        for column in ("tx_hash", "contract", "operator", "affiliate", "ratio_bps"):
+            assert column in header
+
+
+class TestAccountsCSV:
+    def test_row_per_account(self, pipeline):
+        text = export_accounts_csv(pipeline.dataset)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == pipeline.dataset.account_count()
+
+    def test_roles_partition_accounts(self, pipeline):
+        rows = list(csv.DictReader(io.StringIO(export_accounts_csv(pipeline.dataset))))
+        by_role = {}
+        for row in rows:
+            by_role.setdefault(row["role"], set()).add(row["address"])
+        assert by_role["profit_sharing_contract"] == pipeline.dataset.contracts
+        assert by_role["operator"] == pipeline.dataset.operators
+        assert by_role["affiliate"] == pipeline.dataset.affiliates
+
+    def test_every_account_has_evidence(self, pipeline):
+        rows = list(csv.DictReader(io.StringIO(export_accounts_csv(pipeline.dataset))))
+        assert all(int(row["ps_tx_count"]) > 0 for row in rows)
+
+    def test_provenance_recorded(self, pipeline):
+        rows = list(csv.DictReader(io.StringIO(export_accounts_csv(pipeline.dataset))))
+        stages = {row["stage"] for row in rows}
+        assert stages == {"seed", "expansion"}
+
+
+class TestReportBundle:
+    def test_bundle_counts(self, pipeline):
+        bundle = build_report_bundle(pipeline.dataset)
+        assert bundle.account_count == pipeline.dataset.account_count()
+        assert bundle.website_count == 0
+
+    def test_evidence_capped_and_nonempty(self, pipeline):
+        bundle = build_report_bundle(pipeline.dataset, max_evidence_per_account=2)
+        for entry in bundle.accounts:
+            assert 1 <= len(entry["evidence_txs"]) <= 2
+
+    def test_evidence_hashes_resolve(self, pipeline, world):
+        bundle = build_report_bundle(pipeline.dataset)
+        entry = bundle.accounts[0]
+        for tx_hash in entry["evidence_txs"]:
+            assert world.rpc.get_transaction(tx_hash) is not None
+
+    def test_includes_websites(self, pipeline, web_world):
+        from repro.webdetect import PhishingSiteDetector, build_fingerprint_db
+
+        db = build_fingerprint_db(web_world)
+        reports, _ = PhishingSiteDetector(web_world, db).run()
+        bundle = build_report_bundle(pipeline.dataset, reports)
+        assert bundle.website_count == len(reports)
+        assert bundle.websites[0]["domain"] in web_world.truth.phishing
+
+    def test_json_roundtrip(self, pipeline, tmp_path):
+        bundle = build_report_bundle(pipeline.dataset)
+        path = tmp_path / "report.json"
+        bundle.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["account_count"] == bundle.account_count
+        assert len(payload["accounts"]) == bundle.account_count

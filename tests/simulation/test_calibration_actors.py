@@ -1,0 +1,126 @@
+"""Samplers (calibration.py) and account minting (actors.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.crypto import is_checksum_address
+from repro.simulation.actors import mint_address, vanity_address
+from repro.simulation.calibration import (
+    lognormal_weights,
+    rescale_to_total,
+    sample_lognormal_losses,
+    weighted_assignments,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_empty(self):
+        assert zipf_weights(0, 1.0) == []
+
+    def test_higher_exponent_concentrates(self):
+        flat = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > flat[0]
+
+
+class TestLognormalWeights:
+    def test_normalized_and_positive(self):
+        weights = lognormal_weights(random.Random(1), 500, 1.1, 1.8)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_deterministic_given_rng_seed(self):
+        a = lognormal_weights(random.Random(5), 100, 1.0, 1.5)
+        b = lognormal_weights(random.Random(5), 100, 1.0, 1.5)
+        assert a == b
+
+
+class TestWeightedAssignments:
+    def test_every_item_used_when_enough_draws(self):
+        rng = random.Random(2)
+        items = list(range(20))
+        assigned = weighted_assignments(rng, 100, items, zipf_weights(20, 1.2))
+        assert set(assigned) == set(items)
+        assert len(assigned) == 100
+
+    def test_fewer_draws_than_items(self):
+        rng = random.Random(2)
+        assigned = weighted_assignments(rng, 3, list(range(10)), zipf_weights(10, 1.0))
+        assert len(assigned) == 3
+
+    def test_empty_items(self):
+        assert weighted_assignments(random.Random(1), 5, [], []) == []
+
+
+class TestLossSampling:
+    def test_mean_approximately_target(self):
+        rng = random.Random(3)
+        losses = sample_lognormal_losses(rng, 20_000, mean_usd=1_500.0, sigma=2.42, floor_usd=0.5)
+        mean = sum(losses) / len(losses)
+        assert mean == pytest.approx(1_500.0, rel=0.5)  # heavy tail -> loose
+
+    def test_floor_respected(self):
+        rng = random.Random(3)
+        losses = sample_lognormal_losses(rng, 1_000, mean_usd=10.0, sigma=2.42, floor_usd=0.5)
+        assert min(losses) >= 0.5
+
+    def test_empty(self):
+        assert sample_lognormal_losses(random.Random(1), 0, 100.0, 1.0, 0.5) == []
+
+
+class TestRescale:
+    def test_exact_total(self):
+        values = [1.0, 2.0, 3.0]
+        rescaled = rescale_to_total(values, 60.0)
+        assert sum(rescaled) == pytest.approx(60.0)
+        # proportions preserved
+        assert rescaled[1] / rescaled[0] == pytest.approx(2.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=1.0, max_value=1e9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rescale_property(self, values, target):
+        assert sum(rescale_to_total(values, target)) == pytest.approx(target, rel=1e-6)
+
+    def test_zero_sum_unchanged(self):
+        assert rescale_to_total([0.0, 0.0], 10.0) == [0.0, 0.0]
+
+
+class TestAddressMinting:
+    def test_mint_deterministic_and_distinct(self):
+        a = mint_address("op", 0, 42)
+        assert a == mint_address("op", 0, 42)
+        assert a != mint_address("op", 1, 42)
+        assert a != mint_address("aff", 0, 42)
+        assert a != mint_address("op", 0, 43)
+        assert is_checksum_address(a)
+
+    def test_vanity_prefix_suffix(self):
+        address = vanity_address("op", 3, 42, prefix="0000", suffix="dead")
+        assert address.lower().startswith("0x0000")
+        assert address.lower().endswith("dead")
+        assert is_checksum_address(address)
+
+    def test_vanity_rejects_bad_hex(self):
+        with pytest.raises(ValueError):
+            vanity_address("op", 0, 42, prefix="xyz")
+
+    def test_vanity_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            vanity_address("op", 0, 42, prefix="a" * 30, suffix="b" * 30)

@@ -1,0 +1,105 @@
+"""Parameter calibration consistency with the paper's published totals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.params import (
+    PAPER_FAMILIES,
+    PAPER_RATIO_MIX,
+    PAPER_TOTALS,
+    SimulationParams,
+    month_ts,
+)
+
+
+class TestPaperTotals:
+    """Table 2's per-family columns must sum to the §5.2 headline totals."""
+
+    def test_contract_total(self):
+        assert sum(f.n_contracts for f in PAPER_FAMILIES) == PAPER_TOTALS[
+            "profit_sharing_contracts"
+        ]
+
+    def test_operator_total(self):
+        assert sum(f.n_operators for f in PAPER_FAMILIES) == PAPER_TOTALS["operator_accounts"]
+
+    def test_affiliate_total(self):
+        assert sum(f.n_affiliates for f in PAPER_FAMILIES) == PAPER_TOTALS["affiliate_accounts"]
+
+    def test_victim_total(self):
+        assert sum(f.n_victims for f in PAPER_FAMILIES) == PAPER_TOTALS["victim_accounts"]
+
+    def test_profit_total_matches_operator_plus_affiliate(self):
+        family_total = sum(f.total_profit_usd for f in PAPER_FAMILIES)
+        headline = PAPER_TOTALS["operator_profit_usd"] + PAPER_TOTALS["affiliate_profit_usd"]
+        assert family_total == pytest.approx(headline, rel=0.01)
+
+    def test_top3_profit_share_is_939(self):
+        profits = sorted((f.total_profit_usd for f in PAPER_FAMILIES), reverse=True)
+        share = sum(profits[:3]) / sum(profits)
+        assert share == pytest.approx(0.939, abs=0.005)
+
+    def test_families_ordered_by_victims(self):
+        victims = [f.n_victims for f in PAPER_FAMILIES]
+        assert victims == sorted(victims, reverse=True)
+
+    def test_dominant_families_styles(self):
+        styles = {f.name: f.contract_style for f in PAPER_FAMILIES}
+        assert styles["Angel"] == "claim"
+        assert styles["Inferno"] == "fallback"
+        assert styles["Pink"] == "network_merge"
+
+
+class TestRatioMix:
+    def test_sums_to_one(self):
+        assert sum(PAPER_RATIO_MIX.values()) == pytest.approx(1.0)
+
+    def test_headline_shares(self):
+        assert PAPER_RATIO_MIX[2000] == pytest.approx(0.460)
+        assert PAPER_RATIO_MIX[1500] == pytest.approx(0.193)
+        assert PAPER_RATIO_MIX[1750] == pytest.approx(0.092)
+
+    def test_all_ratios_below_half(self):
+        assert all(bps < 5000 for bps in PAPER_RATIO_MIX)
+
+
+class TestSimulationParams:
+    def test_defaults_validate(self):
+        SimulationParams().validate()
+
+    def test_scaled_floors_at_minimum(self):
+        params = SimulationParams(scale=0.001)
+        assert params.scaled(1) == 1
+        assert params.scaled(10_000) == 10
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParams(scale=0).validate()
+        with pytest.raises(ValueError):
+            SimulationParams(scale=3.0).validate()
+
+    def test_invalid_token_mix_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParams(token_mix=(0.5, 0.5, 0.5)).validate()
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParams(ratio_mix={5000: 1.0}).validate()
+
+    def test_loss_mu_reproduces_family_mean(self):
+        import math
+
+        params = SimulationParams()
+        family = PAPER_FAMILIES[0]
+        mu = params.loss_mu(family)
+        implied_mean = math.exp(mu + params.loss_sigma**2 / 2)
+        assert implied_mean == pytest.approx(family.mean_loss_usd, rel=1e-9)
+
+
+class TestMonthTs:
+    def test_known_epoch(self):
+        assert month_ts(2023, 3) == 1_677_628_800
+
+    def test_ordering(self):
+        assert month_ts(2023, 3) < month_ts(2023, 4) < month_ts(2024, 1)

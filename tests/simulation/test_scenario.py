@@ -1,0 +1,68 @@
+"""Scenario builders: single-family worlds and the minimal fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import build_dataset
+from repro.chain.types import eth_to_wei
+from repro.simulation.scenario import minimal_drain_chain, single_family_world
+
+
+@pytest.fixture(scope="module")
+def solo_world():
+    return single_family_world(n_victims=80, n_contracts=6, seed=11)
+
+
+class TestSingleFamilyWorld:
+    def test_one_family_planted(self, solo_world):
+        assert list(solo_world.truth.families) == ["Solo"]
+        fam = solo_world.truth.families["Solo"]
+        assert len(fam.contracts) == 6
+        assert len(fam.operator_accounts) == 2
+
+    def test_profit_target_hit(self, solo_world):
+        fam = solo_world.truth.families["Solo"]
+        assert fam.total_loss_usd == pytest.approx(500_000.0, rel=0.02)
+
+    def test_pipeline_runs_on_scenario(self, solo_world):
+        dataset, _, expansion, _, _ = build_dataset(solo_world)
+        assert expansion.converged
+        assert dataset.contracts == solo_world.truth.all_contracts
+        assert dataset.operators == solo_world.truth.all_operators
+
+    def test_custom_style_respected(self):
+        world = single_family_world(
+            name="FB", contract_style="fallback", n_victims=30, n_contracts=2, seed=3
+        )
+        contract = world.rpc.get_contract(world.truth.families["FB"].contracts[0])
+        assert contract.has_payable_fallback()
+
+    def test_deterministic(self):
+        a = single_family_world(n_victims=30, n_contracts=2, seed=5)
+        b = single_family_world(n_victims=30, n_contracts=2, seed=5)
+        assert a.truth.all_contracts == b.truth.all_contracts
+
+
+class TestMinimalDrainChain:
+    def test_fixture_shape(self):
+        chain, drainer, victim, operator, affiliate = minimal_drain_chain()
+        assert chain.state.balance_of(victim) == eth_to_wei(10)
+        assert chain.state.is_contract(drainer.address)
+        assert drainer.operator_account == operator
+
+    def test_walkthrough_drain(self):
+        chain, drainer, victim, operator, affiliate = minimal_drain_chain()
+        tx, receipt = chain.send_transaction(
+            victim, drainer.address, value=eth_to_wei(5),
+            func="Claim", args={"affiliate": affiliate},
+            timestamp=chain.genesis_timestamp + 12,
+        )
+        assert receipt.succeeded
+        assert chain.state.balance_of(operator) == eth_to_wei(1)
+        assert chain.state.balance_of(affiliate) == eth_to_wei(4)
+
+        from repro.core import ProfitSharingClassifier
+
+        matches = ProfitSharingClassifier().classify(tx, receipt)
+        assert matches and matches[0].ratio_bps == 2000

@@ -1,0 +1,130 @@
+"""Affiliate management policies, Telegram groups, tiers and rewards (§7.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation.social import (
+    FAMILY_POLICIES,
+    GroupMessage,
+    affiliate_tier,
+    build_group,
+    compute_tiers,
+    plan_rewards,
+    policy_for,
+)
+
+
+class TestPolicies:
+    def test_big_three_documented(self):
+        assert set(FAMILY_POLICIES) == {"Angel", "Inferno", "Pink"}
+
+    def test_angel_thresholds_match_paper(self):
+        angel = FAMILY_POLICIES["Angel"]
+        assert angel.level_thresholds_usd == (100_000.0, 1_000_000.0, 5_000_000.0)
+        assert angel.reward_kind == "nft_award"
+        assert angel.reward_min_profit_usd == 10_000.0
+
+    def test_inferno_thresholds_and_rewards_match_paper(self):
+        inferno = FAMILY_POLICIES["Inferno"]
+        assert inferno.level_thresholds_usd == (10_000.0, 100_000.0, 1_000_000.0)
+        assert inferno.reward_eth_by_level == (0.5, 1.0, 3.0)
+        assert inferno.top_earner_btc == 1.0
+
+    def test_angel_and_pink_demand_traffic_data(self):
+        for name in ("Angel", "Pink"):
+            assert any("traffic" in r for r in FAMILY_POLICIES[name].requirements)
+
+    def test_inferno_has_minimal_requirements(self):
+        inferno = FAMILY_POLICIES["Inferno"]
+        assert not any("traffic" in r for r in inferno.requirements)
+
+    def test_policy_for_resolves_display_names(self):
+        assert policy_for("Angel Drainer").family == "Angel"
+        assert policy_for("Inferno").family == "Inferno"
+
+    def test_undocumented_family_gets_default(self):
+        policy = policy_for("Venom Drainer")
+        assert not policy.has_admin_panel
+        assert policy.level_thresholds_usd == ()
+
+
+class TestTiers:
+    def test_tier_boundaries(self):
+        thresholds = (10_000.0, 100_000.0, 1_000_000.0)
+        assert affiliate_tier(500, thresholds) == 0
+        assert affiliate_tier(10_000, thresholds) == 1
+        assert affiliate_tier(99_999, thresholds) == 1
+        assert affiliate_tier(250_000, thresholds) == 2
+        assert affiliate_tier(5_000_000, thresholds) == 3
+
+    def test_no_thresholds_means_tier_zero(self):
+        assert affiliate_tier(1e9, ()) == 0
+
+    def test_compute_tiers_counts(self):
+        profits = {"a": 500.0, "b": 20_000.0, "c": 150_000.0, "d": 180_000.0}
+        counts = compute_tiers(profits, (10_000.0, 100_000.0))
+        assert counts == {0: 1, 1: 1, 2: 2}
+
+
+class TestTelegramGroups:
+    def test_group_from_planted_family(self, world):
+        family = world.truth.families["Inferno"]
+        group = build_group(family)
+        assert group.family == "Inferno"
+        assert len(group.hit_notifications()) == min(len(family.incidents), 500)
+        operator_msgs = [m for m in group.messages if m.author == "operator"]
+        assert operator_msgs
+        assert "smaller cut" in operator_msgs[0].text
+
+    def test_admin_panel_announced_where_applicable(self, world):
+        inferno = build_group(world.truth.families["Inferno"])
+        assert any("Admin panel" in m.text for m in inferno.messages)
+        pink = build_group(world.truth.families["Pink"])
+        assert not any("Admin panel" in m.text for m in pink.messages)
+
+    def test_notifications_chronological(self, world):
+        group = build_group(world.truth.families["Angel"])
+        times = [m.timestamp for m in group.hit_notifications()]
+        assert times == sorted(times)
+
+    def test_notification_mentions_loss(self, world):
+        group = build_group(world.truth.families["Angel"])
+        message = group.hit_notifications()[0]
+        assert "$" in message.text
+        assert isinstance(message, GroupMessage)
+
+
+class TestRewards:
+    def test_inferno_periodic_rewards(self):
+        profits = {"low": 500.0, "mid": 50_000.0, "whale": 2_000_000.0}
+        events = plan_rewards("Inferno", profits, random.Random(1), periods=3)
+        eth_rewards = [e for e in events if e.kind == "eth_reward"]
+        btc_rewards = [e for e in events if e.kind == "top_earner_btc"]
+        assert len(eth_rewards) == 3
+        assert len(btc_rewards) == 3
+        assert all(e.amount in (0.5, 1.0, 3.0) for e in eth_rewards)
+        assert all(e.affiliate == "whale" for e in btc_rewards)
+        # the sub-threshold affiliate never wins
+        assert all(e.affiliate != "low" for e in eth_rewards)
+
+    def test_angel_nft_awards_respect_threshold(self):
+        profits = {"small": 5_000.0, "big1": 50_000.0, "big2": 80_000.0}
+        events = plan_rewards("Angel", profits, random.Random(7))
+        assert all(e.kind == "nft_award" for e in events)
+        assert all(e.affiliate in ("big1", "big2") for e in events)
+
+    def test_families_without_scheme_yield_nothing(self):
+        assert plan_rewards("Pink", {"a": 1e6}, random.Random(1)) == []
+        assert plan_rewards("Venom", {"a": 1e6}, random.Random(1)) == []
+
+    def test_empty_profits(self):
+        assert plan_rewards("Inferno", {}, random.Random(1)) == []
+
+    def test_deterministic_given_seed(self):
+        profits = {"a": 20_000.0, "b": 200_000.0}
+        e1 = plan_rewards("Inferno", profits, random.Random(3))
+        e2 = plan_rewards("Inferno", profits, random.Random(3))
+        assert e1 == e2

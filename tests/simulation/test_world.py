@@ -1,0 +1,126 @@
+"""World generation: determinism, scaling, planted structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.prices import STUDY_END_TS, STUDY_START_TS
+from repro.simulation import SimulationParams, build_world
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        params = SimulationParams(scale=0.005, seed=11)
+        w1, w2 = build_world(params), build_world(SimulationParams(scale=0.005, seed=11))
+        assert set(w1.chain.transactions) == set(w2.chain.transactions)
+        assert w1.truth.all_contracts == w2.truth.all_contracts
+
+    def test_different_seed_different_world(self):
+        w1 = build_world(SimulationParams(scale=0.005, seed=11))
+        w2 = build_world(SimulationParams(scale=0.005, seed=12))
+        assert w1.truth.all_contracts != w2.truth.all_contracts
+
+
+class TestStructure:
+    def test_nine_families_planted(self, world):
+        assert len(world.truth.families) == 9
+
+    def test_counts_scale_with_paper(self, world):
+        scale = world.params.scale
+        truth = world.truth
+        # scaled() floors small families at 1, so totals exceed the naive
+        # product; allow a generous band.
+        assert 1910 * scale * 0.8 <= len(truth.all_contracts) <= 1910 * scale * 1.6
+        assert len(truth.all_operators) >= 9
+        assert 6087 * scale * 0.8 <= len(truth.all_affiliates) <= 6087 * scale * 1.4
+
+    def test_family_total_losses_match_targets(self, world):
+        scale = world.params.scale
+        for name, fam in world.truth.families.items():
+            profile = next(p for p in world.params.families if p.name == name)
+            assert fam.total_loss_usd == pytest.approx(
+                profile.total_profit_usd * scale, rel=0.02
+            )
+
+    def test_incidents_within_family_windows(self, world):
+        slack = 45 * 86_400  # contract windows overhang family edges slightly
+        for name, fam in world.truth.families.items():
+            profile = next(p for p in world.params.families if p.name == name)
+            for incident in fam.incidents:
+                assert profile.active_start - slack <= incident.timestamp
+                assert incident.timestamp <= profile.active_end + slack
+
+    def test_ps_tx_hashes_resolve(self, world):
+        for incident in world.truth.all_incidents:
+            assert incident.ps_tx_hash in world.chain.transactions
+
+    def test_victims_disjoint_across_families(self, world):
+        seen: set[str] = set()
+        for fam in world.truth.families.values():
+            overlap = seen & fam.victim_accounts
+            assert not overlap
+            seen |= fam.victim_accounts
+
+    def test_ratio_mix_uses_known_ratios(self, world):
+        from repro.core.ratios import KNOWN_OPERATOR_RATIOS_BPS
+
+        used = {i.operator_share_bps for i in world.truth.all_incidents}
+        assert used <= set(KNOWN_OPERATOR_RATIOS_BPS)
+
+    def test_operator_fund_flow_spanning_chain(self, world):
+        """Each family's operators are connected by direct transfers."""
+        for fam in world.truth.families.values():
+            ops = fam.operator_accounts
+            if len(ops) < 2:
+                continue
+            for a, b in zip(ops, ops[1:]):
+                txs = world.chain.transactions_of(a)
+                assert any(t.sender == a and t.to == b and t.value > 0 for t in txs)
+
+    def test_timestamps_inside_study_window(self, world):
+        slack = 60 * 86_400
+        for tx in world.chain.iter_transactions():
+            assert STUDY_START_TS - slack <= tx.timestamp <= STUDY_END_TS + slack
+
+
+class TestLabelFeeds:
+    def test_roughly_a_fifth_of_contracts_labeled(self, world):
+        reported = world.feeds.all_reported_addresses()
+        contracts = world.truth.all_contracts
+        labeled = reported & contracts
+        fraction = len(labeled) / len(contracts)
+        assert 0.15 <= fraction <= 0.35  # paper: 391/1910 = 20.5 %
+
+    def test_every_family_has_a_labeled_contract(self, world):
+        reported = world.feeds.all_reported_addresses()
+        for fam in world.truth.families.values():
+            assert reported & set(fam.contracts)
+
+    def test_feeds_contain_eoa_noise(self, world):
+        reported = world.feeds.all_reported_addresses()
+        eoas = reported - world.truth.all_contracts - set(world.truth.benign_contracts)
+        assert eoas, "feeds should include directly-reported drainer EOAs"
+
+    def test_feeds_contain_false_reports(self, world):
+        reported = world.feeds.all_reported_addresses()
+        assert reported & set(world.truth.benign_contracts)
+
+    def test_sources_of_labeled_contract(self, world):
+        reported = sorted(world.feeds.all_reported_addresses() & world.truth.all_contracts)
+        sources = world.feeds.sources_of(reported[0])
+        assert sources
+        assert set(sources) <= {"chainabuse", "etherscan", "scamsniffer", "txphishscope"}
+
+    def test_etherscan_label_sparsity(self, world):
+        """§8.1: only ~10.8 % of DaaS accounts carry an Etherscan label."""
+        truth = world.truth
+        daas = truth.all_contracts | truth.all_operators | truth.all_affiliates
+        labeled = sum(1 for a in daas if world.explorer.get_label(a) is not None)
+        fraction = labeled / len(daas)
+        assert 0.05 <= fraction <= 0.20
+
+    def test_family_labels_on_top_operators(self, world):
+        for fam in world.truth.families.values():
+            if fam.etherscan_label:
+                label = world.explorer.get_label(fam.operator_accounts[0])
+                assert label is not None and label.tag == fam.etherscan_label

@@ -1,0 +1,184 @@
+"""Additional property-based tests across subsystem boundaries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.crypto import contract_address, keccak256, to_checksum_address
+from repro.chain.rlp import int_to_min_bytes, rlp_decode, rlp_encode
+from repro.core.dataset import DaaSDataset, PSTransactionRecord
+from repro.webdetect.keywords import SUSPICIOUS_KEYWORDS, DomainFilter
+from repro.webdetect.levenshtein import levenshtein_distance
+
+addresses = st.integers(min_value=0, max_value=2**160 - 1).map(
+    lambda n: "0x" + n.to_bytes(20, "big").hex()
+)
+
+
+class TestCryptoProperties:
+    @given(addresses, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_contract_address_deterministic_and_distinct_per_nonce(self, sender, nonce):
+        a = contract_address(sender, nonce)
+        b = contract_address(sender, nonce)
+        c = contract_address(sender, nonce + 1)
+        assert a == b
+        assert a != c
+
+    @given(addresses)
+    @settings(max_examples=30, deadline=None)
+    def test_checksum_is_case_insensitive_fixpoint(self, address):
+        checksummed = to_checksum_address(address)
+        assert to_checksum_address(checksummed.upper().replace("0X", "0x")) == checksummed
+
+    @given(st.binary(min_size=0, max_size=64), st.binary(min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_keccak_avalanche(self, data, suffix):
+        # appending anything changes the digest (collision would be news)
+        assert keccak256(data) != keccak256(data + suffix)
+
+    @given(st.integers(min_value=0, max_value=2**256 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_rlp_integer_encoding_is_canonical(self, value):
+        encoded = rlp_encode(int_to_min_bytes(value))
+        decoded = rlp_decode(encoded)
+        assert int.from_bytes(decoded, "big") == value
+
+
+class TestDomainFilterProperties:
+    @given(st.sampled_from(SUSPICIOUS_KEYWORDS))
+    @settings(max_examples=63, deadline=None)
+    def test_every_keyword_is_self_detected(self, keyword):
+        # Detection fires on *some* keyword: "rewards" legitimately matches
+        # through its substring "reward".
+        domain_filter = DomainFilter()
+        assert domain_filter.matched_keyword(f"{keyword}-something.com") is not None
+
+    @given(st.sampled_from([k for k in SUSPICIOUS_KEYWORDS if len(k) >= 6]),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_single_leet_substitution_still_detected(self, keyword, position):
+        # One substitution keeps similarity at 1 - 1/len > 0.8 for keywords
+        # of six letters and up (five-letter keywords sit exactly AT the
+        # strict threshold and evade it — see the boundary test below).
+        leet = {"a": "4", "e": "3", "i": "1", "o": "0", "l": "1"}
+        candidates = [i for i, c in enumerate(keyword) if c in leet]
+        if not candidates:
+            return
+        i = candidates[position % len(candidates)]
+        obfuscated = keyword[:i] + leet[keyword[i]] + keyword[i + 1:]
+        domain_filter = DomainFilter()
+        assert domain_filter.is_suspicious(f"{obfuscated}-pepe.xyz")
+
+    def test_five_letter_keyword_single_edit_sits_on_threshold(self):
+        """Boundary behaviour of the paper's strict >0.8 rule: 'c1aim' has
+        similarity exactly 0.8 to 'claim' and is therefore NOT flagged —
+        an evasion the paper's parameters genuinely permit."""
+        domain_filter = DomainFilter()
+        assert not domain_filter.is_suspicious("c1aim-pepe.xyz")
+        # a slightly laxer threshold catches it
+        lax = DomainFilter(similarity_threshold=0.79)
+        assert lax.is_suspicious("c1aim-pepe.xyz")
+
+    @given(st.text(alphabet="bcdfghjkqvwxz", min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_consonant_noise_not_suspicious(self, noise):
+        # strings of rare consonants are far from every keyword
+        domain_filter = DomainFilter()
+        if len(noise) >= 4:
+            for keyword in SUSPICIOUS_KEYWORDS:
+                if keyword in noise:
+                    return
+            assert not domain_filter.is_suspicious(f"{noise}.com")
+
+    @given(st.text(alphabet="abcdefgh", max_size=8), st.text(alphabet="abcdefgh", max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_distance_zero_iff_equal(self, a, b):
+        assert (levenshtein_distance(a, b) == 0) == (a == b)
+
+
+def _record(i: int, ratio: int = 2000) -> PSTransactionRecord:
+    return PSTransactionRecord(
+        tx_hash=f"0x{i:064x}", contract="0x" + "c1" * 20, operator="0x" + "0a" * 20,
+        affiliate="0x" + "0b" * 20, token="ETH", operator_amount=ratio,
+        affiliate_amount=10_000 - ratio, ratio_bps=ratio,
+        timestamp=1_700_000_000 + i, total_usd=float(i + 1),
+    )
+
+
+class TestDatasetAlgebra:
+    @given(st.sets(st.integers(min_value=0, max_value=60), max_size=25),
+           st.sets(st.integers(min_value=0, max_value=60), max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_commutative_on_contents(self, ids_a, ids_b):
+        a, b = DaaSDataset(), DaaSDataset()
+        for i in ids_a:
+            a.add_transaction(_record(i))
+        for i in ids_b:
+            b.add_transaction(_record(i))
+        ab, ba = a.merge(b), b.merge(a)
+        assert {t.tx_hash for t in ab.transactions} == {t.tx_hash for t in ba.transactions}
+        assert ab.summary() == ba.summary()
+
+    @given(st.sets(st.integers(min_value=0, max_value=60), min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_with_self_is_identity(self, ids):
+        a = DaaSDataset()
+        for i in ids:
+            a.add_transaction(_record(i))
+        merged = a.merge(a)
+        assert {t.tx_hash for t in merged.transactions} == {t.tx_hash for t in a.transactions}
+
+    @given(st.sets(st.integers(min_value=0, max_value=60), min_size=2, max_size=25),
+           st.integers(min_value=0, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_slice_then_merge_recovers_whole(self, ids, cut_idx):
+        full = DaaSDataset()
+        for i in sorted(ids):
+            full.add_transaction(_record(i))
+            full.add_contract("0x" + "c1" * 20, "seed", "t")
+            full.add_operator("0x" + "0a" * 20, "seed", "t")
+            full.add_affiliate("0x" + "0b" * 20, "seed", "t")
+        times = sorted(t.timestamp for t in full.transactions)
+        cutoff = times[cut_idx % len(times)]
+        early = full.slice_until(cutoff)
+        late_part = DaaSDataset()
+        for record in full.transactions:
+            if record.timestamp > cutoff:
+                late_part.add_transaction(record)
+        rejoined = early.merge(late_part)
+        assert {t.tx_hash for t in rejoined.transactions} == {
+            t.tx_hash for t in full.transactions
+        }
+
+    @given(st.sets(st.integers(min_value=0, max_value=60), min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_json_roundtrip_after_merge(self, ids):
+        a = DaaSDataset()
+        for i in ids:
+            a.add_transaction(_record(i))
+        merged = a.merge(DaaSDataset())
+        assert DaaSDataset.from_json(merged.to_json()).summary() == merged.summary()
+
+
+class TestWorldCrossChecks:
+    def test_ps_tx_usd_consistent_with_oracle(self, world, pipeline):
+        oracle = world.oracle
+        for record in pipeline.dataset.transactions[:100]:
+            expected = oracle.value_usd(
+                record.token, record.operator_amount + record.affiliate_amount,
+                record.timestamp,
+            )
+            assert record.total_usd == pytest.approx(expected, rel=1e-9)
+
+    def test_family_profits_sum_to_dataset_total(self, pipeline):
+        family_total = sum(f.total_profit_usd for f in pipeline.clustering.families)
+        assert family_total == pytest.approx(pipeline.dataset.total_profit_usd(), rel=1e-9)
+
+    def test_operator_plus_affiliate_equals_total(self, pipeline):
+        ds = pipeline.dataset
+        assert ds.operator_profit_usd() + ds.affiliate_profit_usd() == pytest.approx(
+            ds.total_profit_usd(), rel=1e-9
+        )

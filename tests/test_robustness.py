@@ -1,0 +1,157 @@
+"""Failure injection and degenerate-input robustness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AffiliateAnalyzer,
+    AnalysisContext,
+    FamilyClusterer,
+    OperatorAnalyzer,
+    VictimAnalyzer,
+)
+from repro.core import (
+    ContractAnalyzer,
+    DaaSDataset,
+    DatasetValidator,
+    SeedBuilder,
+    SnowballExpander,
+)
+from repro.core.monitor import StreamingMonitor
+from repro.simulation import SimulationParams, build_world
+from repro.simulation.labels import LabelFeeds
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    """The smallest world the scaler permits."""
+    return build_world(SimulationParams(scale=0.001, seed=31))
+
+
+class TestDegenerateWorlds:
+    def test_tiny_world_builds_and_pipeline_runs(self, tiny_world):
+        from repro.api import build_dataset
+
+        dataset, _, expansion, _, _ = build_dataset(tiny_world)
+        assert expansion.converged
+        # every family floors at 1 contract / 1 operator
+        assert len(dataset.contracts) >= 9
+        assert dataset.contracts == tiny_world.truth.all_contracts
+
+    def test_tiny_world_has_all_nine_families(self, tiny_world):
+        assert len(tiny_world.truth.families) == 9
+        for fam in tiny_world.truth.families.values():
+            assert fam.incidents  # even Spawn's single victim got hit
+
+
+class TestEmptyFeeds:
+    def test_empty_feeds_yield_empty_seed_and_no_expansion(self, tiny_world):
+        analyzer = ContractAnalyzer(
+            tiny_world.rpc, tiny_world.explorer, tiny_world.oracle
+        )
+        dataset, report = SeedBuilder(analyzer, LabelFeeds()).build()
+        assert report.candidates == 0
+        assert dataset.summary()["daas_accounts"] == 0
+        expansion = SnowballExpander(analyzer).expand(dataset)
+        assert expansion.converged
+        assert dataset.summary()["daas_accounts"] == 0
+
+
+class TestEmptyDatasetAnalyses:
+    @pytest.fixture()
+    def empty_ctx(self, tiny_world):
+        return AnalysisContext(
+            tiny_world.rpc, tiny_world.explorer, tiny_world.oracle, DaaSDataset()
+        )
+
+    def test_victim_analysis_on_empty_dataset(self, empty_ctx):
+        report = VictimAnalyzer(empty_ctx).analyze()
+        assert report.victim_count == 0
+        assert report.loss_bucket_shares() == [0.0, 0.0, 0.0, 0.0]
+        assert report.simultaneous_share() == 0.0
+        assert report.victims_per_day() == 0.0
+
+    def test_operator_analysis_on_empty_dataset(self, empty_ctx):
+        report = OperatorAnalyzer(empty_ctx).analyze()
+        assert report.total_profit_usd == 0.0
+        assert report.top_operator() is None
+        assert report.head_fraction_for(0.75) == 0.0
+
+    def test_affiliate_analysis_on_empty_dataset(self, empty_ctx):
+        report = AffiliateAnalyzer(empty_ctx).analyze()
+        assert report.total_profit_usd == 0.0
+        assert report.share_above(1_000) == 0.0
+        assert report.operator_count_shares() == {}
+
+    def test_clustering_on_empty_dataset(self, empty_ctx):
+        result = FamilyClusterer(empty_ctx).cluster()
+        assert result.family_count == 0
+        assert result.top_families_profit_share(3) == 0.0
+
+    def test_validation_on_empty_dataset(self, empty_ctx, tiny_world):
+        analyzer = ContractAnalyzer(
+            tiny_world.rpc, tiny_world.explorer, tiny_world.oracle
+        )
+        report = DatasetValidator(analyzer).validate(DaaSDataset())
+        assert report.transactions_reviewed == 0
+        assert report.false_positives == []
+
+    def test_monitor_with_empty_dataset_stays_empty(self, tiny_world):
+        analyzer = ContractAnalyzer(
+            tiny_world.rpc, tiny_world.explorer, tiny_world.oracle
+        )
+        monitor = StreamingMonitor(analyzer, DaaSDataset())
+        for number in sorted(tiny_world.chain.blocks):
+            monitor.process_block(tiny_world.chain.blocks[number])
+        assert monitor.dataset.account_count() == 0
+
+
+class TestCorruptedFeeds:
+    def test_feeds_full_of_garbage_addresses(self, tiny_world):
+        feeds = LabelFeeds(
+            scamsniffer_addresses=["0x" + "00" * 20, "0x" + "ff" * 20],
+            etherscan_phish_labels=["0x" + "12" * 20],
+        )
+        analyzer = ContractAnalyzer(
+            tiny_world.rpc, tiny_world.explorer, tiny_world.oracle
+        )
+        dataset, report = SeedBuilder(analyzer, feeds).build()
+        assert dataset.summary()["daas_accounts"] == 0
+        assert len(report.rejected_not_contract) == 3
+
+    def test_feed_pointing_at_infrastructure_contract(self, tiny_world):
+        # a false report naming the marketplace: Step 2 must reject it
+        feeds = LabelFeeds(
+            etherscan_phish_labels=[tiny_world.infra.marketplace.address]
+        )
+        analyzer = ContractAnalyzer(
+            tiny_world.rpc, tiny_world.explorer, tiny_world.oracle
+        )
+        dataset, report = SeedBuilder(analyzer, feeds).build()
+        assert tiny_world.infra.marketplace.address in (
+            report.rejected_not_profit_sharing
+        )
+        assert dataset.summary()["daas_accounts"] == 0
+
+
+class TestParameterEdges:
+    def test_zero_noise_world(self):
+        params = SimulationParams(scale=0.002, seed=32, noise_factor=0.0)
+        world = build_world(params)
+        assert world.truth.all_incidents
+
+    def test_all_eth_token_mix(self):
+        params = SimulationParams(scale=0.002, seed=33, token_mix=(1.0, 0.0, 0.0))
+        world = build_world(params)
+        non_forced = [
+            i for i in world.truth.all_incidents
+            if not (i.unrevoked or i.revoked or i.asset_kind == "erc20")
+        ]
+        assert all(i.asset_kind == "eth" for i in non_forced)
+
+    def test_all_nft_token_mix(self):
+        params = SimulationParams(scale=0.002, seed=34, token_mix=(0.0, 0.0, 1.0))
+        world = build_world(params)
+        kinds = {i.asset_kind for i in world.truth.all_incidents}
+        assert "nft" in kinds

@@ -1,0 +1,165 @@
+"""Fingerprints, CT log, and the end-to-end website detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.webdetect import (
+    CTLog,
+    CertEntry,
+    Crawler,
+    FAMILY_TOOLKIT_FILES,
+    FingerprintDB,
+    PhishingSiteDetector,
+    ToolkitFingerprint,
+    build_fingerprint_db,
+    content_digest,
+)
+from repro.webdetect.detector import tld_distribution
+from repro.webdetect.webworld import TABLE4_TLD_MIX
+
+
+@pytest.fixture(scope="session")
+def detection(web_world):
+    db = build_fingerprint_db(web_world)
+    reports, stats = PhishingSiteDetector(web_world, db).run()
+    return db, reports, stats
+
+
+class TestFingerprints:
+    def test_digest_stable(self):
+        assert content_digest("abc") == content_digest("abc")
+        assert content_digest("abc") != content_digest("abd")
+
+    def test_match_requires_name_and_content(self):
+        fp = ToolkitFingerprint(
+            family="Pink Drainer",
+            files=frozenset({("main.js", content_digest("payload"))}),
+        )
+        assert fp.matches({"main.js": "payload"})
+        assert not fp.matches({"main.js": "different"})
+        assert not fp.matches({"other.js": "payload"})
+        assert not fp.matches({})
+
+    def test_empty_fingerprint_never_matches(self):
+        fp = ToolkitFingerprint(family="X", files=frozenset())
+        assert not fp.matches({"a": "b"})
+
+    def test_db_dedupes(self):
+        db = FingerprintDB()
+        fp = ToolkitFingerprint("X", frozenset({("a.js", content_digest("v"))}))
+        assert db.add(fp)
+        assert not db.add(fp)
+        assert len(db) == 1
+
+    def test_db_growth_from_site(self):
+        db = FingerprintDB()
+        files = {name: "variant-42" for name in FAMILY_TOOLKIT_FILES["Pink Drainer"]}
+        assert db.add_from_site("Pink Drainer", files)
+        assert db.match(files) is not None
+        assert db.families() == {"Pink Drainer"}
+
+    def test_db_growth_unknown_family_rejected(self):
+        db = FingerprintDB()
+        assert not db.add_from_site("Nonexistent", {"x.js": "y"})
+
+
+class TestCTLog:
+    def test_window_selects_by_time(self):
+        log = CTLog()
+        for ts in (100, 200, 300, 400):
+            log.append(CertEntry(domain=f"d{ts}.com", issued_at=ts))
+        selected = [e.domain for e in log.window(150, 350)]
+        assert selected == ["d200.com", "d300.com"]
+
+    def test_out_of_order_appends_get_sorted(self):
+        log = CTLog()
+        log.append(CertEntry(domain="b.com", issued_at=200))
+        log.append(CertEntry(domain="a.com", issued_at=100))
+        assert [e.domain for e in log] == ["a.com", "b.com"]
+
+    def test_len(self):
+        log = CTLog()
+        log.append(CertEntry(domain="a.com", issued_at=1))
+        assert len(log) == 1
+
+
+class TestCrawler:
+    def test_fetch_known_site(self, web_world):
+        crawler = Crawler(web_world)
+        domain = next(iter(web_world.truth.phishing))
+        files = crawler.fetch(domain)
+        assert files is not None and "index.html" in files
+
+    def test_fetch_unknown_site(self, web_world):
+        assert Crawler(web_world).fetch("no-such-domain.example") is None
+
+    def test_fetch_before_online_returns_none(self, web_world):
+        crawler = Crawler(web_world)
+        domain = next(iter(web_world.truth.phishing))
+        site = web_world.sites[domain]
+        assert crawler.fetch(domain, at_ts=site.online_from - 1) is None
+
+    def test_fetch_count_increments(self, web_world):
+        crawler = Crawler(web_world)
+        crawler.fetch("a.example")
+        crawler.fetch("b.example")
+        assert crawler.fetch_count == 2
+
+
+class TestEndToEndDetection:
+    def test_no_false_positives(self, web_world, detection):
+        _, reports, _ = detection
+        for report in reports:
+            assert report.domain in web_world.truth.phishing
+
+    def test_family_attribution_correct(self, web_world, detection):
+        _, reports, _ = detection
+        for report in reports:
+            assert web_world.truth.phishing[report.domain][0] == report.family
+
+    def test_recall_over_detectable_population(self, web_world, detection):
+        db, reports, _ = detection
+        detected = {r.domain for r in reports}
+        detectable = {
+            d for d in web_world.truth.phishing
+            if web_world.sites[d].tls and d in web_world.truth.keyword_named
+        }
+        assert len(detected & detectable) / len(detectable) > 0.6
+
+    def test_non_tls_sites_invisible(self, web_world, detection):
+        _, reports, _ = detection
+        detected = {r.domain for r in reports}
+        non_tls = {d for d in web_world.truth.phishing if not web_world.sites[d].tls}
+        assert not detected & non_tls
+
+    def test_funnel_counters_consistent(self, detection):
+        _, reports, stats = detection
+        assert stats.confirmed == len(reports)
+        assert stats.suspicious >= stats.crawled + stats.unreachable - stats.suspicious * 0
+        assert stats.crawled >= stats.confirmed + stats.no_fingerprint_match - stats.crawled * 0
+        assert stats.ct_entries >= stats.suspicious
+
+    def test_detected_count_near_paper_rate(self, web_world, detection):
+        _, reports, _ = detection
+        expected = 32_819 * web_world.params.scale
+        assert expected * 0.7 <= len(reports) <= expected * 1.3
+
+    def test_tld_distribution_shape(self, detection):
+        _, reports, _ = detection
+        tld = tld_distribution(reports)
+        # .com leads at ~30 %, .dev and .app follow (Table 4).
+        ordered = list(tld)
+        assert ordered[0] == "com"
+        assert tld["com"] == pytest.approx(TABLE4_TLD_MIX["com"], abs=0.08)
+        assert tld["dev"] > tld["org"]
+
+    def test_fingerprint_db_size_near_paper(self, web_world, detection):
+        db, _, _ = detection
+        expected = 867 * web_world.params.scale
+        assert expected * 0.6 <= len(db) <= expected * 2.5
+
+    def test_tls_fraction_over_70_percent(self, web_world):
+        phishing = web_world.truth.phishing
+        tls = sum(1 for d in phishing if web_world.sites[d].tls)
+        assert tls / len(phishing) > 0.65

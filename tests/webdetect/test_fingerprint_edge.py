@@ -1,0 +1,85 @@
+"""Fingerprint-database edge cases and adversarial site contents."""
+
+from __future__ import annotations
+
+from repro.webdetect import (
+    FAMILY_TOOLKIT_FILES,
+    FingerprintDB,
+    ToolkitFingerprint,
+    content_digest,
+)
+from repro.webdetect.html import render_site_html
+from repro.webdetect.webworld import _variant_content
+
+
+def full_site(family: str, variant: int) -> dict[str, str]:
+    names = FAMILY_TOOLKIT_FILES[family]
+    files = {"index.html": render_site_html("x.dev", names)}
+    for name in names:
+        files[name] = _variant_content(family, name, variant)
+    return files
+
+
+class TestPartialMatches:
+    def test_missing_one_toolkit_file_fails(self):
+        db = FingerprintDB()
+        db.add_from_site("Pink Drainer", full_site("Pink Drainer", 1))
+        files = full_site("Pink Drainer", 1)
+        del files["vendor.js"]
+        assert db.match(files) is None
+
+    def test_mixed_variants_fail(self):
+        """A site mixing files from two variants matches neither."""
+        db = FingerprintDB()
+        db.add_from_site("Pink Drainer", full_site("Pink Drainer", 1))
+        db.add_from_site("Pink Drainer", full_site("Pink Drainer", 2))
+        files = full_site("Pink Drainer", 1)
+        files["vendor.js"] = _variant_content("Pink Drainer", "vendor.js", 2)
+        assert db.match(files) is None
+
+    def test_benign_name_collision_with_drainer_file(self):
+        """A benign site shipping a file named like a toolkit file (but
+        with its own content) never matches."""
+        db = FingerprintDB()
+        db.add_from_site("Pink Drainer", full_site("Pink Drainer", 0))
+        benign = {
+            "index.html": render_site_html("shop.dev", ("main.js",)),
+            "main.js": "/* my webshop bundle */",
+            "contract.js": "/* terms-of-service renderer */",
+            "vendor.js": "/* jquery */",
+        }
+        assert db.match(benign) is None
+
+    def test_extra_files_do_not_prevent_match(self):
+        db = FingerprintDB()
+        db.add_from_site("Angel Drainer", full_site("Angel Drainer", 3))
+        files = full_site("Angel Drainer", 3)
+        files["analytics.js"] = "/* tracking */"
+        files["style.css"] = "body{}"
+        match = db.match(files)
+        assert match is not None and match.family == "Angel Drainer"
+
+
+class TestDBSemantics:
+    def test_cross_family_fingerprints_coexist(self):
+        db = FingerprintDB()
+        db.add_from_site("Angel Drainer", full_site("Angel Drainer", 0))
+        db.add_from_site("Inferno Drainer", full_site("Inferno Drainer", 0))
+        assert db.families() == {"Angel Drainer", "Inferno Drainer"}
+        assert db.match(full_site("Angel Drainer", 0)).family == "Angel Drainer"
+        assert db.match(full_site("Inferno Drainer", 0)).family == "Inferno Drainer"
+
+    def test_add_from_site_with_no_toolkit_files_is_noop(self):
+        db = FingerprintDB()
+        assert not db.add_from_site("Angel Drainer", {"index.html": "<html>"})
+        assert len(db) == 0
+
+    def test_manual_fingerprint_roundtrip(self):
+        files = {"settings.js": "v9", "webchunk.js": "v9"}
+        fp = ToolkitFingerprint(
+            family="Angel Drainer",
+            files=frozenset((n, content_digest(c)) for n, c in files.items()),
+        )
+        db = FingerprintDB()
+        db.add(fp)
+        assert db.match(files) == fp

@@ -1,0 +1,86 @@
+"""HTML rendering and script-reference extraction (paper Listing 2)."""
+
+from __future__ import annotations
+
+from repro.webdetect.html import (
+    CDN_SCRIPTS,
+    extract_script_sources,
+    local_script_names,
+    render_site_html,
+)
+
+
+class TestRendering:
+    def test_embeds_cdn_and_local_scripts(self):
+        html = render_site_html("claim-pepe.xyz", ("settings.js", "webchunk.js"))
+        sources = extract_script_sources(html)
+        for cdn in CDN_SCRIPTS:
+            assert cdn in sources
+        assert any(src.endswith("settings.js") for src in sources)
+        assert any(src.endswith("webchunk.js") for src in sources)
+
+    def test_cloned_from_comment(self):
+        html = render_site_html("claim-pepe.xyz", ("a.js",), cloned_from="pepe")
+        assert "cloned from pepe" in html
+
+    def test_listing2_style_path_for_wallet_connect(self):
+        # Inferno's snippet loads wallet_connect.js from ./scripts/.
+        html = render_site_html("x.dev", ("wallet_connect.js",))
+        assert './scripts/wallet_connect.js' in html
+
+
+class TestExtraction:
+    def test_extract_in_document_order(self):
+        html = '<script src="a.js"></script><script defer src="b.js"></script>'
+        assert extract_script_sources(html) == ["a.js", "b.js"]
+
+    def test_single_and_double_quotes(self):
+        html = "<script src='one.js'></script>" + '<script src="two.js"></script>'
+        assert extract_script_sources(html) == ["one.js", "two.js"]
+
+    def test_ignores_inline_scripts(self):
+        assert extract_script_sources("<script>alert(1)</script>") == []
+
+    def test_local_names_exclude_cdns(self):
+        html = render_site_html("x.dev", ("main.js", "vendor.js"))
+        names = local_script_names(html)
+        assert names == ["main.js", "vendor.js"]
+
+    def test_local_names_strip_paths(self):
+        html = '<script src="./deep/nested/path/file.js"></script>'
+        assert local_script_names(html) == ["file.js"]
+
+    def test_empty_html(self):
+        assert local_script_names("") == []
+
+
+class TestWorldIntegration:
+    def test_phishing_pages_reference_their_toolkit(self, web_world):
+        from repro.webdetect.fingerprints import FAMILY_TOOLKIT_FILES
+
+        domain, (family, _) = next(iter(web_world.truth.phishing.items()))
+        site = web_world.sites[domain]
+        referenced = set(local_script_names(site.files["index.html"]))
+        assert set(FAMILY_TOOLKIT_FILES[family]) <= referenced
+
+    def test_benign_pages_reference_only_their_scripts(self, web_world):
+        domain = next(iter(web_world.truth.benign))
+        site = web_world.sites[domain]
+        names = set(local_script_names(site.files["index.html"]))
+        assert names == {"app.js", "main.js"}
+
+    def test_stale_unreferenced_toolkit_not_confirmed(self, web_world):
+        """A site shipping drainer files on disk but not wiring them into
+        the page is not confirmed when HTML verification is on."""
+        from repro.webdetect import PhishingSiteDetector, build_fingerprint_db
+        from repro.webdetect.fingerprints import FAMILY_TOOLKIT_FILES
+        from repro.webdetect.webworld import _variant_content
+
+        db = build_fingerprint_db(web_world)
+        detector = PhishingSiteDetector(web_world, db, verify_html_references=True)
+        files = {"index.html": render_site_html("x.dev", ("app.js",))}
+        for name in FAMILY_TOOLKIT_FILES["Pink Drainer"]:
+            files[name] = _variant_content("Pink Drainer", name, 0)
+        fingerprint = db.match(files)
+        assert fingerprint is not None          # files match on disk...
+        assert not detector._referenced(fingerprint, files)  # ...but not wired in

@@ -1,0 +1,135 @@
+"""Levenshtein distance/similarity and the 63-keyword domain filter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.webdetect.keywords import SUSPICIOUS_KEYWORDS, DomainFilter
+from repro.webdetect.levenshtein import levenshtein_distance, similarity_ratio
+
+words = st.text(alphabet="abcdefghij", max_size=12)
+
+
+class TestLevenshteinDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("claim", "c1aim", 1),
+            ("airdrop", "airdr0p", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    @given(words, words)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(words, words)
+    @settings(max_examples=150, deadline=None)
+    def test_bounds(self, a, b):
+        d = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(words, words, words)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(words)
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+
+class TestSimilarityRatio:
+    def test_identical(self):
+        assert similarity_ratio("claim", "claim") == 1.0
+        assert similarity_ratio("", "") == 1.0
+
+    def test_disjoint(self):
+        assert similarity_ratio("aaa", "bbb") == 0.0
+
+    def test_single_edit(self):
+        assert similarity_ratio("claim", "c1aim") == pytest.approx(0.8)
+        assert similarity_ratio("airdrop", "airdr0p") == pytest.approx(1 - 1 / 7)
+
+    @given(words, words)
+    @settings(max_examples=100, deadline=None)
+    def test_ratio_in_unit_interval(self, a, b):
+        assert 0.0 <= similarity_ratio(a, b) <= 1.0
+
+
+class TestKeywordList:
+    def test_exactly_63_keywords(self):
+        assert len(SUSPICIOUS_KEYWORDS) == 63
+
+    def test_no_duplicates(self):
+        assert len(set(SUSPICIOUS_KEYWORDS)) == 63
+
+    def test_paper_examples_present(self):
+        for keyword in ("claim", "airdrop", "mint"):
+            assert keyword in SUSPICIOUS_KEYWORDS
+
+
+class TestDomainFilter:
+    @pytest.fixture()
+    def domain_filter(self):
+        return DomainFilter()
+
+    @pytest.mark.parametrize(
+        "domain",
+        [
+            "claim-pepe.xyz",
+            "azuki-mint.app",
+            "uniswapairdrop.com",
+            "metamask-verify.dev",
+            "all0wlist-arbitrum.xyz",   # leet obfuscation
+            "a1rdrop-blur.net",
+            "zksync-rewards.io",
+        ],
+    )
+    def test_phishing_style_domains_flagged(self, domain_filter, domain):
+        assert domain_filter.is_suspicious(domain)
+
+    @pytest.mark.parametrize(
+        "domain",
+        [
+            "bakery-garden.com",
+            "weatherstation.net",
+            "pottery-studio.org",
+            "xkcd.com",
+        ],
+    )
+    def test_plain_benign_not_flagged(self, domain_filter, domain):
+        assert not domain_filter.is_suspicious(domain)
+
+    def test_keyword_containment_in_compound(self, domain_filter):
+        # "claims-insurance" contains "claim" -> flagged: the filter alone
+        # is not a phishing verdict (the crawl step disambiguates).
+        assert domain_filter.is_suspicious("claims-insurance-281.dev")
+
+    def test_matched_keyword_returned(self, domain_filter):
+        assert domain_filter.matched_keyword("claim-pepe.xyz") == "claim"
+
+    def test_similarity_threshold_respected(self):
+        strict = DomainFilter(similarity_threshold=0.95)
+        assert not strict.is_suspicious("cla1m-pepe.xyz".replace("claim", "clxim"))
+
+    def test_tokens_keep_digits(self, domain_filter):
+        assert "all0wlist" in domain_filter.tokens("all0wlist-arbitrum.xyz")
+
+    def test_short_tokens_skipped_cheaply(self, domain_filter):
+        # 2-letter token can never reach 0.8 similarity to 5+-letter keywords.
+        assert not domain_filter.is_suspicious("ab-cd.com")

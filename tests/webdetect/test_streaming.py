@@ -1,0 +1,119 @@
+"""Continuous detection with in-stream fingerprint growth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.webdetect import (
+    FAMILY_TOOLKIT_FILES,
+    FingerprintDB,
+    PhishingSiteDetector,
+    StreamingSiteDetector,
+    ToolkitFingerprint,
+    content_digest,
+)
+from repro.webdetect.detector import build_fingerprint_db
+from repro.webdetect.webworld import _variant_content
+
+
+def base_db() -> FingerprintDB:
+    """Telegram-acquired toolkits only (variant 0 per family)."""
+    db = FingerprintDB()
+    for family, names in FAMILY_TOOLKIT_FILES.items():
+        files = frozenset(
+            (n, content_digest(_variant_content(family, n, 0))) for n in names
+        )
+        db.add(ToolkitFingerprint(family=family, files=files))
+    return db
+
+
+@pytest.fixture(scope="module")
+def streamed(web_world):
+    db = base_db()
+    detector = StreamingSiteDetector(web_world, db)
+    reports, stats = detector.run()
+    return db, reports, stats, detector
+
+
+class TestGrowth:
+    def test_db_grows_in_stream(self, streamed):
+        db, _, stats, _ = streamed
+        assert stats.fingerprints_harvested > 0
+        assert len(db) > len(base_db())
+
+    def test_streaming_beats_frozen_base_db(self, web_world, streamed):
+        _, reports, _, _ = streamed
+        static_reports, _ = PhishingSiteDetector(web_world, base_db()).run()
+        assert len(reports) > len(static_reports)
+
+    def test_streaming_matches_pre_grown_batch(self, web_world, streamed):
+        """With community reports feeding the harvest loop in-stream, the
+        continuous detector converges to what a batch run with the fully
+        pre-grown DB finds."""
+        _, reports, _, _ = streamed
+        full_db = build_fingerprint_db(web_world)
+        batch_reports, _ = PhishingSiteDetector(web_world, full_db).run()
+        assert {r.domain for r in reports} == {r.domain for r in batch_reports}
+
+    def test_late_confirmations_counted(self, streamed):
+        _, _, stats, _ = streamed
+        assert stats.late_confirmations > 0
+        assert stats.confirmed >= stats.late_confirmations
+
+
+class TestQuality:
+    def test_no_false_positives(self, web_world, streamed):
+        _, reports, _, _ = streamed
+        assert all(r.domain in web_world.truth.phishing for r in reports)
+
+    def test_family_attribution_correct(self, web_world, streamed):
+        _, reports, _, _ = streamed
+        for report in reports:
+            assert web_world.truth.phishing[report.domain][0] == report.family
+
+    def test_no_duplicate_domains(self, streamed):
+        _, reports, _, _ = streamed
+        domains = [r.domain for r in reports]
+        assert len(domains) == len(set(domains))
+
+    def test_pending_queue_drains(self, streamed):
+        _, _, _, detector = streamed
+        # whatever stays pending must be benign keyword-named sites
+        for domain, _, _, _ in detector._pending:
+            assert domain in detector.web.truth.benign or (
+                domain in detector.web.truth.phishing
+            )
+
+    def test_retry_queue_bounded(self, web_world):
+        detector = StreamingSiteDetector(web_world, base_db(), max_retry_queue=3)
+        detector.run()
+        assert len(detector._pending) <= 3
+
+
+class TestMetricsHelpers:
+    def test_score_sets(self):
+        from repro.core.metrics import score_sets
+
+        metrics = score_sets({"a", "b", "x"}, {"a", "b", "c"})
+        assert metrics.true_positives == 2
+        assert metrics.false_positives == 1
+        assert metrics.false_negatives == 1
+        assert metrics.precision == pytest.approx(2 / 3)
+        assert metrics.recall == pytest.approx(2 / 3)
+        assert metrics.f1 == pytest.approx(2 / 3)
+
+    def test_perfect_and_empty(self):
+        from repro.core.metrics import score_sets
+
+        perfect = score_sets({"a"}, {"a"})
+        assert perfect.precision == perfect.recall == perfect.f1 == 1.0
+        empty = score_sets(set(), set())
+        assert empty.precision == 1.0 and empty.recall == 1.0
+
+    def test_dataset_metrics_on_pipeline(self, pipeline, world):
+        from repro.core.metrics import dataset_metrics
+
+        scores = dataset_metrics(pipeline.dataset, world.truth)
+        for kind in ("contracts", "operators", "affiliates", "transactions"):
+            assert scores[kind].precision == 1.0
+            assert scores[kind].recall == 1.0

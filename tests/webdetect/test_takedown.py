@@ -1,0 +1,80 @@
+"""Takedown dynamics after reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.webdetect import PhishingSiteDetector, build_fingerprint_db
+from repro.webdetect.takedown import TakedownSimulator
+
+
+@pytest.fixture(scope="module")
+def takedown(web_world):
+    db = build_fingerprint_db(web_world)
+    reports, _ = PhishingSiteDetector(web_world, db).run()
+    simulator = TakedownSimulator(web_world, seed=5)
+    return simulator, reports, simulator.apply(reports)
+
+
+class TestTakedowns:
+    def test_every_reported_site_taken_down(self, takedown):
+        _, reports, result = takedown
+        assert result.takedown_count == len(reports)
+
+    def test_takedown_never_precedes_report(self, takedown):
+        _, _, result = takedown
+        for event in result.events:
+            assert event.taken_down_at >= event.reported_at
+
+    def test_takedown_bounded_by_study_end(self, takedown, web_world):
+        _, _, result = takedown
+        for event in result.events:
+            assert event.taken_down_at <= web_world.params.detection_end
+
+    def test_median_latency_near_configured(self, takedown):
+        simulator, _, result = takedown
+        # exponential with mean 3 days -> median ~ 3*ln 2 ~ 2.1 days
+        assert 0.5 <= result.median_latency_days() <= 5.0
+
+    def test_redeployment_rate_near_probability(self, takedown):
+        simulator, _, result = takedown
+        assert result.redeployment_rate() == pytest.approx(
+            simulator.redeploy_probability, abs=0.08
+        )
+
+    def test_redeployed_domains_are_fresh(self, takedown, web_world):
+        _, _, result = takedown
+        for event in result.events:
+            if event.redeployed_as is not None:
+                assert event.redeployed_as != event.domain
+                assert event.redeployed_as not in web_world.sites
+
+    def test_deterministic(self, web_world, takedown):
+        _, reports, result = takedown
+        again = TakedownSimulator(web_world, seed=5).apply(reports)
+        assert [e.domain for e in again.events] == [e.domain for e in result.events]
+        assert again.redeployments == result.redeployments
+
+
+class TestExposureAccounting:
+    def test_exposure_removed_positive(self, takedown):
+        simulator, _, result = takedown
+        assert simulator.exposure_removed_days(result) > 0
+
+    def test_redeployment_erodes_exposure_gain(self, web_world, takedown):
+        _, reports, _ = takedown
+        no_redeploy = TakedownSimulator(web_world, seed=5, redeploy_probability=0.0)
+        with_redeploy = TakedownSimulator(web_world, seed=5, redeploy_probability=0.9)
+        gain_clean = no_redeploy.exposure_removed_days(no_redeploy.apply(reports))
+        gain_eroded = with_redeploy.exposure_removed_days(with_redeploy.apply(reports))
+        assert gain_eroded < gain_clean
+
+    def test_slow_takedowns_remove_less(self, web_world, takedown):
+        _, reports, _ = takedown
+        fast = TakedownSimulator(web_world, seed=5, median_latency_days=1.0,
+                                 redeploy_probability=0.0)
+        slow = TakedownSimulator(web_world, seed=5, median_latency_days=30.0,
+                                 redeploy_probability=0.0)
+        assert slow.exposure_removed_days(slow.apply(reports)) < (
+            fast.exposure_removed_days(fast.apply(reports))
+        )

@@ -1,0 +1,101 @@
+"""Web-world generation: structure, distributions, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.webdetect import WebWorldParams, build_web_world
+from repro.webdetect.webworld import TABLE4_TLD_MIX
+
+
+class TestStructure:
+    def test_population_sizes(self, web_world):
+        params = web_world.params
+        expected_phish = round(params.n_phishing_sites * params.scale)
+        assert len(web_world.truth.phishing) == expected_phish
+        assert len(web_world.truth.benign) == round(expected_phish * params.benign_factor)
+        assert len(web_world.sites) == len(web_world.truth.phishing) + len(
+            web_world.truth.benign
+        )
+
+    def test_domains_unique(self, web_world):
+        assert not set(web_world.truth.phishing) & web_world.truth.benign
+
+    def test_ct_log_has_only_tls_sites(self, web_world):
+        logged = {entry.domain for entry in web_world.ct_log}
+        for domain in logged:
+            assert web_world.sites[domain].tls
+        non_tls = {d for d, s in web_world.sites.items() if not s.tls}
+        assert not logged & non_tls
+
+    def test_tls_fraction_near_target(self, web_world):
+        phishing = web_world.truth.phishing
+        tls = sum(1 for d in phishing if web_world.sites[d].tls)
+        assert tls / len(phishing) == pytest.approx(web_world.params.tls_fraction, abs=0.05)
+
+    def test_reported_subset_of_phishing(self, web_world):
+        assert web_world.truth.reported <= set(web_world.truth.phishing)
+
+    def test_keyword_named_fraction(self, web_world):
+        share = len(web_world.truth.keyword_named) / len(web_world.truth.phishing)
+        assert share == pytest.approx(web_world.params.keyword_name_fraction, abs=0.05)
+
+
+class TestTLDDistribution:
+    def test_mix_sums_to_one(self):
+        assert sum(TABLE4_TLD_MIX.values()) == pytest.approx(1.0, abs=0.001)
+
+    def test_planted_tlds_follow_mix(self, web_world):
+        from collections import Counter
+
+        counts = Counter(d.rsplit(".", 1)[-1] for d in web_world.truth.phishing)
+        total = sum(counts.values())
+        for tld in ("com", "dev", "app"):
+            assert counts[tld] / total == pytest.approx(TABLE4_TLD_MIX[tld], abs=0.05)
+
+    def test_top10_ordering_holds(self, web_world):
+        from collections import Counter
+
+        counts = Counter(d.rsplit(".", 1)[-1] for d in web_world.truth.phishing)
+        assert counts["com"] > counts["dev"] > counts["xyz"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_web(self):
+        a = build_web_world(WebWorldParams(scale=0.005, seed=9))
+        b = build_web_world(WebWorldParams(scale=0.005, seed=9))
+        assert set(a.sites) == set(b.sites)
+        assert a.truth.reported == b.truth.reported
+
+    def test_different_seed_different_web(self):
+        a = build_web_world(WebWorldParams(scale=0.005, seed=9))
+        b = build_web_world(WebWorldParams(scale=0.005, seed=10))
+        assert set(a.sites) != set(b.sites)
+
+    def test_sites_online_within_window(self, web_world):
+        params = web_world.params
+        for site in web_world.sites.values():
+            assert params.detection_start <= site.online_from <= params.detection_end
+
+
+class TestVariants:
+    def test_variant_indices_within_family_budget(self, web_world):
+        from repro.simulation.params import PAPER_FAMILIES
+
+        total_victims = sum(f.n_victims for f in PAPER_FAMILIES)
+        for domain, (family, variant) in web_world.truth.phishing.items():
+            assert variant >= 0
+
+    def test_same_variant_same_content(self, web_world):
+        by_variant: dict[tuple[str, int], dict[str, str]] = {}
+        for domain, key in web_world.truth.phishing.items():
+            files = {
+                k: v for k, v in web_world.sites[domain].files.items()
+                if k != "index.html"
+            }
+            if key in by_variant:
+                assert by_variant[key] == files
+            else:
+                by_variant[key] = files
+            if len(by_variant) > 30:
+                break
