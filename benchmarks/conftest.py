@@ -13,6 +13,7 @@ summary (so they appear even with pytest's output capture active).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -69,6 +70,24 @@ def record_table():
         _TABLES.append((name, text))
         _OUT_DIR.mkdir(exist_ok=True)
         (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture()
+def record_perf():
+    """Record a machine-readable perf sample under ``out/``.
+
+    Perf benches pass per-configuration samples (worker count, cache hit
+    rate, wall time, throughput) so runs are comparable across PRs —
+    diffing ``out/<name>.json`` between branches shows regressions that
+    rendered tables hide.
+    """
+
+    def _record(name: str, samples: dict) -> None:
+        _OUT_DIR.mkdir(exist_ok=True)
+        payload = {"scale": BENCH_SCALE, "seed": BENCH_SEED, "samples": samples}
+        (_OUT_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
 
     return _record
 

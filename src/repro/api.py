@@ -35,6 +35,7 @@ from repro.core import (
     SeedReport,
     SnowballExpander,
 )
+from repro.runtime import ExecutionEngine
 from repro.simulation import SimulatedWorld, SimulationParams, build_world
 
 __all__ = ["PipelineResult", "build_dataset", "run_pipeline"]
@@ -57,13 +58,19 @@ class PipelineResult:
     clustering: ClusteringResult
     victim_analyzer: VictimAnalyzer
     family_clusterer: FamilyClusterer
+    engine: ExecutionEngine | None = None
 
 
 def build_dataset(
     world: SimulatedWorld,
+    engine: ExecutionEngine | None = None,
 ) -> tuple[DaaSDataset, SeedReport, ExpansionReport, ContractAnalyzer, dict[str, int]]:
-    """Seed + snowball over an already-built world (paper §5)."""
-    analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle)
+    """Seed + snowball over an already-built world (paper §5).
+
+    ``engine`` selects the execution strategy (serial/parallel, caching);
+    every configuration produces byte-identical datasets.
+    """
+    analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle, engine=engine)
     dataset, seed_report = SeedBuilder(analyzer, world.feeds).build()
     seed_summary = dict(dataset.summary())
     expansion_report = SnowballExpander(analyzer).expand(dataset)
@@ -75,6 +82,7 @@ def run_pipeline(
     scale: float | None = None,
     seed: int | None = None,
     world: SimulatedWorld | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> PipelineResult:
     """Build (or reuse) a world and run dataset construction + measurement."""
     if world is None:
@@ -86,7 +94,9 @@ def run_pipeline(
                 params.seed = seed
         world = build_world(params)
 
-    dataset, seed_report, expansion_report, analyzer, seed_summary = build_dataset(world)
+    dataset, seed_report, expansion_report, analyzer, seed_summary = build_dataset(
+        world, engine=engine
+    )
     context = AnalysisContext(world.rpc, world.explorer, world.oracle, dataset)
 
     victim_analyzer = VictimAnalyzer(context)
@@ -110,4 +120,5 @@ def run_pipeline(
         clustering=clustering,
         victim_analyzer=victim_analyzer,
         family_clusterer=clusterer,
+        engine=analyzer.engine,
     )

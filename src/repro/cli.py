@@ -20,6 +20,7 @@ from repro.analysis.laundering import LaunderingAnalyzer
 from repro.api import run_pipeline
 from repro.core import ContractAnalyzer, DatasetValidator
 from repro.core.release import build_report_bundle, export_accounts_csv, export_transactions_csv
+from repro.runtime import ExecutionEngine, make_executor
 from repro.simulation import SimulationParams
 from repro.webdetect import (
     PhishingSiteDetector,
@@ -42,8 +43,20 @@ def _params(args: argparse.Namespace) -> SimulationParams:
     return SimulationParams(scale=args.scale, seed=args.seed)
 
 
+def _engine(args: argparse.Namespace) -> ExecutionEngine:
+    """Execution engine from the runtime flags (commands without the flags,
+    e.g. ``report``, fall back to the serial cached default)."""
+    return ExecutionEngine(
+        executor=make_executor(
+            getattr(args, "workers", 1), getattr(args, "chunk_size", 1)
+        ),
+        cache_enabled=not getattr(args, "no_cache", False),
+    )
+
+
 def cmd_build_dataset(args: argparse.Namespace) -> int:
-    result = run_pipeline(_params(args))
+    engine = _engine(args)
+    result = run_pipeline(_params(args), engine=engine)
     print(render_table(
         ["stage"] + list(result.seed_summary),
         [
@@ -52,6 +65,9 @@ def cmd_build_dataset(args: argparse.Namespace) -> int:
         ],
         title="Dataset collection (Table 1)",
     ))
+    if getattr(args, "stats", False):
+        print()
+        print(engine.render_stats())
     if args.out:
         result.dataset.save(args.out)
         print(f"\ndataset written to {args.out}")
@@ -210,6 +226,15 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("build-dataset", help="seed + snowball, optionally write JSON")
     _add_common(p)
     p.add_argument("--out", default="", help="path for the dataset JSON")
+    p.add_argument("--workers", type=int, default=1,
+                   help="analysis worker threads (1 = serial; results are "
+                        "identical for any worker count)")
+    p.add_argument("--chunk-size", type=int, default=1,
+                   help="contracts per parallel work unit (default 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the runtime analysis/read caches (baseline mode)")
+    p.add_argument("--stats", action="store_true",
+                   help="print runtime stats: stage wall time, txs/s, cache hit rates")
     p.set_defaults(fn=cmd_build_dataset)
 
     p = sub.add_parser("analyze", help="run the §6 measurement suite")

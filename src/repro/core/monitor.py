@@ -116,7 +116,12 @@ class StreamingMonitor:
             parties.update((match.operator, match.affiliate, match.source))
         if not parties & known:
             return []
-        if not self.analyzer.rpc.is_contract(tx.to):
+        # The stream has been appending this address's activity since any
+        # earlier cached read (e.g. a seed-stage rejection before the
+        # contract turned profit-sharing); drop the stale per-address state
+        # so the admission check and backfill see the full history.
+        self.analyzer.invalidate(tx.to)
+        if not self.analyzer.is_contract(tx.to):
             return []
 
         self.dataset.add_contract(tx.to, stage="expansion", source="monitor")

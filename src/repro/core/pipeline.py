@@ -5,6 +5,12 @@ share: classify every historical transaction of a contract (§5.1 Step 2),
 convert matches into dataset records with USD valuation, and split the
 recipients into operator and affiliate roles by share size (Step 3 —
 "operators receive the smaller share").
+
+All per-contract analysis is routed through an
+:class:`~repro.runtime.engine.ExecutionEngine`, which memoizes results
+across stages (a snowball round never re-classifies a contract the seed
+stage or an earlier round already analyzed), caches chain reads, and
+fans batch work out over its executor.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.chain.prices import PriceOracle
 from repro.chain.rpc import EthereumRPC
 from repro.core.dataset import PSTransactionRecord
 from repro.core.profit_sharing import ProfitShareMatch, ProfitSharingClassifier, RPCClassifier
+from repro.runtime.engine import ExecutionEngine
 
 __all__ = ["ContractAnalysis", "ContractAnalyzer", "split_roles"]
 
@@ -58,7 +65,7 @@ def split_roles(matches: list[ProfitShareMatch]) -> tuple[set[str], set[str]]:
 
 
 class ContractAnalyzer:
-    """Per-contract classification, with memoization across stages."""
+    """Per-contract classification, routed through an execution engine."""
 
     def __init__(
         self,
@@ -67,21 +74,43 @@ class ContractAnalyzer:
         oracle: PriceOracle,
         classifier: ProfitSharingClassifier | None = None,
         min_ps_txs: int = 1,
+        engine: ExecutionEngine | None = None,
     ) -> None:
         self.rpc = rpc
         self.explorer = explorer
         self.oracle = oracle
-        self.rpc_classifier = RPCClassifier(rpc, classifier)
+        self.engine = engine if engine is not None else ExecutionEngine()
+        self.reads = self.engine.bind_reads(rpc, explorer)
+        self.rpc_classifier = RPCClassifier(
+            self.reads, classifier, cache=self.engine.match_cache
+        )
         self.min_ps_txs = min_ps_txs
-        self._analyses: dict[str, ContractAnalysis] = {}
+
+    # -- cached views used by every construction stage ----------------------
 
     def analyze(self, contract: str) -> ContractAnalysis:
-        """Classify every historical transaction of ``contract``."""
-        cached = self._analyses.get(contract)
-        if cached is not None:
-            return cached
+        """Classify every historical transaction of ``contract`` (cached)."""
+        return self.engine.analyze(self, contract)
+
+    def analyze_many(self, contracts: list[str]) -> dict[str, ContractAnalysis]:
+        """Batch classification; cache misses fan out over the engine."""
+        return self.engine.analyze_many(self, contracts)
+
+    def invalidate(self, contract: str) -> bool:
+        """Drop cached state for ``contract`` (monitor backfill hook)."""
+        return self.engine.invalidate_contract(contract)
+
+    def transactions_of(self, address: str):
+        return self.reads.transactions_of(address)
+
+    def is_contract(self, address: str) -> bool:
+        return self.reads.is_contract(address)
+
+    # -- the uncached Step 2 work (called by the engine) ---------------------
+
+    def compute_analysis(self, contract: str) -> ContractAnalysis:
         analysis = ContractAnalysis(contract=contract)
-        for tx in self.explorer.transactions_of(contract):
+        for tx in self.reads.transactions_of(contract):
             analysis.total_txs += 1
             if tx.to != contract:
                 # The contract merely appeared in someone else's trace; the
@@ -90,7 +119,6 @@ class ContractAnalyzer:
             analysis.matches.extend(self.rpc_classifier.classify_hash(tx.hash))
         if len(analysis.matches) < self.min_ps_txs:
             analysis.matches.clear()
-        self._analyses[contract] = analysis
         return analysis
 
     def to_records(self, matches: list[ProfitShareMatch]) -> list[PSTransactionRecord]:

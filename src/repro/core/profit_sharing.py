@@ -28,6 +28,7 @@ from repro.chain.rpc import EthereumRPC
 from repro.chain.transaction import Receipt, Transaction
 from repro.core.fundflow import Transfer, extract_fund_flow, group_by_source
 from repro.core.ratios import DEFAULT_TOLERANCE, match_operator_share
+from repro.runtime.cache import ReadThroughCache
 
 __all__ = ["ProfitShareMatch", "ProfitSharingClassifier", "RPCClassifier"]
 
@@ -116,20 +117,28 @@ class RPCClassifier:
 
     Snowball expansion re-visits the same transactions from many angles
     (contract side, operator side, affiliate side); memoizing per hash
-    keeps the walk linear in distinct transactions.
+    keeps the walk linear in distinct transactions.  The memo is a
+    runtime cache so an :class:`~repro.runtime.engine.ExecutionEngine`
+    can share (or disable) it across the whole pipeline; without one, a
+    private unbounded cache is used.  ``rpc`` may be any object with the
+    ``get_transaction`` / ``get_transaction_receipt`` interface, e.g. an
+    :class:`~repro.runtime.cache.RPCReadCache`.
     """
 
-    def __init__(self, rpc: EthereumRPC, classifier: ProfitSharingClassifier | None = None) -> None:
+    def __init__(
+        self,
+        rpc: EthereumRPC,
+        classifier: ProfitSharingClassifier | None = None,
+        cache=None,
+    ) -> None:
         self._rpc = rpc
         self.classifier = classifier or ProfitSharingClassifier()
-        self._memo: dict[str, list[ProfitShareMatch]] = {}
+        self._memo = cache if cache is not None else ReadThroughCache("tx_matches")
 
     def classify_hash(self, tx_hash: str) -> list[ProfitShareMatch]:
-        cached = self._memo.get(tx_hash)
-        if cached is not None:
-            return cached
+        return self._memo.get_or_compute(tx_hash, lambda: self._classify(tx_hash))
+
+    def _classify(self, tx_hash: str) -> list[ProfitShareMatch]:
         tx = self._rpc.get_transaction(tx_hash)
         receipt = self._rpc.get_transaction_receipt(tx_hash)
-        matches = self.classifier.classify(tx, receipt)
-        self._memo[tx_hash] = matches
-        return matches
+        return self.classifier.classify(tx, receipt)

@@ -36,17 +36,27 @@ class SeedBuilder:
         self.feeds = feeds
 
     def build(self) -> tuple[DaaSDataset, SeedReport]:
+        with self.analyzer.engine.stats.stage("seed"):
+            return self._build()
+
+    def _build(self) -> tuple[DaaSDataset, SeedReport]:
         dataset = DaaSDataset()
         report = SeedReport()
 
         candidates = sorted(self.feeds.all_reported_addresses())
         report.candidates = len(candidates)
 
+        # Pre-warm Step 2 for every contract candidate in one engine batch;
+        # the serial assembly loop below then runs on cache hits.
+        self.analyzer.analyze_many(
+            [a for a in candidates if self.analyzer.is_contract(a)]
+        )
+
         for address in candidates:
             # Step 1 filter: the paper collects phishing *contracts*; feed
             # entries that are EOAs (drainer wallets reported directly) are
             # not candidates for contract analysis.
-            if not self.analyzer.rpc.is_contract(address):
+            if not self.analyzer.is_contract(address):
                 report.rejected_not_contract.append(address)
                 continue
 

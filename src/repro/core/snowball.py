@@ -62,6 +62,10 @@ class SnowballExpander:
 
     def expand(self, dataset: DaaSDataset) -> ExpansionReport:
         """Mutate ``dataset`` in place; returns per-iteration statistics."""
+        with self.analyzer.engine.stats.stage("snowball"):
+            return self._expand(dataset)
+
+    def _expand(self, dataset: DaaSDataset) -> ExpansionReport:
         report = ExpansionReport()
         frontier = sorted(dataset.operators | dataset.affiliates)
 
@@ -79,31 +83,52 @@ class SnowballExpander:
     def _discover_contracts(
         self, frontier: list[str], dataset: DaaSDataset, stats: IterationStats
     ) -> list[str]:
+        # Per-account evaluation is pure within a round (the dataset and the
+        # rejected set only change between rounds), so it fans out over the
+        # engine; the merge below replays the accounts in frontier order so
+        # discovery order, statistics, and the resulting dataset are
+        # byte-identical to a serial walk.
+        evaluated = self.analyzer.engine.map(
+            lambda account: self._evaluate_account(account, dataset), frontier
+        )
         found: list[str] = []
         seen: set[str] = set()
-        for account in frontier:
+        for account_candidates in evaluated:
             stats.accounts_scanned += 1
-            for tx in self.analyzer.explorer.transactions_of(account):
-                candidate = tx.to
-                if (
-                    candidate is None
-                    or candidate in dataset.contracts
-                    or candidate in seen
-                    or candidate in self._rejected
-                ):
-                    continue
-                matches = self.analyzer.rpc_classifier.classify_hash(tx.hash)
-                if not matches:
-                    continue
-                if not self.analyzer.rpc.is_contract(candidate):
+            for candidate, admissible in account_candidates:
+                if candidate in seen:
                     continue
                 stats.candidates_seen += 1
-                if self._interacts_with_dataset(candidate, exclude=account, dataset=dataset):
+                if admissible:
                     found.append(candidate)
                     seen.add(candidate)
                 else:
                     stats.candidates_rejected += 1
         return found
+
+    def _evaluate_account(
+        self, account: str, dataset: DaaSDataset
+    ) -> list[tuple[str, bool]]:
+        """Walk one frontier account's history and evaluate every candidate
+        contract it surfaces: ``(candidate, passes the admission guard)``."""
+        out: list[tuple[str, bool]] = []
+        for tx in self.analyzer.transactions_of(account):
+            candidate = tx.to
+            if (
+                candidate is None
+                or candidate in dataset.contracts
+                or candidate in self._rejected
+            ):
+                continue
+            if not self.analyzer.rpc_classifier.classify_hash(tx.hash):
+                continue
+            if not self.analyzer.is_contract(candidate):
+                continue
+            out.append((
+                candidate,
+                self._interacts_with_dataset(candidate, exclude=account, dataset=dataset),
+            ))
+        return out
 
     def _interacts_with_dataset(
         self, contract: str, exclude: str, dataset: DaaSDataset
@@ -119,7 +144,7 @@ class SnowballExpander:
         if cached is not None:
             return cached
         parties: set[str] = set()
-        for tx in self.analyzer.explorer.transactions_of(contract):
+        for tx in self.analyzer.transactions_of(contract):
             parties.add(tx.sender)
             if tx.to:
                 parties.add(tx.to)
@@ -143,7 +168,11 @@ class SnowballExpander:
         """Run Step 2/3 on discovered contracts; returns the new frontier."""
         new_frontier: list[str] = []
         source = f"snowball:{iteration}"
-        for contract in sorted(candidates):
+        ordered = sorted(candidates)
+        # Batch pre-warm: classification of this round's discoveries fans
+        # out over the engine; the admission loop below runs on cache hits.
+        self.analyzer.analyze_many(ordered)
+        for contract in ordered:
             analysis = self.analyzer.analyze(contract)
             if not analysis.is_profit_sharing:
                 self._rejected.add(contract)

@@ -89,9 +89,9 @@ class DatasetValidator:
 
     def _review(self, record: PSTransactionRecord) -> bool:
         """One reviewer: re-derive the criteria from raw chain data."""
-        rpc = self.analyzer.rpc
-        tx = rpc.get_transaction(record.tx_hash)
-        receipt = rpc.get_transaction_receipt(record.tx_hash)
+        reads = self.analyzer.reads
+        tx = reads.get_transaction(record.tx_hash)
+        receipt = reads.get_transaction_receipt(record.tx_hash)
         if not receipt.succeeded:
             return False
 

@@ -1,0 +1,44 @@
+"""Execution runtime for the measurement pipeline.
+
+The dataset construction of §5 is an embarrassingly parallel fixpoint:
+each snowball round classifies every candidate contract's transaction
+history independently of the others.  This package supplies the
+machinery that exploits that shape without changing results:
+
+* :mod:`repro.runtime.executor` — pluggable serial / pooled ``map`` with
+  deterministic result merging;
+* :mod:`repro.runtime.cache` — keyed read-through caches with
+  hit/miss/eviction accounting (per-contract analyses, RPC/explorer
+  reads, per-transaction classification verdicts);
+* :mod:`repro.runtime.stats` — per-stage wall time and throughput
+  counters;
+* :mod:`repro.runtime.engine` — the :class:`ExecutionEngine` façade the
+  core pipeline routes all per-contract analysis through.
+
+The engine guarantees **parity**: serial, parallel, and cache-disabled
+runs of ``build_dataset`` produce byte-identical dataset JSON (see
+``tests/runtime/test_parity.py``).
+"""
+
+from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.stats import RuntimeStats
+
+__all__ = [
+    "CacheStats",
+    "NullCache",
+    "ReadThroughCache",
+    "RPCReadCache",
+    "ExecutionEngine",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "RuntimeStats",
+]

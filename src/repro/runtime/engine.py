@@ -1,0 +1,154 @@
+"""The execution engine: executor + caches + stats behind one handle.
+
+The core pipeline (seed, snowball, monitor) routes every per-contract
+analysis through an :class:`ExecutionEngine`.  The engine memoizes
+:class:`~repro.core.pipeline.ContractAnalysis` results so that a
+snowball round never re-classifies a contract analyzed in an earlier
+round (or by the seed stage), fans batches out over the configured
+executor, and keeps the read caches and counters the CLI's ``--stats``
+flag and the perf benchmarks report.
+
+Determinism: the engine only parallelizes *pure* per-item work (contract
+classification, per-account history evaluation) and merges results in
+input order, so any executor/cache configuration produces byte-identical
+datasets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache
+from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.stats import RuntimeStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core import cycle
+    from repro.core.pipeline import ContractAnalysis, ContractAnalyzer
+
+__all__ = ["ExecutionEngine"]
+
+
+class ExecutionEngine:
+    """Executor, caches, and instrumentation for one pipeline run."""
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        cache_enabled: bool = True,
+        analysis_cache_size: int | None = None,
+        stats: RuntimeStats | None = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache_enabled = cache_enabled
+        self.stats = stats if stats is not None else RuntimeStats()
+        if cache_enabled:
+            self._cache_factory: Callable[[str], Any] = ReadThroughCache
+            self.analysis_cache = ReadThroughCache("analyses", max_size=analysis_cache_size)
+        else:
+            self._cache_factory = NullCache
+            self.analysis_cache = NullCache("analyses")
+        self.match_cache = self._cache_factory("tx_matches")
+        self.reads: RPCReadCache | None = None
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind_reads(self, rpc, explorer) -> RPCReadCache:
+        """Attach the chain read cache to a node/explorer pair (idempotent;
+        the first bound pair wins, which matches one-engine-per-world use)."""
+        if self.reads is None:
+            self.reads = RPCReadCache(rpc, explorer, self._cache_factory)
+        return self.reads
+
+    # -- per-contract analysis ----------------------------------------------
+
+    def analyze(self, analyzer: "ContractAnalyzer", contract: str) -> "ContractAnalysis":
+        """Read-through classification of one contract."""
+        return self.analysis_cache.get_or_compute(
+            contract, lambda: self._compute(analyzer, contract)
+        )
+
+    def analyze_many(
+        self, analyzer: "ContractAnalyzer", contracts: Iterable[str]
+    ) -> dict[str, "ContractAnalysis"]:
+        """Classify a batch of contracts, fanning cache misses out over the
+        executor; results keyed by contract, computed exactly once each."""
+        ordered = list(dict.fromkeys(contracts))
+        results: dict[str, ContractAnalysis] = {}
+        missing: list[str] = []
+        for contract in ordered:
+            if contract in self.analysis_cache:
+                results[contract] = self.analyze(analyzer, contract)
+            else:
+                missing.append(contract)
+        if missing:
+            computed = self.executor.map_merged(
+                lambda contract: self._compute(analyzer, contract), missing
+            )
+            for contract, analysis in zip(missing, computed):
+                results[contract] = self.analysis_cache.get_or_compute(
+                    contract, lambda value=analysis: value
+                )
+        return {contract: results[contract] for contract in ordered}
+
+    def _compute(self, analyzer: "ContractAnalyzer", contract: str) -> "ContractAnalysis":
+        self.stats.bump("contract_classifications")
+        analysis = analyzer.compute_analysis(contract)
+        self.stats.bump("txs_classified", analysis.total_txs)
+        return analysis
+
+    def invalidate_contract(self, contract: str) -> bool:
+        """Drop cached per-address state so a re-analysis sees history
+        appended after the original read (the monitor's backfill hook)."""
+        self.stats.bump("invalidations")
+        dropped = self.analysis_cache.invalidate(contract)
+        if self.reads is not None:
+            dropped = self.reads.invalidate_address(contract) or dropped
+        return dropped
+
+    # -- generic fan-out ----------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Deterministically-merged map over arbitrary pure work."""
+        return self.executor.map_merged(fn, items)
+
+    # -- reporting ----------------------------------------------------------
+
+    def cache_stats(self) -> list[CacheStats]:
+        caches = [self.analysis_cache, self.match_cache]
+        if self.reads is not None:
+            caches.extend(self.reads.caches())
+        return [cache.stats for cache in caches]
+
+    def cache_hit_rate(self) -> float:
+        """Aggregate hit rate across every cache layer."""
+        hits = sum(s.hits for s in self.cache_stats())
+        requests = sum(s.requests for s in self.cache_stats())
+        return hits / requests if requests else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "workers": self.executor.workers,
+            "cache_enabled": self.cache_enabled,
+            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "caches": {s.name: s.snapshot() for s in self.cache_stats()},
+            **self.stats.snapshot(),
+        }
+
+    def render_stats(self) -> str:
+        """Human-readable block for the CLI's ``--stats`` flag."""
+        lines = [
+            f"runtime stats (workers={self.executor.workers}, "
+            f"cache={'on' if self.cache_enabled else 'off'})"
+        ]
+        for name, wall in sorted(self.stats.stage_wall.items()):
+            lines.append(f"  stage {name:<22} {wall:8.3f} s")
+        for name, value in sorted(self.stats.counters.items()):
+            lines.append(f"  {name:<28} {value:,}")
+        lines.append(f"  txs/s classified             {self.stats.txs_per_second():,.0f}")
+        for s in self.cache_stats():
+            lines.append(
+                f"  cache {s.name:<14} hits={s.hits:,} misses={s.misses:,} "
+                f"evictions={s.evictions:,} hit_rate={s.hit_rate:.1%}"
+            )
+        lines.append(f"  overall cache hit rate       {self.cache_hit_rate():.1%}")
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Lightweight pipeline instrumentation.
+
+One :class:`RuntimeStats` instance rides along with an
+:class:`~repro.runtime.engine.ExecutionEngine` and accumulates
+
+* per-stage wall-clock time (``seed``, ``snowball``, ...),
+* monotonic counters (contracts classified, transactions scanned,
+  cache invalidations),
+
+from which throughput (transactions classified per second) is derived.
+Counter updates may come from worker threads, so they are guarded by a
+lock; the cost is negligible next to the classification work itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RuntimeStats"]
+
+
+class RuntimeStats:
+    """Per-stage wall time + named counters for one pipeline run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.stage_wall: dict[str, float] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a pipeline stage; nested calls of the same name accumulate."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self.stage_wall[name] = self.stage_wall.get(name, 0.0) + elapsed
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- reading ------------------------------------------------------------
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def wall(self, name: str) -> float:
+        return self.stage_wall.get(name, 0.0)
+
+    def total_wall(self) -> float:
+        """Sum of stage wall times (stages are disjoint, never nested)."""
+        return sum(self.stage_wall.values())
+
+    def txs_per_second(self) -> float:
+        """Classification throughput over the timed stages."""
+        wall = self.total_wall()
+        return self.count("txs_classified") / wall if wall > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "stages": {k: round(v, 6) for k, v in sorted(self.stage_wall.items())},
+            "counters": dict(sorted(self.counters.items())),
+            "txs_per_second": round(self.txs_per_second(), 1),
+        }

@@ -1,0 +1,79 @@
+"""`split_roles` edge cases: majority voting and tie-breaking.
+
+Every profit-sharing match names the smaller-share recipient as operator
+and the larger-share one as affiliate; `split_roles` resolves an address
+that appears on both sides across matches by majority vote, with the
+operator role winning ties (paper §5.1 Step 3).
+"""
+
+from __future__ import annotations
+
+from repro.core import split_roles
+from repro.core.profit_sharing import ProfitShareMatch
+
+A = "0x" + "aa" * 20
+B = "0x" + "bb" * 20
+C = "0x" + "cc" * 20
+D = "0x" + "dd" * 20
+
+
+def _match(operator: str, affiliate: str, i: int = 0) -> ProfitShareMatch:
+    return ProfitShareMatch(
+        tx_hash=f"0x{i:064x}",
+        contract="0x" + "ee" * 20,
+        source="0x" + "ff" * 20,
+        token="ETH",
+        operator=operator,
+        affiliate=affiliate,
+        operator_amount=20,
+        affiliate_amount=80,
+        ratio_bps=2000,
+        timestamp=1_700_000_000 + i,
+    )
+
+
+class TestDisjointRoles:
+    def test_plain_split(self):
+        operators, affiliates = split_roles([_match(A, B), _match(A, B, 1)])
+        assert operators == {A}
+        assert affiliates == {B}
+
+    def test_empty_matches(self):
+        assert split_roles([]) == (set(), set())
+
+
+class TestTieBreaking:
+    def test_tie_goes_to_operator(self):
+        # A: 1 operator vote, 1 affiliate vote -> operator wins the tie.
+        operators, affiliates = split_roles([_match(A, B), _match(C, A, 1)])
+        assert A in operators
+        assert A not in affiliates
+
+    def test_symmetric_pair_both_become_operators(self):
+        # A and B each appear once on each side; both ties resolve to
+        # operator, leaving no affiliates.
+        operators, affiliates = split_roles([_match(A, B), _match(B, A, 1)])
+        assert operators == {A, B}
+        assert affiliates == set()
+
+
+class TestMajorityVote:
+    def test_affiliate_majority_wins(self):
+        # A: 1 operator vote vs. 2 affiliate votes -> affiliate.
+        matches = [_match(A, B), _match(C, A, 1), _match(D, A, 2)]
+        operators, affiliates = split_roles(matches)
+        assert A in affiliates
+        assert A not in operators
+
+    def test_operator_majority_wins(self):
+        # A: 2 operator votes vs. 1 affiliate vote -> operator.
+        matches = [_match(A, B), _match(A, C, 1), _match(D, A, 2)]
+        operators, affiliates = split_roles(matches)
+        assert A in operators
+        assert A not in affiliates
+
+    def test_roles_are_disjoint_and_cover_all_addresses(self):
+        matches = [_match(A, B), _match(B, A, 1), _match(C, D, 2), _match(D, A, 3)]
+        operators, affiliates = split_roles(matches)
+        assert operators & affiliates == set()
+        assert operators | affiliates == {A, B, C, D}
