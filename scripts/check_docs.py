@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Docs consistency checker — no build system required.
+
+Verifies, for ``README.md`` and every ``docs/*.md``:
+
+1. every relative markdown link ``[text](target)`` resolves to an
+   existing file (external ``http(s)://`` / ``mailto:`` links and pure
+   ``#anchor`` links are skipped; a ``#fragment`` suffix is stripped
+   before the existence check);
+2. every ``--flag`` named on a ``daas-repro`` command line (including
+   backslash-continued lines) exists as an ``add_argument`` flag in
+   ``src/repro/cli.py`` — so the docs cannot drift ahead of or behind
+   the CLI.
+
+Run directly (``python scripts/check_docs.py``, exits non-zero on
+problems) or through ``tests/test_docs.py``, which wires it into the
+default pytest run.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+_CLI_FLAG_RE = re.compile(r"""["'](--[a-z][a-z0-9-]*)["']""")
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def cli_flags(root: Path = REPO_ROOT) -> set[str]:
+    """Every ``--flag`` string literal in the CLI module."""
+    source = (root / "src" / "repro" / "cli.py").read_text()
+    return set(_CLI_FLAG_RE.findall(source))
+
+
+def check_links(path: Path, root: Path = REPO_ROOT) -> list[str]:
+    errors = []
+    for target in _LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def _daas_command_lines(text: str):
+    """Lines that are part of a ``daas-repro`` invocation, following
+    backslash continuations onto subsequent lines."""
+    continued = False
+    for line in text.splitlines():
+        if continued or "daas-repro" in line:
+            yield line
+            continued = line.rstrip().endswith("\\")
+        else:
+            continued = False
+
+
+def check_flags(path: Path, known: set[str], root: Path = REPO_ROOT) -> list[str]:
+    errors = []
+    for line in _daas_command_lines(path.read_text()):
+        for flag in _FLAG_RE.findall(line):
+            if flag not in known:
+                errors.append(
+                    f"{path.relative_to(root)}: flag {flag} not in repro/cli.py"
+                )
+    return errors
+
+
+def run_checks(root: Path = REPO_ROOT) -> list[str]:
+    known = cli_flags(root)
+    errors: list[str] = []
+    for path in doc_files(root):
+        errors.extend(check_links(path, root))
+        errors.extend(check_flags(path, known, root))
+    return errors
+
+
+def main() -> int:
+    errors = run_checks()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        return 1
+    print(f"docs OK: {len(doc_files())} files, {len(cli_flags())} CLI flags known")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,9 @@ Packages:
   detection, seed construction, snowball expansion, dataset model;
 * :mod:`repro.analysis`   — the §6-§7 measurement suite and clustering;
 * :mod:`repro.webdetect`  — the §8 toolkit-based website detector;
+* :mod:`repro.runtime`    — the execution engine (executors, caches);
+* :mod:`repro.obs`        — observability: trace spans, metrics registry,
+  structured logs (``--trace-out`` / ``--metrics-out`` / ``--log-json``);
 * :mod:`repro.api`        — a one-call facade over the full pipeline.
 """
 

@@ -99,12 +99,27 @@ def run_pipeline(
     )
     context = AnalysisContext(world.rpc, world.explorer, world.oracle, dataset)
 
+    # Measurement stages are traced under ``measure.*`` so a --trace-out
+    # file covers the whole run, not just dataset construction.
+    run_engine = analyzer.engine
     victim_analyzer = VictimAnalyzer(context)
-    victim_report = victim_analyzer.analyze()
-    operator_report = OperatorAnalyzer(context).analyze()
-    affiliate_report = AffiliateAnalyzer(context).analyze(victim_report)
+    with run_engine.stage("measure.victims"):
+        victim_report = victim_analyzer.analyze()
+    with run_engine.stage("measure.operators"):
+        operator_report = OperatorAnalyzer(context).analyze()
+    with run_engine.stage("measure.affiliates"):
+        affiliate_report = AffiliateAnalyzer(context).analyze(victim_report)
     clusterer = FamilyClusterer(context)
-    clustering = clusterer.cluster(victim_report)
+    with run_engine.stage("measure.clustering"):
+        clustering = clusterer.cluster(victim_report)
+    run_engine.obs.event(
+        "pipeline.done",
+        contracts=len(dataset.contracts),
+        operators=len(dataset.operators),
+        affiliates=len(dataset.affiliates),
+        victims=victim_report.victim_count,
+        families=clustering.family_count,
+    )
 
     return PipelineResult(
         world=world,

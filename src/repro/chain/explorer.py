@@ -36,6 +36,28 @@ class Explorer:
     def __init__(self, chain: Blockchain) -> None:
         self._chain = chain
         self._labels: dict[str, AddressLabel] = {}
+        self._metrics = None
+        self._n_txlist = 0
+        self._published = 0
+
+    def instrument(self, metrics) -> None:
+        """Attach an observability registry (see ``EthereumRPC.instrument``;
+        per-address history is the explorer read every snowball hop pays).
+        The tally is an unlocked int flushed by :meth:`publish_reads`."""
+        self._metrics = metrics
+
+    def publish_reads(self) -> None:
+        """Flush the read tally into ``daas_chain_reads_total``."""
+        if self._metrics is None:
+            return
+        delta = self._n_txlist - self._published
+        if delta:
+            self._metrics.counter(
+                "daas_chain_reads_total",
+                help_text="Uncached chain/explorer reads, by interface and method.",
+                interface="explorer", method="transactions_of",
+            ).inc(delta)
+            self._published = self._n_txlist
 
     # -- labels -----------------------------------------------------------
 
@@ -63,6 +85,7 @@ class Explorer:
         Includes internal-transfer and token-transfer participation, the
         way Etherscan's "internal txns" and "token transfers" tabs do.
         """
+        self._n_txlist += 1
         return self._chain.transactions_of(address)
 
     def first_seen(self, address: str) -> int | None:

@@ -27,10 +27,52 @@ class TransactionNotFoundError(KeyError):
 
 
 class EthereumRPC:
-    """Read-only node interface; all lookups are O(1) or indexed."""
+    """Read-only node interface; all lookups are O(1) or indexed.
+
+    When :meth:`instrument` has attached a metrics registry, the hot
+    read methods tally into ``daas_chain_reads_total{interface="rpc"}``.
+    For the construction path the engine's read cache sits *in front of*
+    this facade, so those tallies measure exactly the reads a real
+    deployment would have paid node latency for (cache hits never reach
+    here); the measurement stages call the facade directly and their
+    reads count too.
+
+    Tallies are plain unlocked ints flushed to the registry by
+    :meth:`publish_reads` — these methods sit on the classification hot
+    path, where a locked counter increment per read costs several percent
+    of total runtime.  A thread switch mid-increment can drop a count, a
+    standard telemetry trade-off.
+    """
 
     def __init__(self, chain: Blockchain) -> None:
         self._chain = chain
+        self._metrics = None
+        self._n_tx = 0
+        self._n_receipt = 0
+        self._n_code = 0
+        self._published: dict[str, int] = {}
+
+    def instrument(self, metrics) -> None:
+        """Attach an observability registry; tallies flush on publish."""
+        self._metrics = metrics
+
+    def publish_reads(self) -> None:
+        """Flush the read tallies into ``daas_chain_reads_total``."""
+        if self._metrics is None:
+            return
+        for method, total in (
+            ("get_transaction", self._n_tx),
+            ("get_transaction_receipt", self._n_receipt),
+            ("is_contract", self._n_code),
+        ):
+            delta = total - self._published.get(method, 0)
+            if delta:
+                self._metrics.counter(
+                    "daas_chain_reads_total",
+                    help_text="Uncached chain/explorer reads, by interface and method.",
+                    interface="rpc", method=method,
+                ).inc(delta)
+                self._published[method] = total
 
     # -- chain metadata -----------------------------------------------------
 
@@ -50,12 +92,14 @@ class EthereumRPC:
     # -- transactions ---------------------------------------------------------
 
     def get_transaction(self, tx_hash: str) -> Transaction:
+        self._n_tx += 1
         tx = self._chain.transactions.get(tx_hash)
         if tx is None:
             raise TransactionNotFoundError(tx_hash)
         return tx
 
     def get_transaction_receipt(self, tx_hash: str) -> Receipt:
+        self._n_receipt += 1
         receipt = self._chain.receipts.get(tx_hash)
         if receipt is None:
             raise TransactionNotFoundError(tx_hash)
@@ -72,6 +116,7 @@ class EthereumRPC:
 
     def is_contract(self, address: str) -> bool:
         """Equivalent of checking ``eth_getCode`` for non-empty bytecode."""
+        self._n_code += 1
         return self._chain.state.is_contract(address)
 
     def get_code_kind(self, address: str) -> str | None:

@@ -8,12 +8,21 @@ Commands:
 * ``cluster``       — run §7 family clustering and print Table 2.
 * ``webdetect``     — run the §8 website-detection pipeline and Table 4.
 * ``report``        — everything above as one paper-vs-measured report.
+* ``trace-summary`` — per-stage flame table from a ``--trace-out`` file.
+
+Observability flags (``build-dataset`` and ``webdetect``):
+``--log-json`` streams structured events to stderr, ``--trace-out``
+writes the span trace as JSON lines, ``--metrics-out`` writes the
+metrics registry (Prometheus text format, or JSON for ``.json`` paths).
+None of them changes results — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from repro.obs import Observability
 
 from repro.analysis import fmt_month, fmt_pct, fmt_usd, render_table
 from repro.analysis.laundering import LaunderingAnalyzer
@@ -43,6 +52,43 @@ def _params(args: argparse.Namespace) -> SimulationParams:
     return SimulationParams(scale=args.scale, seed=args.seed)
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-json", action="store_true",
+                        help="stream structured log events to stderr as JSON lines")
+    parser.add_argument("--trace-out", default="", metavar="FILE",
+                        help="write the span trace as JSON lines (read it back "
+                             "with `daas-repro trace-summary FILE`)")
+    parser.add_argument("--metrics-out", default="", metavar="FILE",
+                        help="write the metrics registry (Prometheus text "
+                             "format; JSON when FILE ends in .json)")
+
+
+def _obs(args: argparse.Namespace) -> Observability:
+    """Observability handle from the CLI flags; quiet unless asked."""
+    return Observability(
+        log_stream=sys.stderr if getattr(args, "log_json", False) else None,
+        log_fmt="json",
+    )
+
+
+def _write_obs(
+    args: argparse.Namespace,
+    obs: Observability,
+    engine: ExecutionEngine | None = None,
+) -> None:
+    """Flush --trace-out / --metrics-out after a command's run."""
+    metrics_out = getattr(args, "metrics_out", "")
+    trace_out = getattr(args, "trace_out", "")
+    if metrics_out:
+        if engine is not None:
+            engine.publish_metrics()
+        obs.write_metrics(metrics_out)
+        print(f"metrics written to {metrics_out}")
+    if trace_out:
+        spans = obs.write_trace(trace_out)
+        print(f"trace written to {trace_out} ({spans} spans)")
+
+
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
     """Execution engine from the runtime flags (commands without the flags,
     e.g. ``report``, fall back to the serial cached default)."""
@@ -51,6 +97,7 @@ def _engine(args: argparse.Namespace) -> ExecutionEngine:
             getattr(args, "workers", 1), getattr(args, "chunk_size", 1)
         ),
         cache_enabled=not getattr(args, "no_cache", False),
+        obs=_obs(args),
     )
 
 
@@ -71,6 +118,7 @@ def cmd_build_dataset(args: argparse.Namespace) -> int:
     if args.out:
         result.dataset.save(args.out)
         print(f"\ndataset written to {args.out}")
+    _write_obs(args, engine.obs, engine)
     return 0
 
 
@@ -121,6 +169,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def cmd_webdetect(args: argparse.Namespace) -> int:
+    obs = _obs(args)
     web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
     if getattr(args, "streaming", False):
         from repro.webdetect import (
@@ -140,12 +189,12 @@ def cmd_webdetect(args: argparse.Namespace) -> int:
                     (n, content_digest(_variant_content(family, n, 0))) for n in names
                 ),
             ))
-        reports, stats = StreamingSiteDetector(web, db).run()
+        reports, stats = StreamingSiteDetector(web, db, obs=obs).run()
         print(f"streaming mode: {stats.fingerprints_harvested} variants harvested, "
               f"{stats.late_confirmations} late confirmations")
     else:
         db = build_fingerprint_db(web)
-        reports, stats = PhishingSiteDetector(web, db).run()
+        reports, stats = PhishingSiteDetector(web, db, obs=obs).run()
     print(f"fingerprints:     {len(db)} (paper 867 at scale 1.0)")
     print(f"CT entries:       {stats.ct_entries}")
     print(f"suspicious:       {stats.suspicious}")
@@ -153,6 +202,7 @@ def cmd_webdetect(args: argparse.Namespace) -> int:
     tld = tld_distribution(reports)
     rows = [[t, fmt_pct(s)] for t, s in list(tld.items())[:10]]
     print(render_table(["TLD", "share"], rows, title="\nTop-10 TLDs (Table 4)"))
+    _write_obs(args, obs)
     return 0
 
 
@@ -216,6 +266,17 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_file
+
+    try:
+        print(summarize_file(args.trace, top=args.top or None))
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="daas-repro",
@@ -235,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="disable the runtime analysis/read caches (baseline mode)")
     p.add_argument("--stats", action="store_true",
                    help="print runtime stats: stage wall time, txs/s, cache hit rates")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_build_dataset)
 
     p = sub.add_parser("analyze", help="run the §6 measurement suite")
@@ -249,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p)
     p.add_argument("--streaming", action="store_true",
                    help="continuous mode with in-stream fingerprint growth")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_webdetect)
 
     p = sub.add_parser("validate", help="run the §5.2 two-reviewer validation protocol")
@@ -269,6 +332,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", default="", help="path for the dataset JSON")
     p.add_argument("--md", default="", help="also write a markdown report here")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "trace-summary",
+        help="per-stage flame table from a trace file written with --trace-out",
+    )
+    p.add_argument("trace", help="trace JSONL file")
+    p.add_argument("--top", type=int, default=0,
+                   help="show only the first N rows (0 = all)")
+    p.set_defaults(fn=cmd_trace_summary)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -56,11 +56,21 @@ class StreamingMonitor:
         self.dataset = dataset
         self.stats = MonitorStats()
         self._seen_tx: set[str] = set()
+        obs = analyzer.engine.obs
+        self._obs = obs
+        self._m_blocks = obs.metrics.counter(
+            "daas_monitor_blocks_total", help_text="Blocks consumed by the monitor."
+        )
+        self._m_txs = obs.metrics.counter(
+            "daas_monitor_transactions_total",
+            help_text="Transactions screened by the monitor.",
+        )
 
     # ------------------------------------------------------------------
 
     def process_block(self, block: Block) -> list[Alert]:
         self.stats.blocks_processed += 1
+        self._m_blocks.inc()
         alerts: list[Alert] = []
         for tx in block.transactions:
             alerts.extend(self.process_transaction(tx))
@@ -71,6 +81,7 @@ class StreamingMonitor:
             return []
         self._seen_tx.add(tx.hash)
         self.stats.transactions_processed += 1
+        self._m_txs.inc()
         alerts: list[Alert] = []
 
         # Victim-protection screening: value flowing into a known account.
@@ -133,7 +144,12 @@ class StreamingMonitor:
         # stream already delivered before the contract became admissible.
         # Future activity arrives through the stream itself, since the
         # contract is now known.
-        analysis = self.analyzer.analyze(tx.to)
+        with self._obs.span("monitor.backfill", contract=tx.to):
+            analysis = self.analyzer.analyze(tx.to)
+        self._obs.event(
+            "monitor.admit_contract", contract=tx.to,
+            tx=tx.hash, matches=len(analysis.matches),
+        )
         past = [m for m in analysis.matches if m.timestamp <= tx.timestamp]
         operators, affiliates = split_roles(past)
         alerts.extend(self._admit_roles(tx, operators, affiliates))
@@ -159,4 +175,8 @@ class StreamingMonitor:
 
     def _alert(self, kind: str, tx_hash: str, subject: str, ts: int, detail: str) -> Alert:
         self.stats.alerts_by_kind[kind] = self.stats.alerts_by_kind.get(kind, 0) + 1
+        self._obs.metrics.counter(
+            "daas_monitor_alerts_total",
+            help_text="Monitor alerts raised, by kind.", kind=kind,
+        ).inc()
         return Alert(kind=kind, tx_hash=tx_hash, subject=subject, timestamp=ts, detail=detail)

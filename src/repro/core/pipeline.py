@@ -10,7 +10,10 @@ All per-contract analysis is routed through an
 :class:`~repro.runtime.engine.ExecutionEngine`, which memoizes results
 across stages (a snowball round never re-classifies a contract the seed
 stage or an earlier round already analyzed), caches chain reads, and
-fans batch work out over its executor.
+fans batch work out over its executor.  The engine's
+:class:`~repro.obs.Observability` handle (``analyzer.obs``) carries the
+trace spans, metrics, and structured log events every stage reports
+through; see ``docs/observability.md`` for the event catalogue.
 """
 
 from __future__ import annotations
@@ -86,6 +89,13 @@ class ContractAnalyzer:
         )
         self.min_ps_txs = min_ps_txs
 
+    @property
+    def obs(self):
+        """The engine's :class:`~repro.obs.Observability` handle, so stages
+        holding only an analyzer can trace/log without reaching through
+        ``analyzer.engine.obs`` everywhere."""
+        return self.engine.obs
+
     # -- cached views used by every construction stage ----------------------
 
     def analyze(self, contract: str) -> ContractAnalysis:
@@ -119,6 +129,11 @@ class ContractAnalyzer:
             analysis.matches.extend(self.rpc_classifier.classify_hash(tx.hash))
         if len(analysis.matches) < self.min_ps_txs:
             analysis.matches.clear()
+        if analysis.is_profit_sharing:
+            self.obs.event(
+                "classify.profit_sharing", level="debug", contract=contract,
+                matches=len(analysis.matches), total_txs=analysis.total_txs,
+            )
         return analysis
 
     def to_records(self, matches: list[ProfitShareMatch]) -> list[PSTransactionRecord]:

@@ -36,8 +36,17 @@ class SeedBuilder:
         self.feeds = feeds
 
     def build(self) -> tuple[DaaSDataset, SeedReport]:
-        with self.analyzer.engine.stats.stage("seed"):
-            return self._build()
+        engine = self.analyzer.engine
+        with engine.stage("seed"):
+            dataset, report = self._build()
+        engine.obs.event(
+            "seed.done",
+            candidates=report.candidates,
+            accepted=len(report.accepted_contracts),
+            rejected_not_contract=len(report.rejected_not_contract),
+            rejected_not_profit_sharing=len(report.rejected_not_profit_sharing),
+        )
+        return dataset, report
 
     def _build(self) -> tuple[DaaSDataset, SeedReport]:
         dataset = DaaSDataset()

@@ -62,17 +62,39 @@ class SnowballExpander:
 
     def expand(self, dataset: DaaSDataset) -> ExpansionReport:
         """Mutate ``dataset`` in place; returns per-iteration statistics."""
-        with self.analyzer.engine.stats.stage("snowball"):
-            return self._expand(dataset)
+        engine = self.analyzer.engine
+        with engine.stage("snowball"):
+            report = self._expand(dataset)
+        engine.obs.event(
+            "snowball.done",
+            iterations=len(report.iterations),
+            converged=report.converged,
+            new_contracts=report.total_new_contracts,
+        )
+        return report
 
     def _expand(self, dataset: DaaSDataset) -> ExpansionReport:
+        obs = self.analyzer.engine.obs
         report = ExpansionReport()
         frontier = sorted(dataset.operators | dataset.affiliates)
 
         for iteration in range(1, self.max_iterations + 1):
             stats = IterationStats(iteration=iteration)
-            new_contracts = self._discover_contracts(frontier, dataset, stats)
-            frontier = self._admit_contracts(new_contracts, dataset, stats, iteration)
+            with obs.span("snowball.round", round=iteration) as round_span:
+                new_contracts = self._discover_contracts(frontier, dataset, stats)
+                frontier = self._admit_contracts(new_contracts, dataset, stats, iteration)
+                round_span.set(
+                    frontier=stats.accounts_scanned,
+                    discovered=len(new_contracts),
+                    new_contracts=stats.new_contracts,
+                )
+            obs.event(
+                "snowball.round", level="debug", round=iteration,
+                accounts_scanned=stats.accounts_scanned,
+                new_contracts=stats.new_contracts,
+                new_operators=stats.new_operators,
+                new_affiliates=stats.new_affiliates,
+            )
             report.iterations.append(stats)
             if not new_contracts:
                 break

@@ -1,0 +1,103 @@
+"""Structured, run-id-stamped event logging.
+
+Every pipeline event is one flat JSON object — ``ts``, ``run``,
+``level``, ``event``, then the event's own fields — so a run's log can
+be grepped, jq-ed, and joined against its trace file on ``run``.  Two
+renderers exist:
+
+* JSON lines (``--log-json``): one object per line, machine-first;
+* a quiet human renderer: ``HH:MM:SS level event key=value ...``, used
+  by tooling that wants readable progress without a JSON parser.
+
+The logger is quiet by default (no stream attached): events are retained
+in a bounded in-memory buffer either way, which is what the tests and
+the ``Observability`` snapshot read.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import IO, Any
+
+__all__ = ["StructuredLogger", "render_human", "render_json"]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def render_json(record: dict[str, Any]) -> str:
+    """One event as a compact JSON object (stable key order: the envelope
+    fields first, then the event's own fields in insertion order)."""
+    return json.dumps(record, separators=(",", ":"))
+
+
+def render_human(record: dict[str, Any]) -> str:
+    """One event as a quiet console line."""
+    clock = time.strftime("%H:%M:%S", time.gmtime(record.get("ts", 0)))
+    fields = " ".join(
+        f"{key}={_short(value)}"
+        for key, value in record.items()
+        if key not in ("ts", "run", "level", "event")
+    )
+    line = f"{clock} {record.get('level', 'info'):<7} {record.get('event', '?')}"
+    return f"{line}  {fields}" if fields else line
+
+
+def _short(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    text = str(value)
+    return text if len(text) <= 48 else text[:45] + "..."
+
+
+class StructuredLogger:
+    """Collects events; optionally renders them to a stream as they happen."""
+
+    def __init__(
+        self,
+        run_id: str = "run",
+        stream: IO[str] | None = None,
+        fmt: str = "human",
+        min_level: str = "info",
+        keep: int = 2_000,
+    ) -> None:
+        if fmt not in ("human", "json"):
+            raise ValueError(f"fmt must be 'human' or 'json', got {fmt!r}")
+        if min_level not in _LEVELS:
+            raise ValueError(f"unknown level {min_level!r}")
+        self.run_id = run_id
+        self.stream = stream
+        self.fmt = fmt
+        self.min_level = min_level
+        self.events: deque[dict[str, Any]] = deque(maxlen=keep)
+        self._lock = threading.Lock()
+        self._render = render_json if fmt == "json" else render_human
+
+    def event(self, name: str, level: str = "info", **fields: Any) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "run": self.run_id,
+            "level": level,
+            "event": name,
+            **fields,
+        }
+        with self._lock:
+            self.events.append(record)
+            if self.stream is not None and _LEVELS.get(level, 20) >= _LEVELS[self.min_level]:
+                self.stream.write(self._render(record) + "\n")
+        return record
+
+    # Level shorthands keep call sites terse.
+    def debug(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.event(name, level="debug", **fields)
+
+    def info(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.event(name, level="info", **fields)
+
+    def warning(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.event(name, level="warning", **fields)
+
+    def error(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.event(name, level="error", **fields)

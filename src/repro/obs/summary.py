@@ -1,0 +1,147 @@
+"""Trace-file analysis: the per-stage flame table.
+
+``daas-repro trace-summary trace.jsonl`` reads a trace written with
+``--trace-out``, reconstructs the span forest from the parent links, and
+aggregates spans by *path* (the chain of span names from the root), so
+repeated stages collapse into one row — three ``snowball.round`` spans
+under ``snowball`` become a single row with ``calls=3``.
+
+Columns per row: call count, total wall time, *self* wall time (wall
+minus the wall of direct children — where the time actually went), CPU
+time, and share of the run.  Rows are indented by depth and ordered
+depth-first with the most expensive subtree first, which reads like a
+text-mode flame graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.trace import load_trace
+
+__all__ = ["StageRow", "aggregate_trace", "render_trace_summary", "summarize_file"]
+
+
+@dataclass
+class StageRow:
+    """One aggregated path in the span forest."""
+
+    path: tuple[str, ...]
+    calls: int = 0
+    wall_s: float = 0.0
+    self_s: float = 0.0
+    cpu_s: float = 0.0
+    errors: int = 0
+    children: "list[StageRow]" = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.path[-1] if self.path else "(root)"
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+
+def aggregate_trace(spans: Iterable[dict[str, Any]]) -> list[StageRow]:
+    """Aggregate span records into an ordered, depth-first row list."""
+    spans = list(spans)
+    by_id = {span.get("span"): span for span in spans if span.get("span")}
+
+    def path_of(span: dict[str, Any]) -> tuple[str, ...]:
+        names: list[str] = []
+        seen: set[str] = set()
+        node: dict[str, Any] | None = span
+        while node is not None:
+            names.append(str(node.get("name", "?")))
+            span_id = node.get("span")
+            if span_id in seen:  # defensive: a cyclic file must not hang us
+                break
+            if span_id:
+                seen.add(span_id)
+            parent = node.get("parent")
+            # An unknown parent id (dropped span, truncated file) makes
+            # the span a root rather than losing it.
+            node = by_id.get(parent) if parent else None
+        return tuple(reversed(names))
+
+    rows: dict[tuple[str, ...], StageRow] = {}
+    child_wall: dict[str, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent:
+            child_wall[parent] = child_wall.get(parent, 0.0) + float(span.get("wall_s", 0.0))
+
+    for span in spans:
+        path = path_of(span)
+        row = rows.get(path)
+        if row is None:
+            row = rows[path] = StageRow(path=path)
+        wall = float(span.get("wall_s", 0.0))
+        row.calls += 1
+        row.wall_s += wall
+        row.cpu_s += float(span.get("cpu_s", 0.0))
+        row.self_s += max(0.0, wall - child_wall.get(span.get("span"), 0.0))
+        if span.get("status") == "error":
+            row.errors += 1
+
+    # Wire children and emit depth-first, heaviest subtree first.
+    roots: list[StageRow] = []
+    for path in sorted(rows):
+        row = rows[path]
+        if len(path) == 1:
+            roots.append(row)
+        else:
+            parent = rows.get(path[:-1])
+            if parent is not None:
+                parent.children.append(row)
+            else:
+                roots.append(row)
+
+    ordered: list[StageRow] = []
+
+    def emit(row: StageRow) -> None:
+        ordered.append(row)
+        for child in sorted(row.children, key=lambda r: (-r.wall_s, r.name)):
+            emit(child)
+
+    for root in sorted(roots, key=lambda r: (-r.wall_s, r.name)):
+        emit(root)
+    return ordered
+
+
+def render_trace_summary(
+    spans: Iterable[dict[str, Any]], top: int | None = None
+) -> str:
+    """Render the flame table for a list of span records."""
+    rows = aggregate_trace(spans)
+    if not rows:
+        return "empty trace (no spans)"
+    total = sum(row.wall_s for row in rows if row.depth == 0) or 1e-12
+    span_count = sum(row.calls for row in rows)
+    if top is not None:
+        rows = rows[:top]
+
+    def label_of(row: StageRow) -> str:
+        label = "  " * row.depth + row.name
+        return f"{label} [!{row.errors}]" if row.errors else label
+
+    name_width = max(len("stage"), *(len(label_of(row)) for row in rows))
+    header = (
+        f"{'stage':<{name_width}}  {'calls':>7}  {'wall s':>9}  "
+        f"{'self s':>9}  {'cpu s':>9}  {'% run':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{label_of(row):<{name_width}}  {row.calls:>7,}  {row.wall_s:>9.3f}  "
+            f"{row.self_s:>9.3f}  {row.cpu_s:>9.3f}  {row.wall_s / total:>6.1%}"
+        )
+    lines.append(f"run total: {total:.3f} s over {span_count:,} spans")
+    return "\n".join(lines)
+
+
+def summarize_file(path: str, top: int | None = None) -> str:
+    """Load a ``--trace-out`` file and render its flame table."""
+    return render_trace_summary(load_trace(path), top=top)

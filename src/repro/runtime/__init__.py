@@ -11,13 +11,37 @@ machinery that exploits that shape without changing results:
   hit/miss/eviction accounting (per-contract analyses, RPC/explorer
   reads, per-transaction classification verdicts);
 * :mod:`repro.runtime.stats` — per-stage wall time and throughput
-  counters;
+  counters, mirrored into the :mod:`repro.obs` metrics registry;
 * :mod:`repro.runtime.engine` — the :class:`ExecutionEngine` façade the
   core pipeline routes all per-contract analysis through.
 
 The engine guarantees **parity**: serial, parallel, and cache-disabled
 runs of ``build_dataset`` produce byte-identical dataset JSON (see
-``tests/runtime/test_parity.py``).
+``tests/runtime/test_parity.py``), and observability on/off changes
+nothing either (``tests/obs/test_obs_regression.py``).
+
+Re-exports (one-liners; full reference in each module and
+``docs/runtime.md``):
+
+* :class:`ExecutionEngine` — executor + caches + observability for one
+  pipeline run; every construction stage reports through it.
+* :class:`Executor` — abstract ``map_unordered`` / ``map_merged`` over
+  item batches.
+* :class:`SerialExecutor` — in-order execution on the calling thread
+  (the default, and the parity reference).
+* :class:`ParallelExecutor` — chunked fan-out over a thread (or
+  process) pool with a deterministic input-order merge.
+* :func:`make_executor` — ``workers``/``chunk_size`` to the right
+  executor (``workers <= 1`` selects serial).
+* :class:`ReadThroughCache` — thread-safe keyed ``get_or_compute`` with
+  optional LRU bounding and explicit invalidation.
+* :class:`NullCache` — same interface, caching off; keeps the uncached
+  baseline measurable.
+* :class:`RPCReadCache` — the chain-facing read cache (per-address
+  transaction lists, transactions, receipts, code checks).
+* :class:`CacheStats` — hits/misses/evictions counters for one cache.
+* :class:`RuntimeStats` — per-stage wall time + named counters; bumps
+  mirror into ``daas_pipeline_events_total`` when a registry is attached.
 """
 
 from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache

@@ -1,23 +1,29 @@
-"""The execution engine: executor + caches + stats behind one handle.
+"""The execution engine: executor + caches + observability behind one handle.
 
 The core pipeline (seed, snowball, monitor) routes every per-contract
 analysis through an :class:`ExecutionEngine`.  The engine memoizes
 :class:`~repro.core.pipeline.ContractAnalysis` results so that a
 snowball round never re-classifies a contract analyzed in an earlier
 round (or by the seed stage), fans batches out over the configured
-executor, and keeps the read caches and counters the CLI's ``--stats``
-flag and the perf benchmarks report.
+executor, and reports through one :class:`~repro.obs.Observability`
+handle: trace spans around stages/batches/classifications, a metrics
+registry absorbing the runtime counters and cache hit/miss statistics,
+and structured log events.
 
 Determinism: the engine only parallelizes *pure* per-item work (contract
 classification, per-account history evaluation) and merges results in
-input order, so any executor/cache configuration produces byte-identical
-datasets.
+input order, so any executor/cache/observability configuration produces
+byte-identical datasets (``tests/runtime/test_parity.py``,
+``tests/obs/test_obs_regression.py``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
+from repro.obs import CACHE_RATIO_BUCKETS, LATENCY_BUCKETS, Observability
 from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache
 from repro.runtime.executor import Executor, SerialExecutor
 from repro.runtime.stats import RuntimeStats
@@ -37,10 +43,12 @@ class ExecutionEngine:
         cache_enabled: bool = True,
         analysis_cache_size: int | None = None,
         stats: RuntimeStats | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache_enabled = cache_enabled
-        self.stats = stats if stats is not None else RuntimeStats()
+        self.obs = obs if obs is not None else Observability()
+        self.stats = stats if stats is not None else RuntimeStats(metrics=self.obs.metrics)
         if cache_enabled:
             self._cache_factory: Callable[[str], Any] = ReadThroughCache
             self.analysis_cache = ReadThroughCache("analyses", max_size=analysis_cache_size)
@@ -49,15 +57,39 @@ class ExecutionEngine:
             self.analysis_cache = NullCache("analyses")
         self.match_cache = self._cache_factory("tx_matches")
         self.reads: RPCReadCache | None = None
+        self._instrumented: list[Any] = []
+        self._classify_latency = self.obs.metrics.histogram(
+            "daas_tx_classification_seconds",
+            buckets=LATENCY_BUCKETS,
+            help_text="Wall time of one contract-history classification.",
+        )
 
     # -- wiring -------------------------------------------------------------
 
     def bind_reads(self, rpc, explorer) -> RPCReadCache:
         """Attach the chain read cache to a node/explorer pair (idempotent;
-        the first bound pair wins, which matches one-engine-per-world use)."""
+        the first bound pair wins, which matches one-engine-per-world use).
+        The underlying facades are instrumented so ``daas_chain_reads_total``
+        counts the reads that *missed* every cache — what a real deployment
+        would have paid network latency for."""
         if self.reads is None:
             self.reads = RPCReadCache(rpc, explorer, self._cache_factory)
+            for facade in (rpc, explorer):
+                instrument = getattr(facade, "instrument", None)
+                if instrument is not None:
+                    instrument(self.obs.metrics)
+                    self._instrumented.append(facade)
         return self.reads
+
+    # -- stage timing --------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Time one pipeline stage through both sinks: a trace span and the
+        ``RuntimeStats`` stage-wall dict (which mirrors into the registry)."""
+        with self.obs.span(name, **attrs):
+            with self.stats.stage(name):
+                yield
 
     # -- per-contract analysis ----------------------------------------------
 
@@ -81,18 +113,30 @@ class ExecutionEngine:
             else:
                 missing.append(contract)
         if missing:
-            computed = self.executor.map_merged(
-                lambda contract: self._compute(analyzer, contract), missing
-            )
+            with self.obs.span(
+                "engine.analyze_many", requested=len(ordered), misses=len(missing)
+            ) as batch_span:
+                # Worker threads have no span stack of their own, so the
+                # batch span is passed down explicitly as the parent.
+                parent = batch_span if batch_span.span_id else None
+                computed = self.executor.map_merged(
+                    lambda contract: self._compute(analyzer, contract, parent=parent),
+                    missing,
+                )
             for contract, analysis in zip(missing, computed):
                 results[contract] = self.analysis_cache.get_or_compute(
                     contract, lambda value=analysis: value
                 )
         return {contract: results[contract] for contract in ordered}
 
-    def _compute(self, analyzer: "ContractAnalyzer", contract: str) -> "ContractAnalysis":
+    def _compute(
+        self, analyzer: "ContractAnalyzer", contract: str, parent=None
+    ) -> "ContractAnalysis":
         self.stats.bump("contract_classifications")
-        analysis = analyzer.compute_analysis(contract)
+        with self.obs.span("analyze.contract", parent=parent, contract=contract):
+            started = time.perf_counter()
+            analysis = analyzer.compute_analysis(contract)
+            self._classify_latency.observe(time.perf_counter() - started)
         self.stats.bump("txs_classified", analysis.total_txs)
         return analysis
 
@@ -100,6 +144,7 @@ class ExecutionEngine:
         """Drop cached per-address state so a re-analysis sees history
         appended after the original read (the monitor's backfill hook)."""
         self.stats.bump("invalidations")
+        self.obs.event("cache.invalidate", level="debug", contract=contract)
         dropped = self.analysis_cache.invalidate(contract)
         if self.reads is not None:
             dropped = self.reads.invalidate_address(contract) or dropped
@@ -109,7 +154,9 @@ class ExecutionEngine:
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Deterministically-merged map over arbitrary pure work."""
-        return self.executor.map_merged(fn, items)
+        items = list(items)
+        with self.obs.span("engine.map", items=len(items)):
+            return self.executor.map_merged(fn, items)
 
     # -- reporting ----------------------------------------------------------
 
@@ -124,6 +171,44 @@ class ExecutionEngine:
         hits = sum(s.hits for s in self.cache_stats())
         requests = sum(s.requests for s in self.cache_stats())
         return hits / requests if requests else 0.0
+
+    def publish_metrics(self) -> None:
+        """Push point-in-time values (cache counters and ratios, worker
+        config) into the registry as gauges.  Called once before a metrics
+        export; the per-cache hit ratios additionally feed the fixed-bucket
+        ``daas_cache_hit_ratio_bucketed`` histogram.  Also flushes the
+        chain facades' unlocked read tallies into the registry."""
+        for facade in self._instrumented:
+            facade.publish_reads()
+        metrics = self.obs.metrics
+        metrics.gauge(
+            "daas_engine_workers", help_text="Configured analysis worker threads."
+        ).set(self.executor.workers)
+        metrics.gauge(
+            "daas_engine_cache_enabled", help_text="1 when read caches are on."
+        ).set(1.0 if self.cache_enabled else 0.0)
+        ratio_hist = metrics.histogram(
+            "daas_cache_hit_ratio_bucketed",
+            buckets=CACHE_RATIO_BUCKETS,
+            help_text="Distribution of per-cache hit ratios at publish time.",
+        )
+        for stats in self.cache_stats():
+            for field in ("hits", "misses", "evictions"):
+                metrics.gauge(
+                    f"daas_cache_{field}",
+                    help_text=f"Cache {field} at publish time.",
+                    cache=stats.name,
+                ).set(getattr(stats, field))
+            metrics.gauge(
+                "daas_cache_hit_ratio",
+                help_text="Per-cache hit ratio at publish time.",
+                cache=stats.name,
+            ).set(stats.hit_rate)
+            ratio_hist.observe(stats.hit_rate)
+        metrics.gauge(
+            "daas_cache_hit_ratio", help_text="Per-cache hit ratio at publish time.",
+            cache="overall",
+        ).set(self.cache_hit_rate())
 
     def snapshot(self) -> dict:
         return {

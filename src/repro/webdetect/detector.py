@@ -93,6 +93,7 @@ class PhishingSiteDetector:
         db: FingerprintDB,
         domain_filter: DomainFilter | None = None,
         verify_html_references: bool = True,
+        obs=None,
     ) -> None:
         self.web = web
         self.db = db
@@ -101,8 +102,36 @@ class PhishingSiteDetector:
         #: Require the fingerprinted files to be wired into the page's
         #: <script> tags, not merely present on disk.
         self.verify_html_references = verify_html_references
+        if obs is None:
+            from repro.obs import Observability
+
+            obs = Observability.disabled()
+        self.obs = obs
 
     def run(
+        self, start_ts: int | None = None, end_ts: int | None = None
+    ) -> tuple[list[SiteReport], DetectionStats]:
+        with self.obs.span("webdetect.run"):
+            reports, stats = self._run(start_ts, end_ts)
+        self.obs.event(
+            "webdetect.done", ct_entries=stats.ct_entries,
+            suspicious=stats.suspicious, crawled=stats.crawled,
+            confirmed=stats.confirmed,
+        )
+        self._publish(stats)
+        return reports, stats
+
+    def _publish(self, stats: DetectionStats) -> None:
+        """Mirror the final funnel counts into stage-labelled gauges."""
+        for field in ("ct_entries", "suspicious", "crawled", "unreachable",
+                      "confirmed", "no_fingerprint_match"):
+            self.obs.metrics.gauge(
+                "daas_webdetect_funnel",
+                help_text="Website-detection funnel counts, by stage.",
+                stage=field,
+            ).set(getattr(stats, field))
+
+    def _run(
         self, start_ts: int | None = None, end_ts: int | None = None
     ) -> tuple[list[SiteReport], DetectionStats]:
         params = self.web.params

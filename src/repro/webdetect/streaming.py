@@ -46,6 +46,7 @@ class StreamingSiteDetector:
         db: FingerprintDB,
         domain_filter: DomainFilter | None = None,
         max_retry_queue: int = 5_000,
+        obs=None,
     ) -> None:
         self.web = web
         self.db = db
@@ -53,8 +54,30 @@ class StreamingSiteDetector:
         self.crawler = Crawler(web)
         self.max_retry_queue = max_retry_queue
         self._pending: list[tuple[str, int, str, dict[str, str]]] = []
+        if obs is None:
+            from repro.obs import Observability
 
-    def run(
+            obs = Observability.disabled()
+        self.obs = obs
+
+    def run(self, start_ts: int | None = None, end_ts: int | None = None):
+        """Traced wrapper around :meth:`_run`; the stream is one span with
+        harvest/confirmation counts logged at the end."""
+        with self.obs.span("webdetect.stream"):
+            reports, stats = self._run(start_ts, end_ts)
+        self.obs.event(
+            "webdetect.stream_done", ct_entries=stats.ct_entries,
+            confirmed=stats.confirmed,
+            fingerprints_harvested=stats.fingerprints_harvested,
+            late_confirmations=stats.late_confirmations,
+        )
+        self.obs.metrics.gauge(
+            "daas_webdetect_fingerprints_harvested",
+            help_text="Toolkit variants harvested in-stream.",
+        ).set(stats.fingerprints_harvested)
+        return reports, stats
+
+    def _run(
         self, start_ts: int | None = None, end_ts: int | None = None
     ) -> tuple[list[SiteReport], StreamingDetectionStats]:
         """Process the merged event stream: CT issuances interleaved, by
@@ -143,6 +166,7 @@ class StreamingSiteDetector:
     def _harvest(self, family: str, files: dict[str, str], stats) -> None:
         if self.db.add_from_site(family, files):
             stats.fingerprints_harvested += 1
+            self.obs.event("webdetect.harvest", level="debug", family=family)
 
     def _retry_pending(self, stats) -> list[SiteReport]:
         """Re-examine the queue after DB growth; confirmed entries leave it."""

@@ -1,0 +1,81 @@
+"""Structured logger: envelope, renderers, stream filtering."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import StructuredLogger, render_human, render_json
+
+
+def test_event_envelope_and_buffer():
+    log = StructuredLogger(run_id="r9")
+    record = log.event("seed.done", candidates=14, accepted=9)
+    assert record["run"] == "r9"
+    assert record["level"] == "info"
+    assert record["event"] == "seed.done"
+    assert record["candidates"] == 14
+    assert log.events[-1] is record
+
+
+def test_json_stream_one_object_per_line():
+    stream = io.StringIO()
+    log = StructuredLogger(run_id="r", stream=stream, fmt="json")
+    log.event("a", x=1)
+    log.warning("b", reason="slow")
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first["event"] == "a" and first["x"] == 1
+    assert second["level"] == "warning"
+
+
+def test_min_level_filters_stream_but_not_buffer():
+    stream = io.StringIO()
+    log = StructuredLogger(stream=stream, fmt="json", min_level="warning")
+    log.debug("quiet")
+    log.info("also-quiet")
+    log.error("loud")
+    assert len(stream.getvalue().splitlines()) == 1
+    assert [e["event"] for e in log.events] == ["quiet", "also-quiet", "loud"]
+
+
+def test_human_renderer_compact():
+    line = render_human(
+        {"ts": 3661.0, "run": "r", "level": "info", "event": "snowball.round",
+         "round": 2, "rate": 1234.5678}
+    )
+    assert line.startswith("01:01:01 info")
+    assert "snowball.round" in line
+    assert "round=2" in line
+    assert "rate=1235" in line  # floats are shortened
+    assert "run=" not in line   # envelope fields are not repeated
+
+
+def test_render_json_compact_and_ordered():
+    text = render_json({"ts": 1.0, "run": "r", "level": "info", "event": "e", "z": 1})
+    assert text == '{"ts":1.0,"run":"r","level":"info","event":"e","z":1}'
+
+
+def test_buffer_is_bounded():
+    log = StructuredLogger(keep=10)
+    for i in range(25):
+        log.event("e", i=i)
+    assert len(log.events) == 10
+    assert log.events[0]["i"] == 15
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        StructuredLogger(fmt="xml")
+    with pytest.raises(ValueError):
+        StructuredLogger(min_level="loudest")
+
+
+def test_long_values_truncated_in_human_renderer():
+    line = render_human(
+        {"ts": 0, "level": "info", "event": "e", "blob": "x" * 100}
+    )
+    assert "..." in line and "x" * 100 not in line

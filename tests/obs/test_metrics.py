@@ -1,0 +1,163 @@
+"""Metrics registry: instruments, bucket edges, Prometheus text format."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    CACHE_RATIO_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+)
+
+
+def test_counter_get_or_create_identity():
+    reg = MetricsRegistry()
+    a = reg.counter("hits_total", cache="analyses")
+    b = reg.counter("hits_total", cache="analyses")
+    c = reg.counter("hits_total", cache="reads")
+    assert a is b and a is not c
+    a.inc()
+    a.inc(2)
+    assert reg.value("hits_total", cache="analyses") == 3
+    assert reg.value("hits_total", cache="reads") == 0
+    with pytest.raises(ValueError):
+        a.inc(-1)
+
+
+def test_type_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(ValueError):
+        reg.gauge("thing")
+
+
+def test_gauge_set_and_inc():
+    reg = MetricsRegistry()
+    g = reg.gauge("ratio")
+    g.set(0.5)
+    assert g.value == 0.5
+    g.inc(-0.25)
+    assert g.value == 0.25
+
+
+def test_histogram_bucket_edges():
+    """Prometheus `le` semantics: a value equal to a bound lands in that
+    bucket; just above it spills into the next; above the last bound goes
+    to +Inf only."""
+    h = Histogram(buckets=(0.1, 1.0, 10.0))
+    h.observe(0.1)        # == first bound -> le=0.1
+    h.observe(0.10001)    # just above -> le=1.0
+    h.observe(1.0)        # == second bound -> le=1.0
+    h.observe(10.0)       # == last bound -> le=10.0
+    h.observe(11.0)       # beyond all bounds -> +Inf bucket only
+    h.observe(-5.0)       # below everything -> le=0.1
+    cumulative = dict(h.cumulative_counts())
+    assert cumulative[0.1] == 2
+    assert cumulative[1.0] == 4
+    assert cumulative[10.0] == 5
+    assert cumulative[float("inf")] == 6
+    assert h.count == 6
+    assert h.sum == pytest.approx(0.1 + 0.10001 + 1.0 + 10.0 + 11.0 - 5.0)
+
+
+def test_histogram_validates_buckets():
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+    with pytest.raises(ValueError):
+        Histogram(buckets=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(buckets=(2.0, 1.0))
+
+
+def test_histogram_thread_safety():
+    h = Histogram(buckets=CACHE_RATIO_BUCKETS)
+
+    def worker():
+        for i in range(1000):
+            h.observe((i % 100) / 100.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert h.count == 8000
+    assert dict(h.cumulative_counts())[float("inf")] == 8000
+
+
+def test_prometheus_escaping():
+    reg = MetricsRegistry()
+    reg.counter(
+        "weird_total",
+        help_text='has "quotes", a \\ backslash\nand a newline',
+        label='va"l\\ue\nx',
+    ).inc()
+    text = reg.to_prometheus()
+    assert (
+        '# HELP weird_total has "quotes", a \\\\ backslash\\nand a newline' in text
+    )
+    assert 'label="va\\"l\\\\ue\\nx"' in text
+    # raw newline must never appear inside a sample line
+    for line in text.splitlines():
+        assert line.startswith(("#", "weird_total"))
+
+
+def test_escape_helpers():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+    assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+
+def test_prometheus_histogram_rendering():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", buckets=(0.5, 1.0), help_text="latency")
+    h.observe(0.2)
+    h.observe(0.7)
+    h.observe(2.0)
+    text = reg.to_prometheus()
+    assert "# TYPE lat_seconds histogram" in text
+    assert 'lat_seconds_bucket{le="0.5"} 1' in text
+    assert 'lat_seconds_bucket{le="1"} 2' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_count 3" in text
+    assert "lat_seconds_sum 2.9" in text
+
+
+def test_prometheus_output_sorted_and_terminated():
+    reg = MetricsRegistry()
+    reg.counter("zzz_total").inc()
+    reg.counter("aaa_total", k="2").inc()
+    reg.counter("aaa_total", k="1").inc()
+    text = reg.to_prometheus()
+    assert text.endswith("\n")
+    lines = [l for l in text.splitlines() if not l.startswith("#")]
+    assert lines == ['aaa_total{k="1"} 1', 'aaa_total{k="2"} 1', "zzz_total 1"]
+
+
+def test_json_export_parses_and_matches():
+    reg = MetricsRegistry()
+    reg.counter("c_total", stage="seed").inc(4)
+    reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+    payload = json.loads(reg.to_json_text())
+    assert payload["c_total"]["type"] == "counter"
+    assert payload["c_total"]["samples"][0] == {
+        "labels": {"stage": "seed"}, "value": 4.0,
+    }
+    hist = payload["h_seconds"]["samples"][0]
+    assert hist["count"] == 1 and hist["buckets"]["1"] == 1
+
+
+def test_disabled_registry_is_null():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("x_total")
+    c.inc(100)
+    reg.gauge("g").set(5)
+    reg.histogram("h", buckets=(1.0,)).observe(2)
+    assert reg.to_prometheus() == ""
+    assert reg.to_json() == {}
+    assert reg.value("x_total") == 0.0

@@ -1,0 +1,107 @@
+"""The trace-summary flame table, including the committed golden file."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs import aggregate_trace, render_trace_summary, summarize_file
+
+GOLDEN = Path(__file__).parent / "golden_trace_summary.txt"
+
+
+def _span(span, parent, name, wall, cpu, status="ok"):
+    return {
+        "run": "r1", "span": span, "parent": parent, "name": name,
+        "ts": 0.0, "wall_s": wall, "cpu_s": cpu, "status": status,
+    }
+
+
+def _fixture_spans():
+    """A miniature but representative run: seed with per-contract children,
+    two snowball rounds, one erroring span, one orphan."""
+    return [
+        _span("s1", None, "seed", 2.0, 1.8),
+        _span("s2", "s1", "analyze.contract", 0.5, 0.5),
+        _span("s3", "s1", "analyze.contract", 0.7, 0.6),
+        _span("s4", None, "snowball", 6.0, 5.0),
+        _span("s5", "s4", "snowball.round", 3.5, 3.0),
+        _span("s6", "s5", "engine.analyze_many", 3.0, 2.6),
+        _span("s7", "s6", "analyze.contract", 1.5, 1.4),
+        _span("s8", "s6", "analyze.contract", 1.2, 1.1, status="error"),
+        _span("s9", "s4", "snowball.round", 2.0, 1.8),
+        _span("s10", "s9", "engine.analyze_many", 1.0, 0.9),
+        # parent id never written (dropped span) -> treated as a root
+        _span("s11", "missing", "measure.victims", 1.0, 1.0),
+    ]
+
+
+def test_aggregate_groups_by_path():
+    rows = aggregate_trace(_fixture_spans())
+    by_path = {row.path: row for row in rows}
+
+    rounds = by_path[("snowball", "snowball.round")]
+    assert rounds.calls == 2
+    assert rounds.wall_s == 5.5
+    # self = (3.5 - 3.0) + (2.0 - 1.0)
+    assert abs(rounds.self_s - 1.5) < 1e-9
+
+    contracts = by_path[
+        ("snowball", "snowball.round", "engine.analyze_many", "analyze.contract")
+    ]
+    assert contracts.calls == 2
+    assert contracts.errors == 1
+
+    # orphan became a root
+    assert ("measure.victims",) in by_path
+    assert by_path[("measure.victims",)].depth == 0
+
+
+def test_ordering_heaviest_subtree_first():
+    rows = aggregate_trace(_fixture_spans())
+    roots = [row.name for row in rows if row.depth == 0]
+    assert roots == ["snowball", "seed", "measure.victims"]
+    # depth-first: children follow their parent immediately
+    names = [row.name for row in rows]
+    assert names.index("snowball.round") == names.index("snowball") + 1
+
+
+def test_render_matches_golden_file():
+    rendered = render_trace_summary(_fixture_spans())
+    assert rendered == GOLDEN.read_text().rstrip("\n")
+
+
+def test_render_empty_trace():
+    assert "empty trace" in render_trace_summary([])
+
+
+def test_top_truncation_keeps_totals():
+    full = render_trace_summary(_fixture_spans())
+    truncated = render_trace_summary(_fixture_spans(), top=2)
+    assert len(truncated.splitlines()) < len(full.splitlines())
+    # the footer still reports the whole run
+    assert full.splitlines()[-1] == truncated.splitlines()[-1]
+
+
+def test_cycle_in_parent_links_terminates():
+    spans = [
+        _span("a", "b", "x", 1.0, 1.0),
+        _span("b", "a", "y", 1.0, 1.0),
+    ]
+    rows = aggregate_trace(spans)  # must not hang
+    assert sum(row.calls for row in rows) == 2
+
+
+def test_summarize_file_and_cli(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        "".join(json.dumps(s) + "\n" for s in _fixture_spans())
+    )
+    assert summarize_file(str(path)) == render_trace_summary(_fixture_spans())
+
+    assert main(["trace-summary", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "snowball.round" in out and "% run" in out
+
+    assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 1

@@ -1,0 +1,53 @@
+"""Docs stay consistent with the code: links resolve, CLI flags exist.
+
+Wraps ``scripts/check_docs.py`` (which also runs standalone) into the
+default pytest tier so a renamed doc or a dropped CLI flag fails CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_SCRIPT = Path(__file__).parent.parent / "scripts" / "check_docs.py"
+
+spec = importlib.util.spec_from_file_location("check_docs", _SCRIPT)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+def test_docs_exist():
+    names = {p.name for p in check_docs.doc_files()}
+    assert {
+        "README.md", "architecture.md", "observability.md",
+        "runtime.md", "calibration.md",
+    } <= names
+
+
+def test_all_doc_links_resolve_and_flags_exist():
+    assert check_docs.run_checks() == []
+
+
+def test_checker_catches_broken_link(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "cli.py").write_text('p.add_argument("--real")\n')
+    (tmp_path / "README.md").write_text(
+        "[gone](docs/missing.md)\n"
+        "    daas-repro build-dataset --imaginary \\\n"
+        "        --real\n"
+    )
+    errors = check_docs.run_checks(tmp_path)
+    assert any("missing.md" in e for e in errors)
+    assert any("--imaginary" in e for e in errors)
+    assert not any("--real" in e for e in errors)
+
+
+def test_checker_skips_external_links_and_anchors(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "cli.py").write_text("")
+    (tmp_path / "docs" / "a.md").write_text(
+        "[web](https://example.com/x) [anchor](#section) [self](a.md#top)\n"
+    )
+    assert check_docs.run_checks(tmp_path) == []
