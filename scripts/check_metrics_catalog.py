@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Metric/event catalogue checker — docs must name every emitted series.
+
+Walks ``src/repro`` for literal metric registrations
+(``.counter("…")`` / ``.gauge("…")`` / ``.histogram("…")``) and
+structured-event emissions (``.event("…")`` and the level shorthands),
+then fails if any discovered name is missing from the catalogue in
+``docs/observability.md`` — so a new instrument cannot ship
+undocumented.  Dynamically-built names (f-strings like
+``f"daas_cache_{field}"``) are out of scope; only string literals are
+checked.
+
+Run directly (``python scripts/check_metrics_catalog.py``, exits
+non-zero on problems) or through ``tests/test_metrics_catalog.py``,
+which wires it into the default pytest run next to ``check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_METRIC_RE = re.compile(
+    r"""\.(?:counter|gauge|histogram)\(\s*["']([a-z][a-z0-9_]*)["']"""
+)
+_EVENT_RE = re.compile(
+    r"""\.(?:event|debug|info|warning|error)\(\s*["']([a-z][a-z0-9_.]*)["']"""
+)
+
+
+def source_files(root: Path = REPO_ROOT) -> list[Path]:
+    return sorted((root / "src" / "repro").rglob("*.py"))
+
+
+def emitted_names(root: Path = REPO_ROOT) -> dict[str, set[str]]:
+    """``{"metrics": {...}, "events": {...}}`` with their source files."""
+    metrics: dict[str, set[str]] = {}
+    events: dict[str, set[str]] = {}
+    for path in source_files(root):
+        text = path.read_text()
+        rel = str(path.relative_to(root))
+        for name in _METRIC_RE.findall(text):
+            metrics.setdefault(name, set()).add(rel)
+        for name in _EVENT_RE.findall(text):
+            events.setdefault(name, set()).add(rel)
+    return {"metrics": metrics, "events": events}
+
+
+def catalogue_text(root: Path = REPO_ROOT) -> str:
+    return (root / "docs" / "observability.md").read_text()
+
+
+def run_checks(root: Path = REPO_ROOT) -> list[str]:
+    names = emitted_names(root)
+    try:
+        catalogue = catalogue_text(root)
+    except OSError:
+        return ["docs/observability.md is missing"]
+    errors: list[str] = []
+    for kind, found in names.items():
+        for name, sources in sorted(found.items()):
+            if name not in catalogue:
+                errors.append(
+                    f"{kind[:-1]} {name!r} (emitted in {', '.join(sorted(sources))}) "
+                    "is not catalogued in docs/observability.md"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = run_checks()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        return 1
+    names = emitted_names()
+    print(
+        f"metrics catalogue OK: {len(names['metrics'])} metrics, "
+        f"{len(names['events'])} events all documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

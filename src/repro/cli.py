@@ -9,12 +9,19 @@ Commands:
 * ``webdetect``     — run the §8 website-detection pipeline and Table 4.
 * ``report``        — everything above as one paper-vs-measured report.
 * ``trace-summary`` — per-stage flame table from a ``--trace-out`` file.
+* ``live-status``   — health/progress/alerts of a running server
+  (``http://host:port``) or a ``--snapshot-out`` file.
 
 Observability flags (``build-dataset`` and ``webdetect``):
 ``--log-json`` streams structured events to stderr, ``--trace-out``
 writes the span trace as JSON lines, ``--metrics-out`` writes the
 metrics registry (Prometheus text format, or JSON for ``.json`` paths).
-None of them changes results — see ``docs/observability.md``.
+Live-operations flags (same commands): ``--serve-metrics PORT`` serves
+``/metrics`` + ``/healthz`` + ``/readyz`` + ``/statusz`` during the run,
+``--snapshot-out FILE`` appends registry snapshots every
+``--snapshot-every`` seconds, ``--alerts FILE`` evaluates declarative
+alert rules at each tick.  None of them changes results — see
+``docs/observability.md`` and ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -63,12 +70,61 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                              "format; JSON when FILE ends in .json)")
 
 
+def _add_live_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                        help="serve /metrics, /healthz, /readyz and /statusz on "
+                             "this port for the duration of the run (0 = pick "
+                             "an ephemeral port)")
+    parser.add_argument("--snapshot-out", default="", metavar="FILE",
+                        help="append timestamped registry snapshots to this "
+                             "JSONL file (read back with `daas-repro "
+                             "live-status FILE`)")
+    parser.add_argument("--snapshot-every", type=float, default=1.0, metavar="SECS",
+                        help="snapshot/alert-evaluation cadence in seconds "
+                             "(default 1.0; needs --snapshot-out)")
+    parser.add_argument("--alerts", default="", metavar="FILE",
+                        help="JSON/TOML alert-rule file, evaluated each "
+                             "snapshot tick and surfaced on /statusz")
+    parser.add_argument("--stage-deadline", type=float, default=300.0, metavar="SECS",
+                        help="watchdog: seconds of stage silence before "
+                             "health degrades (default 300)")
+
+
 def _obs(args: argparse.Namespace) -> Observability:
     """Observability handle from the CLI flags; quiet unless asked."""
     return Observability(
         log_stream=sys.stderr if getattr(args, "log_json", False) else None,
         log_fmt="json",
     )
+
+
+def _live(args: argparse.Namespace, obs: Observability, engine=None):
+    """LiveOps bundle from the CLI flags, or None when no live flag is set.
+    Exits with a one-line error on a bad alert file."""
+    port = getattr(args, "serve_metrics", None)
+    snapshot_out = getattr(args, "snapshot_out", "")
+    alerts_path = getattr(args, "alerts", "")
+    if port is None and not snapshot_out and not alerts_path:
+        return None
+    from repro.obs.live import LiveOps, load_alert_rules
+
+    rules = None
+    if alerts_path:
+        rules = load_alert_rules(alerts_path)  # ValueError -> one line, caller
+    live = LiveOps(
+        obs,
+        serve_port=port,
+        snapshot_path=snapshot_out or None,
+        snapshot_every=getattr(args, "snapshot_every", 1.0),
+        alert_rules=rules,
+        stage_deadline_s=getattr(args, "stage_deadline", 300.0),
+        before_tick=engine.publish_metrics if engine is not None else None,
+    )
+    live.start()
+    if live.server is not None:
+        print(f"live endpoints on {live.server.url} "
+              "(/metrics /healthz /readyz /statusz)")
+    return live
 
 
 def _write_obs(
@@ -103,7 +159,16 @@ def _engine(args: argparse.Namespace) -> ExecutionEngine:
 
 def cmd_build_dataset(args: argparse.Namespace) -> int:
     engine = _engine(args)
-    result = run_pipeline(_params(args), engine=engine)
+    try:
+        live = _live(args, engine.obs, engine)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    try:
+        result = run_pipeline(_params(args), engine=engine)
+    finally:
+        if live is not None:
+            live.stop()
     print(render_table(
         ["stage"] + list(result.seed_summary),
         [
@@ -170,6 +235,19 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 def cmd_webdetect(args: argparse.Namespace) -> int:
     obs = _obs(args)
+    try:
+        live = _live(args, obs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    try:
+        return _run_webdetect(args, obs)
+    finally:
+        if live is not None:
+            live.stop()
+
+
+def _run_webdetect(args: argparse.Namespace, obs: Observability) -> int:
     web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
     if getattr(args, "streaming", False):
         from repro.webdetect import (
@@ -267,14 +345,37 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_summary(args: argparse.Namespace) -> int:
-    from repro.obs import summarize_file
+    from repro.obs import load_trace, render_trace_summary
 
     try:
-        print(summarize_file(args.trace, top=args.top or None))
+        records = load_trace(args.trace)
     except FileNotFoundError:
         print(f"no such trace file: {args.trace}", file=sys.stderr)
         return 1
+    except OSError as exc:
+        print(f"cannot read trace file {args.trace}: {exc.strerror}", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # truncated / corrupt JSON line
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not records:
+        print(f"empty trace file: {args.trace} (no spans written)", file=sys.stderr)
+        return 1
+    print(render_trace_summary(records, top=args.top or None))
     return 0
+
+
+def cmd_live_status(args: argparse.Namespace) -> int:
+    from repro.obs.live import LiveStatusError, load_status_source, render_live_status
+
+    try:
+        doc = load_status_source(args.source)
+    except LiveStatusError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(render_live_status(doc))
+    status = doc.get("status", {}) or {}
+    return 0 if status.get("state", "ok") == "ok" else 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -297,6 +398,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--stats", action="store_true",
                    help="print runtime stats: stage wall time, txs/s, cache hit rates")
     _add_obs_flags(p)
+    _add_live_flags(p)
     p.set_defaults(fn=cmd_build_dataset)
 
     p = sub.add_parser("analyze", help="run the §6 measurement suite")
@@ -312,6 +414,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--streaming", action="store_true",
                    help="continuous mode with in-stream fingerprint growth")
     _add_obs_flags(p)
+    _add_live_flags(p)
     p.set_defaults(fn=cmd_webdetect)
 
     p = sub.add_parser("validate", help="run the §5.2 two-reviewer validation protocol")
@@ -341,6 +444,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--top", type=int, default=0,
                    help="show only the first N rows (0 = all)")
     p.set_defaults(fn=cmd_trace_summary)
+
+    p = sub.add_parser(
+        "live-status",
+        help="health/progress/alerts from a running --serve-metrics server "
+             "(http://host:port) or a --snapshot-out file",
+    )
+    p.add_argument("source", help="server URL or snapshot JSONL file")
+    p.set_defaults(fn=cmd_live_status)
 
     args = parser.parse_args(argv)
     return args.fn(args)

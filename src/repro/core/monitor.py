@@ -71,6 +71,9 @@ class StreamingMonitor:
     def process_block(self, block: Block) -> list[Alert]:
         self.stats.blocks_processed += 1
         self._m_blocks.inc()
+        # Liveness signal for an attached watchdog: a monitor that stops
+        # seeing blocks past its deadline degrades /healthz.
+        self._obs.heartbeat("monitor.stream")
         alerts: list[Alert] = []
         for tx in block.transactions:
             alerts.extend(self.process_transaction(tx))

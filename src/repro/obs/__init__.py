@@ -9,7 +9,11 @@ Three pillars, one handle:
 * :mod:`repro.obs.logging` — structured run-id-stamped events with JSON
   and quiet human renderers (``--log-json``);
 * :mod:`repro.obs.summary` — the ``trace-summary`` flame table over a
-  written trace file.
+  written trace file;
+* :mod:`repro.obs.live`    — the *operations* layer for long-running
+  runs: ``/metrics`` HTTP server, health/readiness probes, snapshot
+  time-series, stage watchdog, and declarative alert rules
+  (``--serve-metrics`` / ``--snapshot-out`` / ``--alerts``).
 
 :class:`Observability` bundles one tracer, one registry, and one logger
 under a shared run id; every :class:`~repro.runtime.engine.ExecutionEngine`
@@ -88,6 +92,10 @@ class Observability:
     ) -> None:
         self.run_id = run_id if run_id is not None else new_run_id()
         self.enabled = enabled
+        #: Optional :class:`repro.obs.live.LiveOps` attachment.  ``None``
+        #: for ordinary runs; the stage/heartbeat shims below make call
+        #: sites unconditional either way.
+        self.live: Any = None
         self.tracer = Tracer(run_id=self.run_id)
         self.tracer.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
@@ -113,6 +121,23 @@ class Observability:
         if not self.enabled:
             return {}
         return self.log.event(name, level=level, **fields)
+
+    # -- live-layer shims ----------------------------------------------------
+    # No-ops unless a LiveOps handle is attached, so pipeline code can
+    # report liveness unconditionally without importing repro.obs.live.
+
+    def stage_started(self, name: str) -> None:
+        if self.live is not None:
+            self.live.stage_started(name)
+
+    def stage_finished(self, name: str) -> None:
+        if self.live is not None:
+            self.live.stage_finished(name)
+
+    def heartbeat(self, name: str | None = None) -> None:
+        """Signal forward progress inside a long stage (watchdog food)."""
+        if self.live is not None:
+            self.live.heartbeat(name)
 
     # -- export --------------------------------------------------------------
 

@@ -1,0 +1,275 @@
+"""Declarative alert rules over the metrics registry.
+
+Rules are loaded from a JSON (or TOML, where the stdlib ``tomllib`` is
+available) file and evaluated at every snapshot tick and on every
+``/statusz`` probe.  Three kinds, mirroring what Prometheus alerting
+would express over the same registry:
+
+* ``threshold`` — compare one counter/gauge sample to a constant:
+  ``daas_cache_hit_ratio{cache="overall"} < 0.5``;
+* ``ratio``     — compare the quotient of two samples to a constant:
+  ``daas_monitor_alerts_total / daas_monitor_transactions_total > 0.2``
+  (a zero denominator means *no data*, not division by zero);
+* ``absence``   — fire while the named sample does not exist (a stage
+  that should have published by now never did).
+
+A rule *fires* after its condition holds for ``for_ticks`` consecutive
+evaluations (default 1) and *resolves* on the first evaluation where it
+no longer holds; both transitions emit structured events
+(``alert.firing`` / ``alert.resolved``) and update the
+``daas_alert_firing`` gauge, and the full rule state is surfaced on
+``/statusz`` and in every snapshot record.  The grammar is documented
+in ``docs/operations.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AlertRule", "AlertEngine", "load_alert_rules", "parse_alert_rules"]
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_KINDS = ("threshold", "ratio", "absence")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule; validated at load time."""
+
+    name: str
+    kind: str                      # threshold | ratio | absence
+    metric: str = ""               # threshold/absence: the sample name
+    labels: tuple[tuple[str, str], ...] = ()
+    numerator: str = ""            # ratio only
+    numerator_labels: tuple[tuple[str, str], ...] = ()
+    denominator: str = ""          # ratio only
+    denominator_labels: tuple[tuple[str, str], ...] = ()
+    op: str = "<"                  # threshold/ratio comparison
+    value: float = 0.0             # threshold/ratio constant
+    for_ticks: int = 1             # consecutive breaching ticks before firing
+    severity: str = "warning"
+    description: str = ""
+
+    def evaluate(self, registry: MetricsRegistry) -> tuple[bool, float | None]:
+        """``(condition_holds, observed_value)`` against the registry."""
+        if self.kind == "absence":
+            if self.labels:
+                present = registry.sample(self.metric, **dict(self.labels)) is not None
+            else:
+                present = registry.has_metric(self.metric)
+            return (not present), None
+        if self.kind == "ratio":
+            num = registry.sample(self.numerator, **dict(self.numerator_labels))
+            den = registry.sample(self.denominator, **dict(self.denominator_labels))
+            if num is None or den is None or den == 0:
+                return False, None
+            observed = num / den
+        else:
+            observed = registry.sample(self.metric, **dict(self.labels))
+            if observed is None:
+                return False, None
+        return _OPS[self.op](observed, self.value), observed
+
+
+def _labels_tuple(raw: Any, rule: str, key: str) -> tuple[tuple[str, str], ...]:
+    if raw is None:
+        return ()
+    if not isinstance(raw, dict):
+        raise ValueError(f"alert rule {rule!r}: {key} must be a table/object")
+    return tuple(sorted((str(k), str(v)) for k, v in raw.items()))
+
+
+def parse_alert_rules(doc: Any, source: str = "<alerts>") -> list[AlertRule]:
+    """Validate a parsed JSON/TOML document into rules; raises
+    :class:`ValueError` with a one-line message on any problem."""
+    if not isinstance(doc, dict) or not isinstance(doc.get("rules"), list):
+        raise ValueError(f"{source}: alert file must contain a 'rules' list")
+    rules: list[AlertRule] = []
+    seen: set[str] = set()
+    for i, raw in enumerate(doc["rules"]):
+        if not isinstance(raw, dict):
+            raise ValueError(f"{source}: rules[{i}] is not a table/object")
+        name = str(raw.get("name", "")).strip()
+        if not name:
+            raise ValueError(f"{source}: rules[{i}] has no name")
+        if name in seen:
+            raise ValueError(f"{source}: duplicate rule name {name!r}")
+        seen.add(name)
+        kind = raw.get("kind", "threshold")
+        if kind not in _KINDS:
+            raise ValueError(
+                f"{source}: rule {name!r} has unknown kind {kind!r} "
+                f"(expected one of {', '.join(_KINDS)})"
+            )
+        op = raw.get("op", "<")
+        if kind != "absence" and op not in _OPS:
+            raise ValueError(f"{source}: rule {name!r} has unknown op {op!r}")
+        if kind == "ratio":
+            if not raw.get("numerator") or not raw.get("denominator"):
+                raise ValueError(
+                    f"{source}: ratio rule {name!r} needs numerator and denominator"
+                )
+        elif not raw.get("metric"):
+            raise ValueError(f"{source}: rule {name!r} needs a metric")
+        for_ticks = int(raw.get("for_ticks", 1))
+        if for_ticks < 1:
+            raise ValueError(f"{source}: rule {name!r}: for_ticks must be >= 1")
+        rules.append(AlertRule(
+            name=name,
+            kind=kind,
+            metric=str(raw.get("metric", "")),
+            labels=_labels_tuple(raw.get("labels"), name, "labels"),
+            numerator=str(raw.get("numerator", "")),
+            numerator_labels=_labels_tuple(
+                raw.get("numerator_labels"), name, "numerator_labels"
+            ),
+            denominator=str(raw.get("denominator", "")),
+            denominator_labels=_labels_tuple(
+                raw.get("denominator_labels"), name, "denominator_labels"
+            ),
+            op=op,
+            value=float(raw.get("value", 0.0)),
+            for_ticks=for_ticks,
+            severity=str(raw.get("severity", "warning")),
+            description=str(raw.get("description", "")),
+        ))
+    return rules
+
+
+def load_alert_rules(path: str) -> list[AlertRule]:
+    """Load rules from a ``.json`` or ``.toml`` file."""
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise ValueError(f"cannot read alert file {path}: {exc.strerror}") from None
+    if str(path).endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - python < 3.11
+            raise ValueError(
+                f"{path}: TOML alert files need Python 3.11+ (tomllib); "
+                "use JSON instead"
+            ) from None
+        try:
+            doc = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"{path}: not valid TOML: {exc}") from None
+    else:
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+    return parse_alert_rules(doc, source=str(path))
+
+
+@dataclass
+class _RuleState:
+    rule: AlertRule
+    firing: bool = False
+    breaches: int = 0              # consecutive breaching evaluations
+    since_tick: int | None = None  # tick the current firing started
+    last_value: float | None = None
+    transitions: int = 0
+
+    def public(self) -> dict[str, Any]:
+        return {
+            "name": self.rule.name,
+            "kind": self.rule.kind,
+            "severity": self.rule.severity,
+            "state": "firing" if self.firing else "ok",
+            "since_tick": self.since_tick,
+            "value": self.last_value,
+            "description": self.rule.description,
+        }
+
+
+@dataclass
+class AlertEngine:
+    """Evaluates every rule against a registry, tracking firing state."""
+
+    rules: list[AlertRule]
+    obs: Any = None
+    _states: dict[str, _RuleState] = field(default_factory=dict, init=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, init=False)
+    _ticks: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._states = {rule.name: _RuleState(rule) for rule in self.rules}
+
+    def evaluate(self, registry: MetricsRegistry) -> list[dict[str, Any]]:
+        """One evaluation pass; returns the firing/resolved transitions."""
+        transitions: list[dict[str, Any]] = []
+        with self._lock:
+            self._ticks += 1
+            tick = self._ticks
+            for state in self._states.values():
+                holds, observed = state.rule.evaluate(registry)
+                state.last_value = (
+                    round(observed, 6) if observed is not None else None
+                )
+                state.breaches = state.breaches + 1 if holds else 0
+                if not state.firing and state.breaches >= state.rule.for_ticks:
+                    state.firing = True
+                    state.since_tick = tick
+                    state.transitions += 1
+                    transitions.append({"rule": state.rule.name, "to": "firing",
+                                        "tick": tick, "value": state.last_value})
+                elif state.firing and not holds:
+                    state.firing = False
+                    state.since_tick = None
+                    state.transitions += 1
+                    transitions.append({"rule": state.rule.name, "to": "resolved",
+                                        "tick": tick, "value": state.last_value})
+        for tr in transitions:
+            self._publish(tr)
+        return transitions
+
+    def _publish(self, transition: dict[str, Any]) -> None:
+        if self.obs is None:
+            return
+        firing = transition["to"] == "firing"
+        rule = self._states[transition["rule"]].rule
+        self.obs.event(
+            "alert.firing" if firing else "alert.resolved",
+            level=rule.severity if firing else "info",
+            rule=rule.name, value=transition["value"], tick=transition["tick"],
+        )
+        self.obs.metrics.gauge(
+            "daas_alert_firing",
+            help_text="1 while the named alert rule is firing.",
+            rule=rule.name,
+        ).set(1.0 if firing else 0.0)
+        self.obs.metrics.counter(
+            "daas_alert_transitions_total",
+            help_text="Alert state transitions, by rule and direction.",
+            rule=rule.name, to=transition["to"],
+        ).inc()
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    def firing(self) -> list[str]:
+        with self._lock:
+            return sorted(n for n, s in self._states.items() if s.firing)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                state.public()
+                for _, state in sorted(self._states.items())
+            ]

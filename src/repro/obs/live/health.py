@@ -1,0 +1,114 @@
+"""Run health and progress state shared by every live-layer component.
+
+:class:`RunStatus` is the single thread-safe source of truth the HTTP
+probes, the snapshotter, and ``live-status`` all read: which stage is
+running, which finished (and how long they took), whether the run is
+*ready* (first stage started) and whether it is *degraded* (the watchdog
+or any other component registered a reason).
+
+Health semantics (documented in ``docs/operations.md``):
+
+* ``/readyz``  — ready once the run's first stage starts; a probe can
+  wait on it before scraping.
+* ``/healthz`` — ``ok`` unless at least one degradation reason is
+  registered (e.g. ``stage.stalled:snowball``); reasons clear when the
+  condition recovers, flipping health back to ``ok``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["RunStatus"]
+
+
+class RunStatus:
+    """Thread-safe run identity + progress + health flags."""
+
+    def __init__(self, run_id: str = "run", clock: Callable[[], float] = time.time) -> None:
+        self.run_id = run_id
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at = clock()
+        self._ready = False
+        self._active: list[str] = []          # stage stack, innermost last
+        self._stage_started_at: dict[str, float] = {}
+        self._done: list[tuple[str, float]] = []   # (stage, wall_s)
+        self._degraded: dict[str, float] = {}      # reason -> since ts
+
+    # -- progress ------------------------------------------------------------
+
+    def stage_started(self, name: str) -> None:
+        with self._lock:
+            self._ready = True
+            self._active.append(name)
+            self._stage_started_at[name] = self._clock()
+
+    def stage_finished(self, name: str) -> None:
+        with self._lock:
+            started = self._stage_started_at.pop(name, None)
+            if name in self._active:
+                self._active.remove(name)
+            wall = self._clock() - started if started is not None else 0.0
+            self._done.append((name, round(wall, 6)))
+
+    @property
+    def current_stage(self) -> str | None:
+        with self._lock:
+            return self._active[-1] if self._active else None
+
+    def active_stages(self) -> list[str]:
+        with self._lock:
+            return list(self._active)
+
+    # -- health --------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    def mark_ready(self) -> None:
+        with self._lock:
+            self._ready = True
+
+    def degrade(self, reason: str) -> bool:
+        """Register a degradation reason; True when newly registered."""
+        with self._lock:
+            if reason in self._degraded:
+                return False
+            self._degraded[reason] = self._clock()
+            return True
+
+    def recover(self, reason: str) -> bool:
+        """Clear a degradation reason; True when it was present."""
+        with self._lock:
+            return self._degraded.pop(reason, None) is not None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return "degraded" if self._degraded else "ok"
+
+    def degraded_reasons(self) -> list[str]:
+        with self._lock:
+            return sorted(self._degraded)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            now = self._clock()
+            return {
+                "run": self.run_id,
+                "state": "degraded" if self._degraded else "ok",
+                "ready": self._ready,
+                "uptime_s": round(now - self.started_at, 3),
+                "stage": self._active[-1] if self._active else None,
+                "active_stages": list(self._active),
+                "stages_done": [
+                    {"stage": name, "wall_s": wall} for name, wall in self._done
+                ],
+                "degraded": sorted(self._degraded),
+            }

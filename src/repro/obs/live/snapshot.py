@@ -1,0 +1,131 @@
+"""Registry snapshots: a JSONL time-series of a run's metrics.
+
+PR 2's ``--metrics-out`` writes the registry once, at exit — useless for
+a run that was killed, and blind to trajectories (a cache hit ratio that
+*collapsed* mid-run looks fine in the final dump).  The
+:class:`Snapshotter` appends one self-contained record per tick:
+
+```json
+{"ts": 1754000000.0, "run": "r…", "seq": 3, "status": {…},
+ "alerts": {"states": […], "transitions": […]}, "metrics": {…}}
+```
+
+* ``status``  — the :class:`~repro.obs.live.health.RunStatus` snapshot
+  (state, readiness, current stage, stages done, degradations);
+* ``alerts``  — full rule states plus the transitions *this* tick;
+* ``metrics`` — ``MetricsRegistry.to_json()``, the same shape as a
+  ``--metrics-out foo.json`` export.
+
+Each tick also runs the watchdog check and the alert evaluation, so the
+cadence (``--snapshot-every``) is the alerting resolution.  Ticks can be
+driven manually (:meth:`Snapshotter.tick`, what the tests do, with an
+injected clock) or by the background daemon thread
+(:meth:`Snapshotter.start` / :meth:`Snapshotter.stop`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["Snapshotter"]
+
+
+class Snapshotter:
+    """Appends timestamped registry snapshots to a JSONL file."""
+
+    def __init__(
+        self,
+        obs,
+        path: str,
+        every_s: float = 1.0,
+        status=None,
+        watchdog=None,
+        alert_engine=None,
+        clock: Callable[[], float] = time.time,
+        before_tick: Callable[[], None] | None = None,
+    ) -> None:
+        if every_s <= 0:
+            raise ValueError(f"snapshot cadence must be positive, got {every_s}")
+        self.obs = obs
+        self.path = path
+        self.every_s = every_s
+        self.status = status
+        self.watchdog = watchdog
+        self.alert_engine = alert_engine
+        #: Refresh hook run before each record is taken — the CLI wires
+        #: ``ExecutionEngine.publish_metrics`` here so point-in-time gauges
+        #: (cache hit ratios, read tallies) are current in every snapshot.
+        self.before_tick = before_tick
+        self._clock = clock
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._counter = obs.metrics.counter(
+            "daas_live_snapshots_total",
+            help_text="Registry snapshots appended to the time-series file.",
+        )
+        # Truncate at construction: one file is one run's time series.
+        open(self.path, "w").close()
+
+    # -- one tick ------------------------------------------------------------
+
+    def tick(self, now: float | None = None) -> dict[str, Any]:
+        """Evaluate watchdog + alerts, append one record, return it."""
+        if now is None:
+            now = self._clock()
+        if self.before_tick is not None:
+            self.before_tick()
+        if self.watchdog is not None:
+            self.watchdog.check()
+        transitions: list[dict[str, Any]] = []
+        states: list[dict[str, Any]] = []
+        if self.alert_engine is not None:
+            transitions = self.alert_engine.evaluate(self.obs.metrics)
+            states = self.alert_engine.snapshot()
+        with self._lock:
+            self._seq += 1
+            record: dict[str, Any] = {
+                "ts": round(now, 6),
+                "run": self.obs.run_id,
+                "seq": self._seq,
+                "status": self.status.snapshot() if self.status is not None else {},
+                "alerts": {"states": states, "transitions": transitions},
+                "metrics": self.obs.metrics.to_json(),
+            }
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(record) + "\n")
+        self._counter.inc()
+        return record
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    # -- background cadence --------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-snapshotter", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.every_s):
+            self.tick()
+
+    def stop(self, final_tick: bool = True) -> None:
+        """Stop the cadence thread; by default append one last record so
+        the file always captures the run's end state."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_tick:
+            self.tick()

@@ -1,0 +1,137 @@
+"""Stage watchdog: deadlines over span heartbeats.
+
+A long-running detection can wedge silently — a CT tail that stops
+receiving entries, a snowball round stuck on one contract.  The
+watchdog tracks, per *stage*, the time of the last heartbeat (stage
+start, per-item progress signals, stage finish) and, when asked to
+:meth:`Watchdog.check`, flips the run's health to degraded and emits a
+structured ``stage.stalled`` event for every active stage whose silence
+exceeds its deadline.  A later heartbeat on a stalled stage emits
+``stage.recovered`` and clears the degradation, so ``/healthz`` flips
+back on its own.
+
+The clock is injected (default ``time.monotonic``) so the stall tests
+advance time explicitly instead of sleeping.  ``check()`` runs at every
+snapshot tick and on every ``/healthz`` probe — health is computed at
+observation time, there is no dedicated watchdog thread to wedge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.obs.live.health import RunStatus
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Deadline tracking over stage heartbeats."""
+
+    def __init__(
+        self,
+        status: RunStatus,
+        obs=None,
+        default_deadline_s: float = 300.0,
+        deadlines: dict[str, float] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.status = status
+        self.obs = obs
+        self.default_deadline_s = default_deadline_s
+        self.deadlines = dict(deadlines or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_beat: dict[str, float] = {}
+        self._order: list[str] = []       # beat registration order
+        self._stalled: set[str] = set()
+
+    # -- heartbeats ----------------------------------------------------------
+
+    def stage_started(self, name: str) -> None:
+        self.beat(name)
+
+    def stage_finished(self, name: str) -> None:
+        with self._lock:
+            self._last_beat.pop(name, None)
+            if name in self._order:
+                self._order.remove(name)
+            was_stalled = name in self._stalled
+            self._stalled.discard(name)
+        if was_stalled:
+            self._recover(name, "finished")
+
+    def beat(self, name: str | None = None) -> None:
+        """Record progress for ``name`` (or the most recent active stage).
+        An unknown name auto-registers — long-lived consumers like the
+        streaming monitor just heartbeat, no start call required."""
+        with self._lock:
+            if name is None:
+                if not self._order:
+                    return
+                name = self._order[-1]
+            if name not in self._last_beat and name not in self._order:
+                self._order.append(name)
+            self._last_beat[name] = self._clock()
+            was_stalled = name in self._stalled
+            self._stalled.discard(name)
+        if was_stalled:
+            self._recover(name, "heartbeat")
+
+    # -- evaluation ----------------------------------------------------------
+
+    def deadline_for(self, name: str) -> float:
+        return self.deadlines.get(name, self.default_deadline_s)
+
+    def check(self, now: float | None = None) -> list[str]:
+        """Flag stages silent past their deadline; returns the *newly*
+        stalled ones (already-stalled stages are not re-reported)."""
+        if now is None:
+            now = self._clock()
+        newly: list[tuple[str, float]] = []
+        with self._lock:
+            for name, last in self._last_beat.items():
+                silent = now - last
+                if silent > self.deadline_for(name) and name not in self._stalled:
+                    self._stalled.add(name)
+                    newly.append((name, silent))
+        for name, silent in newly:
+            self.status.degrade(f"stage.stalled:{name}")
+            if self.obs is not None:
+                self.obs.event(
+                    "stage.stalled", level="warning", stage=name,
+                    silent_s=round(silent, 3),
+                    deadline_s=self.deadline_for(name),
+                )
+                self.obs.metrics.counter(
+                    "daas_watchdog_stalls_total",
+                    help_text="Stage-deadline violations flagged by the watchdog.",
+                    stage=name,
+                ).inc()
+        return [name for name, _ in newly]
+
+    def stalled_stages(self) -> list[str]:
+        with self._lock:
+            return sorted(self._stalled)
+
+    def _recover(self, name: str, how: str) -> None:
+        self.status.recover(f"stage.stalled:{name}")
+        if self.obs is not None:
+            self.obs.event("stage.recovered", level="info", stage=name, how=how)
+
+    def snapshot(self) -> dict[str, Any]:
+        now = self._clock()
+        with self._lock:
+            return {
+                "default_deadline_s": self.default_deadline_s,
+                "stalled": sorted(self._stalled),
+                "stages": {
+                    name: {
+                        "silent_s": round(now - last, 3),
+                        "deadline_s": self.deadline_for(name),
+                    }
+                    for name, last in self._last_beat.items()
+                },
+            }

@@ -267,6 +267,21 @@ class MetricsRegistry:
         instrument = self._instruments.get((name, _labels_key(labels)))
         return instrument.value if instrument is not None else 0.0
 
+    def sample(self, name: str, **labels: Any) -> float | None:
+        """Like :meth:`value`, but ``None`` when the sample does not exist —
+        the distinction the alert engine's *absence* rules need.  Histograms
+        have no single value and always return ``None``."""
+        with self._lock:
+            instrument = self._instruments.get((name, _labels_key(labels)))
+        if instrument is None or isinstance(instrument, Histogram):
+            return None
+        return float(instrument.value)
+
+    def has_metric(self, name: str) -> bool:
+        """True when any sample of ``name`` exists, regardless of labels."""
+        with self._lock:
+            return any(key[0] == name for key in self._instruments)
+
     # -- export --------------------------------------------------------------
 
     def to_json(self) -> dict[str, Any]:

@@ -197,11 +197,28 @@ class Tracer:
 
 
 def load_trace(path: str) -> list[dict[str, Any]]:
-    """Read a trace file back into span records (blank lines skipped)."""
+    """Read a trace file back into span records (blank lines skipped).
+
+    Raises :class:`ValueError` with a one-line message on a truncated or
+    corrupt file (a line that is not valid JSON, e.g. a run killed
+    mid-write), so tooling can report it instead of tracebacking.
+    """
     records = []
     with open(path) as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                raise ValueError(
+                    f"truncated or corrupt trace file {path}: "
+                    f"line {lineno} is not valid JSON"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"corrupt trace file {path}: line {lineno} is not a span object"
+                )
+            records.append(record)
     return records

@@ -86,10 +86,16 @@ class ExecutionEngine:
     @contextmanager
     def stage(self, name: str, **attrs: Any) -> Iterator[None]:
         """Time one pipeline stage through both sinks: a trace span and the
-        ``RuntimeStats`` stage-wall dict (which mirrors into the registry)."""
-        with self.obs.span(name, **attrs):
-            with self.stats.stage(name):
-                yield
+        ``RuntimeStats`` stage-wall dict (which mirrors into the registry).
+        When a live-ops layer is attached the stage also registers with the
+        watchdog and the run-status document (no-ops otherwise)."""
+        self.obs.stage_started(name)
+        try:
+            with self.obs.span(name, **attrs):
+                with self.stats.stage(name):
+                    yield
+        finally:
+            self.obs.stage_finished(name)
 
     # -- per-contract analysis ----------------------------------------------
 
@@ -133,6 +139,7 @@ class ExecutionEngine:
         self, analyzer: "ContractAnalyzer", contract: str, parent=None
     ) -> "ContractAnalysis":
         self.stats.bump("contract_classifications")
+        self.obs.heartbeat()
         with self.obs.span("analyze.contract", parent=parent, contract=contract):
             started = time.perf_counter()
             analysis = analyzer.compute_analysis(contract)

@@ -11,6 +11,7 @@ and lets the growth ablation quantify the difference.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.webdetect.crawler import Crawler
@@ -28,6 +29,8 @@ class StreamingDetectionStats(DetectionStats):
     fingerprints_harvested: int = 0
     #: Sites confirmed only thanks to a fingerprint harvested in-stream.
     late_confirmations: int = 0
+    #: Review-queue entries evicted (oldest first) when the bound is hit.
+    retry_evictions: int = 0
 
 
 class StreamingSiteDetector:
@@ -36,8 +39,12 @@ class StreamingSiteDetector:
     On every confirmed site, files whose *names* match the family's
     toolkit but whose digests are new are added to the DB; additionally,
     suspicious-but-unmatched sites are kept in a review queue and retried
-    whenever the DB grows (the manual-review feedback loop security teams
-    run in practice, bounded by ``max_retry_queue``).
+    whenever the DB *grows* (the manual-review feedback loop security
+    teams run in practice) — retries without growth cannot confirm, so
+    ``late_confirmations`` counts exactly the DB-growth-enabled
+    confirmations.  The queue is bounded by ``max_retry_queue``: on
+    overflow the *oldest* entry is evicted (FIFO — old candidates have
+    had the most retry opportunities), counted in ``retry_evictions``.
     """
 
     def __init__(
@@ -53,7 +60,9 @@ class StreamingSiteDetector:
         self.filter = domain_filter or DomainFilter()
         self.crawler = Crawler(web)
         self.max_retry_queue = max_retry_queue
-        self._pending: list[tuple[str, int, str, dict[str, str]]] = []
+        self._pending: deque[tuple[str, int, str, dict[str, str]]] = deque(
+            maxlen=max_retry_queue
+        )
         if obs is None:
             from repro.obs import Observability
 
@@ -63,8 +72,12 @@ class StreamingSiteDetector:
     def run(self, start_ts: int | None = None, end_ts: int | None = None):
         """Traced wrapper around :meth:`_run`; the stream is one span with
         harvest/confirmation counts logged at the end."""
-        with self.obs.span("webdetect.stream"):
-            reports, stats = self._run(start_ts, end_ts)
+        self.obs.stage_started("webdetect.stream")
+        try:
+            with self.obs.span("webdetect.stream"):
+                reports, stats = self._run(start_ts, end_ts)
+        finally:
+            self.obs.stage_finished("webdetect.stream")
         self.obs.event(
             "webdetect.stream_done", ct_entries=stats.ct_entries,
             confirmed=stats.confirmed,
@@ -103,9 +116,13 @@ class StreamingSiteDetector:
         events.sort(key=lambda e: (e[0], e[1], str(e[3])))
 
         for ts, _, kind, payload in events:
+            self.obs.heartbeat("webdetect.stream")
             if kind == "report":
-                self._ingest_community_report(payload, ts, stats)
-                reports.extend(self._retry_pending(stats))
+                if self._ingest_community_report(payload, ts, stats):
+                    # Retrying is only worth it when the DB actually grew:
+                    # an unchanged DB re-running on unchanged files cannot
+                    # confirm, so late_confirmations stays growth-only.
+                    reports.extend(self._retry_pending(stats))
                 continue
 
             entry = payload
@@ -126,8 +143,9 @@ class StreamingSiteDetector:
                 reports.append(report)
             else:
                 stats.no_fingerprint_match += 1
-                if len(self._pending) < self.max_retry_queue:
-                    self._pending.append((entry.domain, entry.issued_at, keyword, files))
+                if len(self._pending) == self.max_retry_queue:
+                    stats.retry_evictions += 1  # deque drops the oldest entry
+                self._pending.append((entry.domain, entry.issued_at, keyword, files))
         return reports, stats
 
     @staticmethod
@@ -137,16 +155,17 @@ class StreamingSiteDetector:
         digest = sum(ord(c) for c in domain)
         return (1 + digest % 14) * 86_400
 
-    def _ingest_community_report(self, domain: str, ts: int, stats) -> None:
+    def _ingest_community_report(self, domain: str, ts: int, stats) -> bool:
         """A victim/researcher reported the site: crawl it and harvest any
-        new toolkit variant (name matches, content differs — §8.2)."""
+        new toolkit variant (name matches, content differs — §8.2).
+        Returns True when the DB grew."""
         files = self.crawler.fetch(domain, at_ts=ts)
         if files is None:
-            return
+            return False
         family, _ = self.web.truth.phishing.get(domain, (None, None))
         if family is None:
-            return
-        self._harvest(family, files, stats)
+            return False
+        return self._harvest(family, files, stats)
 
     # ------------------------------------------------------------------
 
@@ -163,15 +182,21 @@ class StreamingSiteDetector:
             detected_at=issued_at, matched_keyword=keyword,
         )
 
-    def _harvest(self, family: str, files: dict[str, str], stats) -> None:
-        if self.db.add_from_site(family, files):
+    def _harvest(self, family: str, files: dict[str, str], stats) -> bool:
+        grew = self.db.add_from_site(family, files)
+        if grew:
             stats.fingerprints_harvested += 1
             self.obs.event("webdetect.harvest", level="debug", family=family)
+        return grew
 
     def _retry_pending(self, stats) -> list[SiteReport]:
-        """Re-examine the queue after DB growth; confirmed entries leave it."""
+        """Re-examine the queue after DB growth; confirmed entries leave it
+        and count as late confirmations (by construction the retry only
+        runs when the DB grew, so every confirmation here is growth-enabled)."""
         confirmed: list[SiteReport] = []
-        remaining: list[tuple[str, int, str, dict[str, str]]] = []
+        remaining: deque[tuple[str, int, str, dict[str, str]]] = deque(
+            maxlen=self.max_retry_queue
+        )
         for domain, issued_at, keyword, files in self._pending:
             report = self._try_confirm(domain, issued_at, keyword, files, stats)
             if report is not None:

@@ -1,0 +1,222 @@
+"""Declarative alert rules: parsing, evaluation, firing/resolving.
+
+Includes the ISSUE acceptance case: a cache-hit-ratio threshold alert
+fires and resolves across snapshot ticks with ``publish_metrics``-style
+gauge refreshes between them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.obs import MetricsRegistry, Observability
+from repro.obs.live import (
+    AlertEngine,
+    AlertRule,
+    load_alert_rules,
+    parse_alert_rules,
+)
+
+
+def rules_doc():
+    return {
+        "rules": [
+            {
+                "name": "low-cache-hit", "kind": "threshold",
+                "metric": "daas_cache_hit_ratio",
+                "labels": {"cache": "overall"},
+                "op": "<", "value": 0.5, "for_ticks": 2,
+                "severity": "warning",
+                "description": "cache effectiveness collapsed",
+            },
+            {
+                "name": "alert-storm", "kind": "ratio",
+                "numerator": "daas_monitor_alerts_total",
+                "numerator_labels": {"kind": "victim_interaction"},
+                "denominator": "daas_monitor_transactions_total",
+                "op": ">", "value": 0.2,
+            },
+            {"name": "monitor-silent", "kind": "absence",
+             "metric": "daas_monitor_blocks_total"},
+        ]
+    }
+
+
+class TestParsing:
+    def test_parse_valid_document(self):
+        rules = parse_alert_rules(rules_doc())
+        assert [r.name for r in rules] == [
+            "low-cache-hit", "alert-storm", "monitor-silent",
+        ]
+        low = rules[0]
+        assert low.kind == "threshold"
+        assert low.labels == (("cache", "overall"),)
+        assert low.op == "<" and low.value == 0.5 and low.for_ticks == 2
+
+    def test_load_from_json_file(self, tmp_path):
+        path = tmp_path / "alerts.json"
+        path.write_text(json.dumps(rules_doc()))
+        assert len(load_alert_rules(str(path))) == 3
+
+    @pytest.mark.skipif(sys.version_info < (3, 11), reason="needs tomllib")
+    def test_load_from_toml_file(self, tmp_path):
+        path = tmp_path / "alerts.toml"
+        path.write_text(
+            '[[rules]]\n'
+            'name = "low-cache-hit"\n'
+            'kind = "threshold"\n'
+            'metric = "daas_cache_hit_ratio"\n'
+            'labels = {cache = "overall"}\n'
+            'op = "<"\n'
+            'value = 0.5\n'
+            'for_ticks = 2\n'
+            '\n'
+            '[[rules]]\n'
+            'name = "monitor-silent"\n'
+            'kind = "absence"\n'
+            'metric = "daas_monitor_blocks_total"\n'
+        )
+        rules = load_alert_rules(str(path))
+        assert [r.name for r in rules] == ["low-cache-hit", "monitor-silent"]
+        assert rules[0].labels == (("cache", "overall"),)
+
+    @pytest.mark.parametrize(
+        "doc, message",
+        [
+            ({}, "must contain a 'rules' list"),
+            ({"rules": [{}]}, "has no name"),
+            ({"rules": [{"name": "a", "metric": "m"},
+                        {"name": "a", "metric": "m"}]}, "duplicate rule name"),
+            ({"rules": [{"name": "a", "kind": "nope", "metric": "m"}]},
+             "unknown kind"),
+            ({"rules": [{"name": "a", "metric": "m", "op": "~"}]},
+             "unknown op"),
+            ({"rules": [{"name": "a", "kind": "ratio", "numerator": "n"}]},
+             "needs numerator and denominator"),
+            ({"rules": [{"name": "a", "kind": "threshold"}]}, "needs a metric"),
+            ({"rules": [{"name": "a", "metric": "m", "for_ticks": 0}]},
+             "for_ticks must be >= 1"),
+        ],
+    )
+    def test_one_line_errors(self, doc, message):
+        with pytest.raises(ValueError) as exc:
+            parse_alert_rules(doc, source="alerts.json")
+        assert message in str(exc.value)
+        assert "\n" not in str(exc.value)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read alert file"):
+            load_alert_rules(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_alert_rules(str(path))
+
+
+class TestEvaluation:
+    def test_threshold_missing_sample_never_fires(self):
+        rule = parse_alert_rules(rules_doc())[0]
+        assert rule.evaluate(MetricsRegistry()) == (False, None)
+
+    def test_threshold_compares_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("daas_cache_hit_ratio", cache="overall").set(0.3)
+        rule = parse_alert_rules(rules_doc())[0]
+        assert rule.evaluate(registry) == (True, 0.3)
+        registry.gauge("daas_cache_hit_ratio", cache="overall").set(0.9)
+        assert rule.evaluate(registry) == (False, 0.9)
+
+    def test_ratio_zero_denominator_is_no_data(self):
+        registry = MetricsRegistry()
+        rule = parse_alert_rules(rules_doc())[1]
+        assert rule.evaluate(registry) == (False, None)  # both missing
+        registry.counter("daas_monitor_alerts_total", kind="victim_interaction").inc(5)
+        registry.counter("daas_monitor_transactions_total")
+        assert rule.evaluate(registry) == (False, None)  # denominator 0
+        registry.counter("daas_monitor_transactions_total").inc(10)
+        assert rule.evaluate(registry) == (True, 0.5)
+
+    def test_absence_without_labels_matches_any_sample(self):
+        registry = MetricsRegistry()
+        rule = parse_alert_rules(rules_doc())[2]
+        assert rule.evaluate(registry)[0]
+        registry.counter("daas_monitor_blocks_total").inc()
+        assert not rule.evaluate(registry)[0]
+
+    def test_absence_with_labels_needs_exact_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("daas_monitor_alerts_total", kind="other").inc()
+        rule = AlertRule(name="a", kind="absence",
+                         metric="daas_monitor_alerts_total",
+                         labels=(("kind", "victim_interaction"),))
+        assert rule.evaluate(registry)[0]
+        registry.counter("daas_monitor_alerts_total", kind="victim_interaction").inc()
+        assert not rule.evaluate(registry)[0]
+
+
+class TestEngine:
+    def test_for_ticks_debounce_then_fire_then_resolve(self):
+        obs = Observability(run_id="ae")
+        gauge = obs.metrics.gauge("daas_cache_hit_ratio", cache="overall")
+        engine = AlertEngine([parse_alert_rules(rules_doc())[0]], obs=obs)
+
+        gauge.set(0.4)
+        assert engine.evaluate(obs.metrics) == []   # breach 1 of 2: no fire yet
+        assert engine.firing() == []
+        transitions = engine.evaluate(obs.metrics)  # breach 2 of 2
+        assert transitions == [
+            {"rule": "low-cache-hit", "to": "firing", "tick": 2, "value": 0.4}
+        ]
+        assert engine.firing() == ["low-cache-hit"]
+        assert engine.evaluate(obs.metrics) == []   # still firing: no re-fire
+
+        gauge.set(0.8)
+        transitions = engine.evaluate(obs.metrics)
+        assert transitions == [
+            {"rule": "low-cache-hit", "to": "resolved", "tick": 4, "value": 0.8}
+        ]
+        assert engine.firing() == []
+        assert engine.ticks == 4
+
+        # events and metrics mirror the two transitions
+        names = [e["event"] for e in obs.log.events]
+        assert names.count("alert.firing") == 1
+        assert names.count("alert.resolved") == 1
+        firing_event = next(e for e in obs.log.events if e["event"] == "alert.firing")
+        assert firing_event["level"] == "warning"  # the rule's severity
+        assert obs.metrics.value("daas_alert_firing", rule="low-cache-hit") == 0.0
+        assert obs.metrics.value(
+            "daas_alert_transitions_total", rule="low-cache-hit", to="firing"
+        ) == 1
+        assert obs.metrics.value(
+            "daas_alert_transitions_total", rule="low-cache-hit", to="resolved"
+        ) == 1
+
+    def test_interrupted_breach_resets_debounce(self):
+        obs = Observability(run_id="ae2")
+        gauge = obs.metrics.gauge("daas_cache_hit_ratio", cache="overall")
+        engine = AlertEngine([parse_alert_rules(rules_doc())[0]], obs=obs)
+        gauge.set(0.4)
+        engine.evaluate(obs.metrics)    # breach 1
+        gauge.set(0.9)
+        engine.evaluate(obs.metrics)    # clears the streak
+        gauge.set(0.4)
+        assert engine.evaluate(obs.metrics) == []  # breach 1 again, not 2
+        assert engine.firing() == []
+
+    def test_snapshot_reports_rule_states(self):
+        obs = Observability(run_id="ae3")
+        engine = AlertEngine(parse_alert_rules(rules_doc()), obs=obs)
+        engine.evaluate(obs.metrics)
+        states = {s["name"]: s for s in engine.snapshot()}
+        assert set(states) == {"low-cache-hit", "alert-storm", "monitor-silent"}
+        assert states["monitor-silent"]["state"] == "firing"  # for_ticks=1 absence
+        assert states["low-cache-hit"]["state"] == "ok"
+        assert states["low-cache-hit"]["description"] == (
+            "cache effectiveness collapsed"
+        )

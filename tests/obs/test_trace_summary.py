@@ -105,3 +105,44 @@ def test_summarize_file_and_cli(tmp_path, capsys):
     assert "snowball.round" in out and "% run" in out
 
     assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 1
+
+
+class TestCliErrors:
+    """Missing / empty / truncated trace files: exit 1, one clear line on
+    stderr, never a traceback."""
+
+    def run(self, path, capsys):
+        code = main(["trace-summary", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1, f"expected one error line, got: {captured.err!r}"
+        assert "Traceback" not in captured.err
+        return lines[0]
+
+    def test_missing_file(self, tmp_path, capsys):
+        message = self.run(tmp_path / "nope.jsonl", capsys)
+        assert message == f"no such trace file: {tmp_path / 'nope.jsonl'}"
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        message = self.run(path, capsys)
+        assert message == f"empty trace file: {path} (no spans written)"
+
+    def test_truncated_file(self, tmp_path, capsys):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps(_span("s1", None, "seed", 1.0, 1.0)) + "\n"
+            + '{"run": "r1", "span": "s2", "na'   # killed mid-write
+        )
+        message = self.run(path, capsys)
+        assert "truncated or corrupt trace file" in message
+        assert "line 2" in message
+
+    def test_non_span_record(self, tmp_path, capsys):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        message = self.run(path, capsys)
+        assert "line 1 is not a span object" in message

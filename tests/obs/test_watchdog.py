@@ -1,0 +1,159 @@
+"""Watchdog + RunStatus: stalls degrade health, heartbeats recover it.
+
+All time comes from injected fake clocks — no test here sleeps.
+"""
+
+from __future__ import annotations
+
+from repro.obs import Observability
+from repro.obs.live import RunStatus, Watchdog
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(deadline: float = 10.0, deadlines=None):
+    clock = FakeClock()
+    obs = Observability(run_id="wd")
+    status = RunStatus(run_id="wd", clock=clock)
+    dog = Watchdog(
+        status, obs=obs, default_deadline_s=deadline,
+        deadlines=deadlines, clock=clock,
+    )
+    return clock, obs, status, dog
+
+
+class TestRunStatus:
+    def test_ready_flips_on_first_stage(self):
+        clock = FakeClock()
+        status = RunStatus(run_id="r", clock=clock)
+        assert not status.ready
+        status.stage_started("seed")
+        assert status.ready
+        status.stage_finished("seed")
+        assert status.ready  # readiness is a latch, not "a stage is active"
+
+    def test_stage_stack_and_wall_times(self):
+        clock = FakeClock()
+        status = RunStatus(run_id="r", clock=clock)
+        status.stage_started("snowball")
+        clock.advance(1.0)
+        status.stage_started("snowball.round")
+        assert status.current_stage == "snowball.round"
+        assert status.active_stages() == ["snowball", "snowball.round"]
+        clock.advance(2.0)
+        status.stage_finished("snowball.round")
+        clock.advance(0.5)
+        status.stage_finished("snowball")
+        snap = status.snapshot()
+        assert snap["stage"] is None
+        assert snap["stages_done"] == [
+            {"stage": "snowball.round", "wall_s": 2.0},
+            {"stage": "snowball", "wall_s": 3.5},
+        ]
+
+    def test_degrade_recover_roundtrip(self):
+        status = RunStatus(run_id="r", clock=FakeClock())
+        assert status.state == "ok"
+        assert status.degrade("stage.stalled:x")
+        assert not status.degrade("stage.stalled:x")  # already registered
+        assert status.state == "degraded"
+        assert status.degraded_reasons() == ["stage.stalled:x"]
+        assert status.recover("stage.stalled:x")
+        assert not status.recover("stage.stalled:x")
+        assert status.state == "ok"
+
+
+class TestWatchdog:
+    def test_stall_degrades_and_emits(self):
+        clock, obs, status, dog = make(deadline=10.0)
+        dog.stage_started("snowball")
+        clock.advance(11.0)
+        assert dog.check() == ["snowball"]
+        assert status.state == "degraded"
+        assert status.degraded_reasons() == ["stage.stalled:snowball"]
+        assert dog.stalled_stages() == ["snowball"]
+        events = [e for e in obs.log.events if e["event"] == "stage.stalled"]
+        assert len(events) == 1
+        assert events[0]["level"] == "warning"
+        assert events[0]["stage"] == "snowball"
+        assert events[0]["silent_s"] == 11.0
+        assert events[0]["deadline_s"] == 10.0
+        assert obs.metrics.value(
+            "daas_watchdog_stalls_total", stage="snowball"
+        ) == 1
+
+    def test_already_stalled_not_rereported(self):
+        clock, obs, _, dog = make(deadline=10.0)
+        dog.stage_started("seed")
+        clock.advance(11.0)
+        assert dog.check() == ["seed"]
+        clock.advance(5.0)
+        assert dog.check() == []  # still stalled, but not *newly*
+        assert obs.metrics.value("daas_watchdog_stalls_total", stage="seed") == 1
+
+    def test_heartbeat_recovers(self):
+        clock, obs, status, dog = make(deadline=10.0)
+        dog.stage_started("snowball")
+        clock.advance(11.0)
+        dog.check()
+        dog.beat("snowball")
+        assert status.state == "ok"
+        assert dog.stalled_stages() == []
+        recovered = [e for e in obs.log.events if e["event"] == "stage.recovered"]
+        assert recovered and recovered[0]["how"] == "heartbeat"
+        # and the stage can stall again after a fresh silence
+        clock.advance(11.0)
+        assert dog.check() == ["snowball"]
+
+    def test_finish_recovers(self):
+        clock, obs, status, dog = make(deadline=10.0)
+        dog.stage_started("seed")
+        clock.advance(11.0)
+        dog.check()
+        dog.stage_finished("seed")
+        assert status.state == "ok"
+        recovered = [e for e in obs.log.events if e["event"] == "stage.recovered"]
+        assert recovered and recovered[0]["how"] == "finished"
+        clock.advance(100.0)
+        assert dog.check() == []  # finished stages are no longer watched
+
+    def test_anonymous_beat_feeds_latest_stage(self):
+        clock, _, _, dog = make(deadline=10.0)
+        dog.beat()  # nothing registered yet: a no-op, not a crash
+        dog.stage_started("a")
+        dog.stage_started("b")
+        clock.advance(9.0)
+        dog.beat()  # feeds "b", the most recent
+        clock.advance(2.0)
+        assert dog.check() == ["a"]
+
+    def test_unknown_stage_autoregisters(self):
+        clock, _, _, dog = make(deadline=10.0)
+        dog.beat("monitor.stream")  # no stage_started needed
+        clock.advance(11.0)
+        assert dog.check() == ["monitor.stream"]
+
+    def test_per_stage_deadline_override(self):
+        clock, _, _, dog = make(deadline=100.0, deadlines={"ct.tail": 5.0})
+        dog.stage_started("ct.tail")
+        dog.stage_started("snowball")
+        clock.advance(6.0)
+        assert dog.check() == ["ct.tail"]  # snowball's 100 s not exceeded
+
+    def test_snapshot_shape(self):
+        clock, _, _, dog = make(deadline=10.0)
+        dog.stage_started("seed")
+        clock.advance(3.0)
+        snap = dog.snapshot()
+        assert snap["default_deadline_s"] == 10.0
+        assert snap["stalled"] == []
+        assert snap["stages"]["seed"] == {"silent_s": 3.0, "deadline_s": 10.0}

@@ -90,6 +90,91 @@ class TestQuality:
         assert len(detector._pending) <= 3
 
 
+class TestRetryQueue:
+    def entry(self, domain, ts=0):
+        return (domain, ts, "wallet", {"index.html": ""})
+
+    def test_overflow_evicts_oldest_first(self, web_world):
+        """FIFO: on overflow the *oldest* entry leaves, the newest stays —
+        old candidates have had the most retry opportunities."""
+        detector = StreamingSiteDetector(web_world, base_db(), max_retry_queue=2)
+        for i, domain in enumerate(["old.com", "mid.com", "new.com"]):
+            detector._pending.append(self.entry(domain, ts=i))
+        assert [d for d, *_ in detector._pending] == ["mid.com", "new.com"]
+        detector._pending.append(self.entry("newest.com", ts=3))
+        assert [d for d, *_ in detector._pending] == ["new.com", "newest.com"]
+
+    def test_run_counts_evictions(self, web_world):
+        detector = StreamingSiteDetector(web_world, base_db(), max_retry_queue=1)
+        _, stats = detector.run()
+        assert stats.retry_evictions > 0
+        # conservation: every unmatched suspicious site either confirmed
+        # late, got evicted, or is still pending
+        assert stats.no_fingerprint_match == (
+            stats.late_confirmations + stats.retry_evictions
+            + len(detector._pending)
+        )
+
+    def test_unbounded_run_never_evicts(self, streamed):
+        _, _, stats, detector = streamed
+        assert stats.retry_evictions == 0
+        assert stats.no_fingerprint_match == (
+            stats.late_confirmations + len(detector._pending)
+        )
+
+    def test_eviction_can_cost_detections(self, web_world, streamed):
+        """A drastically bounded queue evicts candidates that DB growth
+        would later have confirmed — late confirmations can only go down."""
+        _, _, unbounded_stats, _ = streamed
+        detector = StreamingSiteDetector(web_world, base_db(), max_retry_queue=1)
+        _, stats = detector.run()
+        assert stats.late_confirmations <= unbounded_stats.late_confirmations
+
+
+class TestLateConfirmations:
+    """`late_confirmations` counts exactly the DB-growth-enabled
+    confirmations: a retry against an unchanged DB can never add one."""
+
+    FILES = {
+        "index.html": '<script src="settings.js"></script>',
+        "settings.js": "var x = 1",
+    }
+
+    def make_detector(self, web_world):
+        detector = StreamingSiteDetector(web_world, FingerprintDB())
+        detector._pending.append(("site-a.com", 100, "wallet", dict(self.FILES)))
+        return detector
+
+    def test_retry_without_growth_confirms_nothing(self, web_world):
+        from repro.webdetect.streaming import StreamingDetectionStats
+
+        detector = self.make_detector(web_world)
+        stats = StreamingDetectionStats()
+        assert detector._retry_pending(stats) == []
+        assert stats.late_confirmations == 0
+        assert len(detector._pending) == 1  # still queued for later
+
+    def test_retry_after_growth_counts_late_confirmation(self, web_world):
+        from repro.webdetect.streaming import StreamingDetectionStats
+
+        detector = self.make_detector(web_world)
+        detector.db.add(ToolkitFingerprint(
+            family="Angel Drainer",
+            files=frozenset({("settings.js", content_digest("var x = 1"))}),
+        ))
+        stats = StreamingDetectionStats()
+        confirmed = detector._retry_pending(stats)
+        assert [r.domain for r in confirmed] == ["site-a.com"]
+        assert confirmed[0].family == "Angel Drainer"
+        assert confirmed[0].detected_at == 100
+        assert stats.late_confirmations == 1
+        assert len(detector._pending) == 0
+
+    def test_streamed_invariant(self, streamed):
+        _, _, stats, _ = streamed
+        assert 0 < stats.late_confirmations <= stats.confirmed
+
+
 class TestMetricsHelpers:
     def test_score_sets(self):
         from repro.core.metrics import score_sets
