@@ -63,7 +63,7 @@ def _build(world, make_executor, live_path=None):
         live.start()
     started = time.perf_counter()
     try:
-        dataset, *_ = build_dataset(world, engine=engine)
+        dataset = build_dataset(world, engine=engine).dataset
         # Overhead is what serving/snapshotting costs *while the run is in
         # flight*; the one-time thread teardown in stop() is excluded.
         wall = time.perf_counter() - started

@@ -39,7 +39,7 @@ def _executors():
 def _timed_build(world, make_executor, obs):
     engine = ExecutionEngine(make_executor(), obs=obs)
     started = time.perf_counter()
-    dataset, *_ = build_dataset(world, engine=engine)
+    dataset = build_dataset(world, engine=engine).dataset
     return time.perf_counter() - started, dataset.to_json(), engine
 
 

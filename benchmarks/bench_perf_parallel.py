@@ -43,7 +43,8 @@ def test_perf_parallel_dataset(benchmark, record_table, record_perf):
     for name, make in _engine_configs():
         engine = make()
         started = time.perf_counter()
-        dataset, _, expansion, _, _ = build_dataset(world, engine=engine)
+        build = build_dataset(world, engine=engine)
+        dataset, expansion = build.dataset, build.expansion_report
         elapsed = time.perf_counter() - started
 
         iterations = len(expansion.iterations)

@@ -26,7 +26,7 @@ def test_perf_pipeline_scaling(benchmark, record_table):
     for scale in _SCALES:
         world = build_world(SimulationParams(scale=scale, seed=BENCH_SEED))
         started = time.perf_counter()
-        dataset, _, _, _, _ = build_dataset(world)
+        dataset = build_dataset(world).dataset
         elapsed = time.perf_counter() - started
         n_txs = len(world.chain)
         timings.append((n_txs, elapsed))

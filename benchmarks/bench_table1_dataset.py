@@ -18,8 +18,8 @@ from repro.simulation.params import PAPER_TOTALS
 
 def test_table1_dataset_construction(benchmark, bench_world, record_table):
     def construct():
-        dataset, _, _, _, seed_summary = build_dataset(bench_world)
-        return dataset, seed_summary
+        build = build_dataset(bench_world)
+        return build.dataset, build.seed_summary
 
     dataset, seed_summary = benchmark.pedantic(construct, rounds=1, iterations=1)
     expanded = dataset.summary()

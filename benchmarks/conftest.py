@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import run_pipeline
+from repro.api import PipelineConfig, run_pipeline
 from repro.simulation import SimulationParams, build_world
 from repro.webdetect import (
     PhishingSiteDetector,
@@ -47,7 +47,7 @@ def bench_world():
 
 @pytest.fixture(scope="session")
 def bench_pipeline(bench_world):
-    return run_pipeline(world=bench_world)
+    return run_pipeline(PipelineConfig(world=bench_world))
 
 
 @pytest.fixture(scope="session")

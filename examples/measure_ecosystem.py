@@ -15,13 +15,13 @@ import sys
 from repro.analysis.plots import bar_chart, histogram, lorenz_ascii
 from repro.analysis.reporting import fmt_pct, fmt_usd
 from repro.analysis.stats import gini, lorenz_curve
-from repro.api import run_pipeline
+from repro.api import PipelineConfig, run_pipeline
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
     print(f"building world and running the pipeline at scale {scale} ...")
-    result = run_pipeline(scale=scale, seed=2025)
+    result = run_pipeline(PipelineConfig(scale=scale, seed=2025))
     vr, orr, ar = result.victim_report, result.operator_report, result.affiliate_report
 
     # -- §6.1 victims -------------------------------------------------------

@@ -10,14 +10,14 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.reporting import fmt_month, fmt_pct, fmt_usd, render_table
-from repro.api import run_pipeline
+from repro.api import PipelineConfig, run_pipeline
 from repro.chain.types import wei_to_eth
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
     print(f"building world at scale {scale} (1.0 = paper scale) ...")
-    result = run_pipeline(scale=scale, seed=2025)
+    result = run_pipeline(PipelineConfig(scale=scale, seed=2025))
 
     # ------------------------------------------------------------------
     # Table 1: seed vs expanded dataset

@@ -15,7 +15,7 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.guard import TransactionIntent, WalletGuard
-from repro.api import run_pipeline
+from repro.api import PipelineConfig, run_pipeline
 from repro.chain.types import eth_to_wei
 
 
@@ -29,7 +29,7 @@ def show(name: str, verdict) -> None:
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
     print(f"building world and dataset at scale {scale} ...")
-    result = run_pipeline(scale=scale, seed=2025)
+    result = run_pipeline(PipelineConfig(scale=scale, seed=2025))
     guard = WalletGuard(result.world.rpc, blacklist=result.dataset.all_accounts)
     print(f"guard loaded with {len(result.dataset.all_accounts):,} blacklisted accounts")
 

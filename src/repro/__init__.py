@@ -16,8 +16,21 @@ Packages:
 * :mod:`repro.api`        — a one-call facade over the full pipeline.
 """
 
-from repro.api import PipelineResult, build_dataset, run_pipeline
+from repro.api import (
+    DatasetBuildResult,
+    PipelineConfig,
+    PipelineResult,
+    build_dataset,
+    run_pipeline,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["PipelineResult", "build_dataset", "run_pipeline", "__version__"]
+__all__ = [
+    "DatasetBuildResult",
+    "PipelineConfig",
+    "PipelineResult",
+    "build_dataset",
+    "run_pipeline",
+    "__version__",
+]

@@ -2,19 +2,31 @@
 
 Typical use (see ``examples/quickstart.py``)::
 
-    from repro.api import run_pipeline
-    result = run_pipeline(scale=0.05)
+    from repro.api import PipelineConfig, run_pipeline
+    result = run_pipeline(PipelineConfig(scale=0.05))
     print(result.dataset.summary())
     print(result.clustering.family_count)
 
 ``run_pipeline`` builds the simulated world, constructs the seed dataset
 from the public feeds, snowball-expands it to fixpoint, and runs the full
 measurement suite — the complete reproduction of the paper's §5-§7.
+One :class:`PipelineConfig` carries every knob: world parameters,
+engine/worker/cache selection, observability, and the fault-tolerance
+options (retry policy, fault plan, checkpoint/resume) described in
+``docs/reliability.md``.
+
+Deprecated surface, kept for one release: calling ``run_pipeline`` with
+loose keyword arguments (``scale=…``, ``seed=…``, ``params=…``,
+``world=…``, ``engine=…``) still works but emits a
+``DeprecationWarning``; so does unpacking :func:`build_dataset`'s result
+as the old 5-tuple.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.analysis import (
     AffiliateAnalyzer,
@@ -35,10 +47,127 @@ from repro.core import (
     SeedReport,
     SnowballExpander,
 )
-from repro.runtime import ExecutionEngine
+from repro.obs import Observability
+from repro.runtime import (
+    CheckpointManager,
+    ExecutionEngine,
+    FaultPlan,
+    ResumeInfo,
+    RetryPolicy,
+    make_executor,
+)
 from repro.simulation import SimulatedWorld, SimulationParams, build_world
 
-__all__ = ["PipelineResult", "build_dataset", "run_pipeline"]
+__all__ = [
+    "DatasetBuildResult",
+    "PipelineConfig",
+    "PipelineResult",
+    "build_dataset",
+    "run_pipeline",
+]
+
+
+@dataclass
+class PipelineConfig:
+    """Every pipeline knob in one place, consumed by :func:`run_pipeline`.
+
+    World selection: ``params`` wins over the ``scale``/``seed``
+    shorthand; a prebuilt ``world`` skips world construction entirely.
+    Engine selection: an explicit ``engine`` wins over the
+    ``workers``/``chunk_size``/``cache_enabled``/``obs``/resilience
+    fields that :meth:`make_engine` would otherwise assemble.
+    """
+
+    # -- world ---------------------------------------------------------------
+    scale: float | None = None
+    seed: int | None = None
+    params: SimulationParams | None = None
+    world: SimulatedWorld | None = None
+    # -- engine --------------------------------------------------------------
+    workers: int = 1
+    chunk_size: int = 1
+    cache_enabled: bool = True
+    analysis_cache_size: int | None = None
+    obs: Observability | None = None
+    engine: ExecutionEngine | None = None
+    # -- fault tolerance (docs/reliability.md) -------------------------------
+    retry: RetryPolicy | None = None
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    fault_plan: FaultPlan | None = None
+    checkpoint_path: str | Path | None = None
+    resume: bool = False
+
+    def resolved_params(self) -> SimulationParams:
+        if self.params is not None:
+            return self.params
+        params = SimulationParams()
+        if self.scale is not None:
+            params.scale = self.scale
+        if self.seed is not None:
+            params.seed = self.seed
+        return params
+
+    def resolved_world(self) -> SimulatedWorld:
+        return self.world if self.world is not None else build_world(self.resolved_params())
+
+    def make_engine(self) -> ExecutionEngine:
+        """The engine this configuration describes (or the explicit one)."""
+        if self.engine is not None:
+            return self.engine
+        obs = self.obs if self.obs is not None else Observability()
+        checkpoint = None
+        if self.checkpoint_path is not None:
+            params = self.resolved_params()
+            checkpoint = CheckpointManager(
+                self.checkpoint_path,
+                params_key={"scale": params.scale, "seed": params.seed},
+                obs=obs,
+            )
+        return ExecutionEngine(
+            executor=make_executor(self.workers, self.chunk_size),
+            cache_enabled=self.cache_enabled,
+            analysis_cache_size=self.analysis_cache_size,
+            obs=obs,
+            retry_policy=self.retry,
+            breaker_threshold=self.breaker_threshold,
+            breaker_reset_s=self.breaker_reset_s,
+            fault_plan=self.fault_plan,
+            checkpoint=checkpoint,
+        )
+
+
+@dataclass
+class DatasetBuildResult:
+    """Everything dataset construction (paper §5) produces.
+
+    Prefer the named fields; unpacking as the pre-PR-4 5-tuple still
+    works through :meth:`__iter__` but is deprecated.
+    """
+
+    dataset: DaaSDataset
+    seed_report: SeedReport
+    expansion_report: ExpansionReport
+    analyzer: ContractAnalyzer
+    seed_summary: dict[str, int]
+    #: Checkpoint/resume bookkeeping; ``None`` when checkpointing is off.
+    resume_info: ResumeInfo | None = None
+
+    def __iter__(self):
+        warnings.warn(
+            "unpacking build_dataset() as a tuple is deprecated; use the "
+            "DatasetBuildResult fields (.dataset, .seed_report, "
+            ".expansion_report, .analyzer, .seed_summary) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return iter((
+            self.dataset,
+            self.seed_report,
+            self.expansion_report,
+            self.analyzer,
+            self.seed_summary,
+        ))
 
 
 @dataclass
@@ -59,49 +188,156 @@ class PipelineResult:
     victim_analyzer: VictimAnalyzer
     family_clusterer: FamilyClusterer
     engine: ExecutionEngine | None = None
+    resume_info: ResumeInfo | None = None
+
+
+def _checkpoint_manager(
+    checkpoint: CheckpointManager | str | Path | None,
+    engine: ExecutionEngine,
+    world: SimulatedWorld,
+) -> CheckpointManager | None:
+    if checkpoint is None:
+        manager = engine.checkpoint
+    elif isinstance(checkpoint, CheckpointManager):
+        manager = checkpoint
+    else:
+        manager = CheckpointManager(checkpoint, obs=engine.obs)
+    if manager is not None and not manager.params_key:
+        manager.params_key = {
+            "scale": world.params.scale, "seed": world.params.seed,
+        }
+    return manager
 
 
 def build_dataset(
     world: SimulatedWorld,
     engine: ExecutionEngine | None = None,
-) -> tuple[DaaSDataset, SeedReport, ExpansionReport, ContractAnalyzer, dict[str, int]]:
+    *,
+    checkpoint: CheckpointManager | str | Path | None = None,
+    resume: bool = False,
+) -> DatasetBuildResult:
     """Seed + snowball over an already-built world (paper §5).
 
-    ``engine`` selects the execution strategy (serial/parallel, caching);
-    every configuration produces byte-identical datasets.
+    ``engine`` selects the execution strategy (serial/parallel, caching,
+    retry/fault-injection); every configuration produces byte-identical
+    datasets.  With ``checkpoint`` set (a manager, or just a path —
+    ``engine.checkpoint`` is the fallback), progress is persisted after
+    the seed stage and after every snowball round; ``resume=True``
+    restores the newest checkpoint and finishes the run byte-identically
+    to one that was never interrupted.  The checkpoint file is removed
+    on successful completion.
     """
     analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle, engine=engine)
-    dataset, seed_report = SeedBuilder(analyzer, world.feeds).build()
-    seed_summary = dict(dataset.summary())
-    expansion_report = SnowballExpander(analyzer).expand(dataset)
-    return dataset, seed_report, expansion_report, analyzer, seed_summary
+    engine = analyzer.engine
+    manager = _checkpoint_manager(checkpoint, engine, world)
 
+    state = manager.load() if (manager is not None and resume) else None
+    snowball_resume = None
+    if state is None:
+        dataset, seed_report = SeedBuilder(analyzer, world.feeds).build()
+        seed_summary = dict(dataset.summary())
+        if manager is not None:
+            manager.save("seed", {
+                "dataset": CheckpointManager.encode_dataset(dataset),
+                "seed_report": CheckpointManager.encode_seed_report(seed_report),
+                "seed_summary": seed_summary,
+            })
+        restored_stage, rounds_restored = None, 0
+    else:
+        dataset = CheckpointManager.decode_dataset(state["dataset"])
+        seed_report = CheckpointManager.decode_seed_report(state["seed_report"])
+        seed_summary = dict(state["seed_summary"])
+        if "snowball" in state:
+            snowball_resume = CheckpointManager.decode_expansion(state["snowball"])
+        restored_stage = state["stage"]
+        rounds_restored = len(state.get("snowball", {}).get("iterations", []))
 
-def run_pipeline(
-    params: SimulationParams | None = None,
-    scale: float | None = None,
-    seed: int | None = None,
-    world: SimulatedWorld | None = None,
-    engine: ExecutionEngine | None = None,
-) -> PipelineResult:
-    """Build (or reuse) a world and run dataset construction + measurement."""
-    if world is None:
-        if params is None:
-            params = SimulationParams()
-            if scale is not None:
-                params.scale = scale
-            if seed is not None:
-                params.seed = seed
-        world = build_world(params)
+    on_round = None
+    if manager is not None:
+        def on_round(report, frontier, rejected):
+            manager.save("snowball", {
+                "dataset": CheckpointManager.encode_dataset(dataset),
+                "seed_report": CheckpointManager.encode_seed_report(seed_report),
+                "seed_summary": seed_summary,
+                "snowball": CheckpointManager.encode_expansion(
+                    report, frontier, rejected
+                ),
+            })
 
-    dataset, seed_report, expansion_report, analyzer, seed_summary = build_dataset(
-        world, engine=engine
+    expansion_report = SnowballExpander(analyzer).expand(
+        dataset, resume_state=snowball_resume, on_round=on_round
     )
+
+    resume_info = None
+    if manager is not None:
+        manager.clear()
+        resume_info = ResumeInfo(
+            path=str(manager.path),
+            resumed=state is not None,
+            restored_stage=restored_stage,
+            rounds_restored=rounds_restored,
+            checkpoints_written=manager.checkpoints_written,
+        )
+    return DatasetBuildResult(
+        dataset=dataset,
+        seed_report=seed_report,
+        expansion_report=expansion_report,
+        analyzer=analyzer,
+        seed_summary=seed_summary,
+        resume_info=resume_info,
+    )
+
+
+_LEGACY_KWARGS = ("params", "scale", "seed", "world", "engine")
+
+
+def _coerce_config(config, legacy: dict) -> PipelineConfig:
+    """Fold the pre-PR-4 loose-kwarg surface into a :class:`PipelineConfig`."""
+    if isinstance(config, SimulationParams):
+        warnings.warn(
+            "run_pipeline(params) is deprecated; pass "
+            "PipelineConfig(params=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        config = PipelineConfig(params=config)
+    elif config is None:
+        config = PipelineConfig()
+    elif not isinstance(config, PipelineConfig):
+        raise TypeError(
+            "run_pipeline() expects a PipelineConfig (or a legacy "
+            f"SimulationParams), got {type(config).__name__}"
+        )
+    if legacy:
+        unknown = set(legacy) - set(_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"run_pipeline() got unexpected keyword arguments: {sorted(unknown)}"
+            )
+        warnings.warn(
+            f"run_pipeline keyword arguments {sorted(legacy)} are deprecated; "
+            "set the corresponding PipelineConfig fields instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        for name, value in legacy.items():
+            setattr(config, name, value)
+    return config
+
+
+def run_pipeline(config: PipelineConfig | None = None, **legacy) -> PipelineResult:
+    """Build (or reuse) a world and run dataset construction + measurement."""
+    config = _coerce_config(config, legacy)
+    world = config.resolved_world()
+    engine = config.make_engine()
+
+    build = build_dataset(world, engine=engine, resume=config.resume)
+    dataset = build.dataset
     context = AnalysisContext(world.rpc, world.explorer, world.oracle, dataset)
 
     # Measurement stages are traced under ``measure.*`` so a --trace-out
     # file covers the whole run, not just dataset construction.
-    run_engine = analyzer.engine
+    run_engine = build.analyzer.engine
     victim_analyzer = VictimAnalyzer(context)
     with run_engine.stage("measure.victims"):
         victim_report = victim_analyzer.analyze()
@@ -124,10 +360,10 @@ def run_pipeline(
     return PipelineResult(
         world=world,
         dataset=dataset,
-        seed_summary=seed_summary,
-        seed_report=seed_report,
-        expansion_report=expansion_report,
-        analyzer=analyzer,
+        seed_summary=build.seed_summary,
+        seed_report=build.seed_report,
+        expansion_report=build.expansion_report,
+        analyzer=build.analyzer,
         context=context,
         victim_report=victim_report,
         operator_report=operator_report,
@@ -135,5 +371,6 @@ def run_pipeline(
         clustering=clustering,
         victim_analyzer=victim_analyzer,
         family_clusterer=clusterer,
-        engine=analyzer.engine,
+        engine=build.analyzer.engine,
+        resume_info=build.resume_info,
     )

@@ -12,6 +12,11 @@ Commands:
 * ``live-status``   — health/progress/alerts of a running server
   (``http://host:port``) or a ``--snapshot-out`` file.
 
+Shared flag groups are defined once as argparse *parent parsers* (world,
+runtime, observability, live-ops, resilience, checkpoint) and attached to
+each subcommand that supports them, so ``build-dataset --help`` and
+``webdetect --help`` stay in lockstep.
+
 Observability flags (``build-dataset`` and ``webdetect``):
 ``--log-json`` streams structured events to stderr, ``--trace-out``
 writes the span trace as JSON lines, ``--metrics-out`` writes the
@@ -20,8 +25,12 @@ Live-operations flags (same commands): ``--serve-metrics PORT`` serves
 ``/metrics`` + ``/healthz`` + ``/readyz`` + ``/statusz`` during the run,
 ``--snapshot-out FILE`` appends registry snapshots every
 ``--snapshot-every`` seconds, ``--alerts FILE`` evaluates declarative
-alert rules at each tick.  None of them changes results — see
-``docs/observability.md`` and ``docs/operations.md``.
+alert rules at each tick.  Fault-tolerance flags (same commands):
+``--retries`` enables the retry/breaker layer, ``--fault-plan`` injects
+a committed failure drill, and ``build-dataset --checkpoint FILE`` /
+``--resume`` make a killed run restartable with byte-identical output.
+None of them changes results — see ``docs/observability.md``,
+``docs/operations.md`` and ``docs/reliability.md``.
 """
 
 from __future__ import annotations
@@ -33,61 +42,135 @@ from repro.obs import Observability
 
 from repro.analysis import fmt_month, fmt_pct, fmt_usd, render_table
 from repro.analysis.laundering import LaunderingAnalyzer
-from repro.api import run_pipeline
+from repro.api import PipelineConfig, run_pipeline
 from repro.core import ContractAnalyzer, DatasetValidator
 from repro.core.release import build_report_bundle, export_accounts_csv, export_transactions_csv
-from repro.runtime import ExecutionEngine, make_executor
-from repro.simulation import SimulationParams
+from repro.runtime import (
+    CheckpointError,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultyFacade,
+    ResilientFacade,
+    RetryPolicy,
+    UpstreamError,
+)
+from repro.runtime.resilience import CRAWLER_READ_METHODS
 from repro.webdetect import (
     PhishingSiteDetector,
     WebWorldParams,
     build_fingerprint_db,
     build_web_world,
 )
+from repro.webdetect.crawler import Crawler
 from repro.webdetect.detector import tld_distribution
 
 __all__ = ["main"]
 
-
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", type=float, default=0.05,
-                        help="world size relative to the paper (default 0.05)")
-    parser.add_argument("--seed", type=int, default=2025, help="world seed")
+#: Exit code for a run abandoned on upstream failure (retries exhausted /
+#: breaker open); distinct from 1 (bad input) so wrappers can retry it.
+EXIT_UPSTREAM_FAILURE = 3
 
 
-def _params(args: argparse.Namespace) -> SimulationParams:
-    return SimulationParams(scale=args.scale, seed=args.seed)
+# -- shared flag groups (argparse parent parsers) ----------------------------
 
 
-def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--log-json", action="store_true",
-                        help="stream structured log events to stderr as JSON lines")
-    parser.add_argument("--trace-out", default="", metavar="FILE",
-                        help="write the span trace as JSON lines (read it back "
-                             "with `daas-repro trace-summary FILE`)")
-    parser.add_argument("--metrics-out", default="", metavar="FILE",
-                        help="write the metrics registry (Prometheus text "
-                             "format; JSON when FILE ends in .json)")
+def _world_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("world")
+    g.add_argument("--scale", type=float, default=0.05,
+                   help="world size relative to the paper (default 0.05)")
+    g.add_argument("--seed", type=int, default=2025, help="world seed")
+    return p
 
 
-def _add_live_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
-                        help="serve /metrics, /healthz, /readyz and /statusz on "
-                             "this port for the duration of the run (0 = pick "
-                             "an ephemeral port)")
-    parser.add_argument("--snapshot-out", default="", metavar="FILE",
-                        help="append timestamped registry snapshots to this "
-                             "JSONL file (read back with `daas-repro "
-                             "live-status FILE`)")
-    parser.add_argument("--snapshot-every", type=float, default=1.0, metavar="SECS",
-                        help="snapshot/alert-evaluation cadence in seconds "
-                             "(default 1.0; needs --snapshot-out)")
-    parser.add_argument("--alerts", default="", metavar="FILE",
-                        help="JSON/TOML alert-rule file, evaluated each "
-                             "snapshot tick and surfaced on /statusz")
-    parser.add_argument("--stage-deadline", type=float, default=300.0, metavar="SECS",
-                        help="watchdog: seconds of stage silence before "
-                             "health degrades (default 300)")
+def _runtime_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("runtime")
+    g.add_argument("--workers", type=int, default=1,
+                   help="analysis worker threads (1 = serial; results are "
+                        "identical for any worker count)")
+    g.add_argument("--chunk-size", type=int, default=1,
+                   help="contracts per parallel work unit (default 1)")
+    g.add_argument("--no-cache", action="store_true",
+                   help="disable the runtime analysis/read caches (baseline mode)")
+    g.add_argument("--stats", action="store_true",
+                   help="print runtime stats: stage wall time, txs/s, cache hit rates")
+    return p
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("observability")
+    g.add_argument("--log-json", action="store_true",
+                   help="stream structured log events to stderr as JSON lines")
+    g.add_argument("--trace-out", default="", metavar="FILE",
+                   help="write the span trace as JSON lines (read it back "
+                        "with `daas-repro trace-summary FILE`)")
+    g.add_argument("--metrics-out", default="", metavar="FILE",
+                   help="write the metrics registry (Prometheus text "
+                        "format; JSON when FILE ends in .json)")
+    return p
+
+
+def _live_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("live operations")
+    g.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="serve /metrics, /healthz, /readyz and /statusz on "
+                        "this port for the duration of the run (0 = pick "
+                        "an ephemeral port)")
+    g.add_argument("--snapshot-out", default="", metavar="FILE",
+                   help="append timestamped registry snapshots to this "
+                        "JSONL file (read back with `daas-repro "
+                        "live-status FILE`)")
+    g.add_argument("--snapshot-every", type=float, default=1.0, metavar="SECS",
+                   help="snapshot/alert-evaluation cadence in seconds "
+                        "(default 1.0; needs --snapshot-out)")
+    g.add_argument("--alerts", default="", metavar="FILE",
+                   help="JSON/TOML alert-rule file, evaluated each "
+                        "snapshot tick and surfaced on /statusz")
+    g.add_argument("--stage-deadline", type=float, default=300.0, metavar="SECS",
+                   help="watchdog: seconds of stage silence before "
+                        "health degrades (default 300)")
+    return p
+
+
+def _resilience_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("fault tolerance (docs/reliability.md)")
+    g.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="total attempts per upstream read (0 = resilience "
+                        "layer off; 3 is a sensible default under faults)")
+    g.add_argument("--retry-timeout", type=float, default=None, metavar="SECS",
+                   help="per-call wall-clock budget; slower reads count as "
+                        "transient timeouts")
+    g.add_argument("--breaker-threshold", type=int, default=5, metavar="N",
+                   help="consecutive failures before an upstream's circuit "
+                        "opens (default 5)")
+    g.add_argument("--breaker-reset", type=float, default=30.0, metavar="SECS",
+                   help="seconds an open circuit waits before a half-open "
+                        "trial call (default 30)")
+    g.add_argument("--fault-plan", default="", metavar="FILE",
+                   help="JSON fault plan injected into the simulated "
+                        "upstreams (failure drill; seeded, replayable)")
+    return p
+
+
+def _checkpoint_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("checkpoint/resume")
+    g.add_argument("--checkpoint", default="", metavar="FILE",
+                   help="persist construction progress to this file after "
+                        "the seed stage and every snowball round")
+    g.add_argument("--resume", action="store_true",
+                   help="restore the --checkpoint file and continue; the "
+                        "finished dataset is byte-identical to an "
+                        "uninterrupted run")
+    return p
+
+
+# -- flag interpretation ------------------------------------------------------
 
 
 def _obs(args: argparse.Namespace) -> Observability:
@@ -95,6 +178,42 @@ def _obs(args: argparse.Namespace) -> Observability:
     return Observability(
         log_stream=sys.stderr if getattr(args, "log_json", False) else None,
         log_fmt="json",
+    )
+
+
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
+    retries = getattr(args, "retries", 0)
+    if not retries:
+        return None
+    return RetryPolicy(
+        attempts=retries,
+        timeout_s=getattr(args, "retry_timeout", None),
+        seed=getattr(args, "seed", 0),
+    )
+
+
+def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    """The --fault-plan file, parsed; ValueError (one line) on a bad file."""
+    path = getattr(args, "fault_plan", "")
+    return FaultPlan.load(path) if path else None
+
+
+def _config(args: argparse.Namespace, obs: Observability | None = None) -> PipelineConfig:
+    """PipelineConfig from the parsed flags (commands without a flag group
+    fall back to its defaults via getattr)."""
+    return PipelineConfig(
+        scale=args.scale,
+        seed=args.seed,
+        workers=getattr(args, "workers", 1),
+        chunk_size=getattr(args, "chunk_size", 1),
+        cache_enabled=not getattr(args, "no_cache", False),
+        obs=obs if obs is not None else _obs(args),
+        retry=_retry_policy(args),
+        breaker_threshold=getattr(args, "breaker_threshold", 5),
+        breaker_reset_s=getattr(args, "breaker_reset", 30.0),
+        fault_plan=_fault_plan(args),
+        checkpoint_path=getattr(args, "checkpoint", "") or None,
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -127,11 +246,7 @@ def _live(args: argparse.Namespace, obs: Observability, engine=None):
     return live
 
 
-def _write_obs(
-    args: argparse.Namespace,
-    obs: Observability,
-    engine: ExecutionEngine | None = None,
-) -> None:
+def _write_obs(args: argparse.Namespace, obs: Observability, engine=None) -> None:
     """Flush --trace-out / --metrics-out after a command's run."""
     metrics_out = getattr(args, "metrics_out", "")
     trace_out = getattr(args, "trace_out", "")
@@ -145,27 +260,39 @@ def _write_obs(
         print(f"trace written to {trace_out} ({spans} spans)")
 
 
-def _engine(args: argparse.Namespace) -> ExecutionEngine:
-    """Execution engine from the runtime flags (commands without the flags,
-    e.g. ``report``, fall back to the serial cached default)."""
-    return ExecutionEngine(
-        executor=make_executor(
-            getattr(args, "workers", 1), getattr(args, "chunk_size", 1)
-        ),
-        cache_enabled=not getattr(args, "no_cache", False),
-        obs=_obs(args),
-    )
+def _upstream_failure(args: argparse.Namespace, exc: UpstreamError) -> int:
+    """One-line abandonment report; points at --resume when it applies."""
+    print(f"run abandoned on upstream failure: {exc}", file=sys.stderr)
+    checkpoint = getattr(args, "checkpoint", "")
+    if checkpoint:
+        print(f"progress is checkpointed in {checkpoint}; rerun with "
+              "--resume once the upstream recovers", file=sys.stderr)
+    return EXIT_UPSTREAM_FAILURE
+
+
+# -- commands -----------------------------------------------------------------
 
 
 def cmd_build_dataset(args: argparse.Namespace) -> int:
-    engine = _engine(args)
+    try:
+        config = _config(args)
+    except ValueError as exc:  # bad --fault-plan file
+        print(str(exc), file=sys.stderr)
+        return 1
+    engine = config.make_engine()
+    config.engine = engine
     try:
         live = _live(args, engine.obs, engine)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
     try:
-        result = run_pipeline(_params(args), engine=engine)
+        result = run_pipeline(config)
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except UpstreamError as exc:
+        return _upstream_failure(args, exc)
     finally:
         if live is not None:
             live.stop()
@@ -177,6 +304,10 @@ def cmd_build_dataset(args: argparse.Namespace) -> int:
         ],
         title="Dataset collection (Table 1)",
     ))
+    info = result.resume_info
+    if info is not None and info.resumed:
+        print(f"\nresumed from {info.path} (stage {info.restored_stage}, "
+              f"{info.rounds_restored} rounds restored)")
     if getattr(args, "stats", False):
         print()
         print(engine.render_stats())
@@ -188,7 +319,7 @@ def cmd_build_dataset(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    result = run_pipeline(_params(args))
+    result = run_pipeline(_config(args))
     vr, orr, ar = result.victim_report, result.operator_report, result.affiliate_report
     print(f"victim accounts:        {vr.victim_count}")
     print(f"total losses:           {fmt_usd(vr.total_loss_usd)}")
@@ -210,7 +341,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
-    result = run_pipeline(_params(args))
+    result = run_pipeline(_config(args))
     rows = []
     for family in result.clustering.sorted_by_victims():
         rows.append([
@@ -233,6 +364,30 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilient_crawler(args: argparse.Namespace, web, obs: Observability):
+    """The web crawler, wrapped in the same fault-injection and
+    retry/breaker layers the chain upstreams get (layering: retry →
+    faults → crawler)."""
+    crawler = Crawler(web)
+    plan = _fault_plan(args)
+    if plan is not None:
+        injector = FaultInjector(plan, obs=obs)
+        crawler = FaultyFacade(crawler, "crawler", CRAWLER_READ_METHODS, injector)
+    policy = _retry_policy(args)
+    if policy is not None:
+        breaker = CircuitBreaker(
+            "crawler",
+            failure_threshold=getattr(args, "breaker_threshold", 5),
+            reset_timeout_s=getattr(args, "breaker_reset", 30.0),
+            obs=obs,
+        )
+        crawler = ResilientFacade(
+            crawler, "crawler", CRAWLER_READ_METHODS, policy,
+            breaker=breaker, obs=obs,
+        )
+    return crawler
+
+
 def cmd_webdetect(args: argparse.Namespace) -> int:
     obs = _obs(args)
     try:
@@ -242,6 +397,8 @@ def cmd_webdetect(args: argparse.Namespace) -> int:
         return 1
     try:
         return _run_webdetect(args, obs)
+    except UpstreamError as exc:
+        return _upstream_failure(args, exc)
     finally:
         if live is not None:
             live.stop()
@@ -249,6 +406,11 @@ def cmd_webdetect(args: argparse.Namespace) -> int:
 
 def _run_webdetect(args: argparse.Namespace, obs: Observability) -> int:
     web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
+    try:
+        crawler = _resilient_crawler(args, web, obs)
+    except ValueError as exc:  # bad --fault-plan file
+        print(str(exc), file=sys.stderr)
+        return 1
     if getattr(args, "streaming", False):
         from repro.webdetect import (
             FAMILY_TOOLKIT_FILES,
@@ -267,12 +429,12 @@ def _run_webdetect(args: argparse.Namespace, obs: Observability) -> int:
                     (n, content_digest(_variant_content(family, n, 0))) for n in names
                 ),
             ))
-        reports, stats = StreamingSiteDetector(web, db, obs=obs).run()
+        reports, stats = StreamingSiteDetector(web, db, obs=obs, crawler=crawler).run()
         print(f"streaming mode: {stats.fingerprints_harvested} variants harvested, "
               f"{stats.late_confirmations} late confirmations")
     else:
         db = build_fingerprint_db(web)
-        reports, stats = PhishingSiteDetector(web, db, obs=obs).run()
+        reports, stats = PhishingSiteDetector(web, db, obs=obs, crawler=crawler).run()
     print(f"fingerprints:     {len(db)} (paper 867 at scale 1.0)")
     print(f"CT entries:       {stats.ct_entries}")
     print(f"suspicious:       {stats.suspicious}")
@@ -285,7 +447,7 @@ def _run_webdetect(args: argparse.Namespace, obs: Observability) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    result = run_pipeline(_params(args))
+    result = run_pipeline(_config(args))
     analyzer = ContractAnalyzer(result.world.rpc, result.world.explorer, result.world.oracle)
     report = DatasetValidator(analyzer).validate(result.dataset)
     print(f"accounts reviewed:       {report.accounts_reviewed:,}")
@@ -300,7 +462,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_export(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    result = run_pipeline(_params(args))
+    result = run_pipeline(_config(args))
     out = Path(args.out_dir)
     out.mkdir(parents=True, exist_ok=True)
     (out / "daas_dataset.json").write_text(result.dataset.to_json())
@@ -314,7 +476,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_laundering(args: argparse.Namespace) -> int:
-    result = run_pipeline(_params(args))
+    result = run_pipeline(_config(args))
     report = LaunderingAnalyzer(result.context).analyze()
     totals = report.total_by_category()
     print(f"traced routes:            {len(report.routes):,}")
@@ -333,7 +495,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     if getattr(args, "md", ""):
         from repro.analysis.document import render_markdown_report
 
-        result = run_pipeline(_params(args))
+        result = run_pipeline(_config(args))
         web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
         db = build_fingerprint_db(web)
         reports, stats = PhishingSiteDetector(web, db).run()
@@ -385,53 +547,51 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("build-dataset", help="seed + snowball, optionally write JSON")
-    _add_common(p)
+    world = _world_parent()
+    runtime = _runtime_parent()
+    obs_flags = _obs_parent()
+    live = _live_parent()
+    resilience = _resilience_parent()
+    checkpoint = _checkpoint_parent()
+
+    p = sub.add_parser(
+        "build-dataset",
+        help="seed + snowball, optionally write JSON",
+        parents=[world, runtime, obs_flags, live, resilience, checkpoint],
+    )
     p.add_argument("--out", default="", help="path for the dataset JSON")
-    p.add_argument("--workers", type=int, default=1,
-                   help="analysis worker threads (1 = serial; results are "
-                        "identical for any worker count)")
-    p.add_argument("--chunk-size", type=int, default=1,
-                   help="contracts per parallel work unit (default 1)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="disable the runtime analysis/read caches (baseline mode)")
-    p.add_argument("--stats", action="store_true",
-                   help="print runtime stats: stage wall time, txs/s, cache hit rates")
-    _add_obs_flags(p)
-    _add_live_flags(p)
     p.set_defaults(fn=cmd_build_dataset)
 
-    p = sub.add_parser("analyze", help="run the §6 measurement suite")
-    _add_common(p)
+    p = sub.add_parser("analyze", help="run the §6 measurement suite", parents=[world])
     p.set_defaults(fn=cmd_analyze)
 
-    p = sub.add_parser("cluster", help="run §7 family clustering (Table 2)")
-    _add_common(p)
+    p = sub.add_parser("cluster", help="run §7 family clustering (Table 2)",
+                       parents=[world])
     p.set_defaults(fn=cmd_cluster)
 
-    p = sub.add_parser("webdetect", help="run the §8 website detector (Table 4)")
-    _add_common(p)
+    p = sub.add_parser(
+        "webdetect",
+        help="run the §8 website detector (Table 4)",
+        parents=[world, obs_flags, live, resilience],
+    )
     p.add_argument("--streaming", action="store_true",
                    help="continuous mode with in-stream fingerprint growth")
-    _add_obs_flags(p)
-    _add_live_flags(p)
     p.set_defaults(fn=cmd_webdetect)
 
-    p = sub.add_parser("validate", help="run the §5.2 two-reviewer validation protocol")
-    _add_common(p)
+    p = sub.add_parser("validate", help="run the §5.2 two-reviewer validation protocol",
+                       parents=[world])
     p.set_defaults(fn=cmd_validate)
 
-    p = sub.add_parser("export", help="write dataset JSON, CSVs and the community report")
-    _add_common(p)
+    p = sub.add_parser("export", help="write dataset JSON, CSVs and the community report",
+                       parents=[world])
     p.add_argument("--out-dir", default="release", help="output directory")
     p.set_defaults(fn=cmd_export)
 
-    p = sub.add_parser("laundering", help="trace cash-out routes to mixers/bridges (§8.1)")
-    _add_common(p)
+    p = sub.add_parser("laundering", help="trace cash-out routes to mixers/bridges (§8.1)",
+                       parents=[world])
     p.set_defaults(fn=cmd_laundering)
 
-    p = sub.add_parser("report", help="full paper-vs-measured report")
-    _add_common(p)
+    p = sub.add_parser("report", help="full paper-vs-measured report", parents=[world])
     p.add_argument("--out", default="", help="path for the dataset JSON")
     p.add_argument("--md", default="", help="also write a markdown report here")
     p.set_defaults(fn=cmd_report)

@@ -62,6 +62,10 @@ class SeedBuilder:
         )
 
         for address in candidates:
+            # Liveness signal per candidate: the assembly loop mostly runs
+            # on cache hits, so the engine's per-classification heartbeat
+            # would go silent here on a large feed.
+            self.analyzer.obs.heartbeat()
             # Step 1 filter: the paper collects phishing *contracts*; feed
             # entries that are EOAs (drainer wallets reported directly) are
             # not candidates for contract analysis.

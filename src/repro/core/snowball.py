@@ -15,11 +15,16 @@ ablation (how much of the ecosystem each hop recovers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.dataset import DaaSDataset
 from repro.core.pipeline import ContractAnalyzer, split_roles
 
 __all__ = ["IterationStats", "ExpansionReport", "SnowballExpander"]
+
+#: Called after every completed round with ``(report, frontier, rejected)``
+#: — the exact state a resumed expansion needs (checkpoint hook).
+RoundHook = Callable[["ExpansionReport", list[str], set[str]], None]
 
 
 @dataclass(slots=True)
@@ -60,11 +65,24 @@ class SnowballExpander:
 
     # -- public ------------------------------------------------------------
 
-    def expand(self, dataset: DaaSDataset) -> ExpansionReport:
-        """Mutate ``dataset`` in place; returns per-iteration statistics."""
+    def expand(
+        self,
+        dataset: DaaSDataset,
+        resume_state: tuple[ExpansionReport, list[str], set[str]] | None = None,
+        on_round: RoundHook | None = None,
+    ) -> ExpansionReport:
+        """Mutate ``dataset`` in place; returns per-iteration statistics.
+
+        ``resume_state`` is ``(report, frontier, rejected)`` as a prior
+        run's ``on_round`` hook last saw it: completed rounds are not
+        re-walked, and the continuation is byte-identical to a run that
+        was never interrupted (``tests/runtime/test_checkpoint.py``).
+        ``on_round`` fires after every completed round — the
+        checkpoint-persistence seam.
+        """
         engine = self.analyzer.engine
         with engine.stage("snowball"):
-            report = self._expand(dataset)
+            report = self._expand(dataset, resume_state, on_round)
         engine.obs.event(
             "snowball.done",
             iterations=len(report.iterations),
@@ -73,12 +91,26 @@ class SnowballExpander:
         )
         return report
 
-    def _expand(self, dataset: DaaSDataset) -> ExpansionReport:
+    def _expand(
+        self,
+        dataset: DaaSDataset,
+        resume_state: tuple[ExpansionReport, list[str], set[str]] | None = None,
+        on_round: RoundHook | None = None,
+    ) -> ExpansionReport:
         obs = self.analyzer.engine.obs
-        report = ExpansionReport()
-        frontier = sorted(dataset.operators | dataset.affiliates)
+        if resume_state is not None:
+            report, frontier, rejected = resume_state
+            frontier = list(frontier)
+            self._rejected = set(rejected)
+            if report.converged:
+                return report
+            start = len(report.iterations) + 1
+        else:
+            report = ExpansionReport()
+            frontier = sorted(dataset.operators | dataset.affiliates)
+            start = 1
 
-        for iteration in range(1, self.max_iterations + 1):
+        for iteration in range(start, self.max_iterations + 1):
             stats = IterationStats(iteration=iteration)
             with obs.span("snowball.round", round=iteration) as round_span:
                 new_contracts = self._discover_contracts(frontier, dataset, stats)
@@ -96,6 +128,8 @@ class SnowballExpander:
                 new_affiliates=stats.new_affiliates,
             )
             report.iterations.append(stats)
+            if on_round is not None:
+                on_round(report, frontier, self._rejected)
             if not new_contracts:
                 break
         return report

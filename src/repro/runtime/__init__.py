@@ -42,9 +42,35 @@ Re-exports (one-liners; full reference in each module and
 * :class:`CacheStats` — hits/misses/evictions counters for one cache.
 * :class:`RuntimeStats` — per-stage wall time + named counters; bumps
   mirror into ``daas_pipeline_events_total`` when a registry is attached.
+
+Fault tolerance (:mod:`repro.runtime.resilience`,
+:mod:`repro.runtime.checkpoint`; reference in ``docs/reliability.md``):
+
+* :class:`RetryPolicy` — exponential backoff with deterministic seeded
+  jitter and optional per-call timeouts.
+* :class:`CircuitBreaker` — per-upstream closed/open/half-open breaker.
+* :class:`ResilientFacade` — retry+breaker proxy over an upstream facade.
+* :class:`FaultPlan` / :class:`FaultRule` — a seeded, replayable set of
+  injected faults (transient errors, latency spikes, outages).
+* :class:`FaultInjector` / :class:`FaultyFacade` — evaluate a plan in
+  front of the simulated RPC/explorer/crawler.
+* :class:`ManualClock` — hand-advanced clock for latency/timeout tests.
+* :class:`CheckpointManager` / :class:`ResumeInfo` — versioned JSON
+  checkpoints at stage boundaries, so an interrupted ``build-dataset``
+  resumes to a byte-identical dataset.
+* Errors: :class:`UpstreamError`, :class:`TransientUpstreamError`,
+  :class:`UpstreamTimeoutError`, :class:`UpstreamOutageError`,
+  :class:`CircuitOpenError`, :class:`RetriesExhaustedError`,
+  :class:`CheckpointError`.
 """
 
 from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache
+from repro.runtime.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    ResumeInfo,
+)
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.executor import (
     Executor,
@@ -52,17 +78,51 @@ from repro.runtime.executor import (
     SerialExecutor,
     make_executor,
 )
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FaultyFacade,
+    ManualClock,
+    ResilientFacade,
+    RetriesExhaustedError,
+    RetryPolicy,
+    TransientUpstreamError,
+    UpstreamError,
+    UpstreamOutageError,
+    UpstreamTimeoutError,
+)
 from repro.runtime.stats import RuntimeStats
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
     "CacheStats",
-    "NullCache",
-    "ReadThroughCache",
-    "RPCReadCache",
+    "CheckpointError",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ExecutionEngine",
     "Executor",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyFacade",
+    "ManualClock",
+    "NullCache",
     "ParallelExecutor",
-    "SerialExecutor",
-    "make_executor",
+    "RPCReadCache",
+    "ReadThroughCache",
+    "ResilientFacade",
+    "ResumeInfo",
+    "RetriesExhaustedError",
+    "RetryPolicy",
     "RuntimeStats",
+    "SerialExecutor",
+    "TransientUpstreamError",
+    "UpstreamError",
+    "UpstreamOutageError",
+    "UpstreamTimeoutError",
+    "make_executor",
 ]

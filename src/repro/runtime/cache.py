@@ -198,5 +198,5 @@ class RPCReadCache:
 
     # -- reporting ----------------------------------------------------------
 
-    def caches(self) -> tuple:
-        return (self._tx_lists, self._transactions, self._receipts, self._code)
+    def caches(self) -> list:
+        return [self._tx_lists, self._transactions, self._receipts, self._code]

@@ -25,7 +25,18 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.obs import CACHE_RATIO_BUCKETS, LATENCY_BUCKETS, Observability
 from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache
+from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.resilience import (
+    EXPLORER_READ_METHODS,
+    RPC_READ_METHODS,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultyFacade,
+    ResilientFacade,
+    RetryPolicy,
+)
 from repro.runtime.stats import RuntimeStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core import cycle
@@ -44,11 +55,27 @@ class ExecutionEngine:
         analysis_cache_size: int | None = None,
         stats: RuntimeStats | None = None,
         obs: Observability | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: CheckpointManager | None = None,
+        resilience_sleep: Callable[[float], None] = time.sleep,
+        resilience_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache_enabled = cache_enabled
         self.obs = obs if obs is not None else Observability()
         self.stats = stats if stats is not None else RuntimeStats(metrics=self.obs.metrics)
+        self.retry_policy = retry_policy
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.fault_plan = fault_plan
+        self.checkpoint = checkpoint
+        self.fault_injector: FaultInjector | None = None
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self._resilience_sleep = resilience_sleep
+        self._resilience_clock = resilience_clock
         if cache_enabled:
             self._cache_factory: Callable[[str], Any] = ReadThroughCache
             self.analysis_cache = ReadThroughCache("analyses", max_size=analysis_cache_size)
@@ -71,9 +98,50 @@ class ExecutionEngine:
         the first bound pair wins, which matches one-engine-per-world use).
         The underlying facades are instrumented so ``daas_chain_reads_total``
         counts the reads that *missed* every cache — what a real deployment
-        would have paid network latency for."""
+        would have paid network latency for.
+
+        When the engine carries a retry policy and/or a fault plan the
+        layering per upstream is cache → retry/breaker → injected faults
+        → facade: cache hits never pay a retry, and injected faults land
+        exactly where real network faults would."""
         if self.reads is None:
-            self.reads = RPCReadCache(rpc, explorer, self._cache_factory)
+            upstream_rpc, upstream_explorer = rpc, explorer
+            if self.fault_plan is not None:
+                self.fault_injector = FaultInjector(
+                    self.fault_plan, obs=self.obs, sleep=self._resilience_sleep
+                )
+                upstream_rpc = FaultyFacade(
+                    upstream_rpc, "rpc", RPC_READ_METHODS, self.fault_injector
+                )
+                upstream_explorer = FaultyFacade(
+                    upstream_explorer, "explorer", EXPLORER_READ_METHODS,
+                    self.fault_injector,
+                )
+            if self.retry_policy is not None:
+                for upstream in ("rpc", "explorer"):
+                    self.breakers[upstream] = CircuitBreaker(
+                        upstream,
+                        failure_threshold=self.breaker_threshold,
+                        reset_timeout_s=self.breaker_reset_s,
+                        clock=self._resilience_clock,
+                        obs=self.obs,
+                    )
+                upstream_rpc = ResilientFacade(
+                    upstream_rpc, "rpc", RPC_READ_METHODS, self.retry_policy,
+                    breaker=self.breakers["rpc"], obs=self.obs,
+                    sleep=self._resilience_sleep, clock=self._resilience_clock,
+                )
+                upstream_explorer = ResilientFacade(
+                    upstream_explorer, "explorer", EXPLORER_READ_METHODS,
+                    self.retry_policy, breaker=self.breakers["explorer"],
+                    obs=self.obs, sleep=self._resilience_sleep,
+                    clock=self._resilience_clock,
+                )
+            self.reads = RPCReadCache(
+                upstream_rpc, upstream_explorer, self._cache_factory
+            )
+            # Instrument the *raw* facades: read tallies stay a measure of
+            # truly-uncached reads regardless of the resilience layers.
             for facade in (rpc, explorer):
                 instrument = getattr(facade, "instrument", None)
                 if instrument is not None:
@@ -218,13 +286,28 @@ class ExecutionEngine:
         ).set(self.cache_hit_rate())
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "workers": self.executor.workers,
             "cache_enabled": self.cache_enabled,
             "cache_hit_rate": round(self.cache_hit_rate(), 4),
             "caches": {s.name: s.snapshot() for s in self.cache_stats()},
             **self.stats.snapshot(),
         }
+        if self.retry_policy is not None:
+            out["retry"] = {
+                "attempts": self.retry_policy.attempts,
+                "breakers": {
+                    name: b.snapshot() for name, b in sorted(self.breakers.items())
+                },
+            }
+        if self.fault_injector is not None:
+            out["faults"] = self.fault_injector.snapshot()
+        if self.checkpoint is not None:
+            out["checkpoint"] = {
+                "path": str(self.checkpoint.path),
+                "written": self.checkpoint.checkpoints_written,
+            }
+        return out
 
     def render_stats(self) -> str:
         """Human-readable block for the CLI's ``--stats`` flag."""

@@ -94,11 +94,14 @@ class PhishingSiteDetector:
         domain_filter: DomainFilter | None = None,
         verify_html_references: bool = True,
         obs=None,
+        crawler=None,
     ) -> None:
         self.web = web
         self.db = db
         self.filter = domain_filter or DomainFilter()
-        self.crawler = Crawler(web)
+        # An injected crawler lets the CLI wrap fetches in the resilience
+        # layer (retry/breaker/fault injection) without changing results.
+        self.crawler = crawler if crawler is not None else Crawler(web)
         #: Require the fingerprinted files to be wired into the page's
         #: <script> tags, not merely present on disk.
         self.verify_html_references = verify_html_references

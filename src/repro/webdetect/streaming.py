@@ -54,11 +54,14 @@ class StreamingSiteDetector:
         domain_filter: DomainFilter | None = None,
         max_retry_queue: int = 5_000,
         obs=None,
+        crawler=None,
     ) -> None:
         self.web = web
         self.db = db
         self.filter = domain_filter or DomainFilter()
-        self.crawler = Crawler(web)
+        # Injected crawler seam, mirroring PhishingSiteDetector: the CLI
+        # wraps fetches in the resilience layer without changing results.
+        self.crawler = crawler if crawler is not None else Crawler(web)
         self.max_retry_queue = max_retry_queue
         self._pending: deque[tuple[str, int, str, dict[str, str]]] = deque(
             maxlen=max_retry_queue

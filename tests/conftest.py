@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import run_pipeline
+from repro.api import PipelineConfig, run_pipeline
 from repro.simulation import SimulationParams, build_world
 from repro.webdetect import WebWorldParams, build_web_world
 
@@ -26,7 +26,7 @@ def world():
 @pytest.fixture(scope="session")
 def pipeline(world):
     """Full pipeline result (seed + snowball + measurement) on `world`."""
-    return run_pipeline(world=world)
+    return run_pipeline(PipelineConfig(world=world))
 
 
 @pytest.fixture(scope="session")

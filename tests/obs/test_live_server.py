@@ -185,7 +185,7 @@ def test_dataset_byte_identical_with_live_layer(world, tmp_path):
     """The cardinal rule, extended to PR 3: serving + snapshotting +
     alerting mid-run never perturbs the dataset."""
     plain_engine = ExecutionEngine(obs=Observability(run_id="plain"))
-    plain, *_ = build_dataset(world, engine=plain_engine)
+    plain = build_dataset(world, engine=plain_engine).dataset
 
     obs = Observability(run_id="lived")
     engine = ExecutionEngine(obs=obs)
@@ -203,7 +203,7 @@ def test_dataset_byte_identical_with_live_layer(world, tmp_path):
     live.start(background=False)
     try:
         live.tick()
-        observed, *_ = build_dataset(world, engine=engine)
+        observed = build_dataset(world, engine=engine).dataset
         get(live.server.url + "/metrics")
         get(live.server.url + "/statusz")
         live.tick()

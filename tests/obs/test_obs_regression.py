@@ -27,10 +27,13 @@ def test_pipeline_identical_with_obs_on_off(world):
     }
     outputs = {}
     for name, engine in configs.items():
-        dataset, _, expansion, _, _ = build_dataset(world, engine=engine)
+        build = build_dataset(world, engine=engine)
         outputs[name] = (
-            dataset.to_json(),
-            tuple((s.iteration, s.new_contracts) for s in expansion.iterations),
+            build.dataset.to_json(),
+            tuple(
+                (s.iteration, s.new_contracts)
+                for s in build.expansion_report.iterations
+            ),
         )
     reference = outputs["obs-on"]
     assert all(out == reference for out in outputs.values())

@@ -1,0 +1,274 @@
+"""Checkpoint/resume: kill-safe dataset construction.
+
+The acceptance path: a ``build-dataset`` run killed mid-snowball by a
+permanent upstream outage leaves a checkpoint behind; rerunning with
+``--resume`` finishes the dataset **byte-identically** to a run that was
+never interrupted — asserted at both the API and the CLI level.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import build_dataset
+from repro.cli import main
+from repro.obs import Observability
+from repro.runtime import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    ExecutionEngine,
+    FaultPlan,
+    FaultRule,
+    RetriesExhaustedError,
+    RetryPolicy,
+)
+from repro.simulation import SimulationParams, build_world
+
+SCALE, SEED = 0.005, 7
+NO_SLEEP = lambda seconds: None  # noqa: E731
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(SimulationParams(scale=SCALE, seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def clean_json(small_world):
+    """Reference dataset bytes from an uninterrupted serial run."""
+    return build_dataset(small_world, engine=ExecutionEngine()).dataset.to_json()
+
+
+def count_explorer_calls(world) -> int:
+    """Total upstream ``transactions_of`` calls a full build makes,
+    measured with a never-firing (rate 0) fault rule."""
+    probe = FaultPlan(rules=(
+        FaultRule(upstream="explorer", method="transactions_of", rate=0.0),
+    ))
+    engine = ExecutionEngine(fault_plan=probe)
+    build_dataset(world, engine=engine)
+    return engine.fault_injector.snapshot()["streams"]["explorer.transactions_of"]
+
+
+def outage_plan(start_call: int) -> FaultPlan:
+    """Explorer goes down hard at ``start_call`` and never recovers."""
+    return FaultPlan(rules=(
+        FaultRule(upstream="explorer", method="transactions_of",
+                  kind="outage", start_call=start_call),
+    ))
+
+
+class TestCheckpointManager:
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ck.json", params_key={"seed": 1})
+        manager.save("seed", {"payload": [1, 2, 3]})
+        loaded = CheckpointManager(tmp_path / "ck.json", params_key={"seed": 1}).load()
+        assert loaded["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        assert loaded["stage"] == "seed"
+        assert loaded["payload"] == [1, 2, 3]
+        assert not (tmp_path / "ck.json.tmp").exists()  # atomic write cleaned up
+
+    def test_missing_file_loads_as_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "absent.json").load() is None
+
+    def test_corrupt_json_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            CheckpointManager(path).load()
+
+    def test_schema_version_mismatch_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"schema_version": 999, "params": {}}))
+        with pytest.raises(CheckpointError, match="schema_version"):
+            CheckpointManager(path).load()
+
+    def test_params_mismatch_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        CheckpointManager(path, params_key={"scale": 0.01, "seed": 1}).save("seed", {})
+        other = CheckpointManager(path, params_key={"scale": 0.02, "seed": 1})
+        with pytest.raises(CheckpointError, match="params"):
+            other.load()
+
+    def test_clear_removes_file_and_tolerates_absence(self, tmp_path):
+        path = tmp_path / "ck.json"
+        manager = CheckpointManager(path)
+        manager.save("seed", {})
+        manager.clear()
+        assert not path.exists()
+        manager.clear()  # idempotent
+
+    def test_save_reports_metrics_and_heartbeat(self, tmp_path):
+        class LiveSpy:
+            beats = 0
+
+            def heartbeat(self, name=None):
+                LiveSpy.beats += 1
+
+        obs = Observability(run_id="ck")
+        obs.live = LiveSpy()
+        manager = CheckpointManager(tmp_path / "ck.json", obs=obs)
+        manager.save("seed", {"x": 1})
+        assert obs.metrics.value("daas_checkpoints_total", stage="seed") == 1
+        assert obs.metrics.value("daas_checkpoint_bytes") > 0
+        assert any(e["event"] == "checkpoint.saved" for e in obs.log.events)
+        assert LiveSpy.beats == 1  # a checkpoint feeds the watchdog
+
+
+class TestResumeParityAPI:
+    def test_kill_then_resume_is_byte_identical(
+        self, small_world, clean_json, tmp_path
+    ):
+        total = count_explorer_calls(small_world)
+        assert total > 10  # the probe saw a real run
+        ck = tmp_path / "ck.json"
+
+        # -- the killed run: outage near the end of the walk ----------------
+        killed = ExecutionEngine(
+            retry_policy=RetryPolicy(attempts=3, seed=SEED),
+            fault_plan=outage_plan(total - 2),
+            checkpoint=CheckpointManager(ck),
+            resilience_sleep=NO_SLEEP,
+        )
+        with pytest.raises(RetriesExhaustedError):
+            build_dataset(small_world, engine=killed)
+        assert ck.exists()  # progress survived the crash
+        assert killed.checkpoint.checkpoints_written >= 1
+
+        # -- the resumed run: upstream healthy again ------------------------
+        resumed_engine = ExecutionEngine(checkpoint=CheckpointManager(ck))
+        resumed = build_dataset(small_world, engine=resumed_engine, resume=True)
+
+        assert resumed.dataset.to_json() == clean_json
+        info = resumed.resume_info
+        assert info is not None and info.resumed
+        assert info.restored_stage in ("seed", "snowball")
+        assert not ck.exists()  # cleared after success
+
+    def test_resume_restores_completed_rounds(self, small_world, clean_json, tmp_path):
+        """A checkpoint taken at a round boundary restores those rounds
+        instead of re-walking them, and the final report still matches."""
+        reference = build_dataset(small_world, engine=ExecutionEngine())
+        rounds = len(reference.expansion_report.iterations)
+        assert rounds >= 2
+
+        ck = tmp_path / "ck.json"
+        manager = CheckpointManager(ck)
+        killed = ExecutionEngine(
+            retry_policy=RetryPolicy(attempts=2, seed=SEED),
+            fault_plan=outage_plan(count_explorer_calls(small_world) - 2),
+            checkpoint=manager,
+            resilience_sleep=NO_SLEEP,
+        )
+        with pytest.raises(RetriesExhaustedError):
+            build_dataset(small_world, engine=killed)
+        state = json.loads(ck.read_text())
+        restored_rounds = len(state.get("snowball", {}).get("iterations", []))
+
+        resumed = build_dataset(
+            small_world, engine=ExecutionEngine(checkpoint=CheckpointManager(ck)),
+            resume=True,
+        )
+        assert resumed.resume_info.rounds_restored == restored_rounds
+        assert resumed.dataset.to_json() == clean_json
+        assert [
+            (s.iteration, s.new_contracts)
+            for s in resumed.expansion_report.iterations
+        ] == [
+            (s.iteration, s.new_contracts)
+            for s in reference.expansion_report.iterations
+        ]
+
+    def test_resume_without_checkpoint_is_fresh_run(self, small_world, clean_json, tmp_path):
+        engine = ExecutionEngine(
+            checkpoint=CheckpointManager(tmp_path / "never_written.json")
+        )
+        build = build_dataset(small_world, engine=engine, resume=True)
+        assert build.dataset.to_json() == clean_json
+        assert build.resume_info is not None and not build.resume_info.resumed
+
+    def test_resume_against_wrong_world_refused(self, small_world, tmp_path):
+        ck = tmp_path / "ck.json"
+        CheckpointManager(
+            ck, params_key={"scale": 0.9, "seed": 999}
+        ).save("seed", {"dataset": {}, "seed_report": {}, "seed_summary": {}})
+        engine = ExecutionEngine(checkpoint=CheckpointManager(ck))
+        with pytest.raises(CheckpointError, match="params"):
+            build_dataset(small_world, engine=engine, resume=True)
+
+    def test_checkpoint_path_accepted_directly(self, small_world, clean_json, tmp_path):
+        """`build_dataset(checkpoint=<path>)` needs no manager plumbing."""
+        build = build_dataset(small_world, checkpoint=tmp_path / "ck.json")
+        assert build.dataset.to_json() == clean_json
+        assert build.resume_info.checkpoints_written >= 1
+
+
+class TestResumeParityCLI:
+    ARGS = ["--scale", str(SCALE), "--seed", str(SEED)]
+
+    def test_kill_then_resume_cli_byte_identical(
+        self, small_world, capsys, tmp_path
+    ):
+        clean_out = tmp_path / "clean.json"
+        assert main(["build-dataset", *self.ARGS, "--out", str(clean_out)]) == 0
+
+        total = count_explorer_calls(small_world)
+        plan_file = tmp_path / "plan.json"
+        outage_plan(total - 2).save(plan_file)
+        ck = tmp_path / "ck.json"
+        killed_out = tmp_path / "killed.json"
+
+        code = main([
+            "build-dataset", *self.ARGS,
+            "--retries", "2", "--fault-plan", str(plan_file),
+            "--checkpoint", str(ck), "--out", str(killed_out),
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "upstream failure" in captured.err
+        assert "--resume" in captured.err
+        assert ck.exists()
+        assert not killed_out.exists()  # the run died before writing output
+
+        resumed_out = tmp_path / "resumed.json"
+        assert main([
+            "build-dataset", *self.ARGS,
+            "--checkpoint", str(ck), "--resume", "--out", str(resumed_out),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "resumed from" in captured.out
+        assert resumed_out.read_bytes() == clean_out.read_bytes()
+        assert not ck.exists()
+
+    def test_bad_fault_plan_is_one_line_error(self, capsys, tmp_path):
+        assert main([
+            "build-dataset", *self.ARGS,
+            "--fault-plan", str(tmp_path / "missing.json"),
+        ]) == 1
+        assert "no such fault-plan" in capsys.readouterr().err
+
+    def test_faulted_cli_run_matches_clean(self, capsys, tmp_path):
+        """Drop-rate >= 10% on both chain upstreams, retries on: the CLI
+        still writes byte-identical dataset JSON (acceptance gate)."""
+        clean_out = tmp_path / "clean.json"
+        assert main(["build-dataset", *self.ARGS, "--out", str(clean_out)]) == 0
+
+        plan_file = tmp_path / "drop.json"
+        FaultPlan(seed=11, rules=(
+            FaultRule(upstream="rpc", rate=0.10),
+            FaultRule(upstream="explorer", rate=0.10),
+        )).save(plan_file)
+        faulted_out = tmp_path / "faulted.json"
+        metrics_out = tmp_path / "metrics.prom"
+        assert main([
+            "build-dataset", *self.ARGS,
+            "--retries", "3", "--fault-plan", str(plan_file),
+            "--out", str(faulted_out), "--metrics-out", str(metrics_out),
+        ]) == 0
+        assert faulted_out.read_bytes() == clean_out.read_bytes()
+        exported = metrics_out.read_text()
+        assert "daas_faults_injected_total" in exported
+        assert "daas_retry_attempts_total" in exported

@@ -39,12 +39,12 @@ def _fingerprint(world) -> dict[str, tuple]:
     """Run every engine configuration and reduce each run to comparables."""
     out = {}
     for name, engine in _engine_matrix().items():
-        dataset, seed_report, expansion, _, seed_summary = build_dataset(
-            world, engine=engine
-        )
+        build = build_dataset(world, engine=engine)
+        dataset, seed_report = build.dataset, build.seed_report
+        expansion = build.expansion_report
         out[name] = (
             dataset.to_json(),
-            seed_summary,
+            build.seed_summary,
             seed_report.candidates,
             tuple(seed_report.rejected_not_contract),
             tuple(seed_report.rejected_not_profit_sharing),
@@ -77,10 +77,10 @@ class TestDatasetParity:
     @pytest.mark.slow
     def test_parity_on_larger_world(self):
         world = build_world(SimulationParams(scale=0.04, seed=9))
-        serial, *_ = build_dataset(world, engine=ExecutionEngine(SerialExecutor()))
-        parallel, *_ = build_dataset(
+        serial = build_dataset(world, engine=ExecutionEngine(SerialExecutor())).dataset
+        parallel = build_dataset(
             world, engine=ExecutionEngine(ParallelExecutor(workers=4, chunk_size=2))
-        )
+        ).dataset
         assert parallel.to_json() == serial.to_json()
 
 
@@ -163,5 +163,5 @@ class TestCliSmoke:
         assert payload["contracts"]
 
         world = build_world(SimulationParams(scale=0.01, seed=7))
-        serial, *_ = build_dataset(world)
+        serial = build_dataset(world).dataset
         assert out.read_text() == serial.to_json()

@@ -26,7 +26,8 @@ class TestSingleFamilyWorld:
         assert fam.total_loss_usd == pytest.approx(500_000.0, rel=0.02)
 
     def test_pipeline_runs_on_scenario(self, solo_world):
-        dataset, _, expansion, _, _ = build_dataset(solo_world)
+        build = build_dataset(solo_world)
+        dataset, expansion = build.dataset, build.expansion_report
         assert expansion.converged
         assert dataset.contracts == solo_world.truth.all_contracts
         assert dataset.operators == solo_world.truth.all_operators

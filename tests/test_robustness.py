@@ -33,7 +33,8 @@ class TestDegenerateWorlds:
     def test_tiny_world_builds_and_pipeline_runs(self, tiny_world):
         from repro.api import build_dataset
 
-        dataset, _, expansion, _, _ = build_dataset(tiny_world)
+        build = build_dataset(tiny_world)
+        dataset, expansion = build.dataset, build.expansion_report
         assert expansion.converged
         # every family floors at 1 contract / 1 operator
         assert len(dataset.contracts) >= 9
