@@ -1,0 +1,118 @@
+"""Serving-layer performance: lookup latency and screening throughput.
+
+Not a paper artifact — quantifies whether the intelligence index holds
+up at wallet-integration rates (a pre-sign screen budget is measured in
+microseconds).  Three measurements over an index built from the shared
+bench pipeline:
+
+* single-address lookups through the ``QueryEngine`` (p50/p99 latency
+  and sustained lookups/s — asserted to exceed 10k/s);
+* batch screening throughput via ``screen_batch``;
+* end-to-end HTTP requests/s against a running ``IntelServer``
+  (informational: dominated by the stdlib HTTP stack, not the index).
+
+Samples land in ``out/perf_serve.json``.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.request
+
+from repro.analysis.reporting import render_table
+from repro.serve import IntelServer, QueryEngine, build_index
+
+_LOOKUPS = 50_000
+_BATCH_SIZE = 256
+_BATCH_ROUNDS = 100
+_HTTP_REQUESTS = 300
+_MIN_LOOKUPS_PER_SEC = 10_000
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _subjects(pipeline) -> list[str]:
+    # Known addresses plus a miss per cycle: realistic screening traffic
+    # is mostly-clean, so exercise the negative path too.
+    known = sorted(pipeline.dataset.all_accounts | pipeline.dataset.contracts)
+    return known[:900] + ["0x" + f"{i:040x}" for i in range(100)]
+
+
+def test_perf_serve(bench_pipeline, record_table, record_perf):
+    pipeline = bench_pipeline
+    index = build_index(
+        pipeline.dataset,
+        clustering=pipeline.clustering,
+        victim_report=pipeline.victim_report,
+    )
+    engine = QueryEngine(index)
+    subjects = _subjects(pipeline)
+
+    # -- single lookups ------------------------------------------------------
+    latencies = []
+    started = time.perf_counter()
+    for i in range(_LOOKUPS):
+        t0 = time.perf_counter()
+        engine.lookup_address(subjects[i % len(subjects)])
+        latencies.append(time.perf_counter() - t0)
+    lookup_wall = time.perf_counter() - started
+    lookups_per_sec = _LOOKUPS / lookup_wall
+    latencies.sort()
+    p50_us = _percentile(latencies, 0.50) * 1e6
+    p99_us = _percentile(latencies, 0.99) * 1e6
+
+    # -- batch screening -----------------------------------------------------
+    batch = subjects[:_BATCH_SIZE]
+    started = time.perf_counter()
+    for _ in range(_BATCH_ROUNDS):
+        engine.screen_batch(batch)
+    screen_wall = time.perf_counter() - started
+    screened_per_sec = _BATCH_SIZE * _BATCH_ROUNDS / screen_wall
+
+    # -- HTTP end to end (hits only; a 404 would measure the error path) -----
+    known = sorted(pipeline.dataset.contracts)
+    server = IntelServer(index=index).start()
+    try:
+        started = time.perf_counter()
+        for i in range(_HTTP_REQUESTS):
+            with urllib.request.urlopen(
+                f"{server.url}/v1/address/{known[i % len(known)]}"
+            ) as response:
+                response.read()
+        http_wall = time.perf_counter() - started
+    finally:
+        server.stop()
+    http_per_sec = _HTTP_REQUESTS / http_wall
+
+    record_perf("perf_serve", {
+        "index_addresses": len(index),
+        "index_version": index.version,
+        "lookups": _LOOKUPS,
+        "lookups_per_sec": round(lookups_per_sec),
+        "lookup_p50_us": round(p50_us, 2),
+        "lookup_p99_us": round(p99_us, 2),
+        "screened_per_sec": round(screened_per_sec),
+        "http_requests_per_sec": round(http_per_sec),
+        "cache": engine.cache.stats.snapshot(),
+    })
+    record_table("perf_serve", render_table(
+        ["measurement", "value"],
+        [
+            ["index entries", f"{len(index):,}"],
+            ["engine lookups/s", f"{lookups_per_sec:,.0f}"],
+            ["lookup p50", f"{p50_us:.1f} us"],
+            ["lookup p99", f"{p99_us:.1f} us"],
+            ["screened addrs/s", f"{screened_per_sec:,.0f}"],
+            ["HTTP requests/s", f"{http_per_sec:,.0f}"],
+        ],
+        title=f"Serving-layer performance (index {index.version})",
+    ))
+
+    assert engine.lookup_address("0x" + "0" * 40) is None
+    assert lookups_per_sec >= _MIN_LOOKUPS_PER_SEC, (
+        f"engine sustained only {lookups_per_sec:,.0f} lookups/s "
+        f"(target {_MIN_LOOKUPS_PER_SEC:,})"
+    )

@@ -3,9 +3,11 @@
 
 The paper proposes that wallets simulate transactions before signing and
 block interactions with known DaaS accounts, plus a "drain-everything"
-multi-approval heuristic.  This example builds the dataset, loads it into
-a :class:`WalletGuard`, and replays the three phishing scenarios of §4.2
-against it — all are blocked — alongside legitimate traffic, which passes.
+multi-approval heuristic.  This example builds the dataset, condenses it
+into an :class:`IntelIndex` (the serving layer's read-optimized view),
+loads that into a :class:`WalletGuard`, and replays the three phishing
+scenarios of §4.2 against it — all are blocked, with role/family
+evidence in every alert — alongside legitimate traffic, which passes.
 
 Run:  python examples/wallet_guard.py [scale]
 """
@@ -17,6 +19,7 @@ import sys
 from repro.analysis.guard import TransactionIntent, WalletGuard
 from repro.api import PipelineConfig, run_pipeline
 from repro.chain.types import eth_to_wei
+from repro.serve import build_index
 
 
 def show(name: str, verdict) -> None:
@@ -30,8 +33,10 @@ def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
     print(f"building world and dataset at scale {scale} ...")
     result = run_pipeline(PipelineConfig(scale=scale, seed=2025))
-    guard = WalletGuard(result.world.rpc, blacklist=result.dataset.all_accounts)
-    print(f"guard loaded with {len(result.dataset.all_accounts):,} blacklisted accounts")
+    index = build_index(result.dataset, clustering=result.clustering)
+    guard = WalletGuard(result.world.rpc, blacklist=index)
+    print(f"guard loaded with intelligence index {index.version} "
+          f"({len(index):,} addresses with role/family evidence)")
 
     user = "0x" + "ab" * 20
     contract = max(

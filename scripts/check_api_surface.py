@@ -2,13 +2,14 @@
 """Public-API surface checker — the PR-4 redesign must not regress.
 
 Two rules, enforced over the redesigned pipeline API (the ``repro``,
-``repro.api`` and ``repro.runtime`` entry points):
+``repro.api``, ``repro.runtime`` and ``repro.serve`` entry points):
 
 1. **Documented**: every name exported through those modules' ``__all__``
    must appear somewhere in the documentation corpus (``README.md``,
    ``DESIGN.md``, ``docs/*.md``) — a new export cannot ship undocumented.
 2. **No tuple returns**: no public function or public-class method in
-   ``repro/api.py`` or ``repro/runtime/*.py`` may be annotated as
+   ``repro/api.py``, ``repro/runtime/*.py`` or ``repro/serve/*.py``
+   may be annotated as
    returning a bare or fixed-arity tuple (``-> tuple``,
    ``-> tuple[A, B]``) — multi-value results get a named dataclass
    (``DatasetBuildResult``, ``ResumeInfo``, …).  Homogeneous variadic
@@ -34,10 +35,15 @@ PUBLIC_MODULES = (
     "src/repro/__init__.py",
     "src/repro/api.py",
     "src/repro/runtime/__init__.py",
+    "src/repro/serve/__init__.py",
 )
 
 #: Files whose public callables must not be annotated to return tuples.
-TUPLE_RULE_GLOBS = ("src/repro/api.py", "src/repro/runtime/*.py")
+TUPLE_RULE_GLOBS = (
+    "src/repro/api.py",
+    "src/repro/runtime/*.py",
+    "src/repro/serve/*.py",
+)
 
 
 def doc_corpus(root: Path = REPO_ROOT) -> str:
@@ -65,6 +71,8 @@ def check_documented(root: Path = REPO_ROOT) -> list[str]:
     errors = []
     for rel in PUBLIC_MODULES:
         path = root / rel
+        if not path.exists():
+            continue
         for name in exported_names(path):
             if name == "__version__":
                 continue

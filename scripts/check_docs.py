@@ -4,10 +4,14 @@
 Verifies, for ``README.md`` and every ``docs/*.md``:
 
 1. every relative markdown link ``[text](target)`` resolves to an
-   existing file (external ``http(s)://`` / ``mailto:`` links and pure
-   ``#anchor`` links are skipped; a ``#fragment`` suffix is stripped
-   before the existence check);
-2. every ``--flag`` named on a ``daas-repro`` command line (including
+   existing file (external ``http(s)://`` / ``mailto:`` links are
+   skipped);
+2. every ``#fragment`` — both same-file ``#anchor`` links and
+   cross-file ``file.md#anchor`` links — resolves to a heading in the
+   target document, using GitHub's heading-slug rules (lowercase,
+   punctuation stripped, spaces to dashes, duplicate slugs suffixed
+   ``-1``, ``-2``, …);
+3. every ``--flag`` named on a ``daas-repro`` command line (including
    backslash-continued lines) exists as an ``add_argument`` flag in
    ``src/repro/cli.py`` — so the docs cannot drift ahead of or behind
    the CLI.
@@ -28,6 +32,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
 _CLI_FLAG_RE = re.compile(r"""["'](--[a-z][a-z0-9-]*)["']""")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_SLUG_STRIP_RE = re.compile(r"[^\w\- ]")
 
 
 def doc_files(root: Path = REPO_ROOT) -> list[Path]:
@@ -42,14 +48,42 @@ def cli_flags(root: Path = REPO_ROOT) -> set[str]:
     return set(_CLI_FLAG_RE.findall(source))
 
 
+def heading_slugs(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in ``path``.
+
+    Lowercase, punctuation stripped, spaces become dashes; a repeated
+    heading gets ``-1``, ``-2``, … suffixes like GitHub renders them.
+    """
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    for heading in _HEADING_RE.findall(path.read_text()):
+        # Strip inline markup (but keep ``_``: identifiers use it).
+        text = re.sub(r"[*`]", "", heading.strip())
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # link text
+        slug = _SLUG_STRIP_RE.sub("", text.lower()).strip().replace(" ", "-")
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
 def check_links(path: Path, root: Path = REPO_ROOT) -> list[str]:
     errors = []
     for target in _LINK_RE.findall(path.read_text()):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
         if not resolved.exists():
             errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved):
+                errors.append(
+                    f"{path.relative_to(root)}: dangling anchor -> {target} "
+                    f"(no heading slug {fragment!r} in "
+                    f"{resolved.relative_to(root)})"
+                )
     return errors
 
 

@@ -13,6 +13,8 @@ Packages:
 * :mod:`repro.runtime`    — the execution engine (executors, caches);
 * :mod:`repro.obs`        — observability: trace spans, metrics registry,
   structured logs (``--trace-out`` / ``--metrics-out`` / ``--log-json``);
+* :mod:`repro.serve`      — serving layer: the versioned intelligence
+  index plus the query engine and ``/v1`` HTTP service over it;
 * :mod:`repro.api`        — a one-call facade over the full pipeline.
 """
 

@@ -6,6 +6,12 @@ approval targets against a DaaS blacklist via pre-sign simulation, and
 account).  :class:`WalletGuard` implements both on top of the simulated
 chain, turning the measurement output (the dataset) into a protective
 control — the extension exercised by ``examples/wallet_guard.py``.
+
+The guard accepts either a bare ``set[str]`` blacklist (the original
+surface) or a :class:`repro.serve.index.IntelIndex`.  With an index the
+verdicts carry the matched evidence — the address's role and family —
+instead of the generic "known DaaS account" string, and membership stays
+O(1) either way.
 """
 
 from __future__ import annotations
@@ -39,11 +45,33 @@ class GuardVerdict:
 
 
 class WalletGuard:
-    """Pre-signature transaction screening against a DaaS blacklist."""
+    """Pre-signature transaction screening against DaaS intelligence.
 
-    def __init__(self, rpc: EthereumRPC, blacklist: set[str]) -> None:
+    ``blacklist`` is either a plain ``set[str]`` of addresses or an
+    :class:`~repro.serve.index.IntelIndex` (anything with a
+    ``lookup_address`` method); both support ``in`` membership tests.
+    """
+
+    def __init__(self, rpc: EthereumRPC, blacklist) -> None:
         self.rpc = rpc
-        self.blacklist = set(blacklist)
+        if hasattr(blacklist, "lookup_address"):
+            self.index = blacklist
+            self.blacklist = blacklist          # __contains__ is O(1)
+        else:
+            self.index = None
+            self.blacklist = set(blacklist)
+
+    def _describe(self, address: str) -> str:
+        """The evidence string for a blacklisted address: role and family
+        when an index backs the guard, the generic label otherwise."""
+        if self.index is not None:
+            intel = self.index.lookup_address(address)
+            if intel is not None:
+                described = f"a known DaaS {intel.role}"
+                if intel.family:
+                    described += f" (family {intel.family})"
+                return described
+        return "a known DaaS account"
 
     def screen(self, intent: TransactionIntent) -> GuardVerdict:
         """Simulate the intent's effects and screen them.
@@ -55,13 +83,15 @@ class WalletGuard:
         verdict = GuardVerdict(allowed=True)
 
         if intent.to in self.blacklist:
-            verdict.deny(f"recipient {intent.to} is a known DaaS account")
+            verdict.deny(f"recipient {intent.to} is {self._describe(intent.to)}")
 
         args = intent.args or {}
         if intent.func in ("approve", "setApprovalForAll"):
             spender = args.get("spender") or args.get("operator")
             if isinstance(spender, str) and spender in self.blacklist:
-                verdict.deny(f"approval target {spender} is a known DaaS account")
+                verdict.deny(
+                    f"approval target {spender} is {self._describe(spender)}"
+                )
 
         if intent.func == "multicall":
             verdict.deny("multicall into an unverified contract (drainer pattern)")
@@ -97,10 +127,16 @@ class WalletGuard:
                 f"simulation reverted: {result.revert_reason} (nothing to screen)"
             )
             return verdict
-        for recipient in sorted(result.recipients() & self.blacklist):
-            verdict.deny(f"simulated execution pays blacklisted account {recipient}")
-        for spender in sorted(result.approval_targets() & self.blacklist):
-            verdict.deny(f"simulated execution approves blacklisted account {spender}")
+        for recipient in sorted(a for a in result.recipients() if a in self.blacklist):
+            verdict.deny(
+                f"simulated execution pays {self._describe(recipient)}: {recipient}"
+            )
+        for spender in sorted(
+            a for a in result.approval_targets() if a in self.blacklist
+        ):
+            verdict.deny(
+                f"simulated execution approves {self._describe(spender)}: {spender}"
+            )
         return verdict
 
     def multi_account_test(self, intents: list[TransactionIntent]) -> GuardVerdict:

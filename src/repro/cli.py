@@ -11,6 +11,13 @@ Commands:
 * ``trace-summary`` — per-stage flame table from a ``--trace-out`` file.
 * ``live-status``   — health/progress/alerts of a running server
   (``http://host:port``) or a ``--snapshot-out`` file.
+* ``index build``   — condense a dataset (or a fresh pipeline run) into
+  the read-optimized, byte-stable intelligence index.
+* ``serve``         — the ``/v1`` query service over a prebuilt index
+  (rate limiting, ETags, zero-drop hot reload — ``docs/serving.md``).
+* ``query``         — one-shot lookups against an index file; exits 0
+  when clean, 2 when the subject is known DaaS, 1 on error (the same
+  0/2/1 convention as ``live-status``).
 
 Shared flag groups are defined once as argparse *parent parsers* (world,
 runtime, observability, live-ops, resilience, checkpoint) and attached to
@@ -154,6 +161,15 @@ def _resilience_parent() -> argparse.ArgumentParser:
     g.add_argument("--fault-plan", default="", metavar="FILE",
                    help="JSON fault plan injected into the simulated "
                         "upstreams (failure drill; seeded, replayable)")
+    return p
+
+
+def _index_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("intelligence index (docs/serving.md)")
+    g.add_argument("--index", default="", metavar="FILE",
+                   help="prebuilt intelligence index file "
+                        "(write one with `daas-repro index build`)")
     return p
 
 
@@ -540,6 +556,178 @@ def cmd_live_status(args: argparse.Namespace) -> int:
     return 0 if status.get("state", "ok") == "ok" else 2
 
 
+# -- serving layer (docs/serving.md) ------------------------------------------
+
+
+def _load_index(args: argparse.Namespace):
+    """The --index file as an IntelIndex; one-line ValueError on a bad
+    or missing file (callers print it and exit 1)."""
+    from repro.serve import IntelIndex
+
+    path = getattr(args, "index", "")
+    if not path:
+        raise ValueError(
+            "--index FILE is required (write one with `daas-repro index build`)"
+        )
+    return IntelIndex.load(path)
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.serve import build_index
+
+    if args.dataset:
+        from repro.core import DaaSDataset
+
+        try:
+            dataset = DaaSDataset.load(args.dataset)
+        except FileNotFoundError:
+            print(f"no such dataset file: {args.dataset}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"cannot parse dataset {args.dataset}: {exc}", file=sys.stderr)
+            return 1
+        # A bare dataset has no clustering/victim context; the index
+        # still carries roles, profits, ratios, evidence and provenance.
+        index = build_index(dataset)
+    else:
+        result = run_pipeline(_config(args))
+        site_reports = None
+        if getattr(args, "with_domains", False):
+            web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
+            db = build_fingerprint_db(web)
+            site_reports, _ = PhishingSiteDetector(web, db).run()
+        index = build_index(
+            result.dataset,
+            clustering=result.clustering,
+            site_reports=site_reports,
+            victim_report=result.victim_report,
+        )
+    index.save(args.out)
+    counts = index.counts()
+    print(f"index {index.version} written to {args.out}")
+    print("  " + "  ".join(f"{kind}={n}" for kind, n in counts.items()))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from repro.serve import IndexFormatError, IntelServer
+
+    obs = _obs(args)
+    try:
+        index = _load_index(args)
+    except (IndexFormatError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    server = IntelServer(
+        index=index,
+        obs=obs,
+        host=args.host,
+        port=args.port,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_concurrency=args.max_concurrency,
+    )
+    server.start()
+    print(f"serving index {index.version} on {server.url} "
+          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index /healthz)")
+    reload_every = args.reload_every
+    index_path = Path(args.index)
+    try:
+        last_mtime = index_path.stat().st_mtime if reload_every > 0 else 0.0
+        while True:
+            _time.sleep(reload_every if reload_every > 0 else 1.0)
+            if reload_every <= 0:
+                continue
+            try:
+                mtime = index_path.stat().st_mtime
+            except OSError:
+                continue
+            if mtime != last_mtime:
+                last_mtime = mtime
+                version = server.reload(str(index_path))
+                if version is not None:
+                    print(f"hot-reloaded index {version}")
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+        _write_obs(args, obs)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import IndexFormatError, QueryEngine
+
+    try:
+        index = _load_index(args)
+    except (IndexFormatError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    engine = QueryEngine(index)
+    what, subjects = args.what, args.subject
+
+    def emit(doc) -> None:
+        print(_json.dumps(doc, indent=2))
+
+    if what == "address":
+        if len(subjects) != 1:
+            print("usage: daas-repro query address 0x... --index FILE", file=sys.stderr)
+            return 1
+        intel = engine.lookup_address(subjects[0])
+        if intel is None:
+            emit({"address": subjects[0], "flagged": False})
+            return 0
+        emit(intel.to_payload())
+        return 2
+    if what == "domain":
+        if len(subjects) != 1:
+            print("usage: daas-repro query domain NAME --index FILE", file=sys.stderr)
+            return 1
+        intel = engine.lookup_domain(subjects[0])
+        if intel is None:
+            emit({"domain": subjects[0], "verdict": "unknown"})
+            return 0
+        emit(intel.to_payload())
+        return 2
+    if what == "screen":
+        if not subjects:
+            print("usage: daas-repro query screen 0x... [0x... ...] --index FILE",
+                  file=sys.stderr)
+            return 1
+        verdicts = engine.screen_batch(subjects)
+        emit({"verdicts": [v.to_payload() for v in verdicts]})
+        return 2 if any(v.flagged for v in verdicts) else 0
+    if what == "family":
+        if len(subjects) != 1:
+            print("usage: daas-repro query family NAME --index FILE", file=sys.stderr)
+            return 1
+        record = engine.family_summary(subjects[0])
+        if record is None:
+            print(f"no such family: {subjects[0]}", file=sys.stderr)
+            return 1
+        emit(record.to_payload())
+        return 0
+    if what == "families":
+        emit({"families": [f.to_payload() for f in engine.families()]})
+        return 0
+    if what == "top":
+        role = subjects[0] if subjects else "affiliate"
+        try:
+            rows = engine.top_k(role, k=args.top_k)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        emit({"role": role, "top": [i.to_payload() for i in rows]})
+        return 0
+    print(f"unknown query kind: {what}", file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="daas-repro",
@@ -612,6 +800,66 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("source", help="server URL or snapshot JSONL file")
     p.set_defaults(fn=cmd_live_status)
+
+    index_flag = _index_parent()
+
+    p = sub.add_parser(
+        "index",
+        help="build the read-optimized intelligence index (docs/serving.md)",
+    )
+    isub = p.add_subparsers(dest="action", required=True)
+    b = isub.add_parser(
+        "build",
+        help="condense a dataset (or a fresh pipeline run) into an index file",
+        parents=[world],
+    )
+    b.add_argument("--dataset", default="", metavar="FILE",
+                   help="build from this dataset JSON instead of running "
+                        "the pipeline (roles/profits/evidence only — no "
+                        "family or domain enrichment)")
+    b.add_argument("--out", default="intel_index.json", metavar="FILE",
+                   help="path for the index file (default intel_index.json)")
+    b.add_argument("--with-domains", action="store_true",
+                   help="also run the §8 website detector and fold the "
+                        "confirmed domains into the index")
+    b.set_defaults(fn=cmd_index_build)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve /v1 address/domain/screen/family queries from an index",
+        parents=[index_flag, obs_flags],
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind host")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port (0 = pick an ephemeral port; default 8321)")
+    p.add_argument("--rate-limit", type=float, default=0.0, metavar="N",
+                   help="per-client token-bucket rate in requests/s "
+                        "(0 = unlimited)")
+    p.add_argument("--burst", type=float, default=None, metavar="N",
+                   help="token-bucket burst size (default: max(1, rate))")
+    p.add_argument("--max-concurrency", type=int, default=64, metavar="N",
+                   help="in-flight request ceiling; excess gets 503 "
+                        "(default 64)")
+    p.add_argument("--reload-every", type=float, default=0.0, metavar="SECS",
+                   help="watch the --index file and hot-reload it on "
+                        "change, without dropping in-flight requests "
+                        "(0 = off)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="one-shot index lookups; exit 0 clean / 2 flagged / 1 error",
+        parents=[index_flag],
+    )
+    p.add_argument("what",
+                   choices=["address", "domain", "screen", "family",
+                            "families", "top"],
+                   help="what to look up")
+    p.add_argument("subject", nargs="*",
+                   help="address(es), domain, family name, or top-k role")
+    p.add_argument("--top-k", type=int, default=10, metavar="K",
+                   help="rows for `query top` (default 10)")
+    p.set_defaults(fn=cmd_query)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,45 @@
+"""repro.serve — the intelligence serving layer (index, queries, HTTP).
+
+The measurement pipeline ends in batch artifacts; this package turns
+them into something a wallet or a screening feed can *ask*:
+
+* :mod:`repro.serve.index`     — :class:`IntelIndex`, the deterministic,
+  versioned, read-optimized view (address → role/family/profit/evidence,
+  domain → verdict, family → summary) with byte-stable serialization;
+* :mod:`repro.serve.query`     — :class:`QueryEngine`, the typed query
+  API with an LRU result cache, risk scoring, and hot index swap;
+* :mod:`repro.serve.ratelimit` — per-client token buckets;
+* :mod:`repro.serve.server`    — :class:`IntelServer`, the ``/v1/*``
+  HTTP service with ETags, rate limiting, bounded concurrency, and
+  zero-drop hot reload.
+
+CLI entry points: ``daas-repro index build``, ``daas-repro serve``,
+``daas-repro query`` — see ``docs/serving.md``.
+"""
+
+from repro.serve.index import (
+    AddressIntel,
+    DomainIntel,
+    FamilyRecord,
+    IndexFormatError,
+    IntelIndex,
+    build_index,
+)
+from repro.serve.query import QueryEngine, ScreenVerdict, risk_score
+from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
+from repro.serve.server import IntelServer
+
+__all__ = [
+    "AddressIntel",
+    "ClientRateLimiter",
+    "DomainIntel",
+    "FamilyRecord",
+    "IndexFormatError",
+    "IntelIndex",
+    "IntelServer",
+    "QueryEngine",
+    "ScreenVerdict",
+    "TokenBucket",
+    "build_index",
+    "risk_score",
+]

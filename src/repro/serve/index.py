@@ -1,0 +1,465 @@
+"""The read-optimized intelligence index (the serving layer's data plane).
+
+A :class:`IntelIndex` condenses everything the measurement pipeline knows
+— the :class:`~repro.core.dataset.DaaSDataset`, §7 family clustering, and
+§8 website detection — into point-lookup form: address → role / family /
+profit / ratio / first-last seen with profit-sharing evidence, domain →
+phishing verdict, family → summary row.  Lookups are O(1) dict hits;
+``scan_prefix`` gives ordered prefix scans over the sorted address space.
+
+The serialized form is **byte-stable**: building an index twice from the
+same inputs produces identical bytes, and :attr:`IntelIndex.version` is
+a content hash over the canonical payload, so index files diff cleanly,
+cache keys (HTTP ETags) are free, and "is this the same intelligence?"
+is a string compare.  Build offline with ``daas-repro index build``,
+load with :meth:`IntelIndex.load` (one ``json.loads`` — no per-record
+work until a record is touched).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "AddressIntel",
+    "DomainIntel",
+    "FamilyRecord",
+    "IndexFormatError",
+    "IntelIndex",
+    "build_index",
+]
+
+#: Profit-sharing tx hashes kept per address as lookup evidence.
+EVIDENCE_LIMIT = 5
+
+
+class IndexFormatError(ValueError):
+    """The bytes are not a loadable intelligence index."""
+
+
+@dataclass(frozen=True, slots=True)
+class AddressIntel:
+    """Everything the index knows about one DaaS address."""
+
+    address: str
+    role: str                       # "contract" | "operator" | "affiliate"
+    family: str | None = None
+    ratio_bps: int | None = None    # most common profit-split ratio seen
+    profit_usd: float = 0.0         # this address's share across its txs
+    tx_count: int = 0
+    first_seen_ts: int | None = None
+    last_seen_ts: int | None = None
+    stage: str = ""                 # provenance: "seed" | "expansion"
+    source: str = ""                # label feed or "snowball:<n>"
+    victim_count: int | None = None
+    #: Profit-sharing counterparties: a contract lists the operators and
+    #: affiliates it splits to; accounts list the contracts they used.
+    operators: tuple[str, ...] = ()
+    affiliates: tuple[str, ...] = ()
+    contracts: tuple[str, ...] = ()
+    #: Sample profit-sharing tx hashes (at most EVIDENCE_LIMIT, by time).
+    evidence: tuple[str, ...] = ()
+
+    def to_payload(self) -> dict:
+        return {
+            "address": self.address,
+            "role": self.role,
+            "family": self.family,
+            "ratio_bps": self.ratio_bps,
+            "profit_usd": round(self.profit_usd, 6),
+            "tx_count": self.tx_count,
+            "first_seen_ts": self.first_seen_ts,
+            "last_seen_ts": self.last_seen_ts,
+            "stage": self.stage,
+            "source": self.source,
+            "victim_count": self.victim_count,
+            "operators": list(self.operators),
+            "affiliates": list(self.affiliates),
+            "contracts": list(self.contracts),
+            "evidence": list(self.evidence),
+        }
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "AddressIntel":
+        return cls(
+            address=doc["address"],
+            role=doc["role"],
+            family=doc.get("family"),
+            ratio_bps=doc.get("ratio_bps"),
+            profit_usd=doc.get("profit_usd", 0.0),
+            tx_count=doc.get("tx_count", 0),
+            first_seen_ts=doc.get("first_seen_ts"),
+            last_seen_ts=doc.get("last_seen_ts"),
+            stage=doc.get("stage", ""),
+            source=doc.get("source", ""),
+            victim_count=doc.get("victim_count"),
+            operators=tuple(doc.get("operators", ())),
+            affiliates=tuple(doc.get("affiliates", ())),
+            contracts=tuple(doc.get("contracts", ())),
+            evidence=tuple(doc.get("evidence", ())),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DomainIntel:
+    """One website-detection verdict, keyed by domain."""
+
+    domain: str
+    verdict: str                    # currently always "phishing"
+    family: str = ""
+    detected_at: int = 0
+    matched_keyword: str = ""
+
+    def to_payload(self) -> dict:
+        return {
+            "domain": self.domain,
+            "verdict": self.verdict,
+            "family": self.family,
+            "detected_at": self.detected_at,
+            "matched_keyword": self.matched_keyword,
+        }
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "DomainIntel":
+        return cls(
+            domain=doc["domain"],
+            verdict=doc.get("verdict", "phishing"),
+            family=doc.get("family", ""),
+            detected_at=doc.get("detected_at", 0),
+            matched_keyword=doc.get("matched_keyword", ""),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FamilyRecord:
+    """Table-2-shaped family summary, keyed by family name."""
+
+    name: str
+    contract_count: int = 0
+    operator_count: int = 0
+    affiliate_count: int = 0
+    victim_count: int = 0
+    total_profit_usd: float = 0.0
+    first_tx_ts: int | None = None
+    last_tx_ts: int | None = None
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "contract_count": self.contract_count,
+            "operator_count": self.operator_count,
+            "affiliate_count": self.affiliate_count,
+            "victim_count": self.victim_count,
+            "total_profit_usd": round(self.total_profit_usd, 6),
+            "first_tx_ts": self.first_tx_ts,
+            "last_tx_ts": self.last_tx_ts,
+        }
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "FamilyRecord":
+        return cls(
+            name=doc["name"],
+            contract_count=doc.get("contract_count", 0),
+            operator_count=doc.get("operator_count", 0),
+            affiliate_count=doc.get("affiliate_count", 0),
+            victim_count=doc.get("victim_count", 0),
+            total_profit_usd=doc.get("total_profit_usd", 0.0),
+            first_tx_ts=doc.get("first_tx_ts"),
+            last_tx_ts=doc.get("last_tx_ts"),
+        )
+
+
+class IntelIndex:
+    """Read-optimized, versioned view over the pipeline's intelligence."""
+
+    FORMAT = "daas-intel-index"
+    FORMAT_VERSION = 1
+
+    def __init__(
+        self,
+        addresses: dict[str, AddressIntel] | None = None,
+        domains: dict[str, DomainIntel] | None = None,
+        families: dict[str, FamilyRecord] | None = None,
+    ) -> None:
+        self.addresses = dict(addresses or {})
+        self.domains = dict(domains or {})
+        self.families = dict(families or {})
+        self._sorted_addresses = sorted(self.addresses)
+        self._version: str | None = None
+
+    # -- point lookups -------------------------------------------------------
+
+    def lookup_address(self, address: str) -> AddressIntel | None:
+        return self.addresses.get(address.lower())
+
+    def lookup_domain(self, domain: str) -> DomainIntel | None:
+        return self.domains.get(domain.lower())
+
+    def family(self, name: str) -> FamilyRecord | None:
+        return self.families.get(name)
+
+    def __contains__(self, address: str) -> bool:
+        return str(address).lower() in self.addresses
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    # -- scans ---------------------------------------------------------------
+
+    def scan_prefix(self, prefix: str, limit: int = 100) -> list[AddressIntel]:
+        """Addresses starting with ``prefix``, in address order."""
+        prefix = prefix.lower()
+        out: list[AddressIntel] = []
+        i = bisect_left(self._sorted_addresses, prefix)
+        while i < len(self._sorted_addresses) and len(out) < limit:
+            address = self._sorted_addresses[i]
+            if not address.startswith(prefix):
+                break
+            out.append(self.addresses[address])
+            i += 1
+        return out
+
+    def bulk_lookup(self, addresses: list[str]) -> dict[str, AddressIntel | None]:
+        return {a: self.lookup_address(a) for a in addresses}
+
+    def family_records(self) -> list[FamilyRecord]:
+        """All families, most victims first (Table 2 ordering)."""
+        return sorted(
+            self.families.values(),
+            key=lambda f: (-f.victim_count, -f.total_profit_usd, f.name),
+        )
+
+    def counts(self) -> dict[str, int]:
+        by_role = {"contract": 0, "operator": 0, "affiliate": 0}
+        for intel in self.addresses.values():
+            by_role[intel.role] = by_role.get(intel.role, 0) + 1
+        return {
+            "addresses": len(self.addresses),
+            "contracts": by_role["contract"],
+            "operators": by_role["operator"],
+            "affiliates": by_role["affiliate"],
+            "domains": len(self.domains),
+            "families": len(self.families),
+        }
+
+    # -- versioning / serialization ------------------------------------------
+
+    def _body(self) -> dict:
+        return {
+            "format": self.FORMAT,
+            "format_version": self.FORMAT_VERSION,
+            "counts": self.counts(),
+            "addresses": {
+                a: self.addresses[a].to_payload() for a in self._sorted_addresses
+            },
+            "domains": {
+                d: self.domains[d].to_payload() for d in sorted(self.domains)
+            },
+            "families": {
+                f: self.families[f].to_payload() for f in sorted(self.families)
+            },
+        }
+
+    @staticmethod
+    def _canonical(doc: dict) -> bytes:
+        return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+    @property
+    def version(self) -> str:
+        """Content hash of the canonical payload (stable across rebuilds)."""
+        if self._version is None:
+            self._version = hashlib.sha256(self._canonical(self._body())).hexdigest()[:16]
+        return self._version
+
+    def to_bytes(self) -> bytes:
+        body = self._body()
+        body["version"] = self.version
+        return self._canonical(body) + b"\n"
+
+    @classmethod
+    def from_bytes(cls, raw: bytes | str) -> "IntelIndex":
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise IndexFormatError(f"not an intelligence index: {exc}") from None
+        if not isinstance(doc, dict) or doc.get("format") != cls.FORMAT:
+            raise IndexFormatError(
+                "not an intelligence index (missing "
+                f"format={cls.FORMAT!r} marker)"
+            )
+        if doc.get("format_version") != cls.FORMAT_VERSION:
+            raise IndexFormatError(
+                f"unsupported index format_version {doc.get('format_version')!r} "
+                f"(this build reads {cls.FORMAT_VERSION})"
+            )
+        index = cls(
+            addresses={
+                a: AddressIntel.from_payload(p) for a, p in doc["addresses"].items()
+            },
+            domains={
+                d: DomainIntel.from_payload(p) for d, p in doc.get("domains", {}).items()
+            },
+            families={
+                f: FamilyRecord.from_payload(p) for f, p in doc.get("families", {}).items()
+            },
+        )
+        # Trust the stored content hash; recomputing it would walk the
+        # whole payload again on every load.
+        stored = doc.get("version")
+        if isinstance(stored, str) and stored:
+            index._version = stored
+        return index
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "IntelIndex":
+        try:
+            raw = Path(path).read_bytes()
+        except FileNotFoundError:
+            raise IndexFormatError(f"no such index file: {path}") from None
+        return cls.from_bytes(raw)
+
+
+# -- construction -------------------------------------------------------------
+
+
+@dataclass
+class _Accumulator:
+    profit_usd: float = 0.0
+    tx_count: int = 0
+    first_ts: int | None = None
+    last_ts: int | None = None
+    ratios: dict[int, int] = field(default_factory=dict)
+    partners: dict[str, set[str]] = field(
+        default_factory=lambda: {"operators": set(), "affiliates": set(), "contracts": set()}
+    )
+    evidence: list[tuple[int, str]] = field(default_factory=list)
+
+    def see(self, ts: int, ratio_bps: int, tx_hash: str, profit_usd: float) -> None:
+        self.profit_usd += profit_usd
+        self.tx_count += 1
+        self.first_ts = ts if self.first_ts is None else min(self.first_ts, ts)
+        self.last_ts = ts if self.last_ts is None else max(self.last_ts, ts)
+        self.ratios[ratio_bps] = self.ratios.get(ratio_bps, 0) + 1
+        self.evidence.append((ts, tx_hash))
+
+    def top_ratio(self) -> int | None:
+        if not self.ratios:
+            return None
+        # Most frequent ratio; ties resolve to the smallest value.
+        return min(self.ratios, key=lambda r: (-self.ratios[r], r))
+
+    def evidence_sample(self) -> tuple[str, ...]:
+        return tuple(h for _, h in sorted(set(self.evidence))[:EVIDENCE_LIMIT])
+
+
+def build_index(
+    dataset,
+    clustering=None,
+    site_reports=None,
+    victim_report=None,
+) -> IntelIndex:
+    """Deterministic index construction from the pipeline's outputs.
+
+    ``dataset`` is a :class:`~repro.core.dataset.DaaSDataset` (roles,
+    provenance, and per-address profit/ratio/first-last-seen all derive
+    from its profit-sharing transactions).  The analyses are optional
+    enrichments: ``clustering`` (a §7 :class:`ClusteringResult`) labels
+    addresses with their family and fills the family table;
+    ``site_reports`` (§8 ``SiteReport`` list) fills the domain table;
+    ``victim_report`` (§6) adds per-affiliate distinct-victim counts.
+    Same inputs → byte-identical :meth:`IntelIndex.to_bytes`.
+    """
+    accumulators: dict[str, _Accumulator] = {}
+
+    def acc(address: str) -> _Accumulator:
+        return accumulators.setdefault(address, _Accumulator())
+
+    for record in dataset.transactions:
+        contract = acc(record.contract)
+        contract.see(record.timestamp, record.ratio_bps, record.tx_hash, record.total_usd)
+        contract.partners["operators"].add(record.operator)
+        contract.partners["affiliates"].add(record.affiliate)
+        operator = acc(record.operator)
+        operator.see(record.timestamp, record.ratio_bps, record.tx_hash, record.operator_usd)
+        operator.partners["contracts"].add(record.contract)
+        affiliate = acc(record.affiliate)
+        affiliate.see(record.timestamp, record.ratio_bps, record.tx_hash, record.affiliate_usd)
+        affiliate.partners["contracts"].add(record.contract)
+
+    family_of: dict[str, str] = {}
+    families: dict[str, FamilyRecord] = {}
+    if clustering is not None:
+        for fam in clustering.families:
+            families[fam.name] = FamilyRecord(
+                name=fam.name,
+                contract_count=len(fam.contracts),
+                operator_count=len(fam.operators),
+                affiliate_count=len(fam.affiliates),
+                victim_count=len(fam.victims),
+                total_profit_usd=fam.total_profit_usd,
+                first_tx_ts=fam.first_tx_ts,
+                last_tx_ts=fam.last_tx_ts,
+            )
+            for member in fam.contracts | fam.operators | fam.affiliates:
+                family_of[member] = fam.name
+
+    victims_of: dict[str, int] = {}
+    if victim_report is not None:
+        # Distinct victims per affiliate (paper §6.3's reach measure).
+        per_affiliate: dict[str, set[str]] = {}
+        for incident in victim_report.incidents:
+            per_affiliate.setdefault(incident.affiliate, set()).add(incident.victim)
+        victims_of = {a: len(v) for a, v in per_affiliate.items()}
+
+    addresses: dict[str, AddressIntel] = {}
+    for role, members in (
+        ("contract", dataset.contracts),
+        ("operator", dataset.operators),
+        ("affiliate", dataset.affiliates),
+    ):
+        for address in sorted(members):
+            # Keys are lowercased (clients send arbitrary case); the
+            # record keeps the EIP-55 checksummed form for display.
+            if address.lower() in addresses:
+                continue  # role precedence: contract > operator > affiliate
+            a = accumulators.get(address, _Accumulator())
+            provenance = dataset.provenance.get(address)
+            addresses[address.lower()] = AddressIntel(
+                address=address,
+                role=role,
+                family=family_of.get(address),
+                ratio_bps=a.top_ratio(),
+                profit_usd=a.profit_usd,
+                tx_count=a.tx_count,
+                first_seen_ts=a.first_ts,
+                last_seen_ts=a.last_ts,
+                stage=provenance.stage if provenance else "",
+                source=provenance.source if provenance else "",
+                victim_count=victims_of.get(address),
+                operators=tuple(sorted(a.partners["operators"])),
+                affiliates=tuple(sorted(a.partners["affiliates"])),
+                contracts=tuple(sorted(a.partners["contracts"])),
+                evidence=a.evidence_sample(),
+            )
+
+    domains: dict[str, DomainIntel] = {}
+    for report in site_reports or ():
+        domain = report.domain.lower()
+        existing = domains.get(domain)
+        if existing is None or report.detected_at < existing.detected_at:
+            domains[domain] = DomainIntel(
+                domain=domain,
+                verdict="phishing",
+                family=report.family,
+                detected_at=report.detected_at,
+                matched_keyword=report.matched_keyword,
+            )
+
+    return IntelIndex(addresses=addresses, domains=domains, families=families)

@@ -1,0 +1,99 @@
+"""Per-client token-bucket rate limiting for the serving layer.
+
+A classic token bucket: each client accrues ``rate`` tokens per second
+up to a ``burst`` ceiling, and each request spends one.  An empty bucket
+answers with the seconds until the next token — the server turns that
+into ``429`` + ``Retry-After``.  Clocks are injectable so tests drive
+time explicitly (the same pattern as :mod:`repro.obs.live.watchdog`);
+nothing here sleeps.
+
+:class:`ClientRateLimiter` keeps one bucket per client id with LRU
+eviction, so a scan of millions of distinct clients cannot grow memory
+without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["ClientRateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """One client's budget: ``rate`` tokens/s, up to ``burst`` stored."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Spend ``tokens`` if available; 0.0 on success, else the wait
+        in seconds until the request would fit."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+
+class ClientRateLimiter:
+    """Token bucket per client id, LRU-bounded; thread-safe.
+
+    ``rate <= 0`` disables limiting entirely (every check passes) —
+    that is the CLI's ``--rate-limit 0`` default.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self.rejections = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client_id: str) -> float:
+        """0.0 when the request is admitted, else retry-after seconds."""
+        if not self.enabled:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[client_id] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client_id)
+            wait = bucket.try_acquire()
+            if wait > 0:
+                self.rejections += 1
+            return wait
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,17 @@
+"""Serving-layer fixtures: one index built from the session pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import build_index
+
+
+@pytest.fixture(scope="session")
+def intel_index(pipeline):
+    """Fully-enriched index over the shared tier-1 fixture dataset."""
+    return build_index(
+        pipeline.dataset,
+        clustering=pipeline.clustering,
+        victim_report=pipeline.victim_report,
+    )

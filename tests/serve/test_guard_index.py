@@ -1,0 +1,66 @@
+"""WalletGuard backed by an IntelIndex: evidence-bearing verdicts."""
+
+from __future__ import annotations
+
+from repro.analysis.guard import TransactionIntent, WalletGuard
+
+SENDER = "0x" + "ab" * 20
+
+
+class TestGuardWithIndex:
+    def _guard(self, pipeline, intel_index):
+        return WalletGuard(pipeline.context.rpc, blacklist=intel_index)
+
+    def test_recipient_verdict_names_role_and_family(self, pipeline, intel_index):
+        guard = self._guard(pipeline, intel_index)
+        operator = next(
+            a for a in sorted(pipeline.dataset.operators)
+            if intel_index.lookup_address(a).family
+        )
+        verdict = guard.screen(TransactionIntent(sender=SENDER, to=operator, value=1))
+        assert not verdict.allowed
+        alert = verdict.alerts[0]
+        assert "known DaaS operator" in alert
+        assert f"family {intel_index.lookup_address(operator).family}" in alert
+
+    def test_approval_target_verdict_names_contract_role(self, pipeline, intel_index):
+        guard = self._guard(pipeline, intel_index)
+        contract = sorted(pipeline.dataset.contracts)[0]
+        token = pipeline.world.infra.erc20_tokens[0]
+        verdict = guard.screen(
+            TransactionIntent(
+                sender=SENDER, to=token.address,
+                func="approve", args={"spender": contract, "amount": 10**18},
+            )
+        )
+        assert not verdict.allowed
+        assert any("known DaaS contract" in alert for alert in verdict.alerts)
+
+    def test_clean_address_still_allowed(self, pipeline, intel_index):
+        guard = self._guard(pipeline, intel_index)
+        verdict = guard.screen(
+            TransactionIntent(sender=SENDER, to="0x" + "cd" * 20, value=1)
+        )
+        assert verdict.allowed and verdict.alerts == []
+
+    def test_membership_is_case_insensitive(self, pipeline, intel_index):
+        guard = self._guard(pipeline, intel_index)
+        operator = sorted(pipeline.dataset.operators)[0].lower()
+        verdict = guard.screen(TransactionIntent(sender=SENDER, to=operator, value=1))
+        assert not verdict.allowed
+
+
+class TestSetPathUnchanged:
+    """The original set[str] surface keeps its exact verdict strings."""
+
+    def test_set_blacklist_uses_generic_label(self, pipeline):
+        guard = WalletGuard(
+            pipeline.context.rpc, blacklist=pipeline.dataset.all_accounts
+        )
+        assert guard.index is None
+        operator = next(iter(pipeline.dataset.operators))
+        verdict = guard.screen(TransactionIntent(sender=SENDER, to=operator, value=1))
+        assert not verdict.allowed
+        assert verdict.alerts[0] == (
+            f"recipient {operator} is a known DaaS account"
+        )

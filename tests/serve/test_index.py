@@ -1,0 +1,122 @@
+"""IntelIndex construction: determinism, completeness, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import IndexFormatError, IntelIndex, build_index
+
+
+class TestDeterminism:
+    def test_rebuild_is_byte_identical(self, pipeline):
+        a = build_index(pipeline.dataset, clustering=pipeline.clustering,
+                        victim_report=pipeline.victim_report)
+        b = build_index(pipeline.dataset, clustering=pipeline.clustering,
+                        victim_report=pipeline.victim_report)
+        assert a.to_bytes() == b.to_bytes()
+        assert a.version == b.version
+
+    def test_roundtrip_preserves_bytes_and_version(self, intel_index, tmp_path):
+        path = tmp_path / "index.json"
+        intel_index.save(path)
+        loaded = IntelIndex.load(path)
+        assert loaded.version == intel_index.version
+        assert loaded.to_bytes() == intel_index.to_bytes()
+
+    def test_version_tracks_content(self, pipeline):
+        with_families = build_index(pipeline.dataset, clustering=pipeline.clustering)
+        without = build_index(pipeline.dataset)
+        assert with_families.version != without.version
+
+
+class TestCompleteness:
+    """Every entity of the fixture dataset answers with the right role."""
+
+    def test_every_contract_indexed(self, pipeline, intel_index):
+        for address in pipeline.dataset.contracts:
+            intel = intel_index.lookup_address(address)
+            assert intel is not None and intel.role == "contract"
+
+    def test_every_operator_indexed(self, pipeline, intel_index):
+        for address in pipeline.dataset.operators:
+            intel = intel_index.lookup_address(address)
+            assert intel is not None and intel.role == "operator"
+
+    def test_every_affiliate_indexed(self, pipeline, intel_index):
+        for address in pipeline.dataset.affiliates:
+            intel = intel_index.lookup_address(address)
+            assert intel is not None and intel.role == "affiliate"
+
+    def test_family_labels_match_clustering(self, pipeline, intel_index):
+        for family in pipeline.clustering.families:
+            for operator in family.operators:
+                intel = intel_index.lookup_address(operator)
+                assert intel.family == family.name
+            record = intel_index.family(family.name)
+            assert record is not None
+            assert record.victim_count == len(family.victims)
+
+    def test_contract_carries_profit_sharing_evidence(self, pipeline, intel_index):
+        record = max(pipeline.dataset.transactions, key=lambda t: t.total_usd)
+        intel = intel_index.lookup_address(record.contract)
+        assert record.operator in intel.operators
+        assert record.affiliate in intel.affiliates
+        assert intel.evidence  # sample tx hashes
+        assert intel.tx_count >= 1
+        assert intel.first_seen_ts <= record.timestamp <= intel.last_seen_ts
+
+    def test_profit_totals_match_dataset(self, pipeline, intel_index):
+        indexed_operator_profit = sum(
+            i.profit_usd for i in intel_index.addresses.values()
+            if i.role == "operator"
+        )
+        assert indexed_operator_profit == pytest.approx(
+            pipeline.dataset.operator_profit_usd()
+        )
+
+
+class TestLookupSemantics:
+    def test_lookup_is_case_insensitive(self, pipeline, intel_index):
+        address = sorted(pipeline.dataset.operators)[0]
+        assert intel_index.lookup_address(address.upper().replace("0X", "0x"))
+        assert intel_index.lookup_address(address.lower())
+        assert address in intel_index
+        assert address.lower() in intel_index
+
+    def test_unknown_address_is_none(self, intel_index):
+        assert intel_index.lookup_address("0x" + "00" * 20) is None
+        assert "0x" + "00" * 20 not in intel_index
+
+    def test_scan_prefix_is_sorted_and_bounded(self, intel_index):
+        everything = intel_index.scan_prefix("0x", limit=10_000)
+        assert len(everything) == len(intel_index)
+        addresses = [i.address.lower() for i in everything]
+        assert addresses == sorted(addresses)
+        assert len(intel_index.scan_prefix("0x", limit=3)) == 3
+        assert intel_index.scan_prefix("0xzz") == []
+
+    def test_counts_roles_sum(self, intel_index):
+        counts = intel_index.counts()
+        assert counts["addresses"] == (
+            counts["contracts"] + counts["operators"] + counts["affiliates"]
+        )
+
+
+class TestFormatErrors:
+    def test_not_json(self):
+        with pytest.raises(IndexFormatError):
+            IntelIndex.from_bytes(b"not json at all")
+
+    def test_wrong_marker(self):
+        with pytest.raises(IndexFormatError, match="marker"):
+            IntelIndex.from_bytes(b'{"format": "something-else"}')
+
+    def test_wrong_format_version(self):
+        with pytest.raises(IndexFormatError, match="format_version"):
+            IntelIndex.from_bytes(
+                b'{"format": "daas-intel-index", "format_version": 999}'
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IndexFormatError, match="no such index file"):
+            IntelIndex.load(tmp_path / "absent.json")

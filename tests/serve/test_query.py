@@ -1,0 +1,118 @@
+"""QueryEngine: cached lookups, screening, aggregates, hot swap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import IntelIndex, QueryEngine, build_index, risk_score
+
+
+@pytest.fixture()
+def engine(intel_index):
+    return QueryEngine(intel_index, cache_size=64)
+
+
+class TestLookups:
+    def test_lookup_hits_cache_on_repeat(self, engine, pipeline):
+        address = sorted(pipeline.dataset.contracts)[0]
+        first = engine.lookup_address(address)
+        assert engine.cache.stats.misses == 1
+        second = engine.lookup_address(address)
+        assert second is first
+        assert engine.cache.stats.hits == 1
+
+    def test_negative_lookups_are_cached_too(self, engine):
+        ghost = "0x" + "00" * 20
+        assert engine.lookup_address(ghost) is None
+        assert engine.lookup_address(ghost) is None
+        assert engine.cache.stats.hits == 1
+
+    def test_stats_document(self, engine, intel_index):
+        doc = engine.stats()
+        assert doc["index_version"] == intel_index.version
+        assert doc["counts"]["addresses"] == len(intel_index)
+        assert set(doc["cache"]) >= {"hits", "misses", "evictions"}
+
+
+class TestScreening:
+    def test_known_contract_flags_with_evidence(self, engine, pipeline):
+        record = max(pipeline.dataset.transactions, key=lambda t: t.total_usd)
+        verdict = engine.screen(record.contract)
+        assert verdict.flagged
+        assert verdict.role == "contract"
+        assert verdict.risk >= 0.95
+        assert any("known DaaS contract" in r for r in verdict.reasons)
+
+    def test_unknown_address_is_clean(self, engine):
+        verdict = engine.screen("0x" + "11" * 20)
+        assert not verdict.flagged
+        assert verdict.risk == 0.0
+        assert verdict.reasons == ()
+
+    def test_batch_preserves_order(self, engine, pipeline):
+        known = sorted(pipeline.dataset.operators)[0]
+        batch = ["0x" + "11" * 20, known, "0x" + "22" * 20]
+        verdicts = engine.screen_batch(batch)
+        assert [v.address for v in verdicts] == batch
+        assert [v.flagged for v in verdicts] == [False, True, False]
+
+    def test_risk_ordering_by_role(self):
+        from repro.serve import AddressIntel
+
+        risks = [
+            risk_score(AddressIntel(address="0x0", role=role, tx_count=10))
+            for role in ("contract", "operator", "affiliate")
+        ]
+        assert risks == sorted(risks, reverse=True)
+        assert len(set(risks)) == 3
+        assert all(0.0 < r <= 1.0 for r in risks)
+
+    def test_risk_saturates_at_one(self):
+        from repro.serve import AddressIntel
+
+        busy = AddressIntel(address="0x0", role="contract", tx_count=10**6)
+        assert risk_score(busy) <= 1.0
+
+    def test_risk_score_none_is_zero(self):
+        assert risk_score(None) == 0.0
+
+
+class TestAggregates:
+    def test_families_in_table2_order(self, engine):
+        families = engine.families()
+        victims = [f.victim_count for f in families]
+        assert victims == sorted(victims, reverse=True)
+
+    def test_family_summary_round_trip(self, engine, pipeline):
+        name = pipeline.clustering.families[0].name
+        assert engine.family_summary(name).name == name
+        assert engine.family_summary("No Such Family") is None
+
+    def test_top_k_sorted_by_profit(self, engine):
+        top = engine.top_k("affiliate", k=5)
+        assert len(top) == 5
+        profits = [i.profit_usd for i in top]
+        assert profits == sorted(profits, reverse=True)
+        assert all(i.role == "affiliate" for i in top)
+
+    def test_top_k_unknown_role_raises(self, engine):
+        with pytest.raises(ValueError, match="unknown role"):
+            engine.top_k("victim")
+
+
+class TestHotSwap:
+    def test_swap_clears_cache_and_changes_version(self, pipeline):
+        full = build_index(pipeline.dataset, clustering=pipeline.clustering)
+        bare = build_index(pipeline.dataset)
+        engine = QueryEngine(full)
+        address = sorted(pipeline.dataset.operators)[0]
+        assert engine.lookup_address(address).family is not None
+        new_version = engine.swap_index(bare)
+        assert new_version == bare.version == engine.index_version
+        assert len(engine.cache) == 0
+        assert engine.lookup_address(address).family is None
+
+    def test_swap_to_empty_index(self, engine):
+        engine.swap_index(IntelIndex())
+        assert engine.lookup_address("0x" + "ab" * 20) is None
+        assert engine.families() == []

@@ -43,11 +43,50 @@ def test_checker_catches_broken_link(tmp_path):
     assert not any("--real" in e for e in errors)
 
 
-def test_checker_skips_external_links_and_anchors(tmp_path):
+def test_checker_skips_external_links(tmp_path):
     (tmp_path / "docs").mkdir()
     (tmp_path / "src" / "repro").mkdir(parents=True)
     (tmp_path / "src" / "repro" / "cli.py").write_text("")
     (tmp_path / "docs" / "a.md").write_text(
-        "[web](https://example.com/x) [anchor](#section) [self](a.md#top)\n"
+        "# Top\n[web](https://example.com/x#frag) [mail](mailto:a@b.c)\n"
     )
     assert check_docs.run_checks(tmp_path) == []
+
+
+def test_checker_resolves_anchors(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "cli.py").write_text("")
+    (tmp_path / "docs" / "a.md").write_text(
+        "# Hot reload!\n## Hot reload!\n"
+        "[ok](#hot-reload) [dup](#hot-reload-1) [other](b.md#rate-limits)\n"
+    )
+    (tmp_path / "docs" / "b.md").write_text("## Rate limits\n")
+    assert check_docs.run_checks(tmp_path) == []
+
+
+def test_checker_catches_dangling_anchor(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "cli.py").write_text("")
+    (tmp_path / "docs" / "a.md").write_text(
+        "# Real heading\n[bad](#no-such-section) [cross](b.md#also-missing)\n"
+    )
+    (tmp_path / "docs" / "b.md").write_text("# Something else\n")
+    errors = check_docs.run_checks(tmp_path)
+    assert any("dangling anchor -> #no-such-section" in e for e in errors)
+    assert any("dangling anchor -> b.md#also-missing" in e for e in errors)
+
+
+def test_heading_slugs_follow_github_rules(tmp_path):
+    doc = tmp_path / "x.md"
+    doc.write_text(
+        "# The `IntelIndex` format, v1\n"
+        "## Hot reload\n"
+        "## Hot reload\n"
+        "### daas_serve_* metrics\n"
+    )
+    slugs = check_docs.heading_slugs(doc)
+    assert "the-intelindex-format-v1" in slugs
+    assert {"hot-reload", "hot-reload-1"} <= slugs
+    assert "daas_serve_-metrics" in slugs
