@@ -84,9 +84,13 @@ def record_perf():
     rendered tables hide.
     """
 
-    def _record(name: str, samples: dict) -> None:
+    def _record(name: str, samples: dict, context: dict | None = None) -> None:
         _OUT_DIR.mkdir(exist_ok=True)
         payload = {"scale": BENCH_SCALE, "seed": BENCH_SEED, "samples": samples}
+        if context:
+            # Machine context (cpu count, mp start method, platform) —
+            # perf numbers are meaningless diffed across machines.
+            payload["context"] = context
         (_OUT_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
 
     return _record

@@ -54,6 +54,7 @@ from repro.runtime import (
     FaultPlan,
     ResumeInfo,
     RetryPolicy,
+    ShardingRuntime,
     make_executor,
 )
 from repro.simulation import SimulatedWorld, SimulationParams, build_world
@@ -90,6 +91,12 @@ class PipelineConfig:
     analysis_cache_size: int | None = None
     obs: Observability | None = None
     engine: ExecutionEngine | None = None
+    # -- process sharding (docs/runtime.md) ----------------------------------
+    #: Shard count for process-sharded construction; 0 = off (or, with
+    #: ``processes > 1``, one shard per process).
+    shards: int = 0
+    #: Worker processes executing shard tasks; 1 = run shards inline.
+    processes: int = 1
     # -- fault tolerance (docs/reliability.md) -------------------------------
     retry: RetryPolicy | None = None
     breaker_threshold: int = 5
@@ -124,6 +131,11 @@ class PipelineConfig:
                 params_key={"scale": params.scale, "seed": params.seed},
                 obs=obs,
             )
+        sharding = None
+        if self.processes > 1 or self.shards > 0:
+            sharding = ShardingRuntime(
+                shards=self.shards or self.processes, processes=self.processes
+            )
         return ExecutionEngine(
             executor=make_executor(self.workers, self.chunk_size),
             cache_enabled=self.cache_enabled,
@@ -134,6 +146,7 @@ class PipelineConfig:
             breaker_reset_s=self.breaker_reset_s,
             fault_plan=self.fault_plan,
             checkpoint=checkpoint,
+            sharding=sharding,
         )
 
 
@@ -230,7 +243,28 @@ def build_dataset(
     analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle, engine=engine)
     engine = analyzer.engine
     manager = _checkpoint_manager(checkpoint, engine, world)
+    if engine.sharding is not None:
+        # Attach the shard runtime to this world/run; the pool (and the
+        # forked workers' reference to the world) must not outlive the
+        # build — the monitor stage mutates chain state the workers
+        # snapshot at bind time.
+        engine.sharding.bind(world, engine, checkpoint=manager)
+    try:
+        return _build_dataset(
+            world, analyzer, engine, manager, resume=resume
+        )
+    finally:
+        if engine.sharding is not None:
+            engine.sharding.release()
 
+
+def _build_dataset(
+    world: SimulatedWorld,
+    analyzer: ContractAnalyzer,
+    engine: ExecutionEngine,
+    manager: CheckpointManager | None,
+    resume: bool,
+) -> DatasetBuildResult:
     state = manager.load() if (manager is not None and resume) else None
     snowball_resume = None
     if state is None:
@@ -271,6 +305,8 @@ def build_dataset(
     resume_info = None
     if manager is not None:
         manager.clear()
+        if engine.sharding is not None:
+            engine.sharding.clear_checkpoints()
         resume_info = ResumeInfo(
             path=str(manager.path),
             resumed=state is not None,

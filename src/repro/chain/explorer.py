@@ -46,6 +46,12 @@ class Explorer:
         The tally is an unlocked int flushed by :meth:`publish_reads`."""
         self._metrics = metrics
 
+    def __getstate__(self):
+        # Instrumentation is process-local (see ``EthereumRPC.__getstate__``).
+        state = self.__dict__.copy()
+        state["_metrics"] = None
+        return state
+
     def publish_reads(self) -> None:
         """Flush the read tally into ``daas_chain_reads_total``."""
         if self._metrics is None:

@@ -56,6 +56,14 @@ class EthereumRPC:
         """Attach an observability registry; tallies flush on publish."""
         self._metrics = metrics
 
+    def __getstate__(self):
+        # Instrumentation is process-local: the registry carries locks, so
+        # a facade pickled into a shard worker process crosses bare (the
+        # worker attaches its own registry if it wants tallies).
+        state = self.__dict__.copy()
+        state["_metrics"] = None
+        return state
+
     def publish_reads(self) -> None:
         """Flush the read tallies into ``daas_chain_reads_total``."""
         if self._metrics is None:

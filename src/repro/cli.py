@@ -60,6 +60,7 @@ from repro.runtime import (
     FaultyFacade,
     ResilientFacade,
     RetryPolicy,
+    ShardWorkerLost,
     UpstreamError,
 )
 from repro.runtime.resilience import CRAWLER_READ_METHODS
@@ -101,6 +102,13 @@ def _runtime_parent() -> argparse.ArgumentParser:
                    help="contracts per parallel work unit (default 1)")
     g.add_argument("--no-cache", action="store_true",
                    help="disable the runtime analysis/read caches (baseline mode)")
+    g.add_argument("--shards", type=int, default=0,
+                   help="partition construction into N deterministic shards "
+                        "(0 = off, or one shard per process when --processes "
+                        "is set; results are identical for any shard count)")
+    g.add_argument("--processes", type=int, default=1,
+                   help="worker processes executing shard tasks (1 = run "
+                        "shards inline on this process)")
     g.add_argument("--stats", action="store_true",
                    help="print runtime stats: stage wall time, txs/s, cache hit rates")
     return p
@@ -222,6 +230,8 @@ def _config(args: argparse.Namespace, obs: Observability | None = None) -> Pipel
         seed=args.seed,
         workers=getattr(args, "workers", 1),
         chunk_size=getattr(args, "chunk_size", 1),
+        shards=getattr(args, "shards", 0),
+        processes=getattr(args, "processes", 1),
         cache_enabled=not getattr(args, "no_cache", False),
         obs=obs if obs is not None else _obs(args),
         retry=_retry_policy(args),
@@ -309,6 +319,12 @@ def cmd_build_dataset(args: argparse.Namespace) -> int:
         return 1
     except UpstreamError as exc:
         return _upstream_failure(args, exc)
+    except ShardWorkerLost as exc:
+        print(f"run abandoned: {exc}", file=sys.stderr)
+        if getattr(args, "checkpoint", ""):
+            print("rerun the same command with --resume to reuse the "
+                  "completed shards", file=sys.stderr)
+        return EXIT_UPSTREAM_FAILURE
     finally:
         if live is not None:
             live.stop()

@@ -20,11 +20,72 @@ from typing import Callable
 from repro.core.dataset import DaaSDataset
 from repro.core.pipeline import ContractAnalyzer, split_roles
 
-__all__ = ["IterationStats", "ExpansionReport", "SnowballExpander"]
+__all__ = [
+    "IterationStats",
+    "ExpansionReport",
+    "SnowballExpander",
+    "counterparty_set",
+    "evaluate_frontier_account",
+]
 
 #: Called after every completed round with ``(report, frontier, rejected)``
 #: — the exact state a resumed expansion needs (checkpoint hook).
 RoundHook = Callable[["ExpansionReport", list[str], set[str]], None]
+
+
+def counterparty_set(
+    analyzer: ContractAnalyzer, contract: str, counterparties: dict[str, set[str]]
+) -> set[str]:
+    """Every address the contract's history touches (memoized into
+    ``counterparties``).  Module-level so shard worker processes share the
+    exact logic — and therefore the exact admission decisions — of the
+    serial walk."""
+    cached = counterparties.get(contract)
+    if cached is not None:
+        return cached
+    parties: set[str] = set()
+    for tx in analyzer.transactions_of(contract):
+        parties.add(tx.sender)
+        if tx.to:
+            parties.add(tx.to)
+        for match in analyzer.rpc_classifier.classify_hash(tx.hash):
+            parties.add(match.operator)
+            parties.add(match.affiliate)
+            parties.add(match.source)
+    parties.discard(contract)
+    counterparties[contract] = parties
+    return parties
+
+
+def evaluate_frontier_account(
+    analyzer: ContractAnalyzer,
+    account: str,
+    known_contracts: frozenset[str] | set[str],
+    known_accounts: frozenset[str] | set[str],
+    rejected: frozenset[str] | set[str],
+    counterparties: dict[str, set[str]],
+) -> list[tuple[str, bool]]:
+    """Walk one frontier account's history and evaluate every candidate
+    contract it surfaces: ``(candidate, passes the admission guard)``.
+
+    Pure within a round given the frozen ``known_*``/``rejected`` sets, so
+    it runs identically on the calling process, a worker thread, or a
+    shard worker process (``repro.runtime.sharding``)."""
+    out: list[tuple[str, bool]] = []
+    for tx in analyzer.transactions_of(account):
+        candidate = tx.to
+        if candidate is None or candidate in known_contracts or candidate in rejected:
+            continue
+        if not analyzer.rpc_classifier.classify_hash(tx.hash):
+            continue
+        if not analyzer.is_contract(candidate):
+            continue
+        parties = counterparty_set(analyzer, candidate, counterparties)
+        admissible = any(
+            p != account and p != candidate and p in known_accounts for p in parties
+        )
+        out.append((candidate, admissible))
+    return out
 
 
 @dataclass(slots=True)
@@ -113,7 +174,9 @@ class SnowballExpander:
         for iteration in range(start, self.max_iterations + 1):
             stats = IterationStats(iteration=iteration)
             with obs.span("snowball.round", round=iteration) as round_span:
-                new_contracts = self._discover_contracts(frontier, dataset, stats)
+                new_contracts = self._discover_contracts(
+                    frontier, dataset, stats, iteration
+                )
                 frontier = self._admit_contracts(new_contracts, dataset, stats, iteration)
                 round_span.set(
                     frontier=stats.accounts_scanned,
@@ -137,16 +200,33 @@ class SnowballExpander:
     # -- discovery -------------------------------------------------------------
 
     def _discover_contracts(
-        self, frontier: list[str], dataset: DaaSDataset, stats: IterationStats
+        self,
+        frontier: list[str],
+        dataset: DaaSDataset,
+        stats: IterationStats,
+        iteration: int,
     ) -> list[str]:
         # Per-account evaluation is pure within a round (the dataset and the
         # rejected set only change between rounds), so it fans out over the
-        # engine; the merge below replays the accounts in frontier order so
-        # discovery order, statistics, and the resulting dataset are
-        # byte-identical to a serial walk.
-        evaluated = self.analyzer.engine.map(
-            lambda account: self._evaluate_account(account, dataset), frontier
-        )
+        # engine — threads, or shard worker processes when a sharding
+        # runtime is attached; the merge below replays the accounts in
+        # frontier order so discovery order, statistics, and the resulting
+        # dataset are byte-identical to a serial walk.
+        engine = self.analyzer.engine
+        sharding = engine.sharding
+        if sharding is not None and sharding.active:
+            evaluated = sharding.discover(
+                self.analyzer,
+                frontier,
+                known_contracts=set(dataset.contracts),
+                known_accounts=set(dataset.all_accounts),
+                rejected=self._rejected,
+                round_no=iteration,
+            )
+        else:
+            evaluated = engine.map(
+                lambda account: self._evaluate_account(account, dataset), frontier
+            )
         found: list[str] = []
         seen: set[str] = set()
         for account_candidates in evaluated:
@@ -165,52 +245,17 @@ class SnowballExpander:
     def _evaluate_account(
         self, account: str, dataset: DaaSDataset
     ) -> list[tuple[str, bool]]:
-        """Walk one frontier account's history and evaluate every candidate
-        contract it surfaces: ``(candidate, passes the admission guard)``."""
-        out: list[tuple[str, bool]] = []
-        for tx in self.analyzer.transactions_of(account):
-            candidate = tx.to
-            if (
-                candidate is None
-                or candidate in dataset.contracts
-                or candidate in self._rejected
-            ):
-                continue
-            if not self.analyzer.rpc_classifier.classify_hash(tx.hash):
-                continue
-            if not self.analyzer.is_contract(candidate):
-                continue
-            out.append((
-                candidate,
-                self._interacts_with_dataset(candidate, exclude=account, dataset=dataset),
-            ))
-        return out
-
-    def _interacts_with_dataset(
-        self, contract: str, exclude: str, dataset: DaaSDataset
-    ) -> bool:
-        """Has the contract interacted with a dataset account other than
-        the one whose history surfaced it?"""
-        parties = self._counterparty_set(contract)
-        known = dataset.all_accounts
-        return any(p != exclude and p != contract and p in known for p in parties)
-
-    def _counterparty_set(self, contract: str) -> set[str]:
-        cached = self._counterparties.get(contract)
-        if cached is not None:
-            return cached
-        parties: set[str] = set()
-        for tx in self.analyzer.transactions_of(contract):
-            parties.add(tx.sender)
-            if tx.to:
-                parties.add(tx.to)
-            for match in self.analyzer.rpc_classifier.classify_hash(tx.hash):
-                parties.add(match.operator)
-                parties.add(match.affiliate)
-                parties.add(match.source)
-        parties.discard(contract)
-        self._counterparties[contract] = parties
-        return parties
+        """Serial/threaded path: delegate to the shared evaluation with
+        the expander's own memo (candidate guard semantics documented on
+        :func:`evaluate_frontier_account`)."""
+        return evaluate_frontier_account(
+            self.analyzer,
+            account,
+            known_contracts=dataset.contracts,
+            known_accounts=dataset.all_accounts,
+            rejected=self._rejected,
+            counterparties=self._counterparties,
+        )
 
     # -- admission ----------------------------------------------------------------
 

@@ -62,6 +62,22 @@ Fault tolerance (:mod:`repro.runtime.resilience`,
   :class:`UpstreamTimeoutError`, :class:`UpstreamOutageError`,
   :class:`CircuitOpenError`, :class:`RetriesExhaustedError`,
   :class:`CheckpointError`.
+
+Process sharding (:mod:`repro.runtime.sharding`; reference in
+``docs/runtime.md``):
+
+* :class:`ShardPlanner` — deterministic CRC-32 partition of the address
+  space into N shards; never drops or duplicates an address.
+* :class:`ShardingRuntime` — runs snowball rounds as process fan-outs
+  over picklable shard tasks with per-shard caches, frontier exchange
+  between rounds, and per-shard checkpoints.
+* :class:`ShardMerger` — commutative input-order merge of shard results;
+  output is byte-identical to the serial path.
+* :class:`ShardCheckpointStore` — content-addressed per-shard result
+  files enabling resume after a worker process is killed.
+* :func:`default_start_method` — ``fork`` where available, else
+  ``spawn`` (override with ``DAAS_SHARD_START_METHOD``).
+* Errors: :class:`ShardWorkerLost`.
 """
 
 from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache
@@ -94,6 +110,14 @@ from repro.runtime.resilience import (
     UpstreamOutageError,
     UpstreamTimeoutError,
 )
+from repro.runtime.sharding import (
+    ShardCheckpointStore,
+    ShardMerger,
+    ShardPlanner,
+    ShardWorkerLost,
+    ShardingRuntime,
+    default_start_method,
+)
 from repro.runtime.stats import RuntimeStats
 
 __all__ = [
@@ -120,9 +144,15 @@ __all__ = [
     "RetryPolicy",
     "RuntimeStats",
     "SerialExecutor",
+    "ShardCheckpointStore",
+    "ShardMerger",
+    "ShardPlanner",
+    "ShardWorkerLost",
+    "ShardingRuntime",
     "TransientUpstreamError",
     "UpstreamError",
     "UpstreamOutageError",
     "UpstreamTimeoutError",
+    "default_start_method",
     "make_executor",
 ]

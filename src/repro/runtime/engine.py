@@ -41,6 +41,7 @@ from repro.runtime.stats import RuntimeStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core import cycle
     from repro.core.pipeline import ContractAnalysis, ContractAnalyzer
+    from repro.runtime.sharding import ShardingRuntime
 
 __all__ = ["ExecutionEngine"]
 
@@ -62,8 +63,10 @@ class ExecutionEngine:
         checkpoint: CheckpointManager | None = None,
         resilience_sleep: Callable[[float], None] = time.sleep,
         resilience_clock: Callable[[], float] = time.monotonic,
+        sharding: "ShardingRuntime | None" = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
+        self.sharding = sharding
         self.cache_enabled = cache_enabled
         self.obs = obs if obs is not None else Observability()
         self.stats = stats if stats is not None else RuntimeStats(metrics=self.obs.metrics)
@@ -190,13 +193,19 @@ class ExecutionEngine:
             with self.obs.span(
                 "engine.analyze_many", requested=len(ordered), misses=len(missing)
             ) as batch_span:
-                # Worker threads have no span stack of their own, so the
-                # batch span is passed down explicitly as the parent.
-                parent = batch_span if batch_span.span_id else None
-                computed = self.executor.map_merged(
-                    lambda contract: self._compute(analyzer, contract, parent=parent),
-                    missing,
-                )
+                if self.sharding is not None and self.sharding.active:
+                    # Process-sharded fan-out: classification runs in shard
+                    # worker processes against per-shard caches; results are
+                    # merged in input order (repro.runtime.sharding).
+                    computed = self.sharding.classify(analyzer, missing)
+                else:
+                    # Worker threads have no span stack of their own, so the
+                    # batch span is passed down explicitly as the parent.
+                    parent = batch_span if batch_span.span_id else None
+                    computed = self.executor.map_merged(
+                        lambda contract: self._compute(analyzer, contract, parent=parent),
+                        missing,
+                    )
             for contract, analysis in zip(missing, computed):
                 results[contract] = self.analysis_cache.get_or_compute(
                     contract, lambda value=analysis: value
@@ -214,6 +223,12 @@ class ExecutionEngine:
             self._classify_latency.observe(time.perf_counter() - started)
         self.stats.bump("txs_classified", analysis.total_txs)
         return analysis
+
+    def close(self) -> None:
+        """Release process-backed resources (the shard worker pool).
+        Idempotent; a no-op for thread/serial configurations."""
+        if self.sharding is not None:
+            self.sharding.release()
 
     def invalidate_contract(self, contract: str) -> bool:
         """Drop cached per-address state so a re-analysis sees history
@@ -302,6 +317,8 @@ class ExecutionEngine:
             }
         if self.fault_injector is not None:
             out["faults"] = self.fault_injector.snapshot()
+        if self.sharding is not None:
+            out["sharding"] = self.sharding.snapshot()
         if self.checkpoint is not None:
             out["checkpoint"] = {
                 "path": str(self.checkpoint.path),
@@ -315,6 +332,12 @@ class ExecutionEngine:
             f"runtime stats (workers={self.executor.workers}, "
             f"cache={'on' if self.cache_enabled else 'off'})"
         ]
+        if self.sharding is not None:
+            s = self.sharding
+            lines.append(
+                f"  sharding shards={s.shards} processes={s.processes} "
+                f"start={s.start_method} tasks={s.tasks_run}"
+            )
         for name, wall in sorted(self.stats.stage_wall.items()):
             lines.append(f"  stage {name:<22} {wall:8.3f} s")
         for name, value in sorted(self.stats.counters.items()):

@@ -1,8 +1,20 @@
-"""Shared fixtures.
+"""Shared fixtures and test-tier wiring.
 
 The simulated world and the full pipeline result are expensive (seconds),
 so they are built once per session at a small scale and shared read-only
 across test modules.  Tests that mutate state build their own fixtures.
+
+Test tiers (marker registry in ``pyproject.toml``):
+
+* tier-1 — ``pytest -x -q``: everything unmarked, plus a 2-shard
+  process-sharding smoke.  Must stay fast; it is the gate every change
+  runs against.
+* ``slow`` — long-running tests; excluded by ``-m "not slow"`` in the
+  quick lane.
+* ``multiproc`` — the full process-sharding determinism matrix
+  ({shards} × {processes} × {cache}) and multiprocess kill drills.
+  These fork/spawn real worker pools, so they are **auto-skipped**
+  unless the bench/slow lane opts in with ``pytest --run-multiproc``.
 """
 
 from __future__ import annotations
@@ -15,6 +27,28 @@ from repro.webdetect import WebWorldParams, build_web_world
 
 TEST_SCALE = 0.02
 TEST_SEED = 1234
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-multiproc",
+        action="store_true",
+        default=False,
+        help="run the process-sharding matrix tests (marker: multiproc)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--run-multiproc"):
+        return
+    skip = pytest.mark.skip(
+        reason="multiproc matrix runs in the bench/slow lane (--run-multiproc)"
+    )
+    for item in items:
+        if "multiproc" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

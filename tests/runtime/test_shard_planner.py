@@ -1,0 +1,170 @@
+"""ShardPlanner / ShardMerger / ShardCheckpointStore unit properties.
+
+The planner must be a true partition — every address lands on exactly
+one shard, deterministically, for any shard count (including counts
+that do not divide the address space evenly, leave shards empty, or
+collapse everything onto one shard).  The merger must reassemble
+per-shard results into the caller's input order regardless of shard
+completion order, and refuse non-partition inputs instead of silently
+corrupting the dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    ShardCheckpointStore,
+    ShardMerger,
+    ShardPlanner,
+    ShardingRuntime,
+)
+
+ADDRESSES = st.lists(
+    st.text(alphabet="0123456789abcdefx", min_size=1, max_size=42),
+    unique=True,
+    max_size=200,
+)
+
+
+class TestShardPlanner:
+    @settings(max_examples=50, deadline=None)
+    @given(addresses=ADDRESSES, shards=st.integers(min_value=1, max_value=11))
+    def test_partition_never_drops_or_duplicates(self, addresses, shards):
+        plan = ShardPlanner(shards).plan(addresses)
+        assert len(plan) == shards
+        flattened = [a for shard in plan for a in shard]
+        assert sorted(flattened) == sorted(addresses)  # exhaustive, no dups
+
+    @settings(max_examples=50, deadline=None)
+    @given(address=st.text(min_size=1, max_size=64),
+           shards=st.integers(min_value=1, max_value=11))
+    def test_assignment_is_stable_content_hash(self, address, shards):
+        planner = ShardPlanner(shards)
+        expected = zlib.crc32(address.encode("utf-8")) % shards
+        assert planner.shard_of(address) == expected
+        assert planner.shard_of(address) == planner.shard_of(address)
+
+    def test_plan_preserves_input_order_within_shards(self):
+        addresses = [f"0x{i:04x}" for i in range(40)]
+        plan = ShardPlanner(3).plan(addresses)
+        position = {a: i for i, a in enumerate(addresses)}
+        for shard in plan:
+            assert shard == sorted(shard, key=position.__getitem__)
+
+    def test_empty_input_yields_all_empty_shards(self):
+        assert ShardPlanner(4).plan([]) == [[], [], [], []]
+
+    def test_single_address_fills_exactly_one_shard(self):
+        plan = ShardPlanner(5).plan(["0xabc"])
+        assert sum(len(s) for s in plan) == 1
+        assert plan[ShardPlanner(5).shard_of("0xabc")] == ["0xabc"]
+
+    def test_uneven_shard_counts_leave_some_shards_empty(self):
+        # 2 addresses over 7 shards: at least 5 shards must be empty.
+        plan = ShardPlanner(7).plan(["0xaa", "0xbb"])
+        assert sum(1 for s in plan if not s) >= 5
+        assert sum(len(s) for s in plan) == 2
+
+    def test_all_addresses_hashing_to_one_shard(self):
+        # Find addresses with the same CRC-32 residue: the degenerate
+        # plan concentrates everything on a single shard and must still
+        # be a lossless partition.
+        shards = 4
+        residue = zlib.crc32(b"0x0") % shards
+        colliders = []
+        i = 0
+        while len(colliders) < 6:
+            addr = f"0x{i:x}"
+            if zlib.crc32(addr.encode()) % shards == residue:
+                colliders.append(addr)
+            i += 1
+        plan = ShardPlanner(shards).plan(colliders)
+        assert plan[residue] == colliders
+        assert all(not s for j, s in enumerate(plan) if j != residue)
+
+    def test_single_shard_is_identity(self):
+        addresses = [f"0x{i}" for i in range(10)]
+        assert ShardPlanner(1).plan(addresses) == [addresses]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+        with pytest.raises(ValueError):
+            ShardPlanner(-2)
+        with pytest.raises(ValueError):
+            ShardingRuntime(shards=2, processes=0)
+
+
+class TestShardMerger:
+    @settings(max_examples=50, deadline=None)
+    @given(addresses=ADDRESSES, shards=st.integers(min_value=1, max_value=7))
+    def test_merge_restores_input_order_commutatively(self, addresses, shards):
+        plan = ShardPlanner(shards).plan(addresses)
+        results = [[[a, f"value:{a}"] for a in shard] for shard in plan]
+        expected = [f"value:{a}" for a in addresses]
+        assert ShardMerger.merge(addresses, results) == expected
+        # Commutative: any shard completion order merges identically.
+        assert ShardMerger.merge(addresses, list(reversed(results))) == expected
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardMerger.merge(["a"], [[["a", 1]], [["a", 2]]])
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            ShardMerger.merge(["a", "b"], [[["a", 1]]])
+
+    def test_empty_merge(self):
+        assert ShardMerger.merge([], []) == []
+
+
+class TestShardCheckpointStore:
+    TASK = {"kind": "discover", "shard": 1, "round": 2, "accounts": ["0xa"]}
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ck.shards", params_key={"seed": 1})
+        assert store.load(self.TASK) is None
+        store.save(self.TASK, [["0xa", []]])
+        again = ShardCheckpointStore(tmp_path / "ck.shards", params_key={"seed": 1})
+        assert again.load(self.TASK) == [["0xa", []]]
+        assert again.reused == 1
+
+    def test_digest_binds_result_to_exact_task_input(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ck.shards", params_key={"seed": 1})
+        store.save(self.TASK, ["result"])
+        # Any drift in the task input (a different round, frontier, or
+        # world) must miss: stale shard files are inert, never misapplied.
+        assert store.load({**self.TASK, "round": 3}) is None
+        assert store.load({**self.TASK, "accounts": ["0xb"]}) is None
+        other_world = ShardCheckpointStore(
+            tmp_path / "ck.shards", params_key={"seed": 2}
+        )
+        assert other_world.load(self.TASK) is None
+
+    def test_corrupt_file_misses_instead_of_crashing(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ck.shards")
+        store.save(self.TASK, ["result"])
+        for path in (tmp_path / "ck.shards").glob("*.json"):
+            path.write_text("{truncated")
+        assert store.load(self.TASK) is None
+        # A tampered payload whose digest no longer matches is refused too.
+        store.save(self.TASK, ["result"])
+        for path in (tmp_path / "ck.shards").glob("*.json"):
+            payload = json.loads(path.read_text())
+            payload["digest"] = "0" * 64
+            path.write_text(json.dumps(payload))
+        assert store.load(self.TASK) is None
+
+    def test_clear_removes_directory_and_is_idempotent(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ck.shards")
+        store.save(self.TASK, ["result"])
+        assert (tmp_path / "ck.shards").exists()
+        store.clear()
+        assert not (tmp_path / "ck.shards").exists()
+        store.clear()  # idempotent

@@ -1,0 +1,156 @@
+"""Kill-then-resume for process-sharded construction.
+
+Extends the PR 4 resume guarantee to the multiprocess path: a shard
+worker SIGKILLed mid-round breaks the pool and abandons the run, but
+every shard that completed before the break is persisted to the
+content-addressed per-shard store — rerunning with ``--resume`` reuses
+them and finishes **byte-identically** to a run that was never
+interrupted.
+
+The real SIGKILL drill (``DAAS_SHARD_KILL``) forks worker pools, so it
+lives in the ``multiproc`` lane; tier-1 exercises the same persist →
+reuse → byte-identical path with an in-process failure injected through
+the runtime's ``_after_shard`` test seam.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import build_dataset
+from repro.cli import main
+from repro.runtime import (
+    CheckpointManager,
+    ExecutionEngine,
+    ShardWorkerLost,
+    ShardingRuntime,
+)
+from repro.simulation import SimulationParams, build_world
+
+SCALE, SEED = 0.01, 7
+ARGS = ["--scale", str(SCALE), "--seed", str(SEED)]
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(SimulationParams(scale=SCALE, seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def clean_json(small_world):
+    return build_dataset(small_world, engine=ExecutionEngine()).dataset.to_json()
+
+
+def _engine(ck, processes: int) -> ExecutionEngine:
+    return ExecutionEngine(
+        checkpoint=CheckpointManager(ck),
+        sharding=ShardingRuntime(shards=3, processes=processes),
+    )
+
+
+class TestInlineShardResume:
+    """Tier-1: interrupt → resume on the inline (single-process) path."""
+
+    def test_interrupted_build_resumes_byte_identical(
+        self, small_world, clean_json, tmp_path
+    ):
+        ck = tmp_path / "ck.json"
+        killed = _engine(ck, processes=1)
+        boom = {"after": 3}
+
+        def fail_after(task):
+            boom["after"] -= 1
+            if boom["after"] == 0:
+                raise RuntimeError("injected shard failure")
+
+        killed.sharding._after_shard = fail_after
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            build_dataset(small_world, engine=killed)
+
+        shard_dir = ck.with_name(ck.name + ".shards")
+        persisted = sorted(p.name for p in shard_dir.glob("*.json"))
+        assert len(persisted) >= 3  # completed shards survived the crash
+
+        resumed_engine = _engine(ck, processes=1)
+        resumed = build_dataset(small_world, engine=resumed_engine, resume=True)
+        assert resumed.dataset.to_json() == clean_json
+        store = resumed_engine.sharding.store
+        assert store.reused > 0  # finished shards were not re-run
+        assert not ck.exists()  # main checkpoint cleared on success
+        assert not shard_dir.exists()  # shard files cleared with it
+
+    def test_clean_run_leaves_no_shard_files(self, small_world, tmp_path):
+        ck = tmp_path / "ck.json"
+        build_dataset(small_world, engine=_engine(ck, processes=1))
+        assert not ck.exists()
+        assert not ck.with_name(ck.name + ".shards").exists()
+
+
+@pytest.mark.multiproc
+class TestProcessKillResume:
+    """The real drill: SIGKILL a shard worker, resume, byte-identical."""
+
+    def test_sigkill_worker_then_resume(
+        self, small_world, clean_json, tmp_path, monkeypatch
+    ):
+        ck = tmp_path / "ck.json"
+        # Kill the worker executing shard 1 of snowball round 2's
+        # discovery fan-out (workers inherit the parent environment).
+        monkeypatch.setenv("DAAS_SHARD_KILL", "discover:2:1")
+        killed = _engine(ck, processes=2)
+        with pytest.raises(ShardWorkerLost, match="--resume"):
+            build_dataset(small_world, engine=killed)
+        assert killed.sharding.worker_losses == 1
+        assert killed.obs.metrics.value("daas_shard_worker_losses_total") == 1
+        shard_dir = ck.with_name(ck.name + ".shards")
+        assert list(shard_dir.glob("*.json"))  # survivors persisted
+
+        monkeypatch.delenv("DAAS_SHARD_KILL")
+        resumed_engine = _engine(ck, processes=2)
+        resumed = build_dataset(small_world, engine=resumed_engine, resume=True)
+        assert resumed.dataset.to_json() == clean_json
+        assert resumed_engine.sharding.store.reused > 0
+        assert resumed.resume_info is not None and resumed.resume_info.resumed
+        assert not ck.exists()
+        assert not shard_dir.exists()
+
+    def test_sigkill_during_classification_then_resume(
+        self, small_world, clean_json, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("DAAS_SHARD_KILL", "classify:1:0")
+        ck = tmp_path / "ck.json"
+        with pytest.raises(ShardWorkerLost):
+            build_dataset(small_world, engine=_engine(ck, processes=2))
+        monkeypatch.delenv("DAAS_SHARD_KILL")
+        resumed = build_dataset(
+            small_world, engine=_engine(ck, processes=2), resume=True
+        )
+        assert resumed.dataset.to_json() == clean_json
+
+    def test_cli_kill_then_resume_byte_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        clean_out = tmp_path / "clean.json"
+        assert main(["build-dataset", *ARGS, "--out", str(clean_out)]) == 0
+
+        ck = tmp_path / "ck.json"
+        killed_out = tmp_path / "killed.json"
+        monkeypatch.setenv("DAAS_SHARD_KILL", "discover:2:1")
+        code = main([
+            "build-dataset", *ARGS, "--shards", "3", "--processes", "2",
+            "--checkpoint", str(ck), "--out", str(killed_out),
+        ])
+        captured = capsys.readouterr()
+        assert code == 3  # same retryable exit as an upstream failure
+        assert "worker process died" in captured.err
+        assert "--resume" in captured.err
+        assert not killed_out.exists()
+
+        monkeypatch.delenv("DAAS_SHARD_KILL")
+        resumed_out = tmp_path / "resumed.json"
+        assert main([
+            "build-dataset", *ARGS, "--shards", "3", "--processes", "2",
+            "--checkpoint", str(ck), "--resume", "--out", str(resumed_out),
+        ]) == 0
+        assert resumed_out.read_bytes() == clean_out.read_bytes()
+        assert not ck.exists()
