@@ -1,32 +1,44 @@
-"""Serving-layer performance: lookup latency and screening throughput.
+"""Serving-layer performance: engine latency, HTTP load, transport parity.
 
-Not a paper artifact — quantifies whether the intelligence index holds
-up at wallet-integration rates (a pre-sign screen budget is measured in
-microseconds).  Three measurements over an index built from the shared
-bench pipeline:
+Not a paper artifact — quantifies whether the serving plane holds up at
+wallet-integration rates (ROADMAP item 2: the threaded server left a
+450× gap between index throughput and served throughput).  Sections:
 
-* single-address lookups through the ``QueryEngine`` (p50/p99 latency
-  and sustained lookups/s — asserted to exceed 10k/s);
-* batch screening throughput via ``screen_batch``;
-* end-to-end HTTP requests/s against a running ``IntelServer``
-  (informational: dominated by the stdlib HTTP stack, not the index).
+* engine: single-address lookups through the ``QueryEngine`` (p50/p99
+  and sustained lookups/s — asserted ≥ 10k/s) and ``screen_batch``;
+* HTTP load harness against the :class:`AsyncIntelServer` over
+  persistent keep-alive connections — hot-address skew lookups, a 304
+  revalidation storm, batch ``/v1/screen`` throughput (asserted
+  ≥ 50k screened addresses/s on one async worker), and rate-limit
+  pressure (429s under a deliberately tiny token bucket);
+* parity: the full endpoint matrix against fresh threaded and async
+  servers must return byte-identical bodies.
 
-Samples land in ``out/perf_serve.json``.
+Per-endpoint p50/p99 and throughput land in ``out/perf_serve.json``;
+``docs/capacity.md`` derives its sizing numbers from that file.
 """
 
 from __future__ import annotations
 
+import json
+import socket
 import time
-import urllib.request
 
 from repro.analysis.reporting import render_table
-from repro.serve import IntelServer, QueryEngine, build_index
+from repro.serve import AsyncIntelServer, IntelServer, QueryEngine, build_index
 
 _LOOKUPS = 50_000
 _BATCH_SIZE = 256
 _BATCH_ROUNDS = 100
-_HTTP_REQUESTS = 300
 _MIN_LOOKUPS_PER_SEC = 10_000
+
+_HTTP_LATENCY_PROBES = 1_000
+_HTTP_PIPELINED = 6_000
+_PIPELINE_DEPTH = 32
+_SCREEN_BATCH = 512
+_SCREEN_ROUNDS = 120
+_SCREEN_DISTINCT = 8
+_MIN_SCREENED_PER_SEC = 50_000
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -41,6 +53,132 @@ def _subjects(pipeline) -> list[str]:
     return known[:900] + ["0x" + f"{i:040x}" for i in range(100)]
 
 
+class BenchClient:
+    """One persistent keep-alive connection speaking raw HTTP/1.1."""
+
+    def __init__(self, port: int) -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30.0)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def close(self) -> None:
+        self.sock.close()
+
+    @staticmethod
+    def encode(method: str, target: str, headers: dict | None = None,
+               body: bytes = b"") -> bytes:
+        lines = [f"{method} {target} HTTP/1.1", "Host: bench"]
+        if body or method == "POST":
+            lines.append(f"Content-Length: {len(body)}")
+        for key, value in (headers or {}).items():
+            lines.append(f"{key}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self.buffer:
+            chunk = self.sock.recv(1 << 18)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        cut = self.buffer.index(marker) + len(marker)
+        out, self.buffer = self.buffer[:cut], self.buffer[cut:]
+        return out
+
+    def _read_exactly(self, n: int) -> bytes:
+        while len(self.buffer) < n:
+            chunk = self.sock.recv(1 << 18)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        out, self.buffer = self.buffer[:n], self.buffer[n:]
+        return out
+
+    def read_response(self):
+        raw = self._read_until(b"\r\n\r\n").decode("latin-1")
+        head = raw.split("\r\n")
+        status = int(head[0].split(" ")[1])
+        headers: dict[str, str] = {}
+        for line in head[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding") == "chunked":
+            body = b""
+            while True:
+                size = int(self._read_until(b"\r\n").strip(), 16)
+                if size == 0:
+                    self._read_until(b"\r\n")
+                    return status, headers, body
+                body += self._read_exactly(size)
+                self._read_until(b"\r\n")
+        return status, headers, self._read_exactly(
+            int(headers.get("content-length", "0"))
+        )
+
+    def request(self, method: str, target: str, headers: dict | None = None,
+                body: bytes = b""):
+        self.sock.sendall(self.encode(method, target, headers, body))
+        return self.read_response()
+
+    def pipelined(self, blobs: list[bytes], depth: int = _PIPELINE_DEPTH):
+        """Send pre-encoded requests in windows of ``depth``, reading the
+        responses of each window before the next; returns (wall, statuses)."""
+        statuses = []
+        started = time.perf_counter()
+        for i in range(0, len(blobs), depth):
+            window = blobs[i:i + depth]
+            self.sock.sendall(b"".join(window))
+            for _ in window:
+                statuses.append(self.read_response()[0])
+        return time.perf_counter() - started, statuses
+
+
+def _latency_probe(client: BenchClient, requests) -> dict:
+    """Sequential round-trips; per-request latency distribution."""
+    latencies = []
+    for method, target, headers, body in requests:
+        t0 = time.perf_counter()
+        status, _, _ = client.request(method, target, headers, body)
+        latencies.append(time.perf_counter() - t0)
+        assert status in (200, 304), f"{method} {target} -> {status}"
+    latencies.sort()
+    return {
+        "p50_us": round(_percentile(latencies, 0.50) * 1e6, 1),
+        "p99_us": round(_percentile(latencies, 0.99) * 1e6, 1),
+    }
+
+
+def _hot_skew_targets(known: list[str], n: int) -> list[str]:
+    """80% of traffic to 20 hot addresses, the rest spread wide."""
+    hot = known[:20]
+    out = []
+    for i in range(n):
+        if i % 5 != 4:
+            out.append(f"/v1/address/{hot[i % len(hot)]}")
+        else:
+            out.append(f"/v1/address/{known[i % len(known)]}")
+    return out
+
+
+def _parity_requests(known: str, ghost: str, version: str):
+    screen = json.dumps({"addresses": [known, ghost]}).encode()
+    return [
+        ("GET", "/healthz", None, b""),
+        ("GET", f"/v1/address/{known}", None, b""),
+        ("GET", f"/v1/address/{ghost}", None, b""),
+        ("GET", f"/v1/address?batch={known},{ghost}", None, b""),
+        ("GET", "/v1/domain/none.example", None, b""),
+        ("GET", "/v1/families", None, b""),
+        ("GET", "/v1/index", None, b""),
+        ("POST", "/v1/screen", None, screen),
+        ("POST", "/v1/screen", None, b"{broken"),
+        ("GET", "/v1/screen", None, b""),
+        ("GET", "/v1/nope", None, b""),
+        ("GET", f"/v1/address/{known}", {"If-None-Match": f'"{version}"'}, b""),
+        ("GET", "/v1/index", None, b""),
+    ]
+
+
 def test_perf_serve(bench_pipeline, record_table, record_perf):
     pipeline = bench_pipeline
     index = build_index(
@@ -50,8 +188,10 @@ def test_perf_serve(bench_pipeline, record_table, record_perf):
     )
     engine = QueryEngine(index)
     subjects = _subjects(pipeline)
+    known = sorted(pipeline.dataset.contracts)
+    ghost = "0x" + "00" * 20
 
-    # -- single lookups ------------------------------------------------------
+    # -- engine: single lookups ----------------------------------------------
     latencies = []
     started = time.perf_counter()
     for i in range(_LOOKUPS):
@@ -61,41 +201,121 @@ def test_perf_serve(bench_pipeline, record_table, record_perf):
     lookup_wall = time.perf_counter() - started
     lookups_per_sec = _LOOKUPS / lookup_wall
     latencies.sort()
-    p50_us = _percentile(latencies, 0.50) * 1e6
-    p99_us = _percentile(latencies, 0.99) * 1e6
+    lookup_p50_us = _percentile(latencies, 0.50) * 1e6
+    lookup_p99_us = _percentile(latencies, 0.99) * 1e6
 
-    # -- batch screening -----------------------------------------------------
+    # -- engine: batch screening ---------------------------------------------
     batch = subjects[:_BATCH_SIZE]
     started = time.perf_counter()
     for _ in range(_BATCH_ROUNDS):
         engine.screen_batch(batch)
     screen_wall = time.perf_counter() - started
-    screened_per_sec = _BATCH_SIZE * _BATCH_ROUNDS / screen_wall
+    engine_screened_per_sec = _BATCH_SIZE * _BATCH_ROUNDS / screen_wall
 
-    # -- HTTP end to end (hits only; a 404 would measure the error path) -----
-    known = sorted(pipeline.dataset.contracts)
-    server = IntelServer(index=index).start()
+    # -- HTTP load harness (single async worker, persistent connections) -----
+    http: dict[str, dict] = {}
+    server = AsyncIntelServer(index=index).start()
     try:
-        started = time.perf_counter()
-        for i in range(_HTTP_REQUESTS):
-            with urllib.request.urlopen(
-                f"{server.url}/v1/address/{known[i % len(known)]}"
-            ) as response:
-                response.read()
-        http_wall = time.perf_counter() - started
+        client = BenchClient(server.port)
+
+        # hot-address skew lookups
+        targets = _hot_skew_targets(known, _HTTP_PIPELINED)
+        http["address_hot"] = _latency_probe(
+            client,
+            [("GET", t, None, b"") for t in targets[:_HTTP_LATENCY_PROBES]],
+        )
+        blobs = [BenchClient.encode("GET", t) for t in targets]
+        wall, statuses = client.pipelined(blobs)
+        assert all(s == 200 for s in statuses)
+        http["address_hot"]["req_per_sec"] = round(len(blobs) / wall)
+
+        # 304 revalidation storm
+        etag = {"If-None-Match": f'"{index.version}"'}
+        reval = [("GET", f"/v1/address/{known[0]}", etag, b"")]
+        http["revalidation_304"] = _latency_probe(
+            client, reval * _HTTP_LATENCY_PROBES)
+        blobs = [BenchClient.encode("GET", f"/v1/address/{known[0]}", etag)
+                 ] * _HTTP_PIPELINED
+        wall, statuses = client.pipelined(blobs)
+        assert all(s == 304 for s in statuses)
+        http["revalidation_304"]["req_per_sec"] = round(len(blobs) / wall)
+
+        # batch screening: rotating distinct batches; after the first
+        # pass each POST is answered from pre-serialized response bytes.
+        batches = []
+        for b in range(_SCREEN_DISTINCT):
+            rotated = subjects[b * 37:] + subjects[:b * 37]
+            batches.append(json.dumps(
+                {"addresses": (rotated * 2)[:_SCREEN_BATCH]}).encode())
+        http["screen_batch"] = _latency_probe(
+            client,
+            [("POST", "/v1/screen", None, batches[i % _SCREEN_DISTINCT])
+             for i in range(200)],
+        )
+        blobs = [BenchClient.encode("POST", "/v1/screen", None,
+                                    batches[i % _SCREEN_DISTINCT])
+                 for i in range(_SCREEN_ROUNDS)]
+        wall, statuses = client.pipelined(blobs, depth=8)
+        assert all(s == 200 for s in statuses)
+        screened_http_per_sec = _SCREEN_BATCH * _SCREEN_ROUNDS / wall
+        http["screen_batch"]["req_per_sec"] = round(_SCREEN_ROUNDS / wall)
+        http["screen_batch"]["screened_per_sec"] = round(screened_http_per_sec)
+        http["screen_batch"]["batch_size"] = _SCREEN_BATCH
+        client.close()
     finally:
         server.stop()
-    http_per_sec = _HTTP_REQUESTS / http_wall
+
+    # -- rate-limit pressure (separate server: tiny token bucket) ------------
+    limited = AsyncIntelServer(index=index, rate_limit=50.0, burst=25.0).start()
+    try:
+        client = BenchClient(limited.port)
+        blobs = [BenchClient.encode("GET", "/healthz",
+                                    {"X-Client-Id": "storm"})] * 500
+        wall, statuses = client.pipelined(blobs)
+        client.close()
+        served = sum(1 for s in statuses if s == 200)
+        shed = sum(1 for s in statuses if s == 429)
+        assert served + shed == len(statuses)
+        assert shed > 0, "rate limiter never engaged under pressure"
+        http["rate_limited"] = {
+            "requests": len(statuses), "served": served, "shed_429": shed,
+            "req_per_sec": round(len(statuses) / wall),
+        }
+    finally:
+        limited.stop()
+
+    # -- transport parity: threaded and async bodies byte-identical ----------
+    requests = _parity_requests(known[0], ghost, index.version)
+    collected = {}
+    for label, factory in (
+        ("async", lambda: AsyncIntelServer(index=index)),
+        ("threaded", lambda: IntelServer(index=index)),
+    ):
+        parity_server = factory().start()
+        try:
+            client = BenchClient(parity_server.port)
+            collected[label] = [client.request(m, t, h, b)
+                                for m, t, h, b in requests]
+            client.close()
+        finally:
+            parity_server.stop()
+    for (m, t, _, _), a, th in zip(requests, collected["async"],
+                                   collected["threaded"]):
+        assert a[0] == th[0], f"parity: {m} {t} status {a[0]} != {th[0]}"
+        assert a[2] == th[2], f"parity: {m} {t} bodies differ"
 
     record_perf("perf_serve", {
         "index_addresses": len(index),
         "index_version": index.version,
         "lookups": _LOOKUPS,
         "lookups_per_sec": round(lookups_per_sec),
-        "lookup_p50_us": round(p50_us, 2),
-        "lookup_p99_us": round(p99_us, 2),
-        "screened_per_sec": round(screened_per_sec),
-        "http_requests_per_sec": round(http_per_sec),
+        "lookup_p50_us": round(lookup_p50_us, 2),
+        "lookup_p99_us": round(lookup_p99_us, 2),
+        "screened_per_sec": round(engine_screened_per_sec),
+        "http": http,
+        "http_requests_per_sec": http["address_hot"]["req_per_sec"],
+        "screened_http_per_sec": round(screened_http_per_sec),
+        "parity_endpoints": len(requests),
         "cache": engine.cache.stats.snapshot(),
     })
     record_table("perf_serve", render_table(
@@ -103,10 +323,18 @@ def test_perf_serve(bench_pipeline, record_table, record_perf):
         [
             ["index entries", f"{len(index):,}"],
             ["engine lookups/s", f"{lookups_per_sec:,.0f}"],
-            ["lookup p50", f"{p50_us:.1f} us"],
-            ["lookup p99", f"{p99_us:.1f} us"],
-            ["screened addrs/s", f"{screened_per_sec:,.0f}"],
-            ["HTTP requests/s", f"{http_per_sec:,.0f}"],
+            ["lookup p50 / p99", f"{lookup_p50_us:.1f} / {lookup_p99_us:.1f} us"],
+            ["engine screened addrs/s", f"{engine_screened_per_sec:,.0f}"],
+            ["HTTP hot lookups/s", f"{http['address_hot']['req_per_sec']:,}"],
+            ["HTTP 304 revalidations/s",
+             f"{http['revalidation_304']['req_per_sec']:,}"],
+            ["HTTP screened addrs/s", f"{screened_http_per_sec:,.0f}"],
+            ["HTTP screen p50 / p99",
+             f"{http['screen_batch']['p50_us']:,.0f} / "
+             f"{http['screen_batch']['p99_us']:,.0f} us"],
+            ["rate-limit shed",
+             f"{http['rate_limited']['shed_429']}/"
+             f"{http['rate_limited']['requests']} as 429"],
         ],
         title=f"Serving-layer performance (index {index.version})",
     ))
@@ -115,4 +343,9 @@ def test_perf_serve(bench_pipeline, record_table, record_perf):
     assert lookups_per_sec >= _MIN_LOOKUPS_PER_SEC, (
         f"engine sustained only {lookups_per_sec:,.0f} lookups/s "
         f"(target {_MIN_LOOKUPS_PER_SEC:,})"
+    )
+    assert screened_http_per_sec >= _MIN_SCREENED_PER_SEC, (
+        f"batch /v1/screen served only {screened_http_per_sec:,.0f} "
+        f"screened addresses/s over HTTP "
+        f"(target {_MIN_SCREENED_PER_SEC:,} on one async worker)"
     )

@@ -14,7 +14,13 @@ Verifies, for ``README.md`` and every ``docs/*.md``:
 3. every ``--flag`` named on a ``daas-repro`` command line (including
    backslash-continued lines) exists as an ``add_argument`` flag in
    ``src/repro/cli.py`` — so the docs cannot drift ahead of or behind
-   the CLI.
+   the CLI;
+4. the query-service route inventory matches both ways: every route
+   string literal in ``src/repro/serve/*.py`` appears in
+   ``docs/serving.md``, and every ``/v1/...`` or ``/healthz`` route the
+   doc mentions exists in the serving source — so the API reference
+   cannot document a route that was removed, nor silently omit one that
+   shipped.
 
 Run directly (``python scripts/check_docs.py``, exits non-zero on
 problems) or through ``tests/test_docs.py``, which wires it into the
@@ -110,12 +116,53 @@ def check_flags(path: Path, known: set[str], root: Path = REPO_ROOT) -> list[str
     return errors
 
 
+_SOURCE_ROUTE_RE = re.compile(r"""["'](/(?:v1/[a-z]+|healthz))""")
+_DOC_ROUTE_RE = re.compile(r"/(?:v1/[a-z]+|healthz)")
+
+
+def serve_routes(root: Path = REPO_ROOT) -> set[str]:
+    """Every route prefix named in a ``src/repro/serve/*.py`` string
+    literal (``/v1/address/{addr}`` counts as ``/v1/address``)."""
+    routes: set[str] = set()
+    for path in sorted((root / "src" / "repro" / "serve").glob("*.py")):
+        routes.update(_SOURCE_ROUTE_RE.findall(path.read_text()))
+    return routes
+
+
+def documented_routes(root: Path = REPO_ROOT) -> set[str]:
+    """Every route prefix ``docs/serving.md`` mentions."""
+    doc = root / "docs" / "serving.md"
+    if not doc.exists():
+        return set()
+    return set(_DOC_ROUTE_RE.findall(doc.read_text()))
+
+
+def check_routes(root: Path = REPO_ROOT) -> list[str]:
+    """The serving API reference and the serving source must agree on
+    the route inventory, both directions."""
+    in_code = serve_routes(root)
+    in_docs = documented_routes(root)
+    errors = []
+    for route in sorted(in_code - in_docs):
+        errors.append(
+            f"docs/serving.md: route {route} exists in src/repro/serve/ "
+            "but is not documented"
+        )
+    for route in sorted(in_docs - in_code):
+        errors.append(
+            f"docs/serving.md: documents route {route} which no "
+            "src/repro/serve/ module serves"
+        )
+    return errors
+
+
 def run_checks(root: Path = REPO_ROOT) -> list[str]:
     known = cli_flags(root)
     errors: list[str] = []
     for path in doc_files(root):
         errors.extend(check_links(path, root))
         errors.extend(check_flags(path, known, root))
+    errors.extend(check_routes(root))
     return errors
 
 

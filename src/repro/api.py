@@ -203,6 +203,20 @@ class PipelineResult:
     engine: ExecutionEngine | None = None
     resume_info: ResumeInfo | None = None
 
+    def build_intel_index(self, site_reports=None):
+        """Condense this run into a serving :class:`~repro.serve.index.
+        IntelIndex` — the bridge from the batch pipeline to the ``/v1``
+        query plane (``docs/serving.md``).  Pass ``site_reports`` from
+        the §8 website detector to fold confirmed domains in."""
+        from repro.serve import build_index
+
+        return build_index(
+            self.dataset,
+            clustering=self.clustering,
+            site_reports=site_reports,
+            victim_report=self.victim_report,
+        )
+
 
 def _checkpoint_manager(
     checkpoint: CheckpointManager | str | Path | None,

@@ -13,8 +13,11 @@ Commands:
   (``http://host:port``) or a ``--snapshot-out`` file.
 * ``index build``   — condense a dataset (or a fresh pipeline run) into
   the read-optimized, byte-stable intelligence index.
-* ``serve``         — the ``/v1`` query service over a prebuilt index
-  (rate limiting, ETags, zero-drop hot reload — ``docs/serving.md``).
+* ``serve``         — the ``/v1`` query service over a prebuilt index:
+  asyncio keep-alive transport by default (``--threaded`` for the legacy
+  one, ``--serve-workers N`` for a pre-forked SO_REUSEPORT fleet), with
+  rate limiting, ETags, batch screening, and zero-drop hot reload
+  (``docs/serving.md``; sizing in ``docs/capacity.md``).
 * ``query``         — one-shot lookups against an index file; exits 0
   when clean, 2 when the subject is known DaaS, 1 on error (the same
   0/2/1 convention as ``live-status``).
@@ -612,12 +615,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
             db = build_fingerprint_db(web)
             site_reports, _ = PhishingSiteDetector(web, db).run()
-        index = build_index(
-            result.dataset,
-            clustering=result.clustering,
-            site_reports=site_reports,
-            victim_report=result.victim_report,
-        )
+        index = result.build_intel_index(site_reports=site_reports)
     index.save(args.out)
     counts = index.counts()
     print(f"index {index.version} written to {args.out}")
@@ -629,33 +627,67 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import time as _time
     from pathlib import Path
 
-    from repro.serve import IndexFormatError, IntelServer
+    from repro.serve import AsyncIntelServer, IndexFormatError, IntelServer
 
-    obs = _obs(args)
     try:
         index = _load_index(args)
     except (IndexFormatError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 1
-    server = IntelServer(
-        index=index,
-        obs=obs,
-        host=args.host,
-        port=args.port,
-        rate_limit=args.rate_limit,
-        burst=args.burst,
-        max_concurrency=args.max_concurrency,
-    )
-    server.start()
-    print(f"serving index {index.version} on {server.url} "
-          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index /healthz)")
+    workers = args.serve_workers
+    if workers < 1:
+        print("--serve-workers must be >= 1", file=sys.stderr)
+        return 1
+    if workers > 1:
+        if args.threaded:
+            print("--serve-workers requires the async server "
+                  "(drop --threaded)", file=sys.stderr)
+            return 1
+        return _serve_preforked(args, index, workers)
+
+    obs = _obs(args)
     reload_every = args.reload_every
     index_path = Path(args.index)
+    if args.threaded:
+        server = IntelServer(
+            index=index,
+            obs=obs,
+            host=args.host,
+            port=args.port,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            max_concurrency=args.max_concurrency,
+            max_batch=args.max_batch,
+            max_body_bytes=args.max_body_bytes,
+        )
+        server.start()
+    else:
+        server = AsyncIntelServer(
+            index=index,
+            obs=obs,
+            host=args.host,
+            port=args.port,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            max_concurrency=args.max_concurrency,
+            max_batch=args.max_batch,
+            max_body_bytes=args.max_body_bytes,
+            read_timeout_s=args.read_timeout,
+        )
+        server.start(
+            reload_path=str(index_path) if reload_every > 0 else None,
+            reload_every=reload_every,
+        )
+    transport = "threaded" if args.threaded else "asyncio"
+    print(f"serving index {index.version} on {server.url} [{transport}] "
+          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index /healthz)")
     try:
+        # The async transport watches the index file itself; the
+        # threaded one polls here, same cadence as before.
         last_mtime = index_path.stat().st_mtime if reload_every > 0 else 0.0
         while True:
             _time.sleep(reload_every if reload_every > 0 else 1.0)
-            if reload_every <= 0:
+            if reload_every <= 0 or not args.threaded:
                 continue
             try:
                 mtime = index_path.stat().st_mtime
@@ -671,6 +703,93 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.stop()
         _write_obs(args, obs)
+    return 0
+
+
+def _serve_preforked(args: argparse.Namespace, index, workers: int) -> int:
+    """``--serve-workers N``: N forked processes on one SO_REUSEPORT port.
+
+    Listeners are bound in the parent (resolving port 0 once), then each
+    child inherits exactly one and runs its own event loop over its own
+    copy of the immutable index.  The kernel spreads accepted
+    connections across the listeners — no shared state, no coordination
+    (topology notes in ``docs/serving.md``, sizing in
+    ``docs/capacity.md``).
+    """
+    import asyncio
+    import os
+    import signal
+
+    from repro.serve import AsyncIntelServer, preforked_sockets
+
+    if not hasattr(os, "fork"):
+        print("--serve-workers needs os.fork (POSIX only)", file=sys.stderr)
+        return 1
+    try:
+        sockets, port = preforked_sockets(args.host, args.port, workers)
+    except OSError as exc:
+        print(f"cannot bind {workers} SO_REUSEPORT listeners: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"serving index {index.version} on http://{args.host}:{port} "
+          f"[asyncio x{workers} workers] "
+          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index /healthz)")
+    pids: list[int] = []
+    for worker_id, sock in enumerate(sockets):
+        pid = os.fork()
+        if pid != 0:
+            pids.append(pid)
+            continue
+        # Child: keep only our listener, suffix per-worker obs outputs
+        # so N processes never write the same file.
+        for other in sockets:
+            if other is not sock:
+                other.close()
+        child_args = argparse.Namespace(**vars(args))
+        for attr in ("metrics_out", "trace_out"):
+            value = getattr(child_args, attr, "")
+            if value:
+                setattr(child_args, attr, f"{value}.w{worker_id}")
+        obs = _obs(child_args)
+        server = AsyncIntelServer(
+            index=index,
+            obs=obs,
+            host=args.host,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            max_concurrency=args.max_concurrency,
+            max_batch=args.max_batch,
+            max_body_bytes=args.max_body_bytes,
+            read_timeout_s=args.read_timeout,
+        )
+        reload_path = str(args.index) if args.reload_every > 0 else None
+        try:
+            asyncio.run(server.run_async(
+                sock=sock, reload_path=reload_path,
+                reload_every=args.reload_every, workers=workers,
+            ))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            _write_obs(child_args, obs)
+        os._exit(0)
+    for sock in sockets:
+        sock.close()
+    try:
+        for pid in pids:
+            os.waitpid(pid, 0)
+    except KeyboardInterrupt:
+        print("\nshutting down workers")
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGINT)
+            except ProcessLookupError:
+                pass
+        for pid in pids:
+            try:
+                os.waitpid(pid, 0)
+            except (ChildProcessError, KeyboardInterrupt):
+                pass
     return 0
 
 
@@ -860,6 +979,22 @@ def main(argv: list[str] | None = None) -> int:
                    help="watch the --index file and hot-reload it on "
                         "change, without dropping in-flight requests "
                         "(0 = off)")
+    p.add_argument("--threaded", action="store_true",
+                   help="use the legacy thread-per-request transport "
+                        "instead of the asyncio server (migration aid; "
+                        "same endpoints, byte-identical bodies)")
+    p.add_argument("--serve-workers", type=int, default=1, metavar="N",
+                   help="pre-fork N async worker processes sharing one "
+                        "SO_REUSEPORT port (POSIX only; default 1)")
+    p.add_argument("--max-batch", type=int, default=4096, metavar="N",
+                   help="address cap per /v1/screen POST or "
+                        "/v1/address?batch= request (default 4096)")
+    p.add_argument("--max-body-bytes", type=int, default=1 << 20, metavar="N",
+                   help="request-body byte cap; larger POSTs get 413 "
+                        "(default 1048576)")
+    p.add_argument("--read-timeout", type=float, default=30.0, metavar="SECS",
+                   help="async transport's per-read deadline; slow or "
+                        "idle clients are disconnected (default 30)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

@@ -34,6 +34,7 @@ from repro.obs.logging import StructuredLogger, render_human, render_json
 from repro.obs.metrics import (
     CACHE_RATIO_BUCKETS,
     LATENCY_BUCKETS,
+    SERVE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -53,6 +54,7 @@ __all__ = [
     "CACHE_RATIO_BUCKETS",
     "LATENCY_BUCKETS",
     "NULL_SPAN",
+    "SERVE_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

@@ -30,6 +30,7 @@ from typing import Any
 __all__ = [
     "CACHE_RATIO_BUCKETS",
     "LATENCY_BUCKETS",
+    "SERVE_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -43,6 +44,15 @@ __all__ = [
 LATENCY_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
     0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets (seconds) for the serving layer's per-request latency: an
+#: in-memory lookup behind an async socket loop answers in tens of
+#: microseconds, so the default LATENCY_BUCKETS (which start at 100 µs)
+#: would collapse the whole distribution into the first bucket.
+SERVE_LATENCY_BUCKETS = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+    0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
 )
 
 #: Default buckets for cache hit ratios (a share in [0, 1]).

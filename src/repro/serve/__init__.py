@@ -9,14 +9,30 @@ them into something a wallet or a screening feed can *ask*:
 * :mod:`repro.serve.query`     — :class:`QueryEngine`, the typed query
   API with an LRU result cache, risk scoring, and hot index swap;
 * :mod:`repro.serve.ratelimit` — per-client token buckets;
-* :mod:`repro.serve.server`    — :class:`IntelServer`, the ``/v1/*``
-  HTTP service with ETags, rate limiting, bounded concurrency, and
-  zero-drop hot reload.
+* :mod:`repro.serve.handler`   — :class:`IntelHandlerCore`, the
+  transport-agnostic request core (routing, admission bookkeeping,
+  pre-serialized :class:`ServeResponse` cache) both HTTP transports
+  share;
+* :mod:`repro.serve.aserver`   — :class:`AsyncIntelServer`, the asyncio
+  production transport: persistent keep-alive connections, batch-first
+  endpoints, chunked verdict streams, optional pre-forked multi-worker
+  mode via :func:`preforked_sockets`;
+* :mod:`repro.serve.server`    — :class:`IntelServer`, the threaded
+  ``/v1/*`` transport kept for embedding and as migration baseline.
+
+Both transports serve the same endpoint matrix — ETags, rate limiting,
+bounded concurrency, zero-drop hot reload — with byte-identical bodies.
 
 CLI entry points: ``daas-repro index build``, ``daas-repro serve``,
-``daas-repro query`` — see ``docs/serving.md``.
+``daas-repro query`` — see ``docs/serving.md`` and ``docs/capacity.md``.
 """
 
+from repro.serve.aserver import (
+    AsyncIntelServer,
+    PreforkedListeners,
+    preforked_sockets,
+)
+from repro.serve.handler import IntelHandlerCore, ServeResponse
 from repro.serve.index import (
     AddressIntel,
     DomainIntel,
@@ -31,15 +47,20 @@ from repro.serve.server import IntelServer
 
 __all__ = [
     "AddressIntel",
+    "AsyncIntelServer",
     "ClientRateLimiter",
     "DomainIntel",
     "FamilyRecord",
     "IndexFormatError",
+    "IntelHandlerCore",
     "IntelIndex",
     "IntelServer",
+    "PreforkedListeners",
     "QueryEngine",
     "ScreenVerdict",
+    "ServeResponse",
     "TokenBucket",
     "build_index",
+    "preforked_sockets",
     "risk_score",
 ]

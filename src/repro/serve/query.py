@@ -126,8 +126,19 @@ class QueryEngine:
         )
 
     def screen_batch(self, addresses: list[str]) -> list[ScreenVerdict]:
-        """Pre-transaction screening for a batch (order-preserving)."""
-        return [self.screen(a) for a in addresses]
+        """Pre-transaction screening for a batch (order-preserving).
+
+        The cache key normalizes batch ordering — the same address *set*
+        screened in any order (wallet guards enumerate approval sets
+        nondeterministically) is one cached entry, computed once per
+        index version.  Verdicts are assembled back in request order.
+        """
+        index = self._index
+        key = ("screen", index.version, tuple(sorted(set(addresses))))
+        by_address = self.cache.get_or_compute(
+            key, lambda: {a: self.screen(a) for a in dict.fromkeys(addresses)}
+        )
+        return [by_address[a] for a in addresses]
 
     # -- aggregates ----------------------------------------------------------
 

@@ -1,53 +1,38 @@
-"""The intelligence query service: ``/v1/*`` over a prebuilt index.
+"""Threaded transport for the ``/v1`` intelligence query service.
 
-A stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon thread,
-the same footprint as :class:`repro.obs.live.server.MetricsServer` — no
-framework, cheap enough to keep up for a months-long feed.  Endpoints:
+A stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon thread —
+the same footprint as :class:`repro.obs.live.server.MetricsServer` — in
+front of the shared :class:`~repro.serve.handler.IntelHandlerCore`.  All
+routing, serialization, admission bookkeeping, and index lifecycle live
+in the core; this module only moves bytes: it parses the request line
+the stdlib way, enforces the body-size cap, and writes the
+:class:`~repro.serve.handler.ServeResponse` back (including chunked
+transfer encoding for streamed screening verdicts).
 
-* ``GET  /v1/address/{addr}``  — address intelligence (role, family,
-  ratio, profit, first/last seen, profit-sharing evidence);
-* ``GET  /v1/domain/{name}``   — website-detection verdict;
-* ``POST /v1/screen``          — batch pre-transaction screening
-  (``{"addresses": [...]}`` → flagged/risk/evidence per address);
-* ``GET  /v1/families``        — family summaries (Table 2 as a feed);
-* ``GET  /v1/index``           — index metadata (version, counts);
-* ``GET  /healthz``            — readiness, gated on an index being
-  loaded: 503 ``no-index`` until then.
-
-Every ``/v1`` response carries the index version both as
-``X-Index-Version`` and as a strong ``ETag``; ``If-None-Match`` answers
-``304`` without a body.  Admission control runs before any work: a
-per-client token bucket (``429`` + ``Retry-After``) and a bounded
-concurrency gate (``503`` when saturated).  :meth:`IntelServer.reload`
-hot-swaps a new index version without dropping in-flight requests —
-they finish against whichever index they resolved at admission.
+The asyncio :class:`~repro.serve.aserver.AsyncIntelServer` is the
+higher-throughput transport over the *same* core, which is what makes
+their response bodies byte-identical; this server remains for
+thread-pool embedding (tests, notebooks) and as the migration baseline.
+Endpoint semantics are documented in ``docs/serving.md``.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import unquote
 
-from repro.obs import LATENCY_BUCKETS, Observability
-from repro.serve.index import IndexFormatError, IntelIndex
-from repro.serve.query import QueryEngine, risk_score
-from repro.serve.ratelimit import ClientRateLimiter
+from repro.obs import Observability
+from repro.serve.handler import IntelHandlerCore, ServeResponse
+from repro.serve.index import IntelIndex
+from repro.serve.query import QueryEngine
 
 __all__ = ["IntelServer"]
 
-#: Endpoint label values (route templates, so cardinality stays fixed).
-_ENDPOINTS = (
-    "/v1/address", "/v1/domain", "/v1/screen", "/v1/families",
-    "/v1/index", "/healthz", "other",
-)
-
 
 class IntelServer:
-    """Daemon-thread HTTP server over one hot-swappable query engine."""
+    """Daemon-thread HTTP server over one hot-swappable handler core."""
 
     def __init__(
         self,
@@ -60,154 +45,57 @@ class IntelServer:
         max_concurrency: int = 64,
         max_batch: int = 256,
         cache_size: int = 4096,
+        max_body_bytes: int = 1 << 20,
         reload_timeout_s: float = 30.0,
         busy_timeout_s: float = 0.5,
         clock=time.monotonic,
     ) -> None:
-        self.obs = obs if obs is not None else Observability.disabled()
+        self.core = IntelHandlerCore(
+            index=index,
+            obs=obs,
+            rate_limit=rate_limit,
+            burst=burst,
+            max_concurrency=max_concurrency,
+            max_batch=max_batch,
+            cache_size=cache_size,
+            max_body_bytes=max_body_bytes,
+            reload_timeout_s=reload_timeout_s,
+            clock=clock,
+        )
         self.host = host
         self.requested_port = port
         self.max_batch = max_batch
-        self.cache_size = cache_size
-        self.reload_timeout_s = reload_timeout_s
-        self.busy_timeout_s = busy_timeout_s
-        self.limiter = ClientRateLimiter(rate_limit, burst=burst, clock=clock)
         self.max_concurrency = max_concurrency
+        self.busy_timeout_s = busy_timeout_s
         self._gate = threading.BoundedSemaphore(max_concurrency)
-        self._engine: QueryEngine | None = (
-            QueryEngine(index, cache_size=cache_size) if index is not None else None
-        )
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
-        metrics = self.obs.metrics
-        self._requests = {
-            endpoint: metrics.counter(
-                "daas_serve_requests_total",
-                help_text="Query-service requests, by endpoint.",
-                endpoint=endpoint,
-            )
-            for endpoint in _ENDPOINTS
-        }
-        self._latency = metrics.histogram(
-            "daas_serve_request_seconds",
-            help_text="Query-service request latency.",
-            buckets=LATENCY_BUCKETS,
-        )
-        self._rate_limited = metrics.counter(
-            "daas_serve_rate_limited_total",
-            help_text="Requests rejected 429 by the per-client token bucket.",
-        )
-        self._busy_rejected = metrics.counter(
-            "daas_serve_busy_rejections_total",
-            help_text="Requests rejected 503 by the concurrency gate.",
-        )
-        self._inflight = metrics.gauge(
-            "daas_serve_inflight",
-            help_text="Requests currently inside the concurrency gate.",
-        )
-        self._index_loaded = metrics.gauge(
-            "daas_serve_index_loaded",
-            help_text="1 when an intelligence index is loaded and serving.",
-        )
-        self._reloads = {
-            result: metrics.counter(
-                "daas_serve_reloads_total",
-                help_text="Index reload attempts, by result.",
-                result=result,
-            )
-            for result in ("ok", "error", "timeout")
-        }
-        self._screened = metrics.counter(
-            "daas_serve_screened_addresses_total",
-            help_text="Addresses screened through POST /v1/screen.",
-        )
-        self._index_loaded.set(1 if self._engine is not None else 0)
-        self._publish_index_gauges()
+    # -- core delegation -----------------------------------------------------
 
-    # -- index lifecycle -----------------------------------------------------
+    @property
+    def obs(self) -> Observability:
+        return self.core.obs
+
+    @property
+    def limiter(self):
+        return self.core.limiter
 
     @property
     def engine(self) -> QueryEngine | None:
-        return self._engine
+        return self.core.engine
 
     @property
     def index_version(self) -> str | None:
-        engine = self._engine
-        return engine.index_version if engine is not None else None
+        return self.core.index_version
 
     def load_index(self, index: IntelIndex) -> str:
-        """Install ``index`` (hot-swap when one is already serving).
-
-        In-flight requests are never dropped: each request resolves its
-        engine once at admission and finishes against it.
-        """
-        engine = self._engine
-        if engine is None:
-            self._engine = QueryEngine(index, cache_size=self.cache_size)
-        else:
-            engine.swap_index(index)
-        self._index_loaded.set(1)
-        self._reloads["ok"].inc()
-        self._publish_index_gauges()
-        self.obs.event("serve.index_loaded", version=index.version,
-                       addresses=len(index))
-        return index.version
+        """Install ``index`` (hot-swap when one is already serving)."""
+        return self.core.load_index(index)
 
     def reload(self, path: str) -> str | None:
-        """Load an index file and hot-swap it in, under a time budget.
-
-        The read+parse runs on a worker thread bounded by
-        ``reload_timeout_s``; on timeout or a bad file the current index
-        keeps serving and ``None`` is returned (the failure is counted
-        in ``daas_serve_reloads_total`` and logged).
-        """
-        box: dict[str, Any] = {}
-
-        def _load() -> None:
-            try:
-                box["index"] = IntelIndex.load(path)
-            except (IndexFormatError, OSError) as exc:
-                box["error"] = str(exc)
-
-        worker = threading.Thread(target=_load, name="serve-index-reload", daemon=True)
-        worker.start()
-        worker.join(self.reload_timeout_s)
-        if worker.is_alive():
-            self._reloads["timeout"].inc()
-            self.obs.event("serve.reload_failed", level="warning",
-                           path=str(path), reason="timeout",
-                           timeout_s=self.reload_timeout_s)
-            return None
-        if "error" in box:
-            self._reloads["error"].inc()
-            self.obs.event("serve.reload_failed", level="warning",
-                           path=str(path), reason=box["error"])
-            return None
-        return self.load_index(box["index"])
-
-    def _publish_index_gauges(self) -> None:
-        engine = self._engine
-        counts = engine.index.counts() if engine is not None else {}
-        for kind in ("addresses", "domains", "families"):
-            self.obs.metrics.gauge(
-                "daas_serve_index_entries",
-                help_text="Entries in the serving index, by kind.",
-                kind=kind,
-            ).set(counts.get(kind, 0))
-
-    def _publish_cache_gauges(self) -> None:
-        engine = self._engine
-        if engine is None:
-            return
-        stats = engine.cache.stats
-        metrics = self.obs.metrics
-        metrics.gauge("daas_serve_cache_hits",
-                      help_text="Query result-cache hits.").set(stats.hits)
-        metrics.gauge("daas_serve_cache_misses",
-                      help_text="Query result-cache misses.").set(stats.misses)
-        metrics.gauge("daas_serve_cache_evictions",
-                      help_text="Query result-cache evictions.").set(stats.evictions)
+        """Load an index file and hot-swap it in, under a time budget."""
+        return self.core.reload(path)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -225,6 +113,10 @@ class IntelServer:
         server = self
 
         class Handler(BaseHTTPRequestHandler):
+            # HTTP/1.1 so keep-alive and chunked transfer encoding work;
+            # every response carries Content-Length or chunked framing.
+            protocol_version = "HTTP/1.1"
+
             def do_GET(self) -> None:  # noqa: N802 - http.server API
                 server._admit(self, "GET")
 
@@ -255,214 +147,78 @@ class IntelServer:
             self._thread.join(timeout=5.0)
             self._thread = None
 
-    # -- admission control ---------------------------------------------------
+    # -- request plumbing ----------------------------------------------------
 
     @staticmethod
     def _client_id(request: BaseHTTPRequestHandler) -> str:
         return request.headers.get("X-Client-Id") or request.client_address[0]
 
-    @staticmethod
-    def _endpoint(path: str) -> str:
-        if path == "/healthz":
-            return "/healthz"
-        parts = path.split("/")
-        if len(parts) >= 3 and parts[1] == "v1":
-            candidate = f"/v1/{parts[2]}"
-            if candidate in _ENDPOINTS:
-                return candidate
-        return "other"
-
     def _admit(self, request: BaseHTTPRequestHandler, method: str) -> None:
+        core = self.core
         started = time.perf_counter()
-        path = request.path.split("?", 1)[0].rstrip("/") or "/"
-        endpoint = self._endpoint(path)
-        self._requests[endpoint].inc()
+        endpoint = core.endpoint_of(request.path)
+        core.count_request(endpoint)
 
-        wait = self.limiter.check(self._client_id(request))
-        if wait > 0:
-            self._rate_limited.inc()
-            self._respond_json(
-                request, 429,
-                {"error": "rate limit exceeded", "retry_after_s": round(wait, 3)},
-                extra_headers={"Retry-After": str(max(1, int(wait + 0.999)))},
-            )
+        # Framing first: the body must leave the stream (or the response
+        # must close the connection) before any rejection, else the next
+        # keep-alive request would read leftover body bytes as a request
+        # line.
+        body = b""
+        if method == "POST":
+            try:
+                length = int(request.headers.get("Content-Length", "0"))
+            except ValueError:
+                self._send(request, core.malformed_response("bad Content-Length"))
+                return
+            if length > core.max_body_bytes:
+                self._send(request, core.oversized_response(length))
+                return
+            if length > 0:
+                body = request.rfile.read(length)
+
+        rejected = core.check_rate(self._client_id(request))
+        if rejected is not None:
+            self._send(request, rejected)
             return
         if not self._gate.acquire(timeout=self.busy_timeout_s):
-            self._busy_rejected.inc()
-            self._respond_json(
-                request, 503,
-                {"error": "server saturated, try again",
-                 "max_concurrency": self.max_concurrency},
-            )
+            self._send(request, core.busy_response())
             return
-        self._inflight.inc()
+        core.metrics.inflight.inc()
         try:
             with self.obs.span("serve.request", endpoint=endpoint, method=method):
-                self._route(request, method, path, endpoint)
+                response = core.handle(
+                    method, request.path, body=body,
+                    if_none_match=request.headers.get("If-None-Match"),
+                )
+                self._send(request, response)
         finally:
-            self._inflight.inc(-1)
+            core.metrics.inflight.inc(-1)
             self._gate.release()
-            self._latency.observe(time.perf_counter() - started)
-            self._publish_cache_gauges()
-
-    # -- routing -------------------------------------------------------------
-
-    def _route(
-        self, request: BaseHTTPRequestHandler, method: str, path: str, endpoint: str
-    ) -> None:
-        if path == "/healthz":
-            self._healthz(request)
-            return
-        # Everything under /v1 needs a loaded index; resolve the engine
-        # exactly once so a concurrent hot-reload cannot split a request
-        # across index versions.
-        engine = self._engine
-        if engine is None:
-            self._respond_json(request, 503, {
-                "error": "no intelligence index loaded",
-                "hint": "build one with `daas-repro index build` and "
-                        "start the server with --index",
-            })
-            return
-        version = engine.index_version
-        if request.headers.get("If-None-Match") == f'"{version}"':
-            self._respond(request, 304, "", "application/json", version=version)
-            return
-
-        if endpoint == "/v1/screen":
-            if method != "POST":
-                self._respond_json(request, 405, {
-                    "error": "use POST for /v1/screen",
-                }, version=version)
-                return
-            self._screen(request, engine, version)
-            return
-        if method != "GET":
-            self._respond_json(request, 405, {"error": f"{method} not supported"},
-                               version=version)
-            return
-
-        parts = [unquote(p) for p in path.split("/") if p]
-        if endpoint == "/v1/address" and len(parts) == 3:
-            self._address(request, engine, parts[2], version)
-        elif endpoint == "/v1/domain" and len(parts) == 3:
-            self._domain(request, engine, parts[2], version)
-        elif endpoint == "/v1/families" and len(parts) == 2:
-            self._respond_json(request, 200, {
-                "index_version": version,
-                "families": [f.to_payload() for f in engine.families()],
-            }, version=version)
-        elif endpoint == "/v1/families" and len(parts) == 3:
-            record = engine.family_summary(parts[2])
-            if record is None:
-                self._respond_json(request, 404, {
-                    "error": f"no such family: {parts[2]}",
-                }, version=version)
-            else:
-                self._respond_json(request, 200, record.to_payload(), version=version)
-        elif endpoint == "/v1/index" and len(parts) == 2:
-            self._respond_json(request, 200, {
-                "index_version": version,
-                "format": IntelIndex.FORMAT,
-                "format_version": IntelIndex.FORMAT_VERSION,
-                "counts": engine.index.counts(),
-                "cache": engine.cache.stats.snapshot(),
-            }, version=version)
-        else:
-            self._respond_json(request, 404, {
-                "error": f"no such endpoint: {path}",
-                "endpoints": ["/v1/address/{addr}", "/v1/domain/{name}",
-                              "/v1/screen", "/v1/families", "/v1/index",
-                              "/healthz"],
-            }, version=version)
-
-    def _healthz(self, request: BaseHTTPRequestHandler) -> None:
-        engine = self._engine
-        if engine is None:
-            self._respond_json(request, 503, {"status": "no-index"})
-        else:
-            self._respond_json(request, 200, {
-                "status": "ok", "index_version": engine.index_version,
-            })
-
-    def _address(self, request, engine: QueryEngine, addr: str, version: str) -> None:
-        intel = engine.lookup_address(addr)
-        if intel is None:
-            self._respond_json(request, 404, {
-                "address": addr, "error": "unknown address",
-                "flagged": False,
-            }, version=version)
-            return
-        doc = intel.to_payload()
-        doc["risk"] = risk_score(intel)
-        doc["index_version"] = version
-        self._respond_json(request, 200, doc, version=version)
-
-    def _domain(self, request, engine: QueryEngine, name: str, version: str) -> None:
-        intel = engine.lookup_domain(name)
-        if intel is None:
-            self._respond_json(request, 404, {
-                "domain": name, "error": "unknown domain",
-            }, version=version)
-            return
-        doc = intel.to_payload()
-        doc["index_version"] = version
-        self._respond_json(request, 200, doc, version=version)
-
-    def _screen(self, request, engine: QueryEngine, version: str) -> None:
-        try:
-            length = int(request.headers.get("Content-Length", "0"))
-            doc = json.loads(request.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError):
-            self._respond_json(request, 400, {"error": "body is not valid JSON"},
-                               version=version)
-            return
-        addresses = doc.get("addresses") if isinstance(doc, dict) else None
-        if not isinstance(addresses, list) or not all(
-            isinstance(a, str) for a in addresses
-        ):
-            self._respond_json(request, 400, {
-                "error": 'expected {"addresses": ["0x...", ...]}',
-            }, version=version)
-            return
-        if len(addresses) > self.max_batch:
-            self._respond_json(request, 400, {
-                "error": f"batch of {len(addresses)} exceeds max {self.max_batch}",
-            }, version=version)
-            return
-        verdicts = engine.screen_batch(addresses)
-        self._screened.inc(len(addresses))
-        self._respond_json(request, 200, {
-            "index_version": version,
-            "flagged": sum(1 for v in verdicts if v.flagged),
-            "verdicts": [v.to_payload() for v in verdicts],
-        }, version=version)
-
-    # -- response helpers ----------------------------------------------------
+            core.observe(time.perf_counter() - started)
 
     @staticmethod
-    def _respond(
-        request, code: int, body: str, content_type: str,
-        version: str | None = None, extra_headers: dict[str, str] | None = None,
-    ) -> None:
-        payload = body.encode("utf-8")
-        request.send_response(code)
-        request.send_header("Content-Type", content_type)
-        request.send_header("Content-Length", str(len(payload)))
-        if version is not None:
-            request.send_header("X-Index-Version", version)
-            request.send_header("ETag", f'"{version}"')
-        for key, value in (extra_headers or {}).items():
+    def _send(request: BaseHTTPRequestHandler, response: ServeResponse) -> None:
+        request.send_response(response.status)
+        request.send_header("Content-Type", response.content_type)
+        for key, value in response.headers:
             request.send_header(key, value)
+        if response.close:
+            request.close_connection = True
+            request.send_header("Connection", "close")
+        if response.status == 304:
+            request.send_header("Content-Length", "0")
+            request.end_headers()
+            return
+        if response.chunks is not None:
+            request.send_header("Transfer-Encoding", "chunked")
+            request.end_headers()
+            for chunk in response.chunks:
+                if chunk:
+                    request.wfile.write(
+                        f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n"
+                    )
+            request.wfile.write(b"0\r\n\r\n")
+            return
+        request.send_header("Content-Length", str(len(response.body)))
         request.end_headers()
-        if code != 304:
-            request.wfile.write(payload)
-
-    @classmethod
-    def _respond_json(
-        cls, request, code: int, doc: dict[str, Any],
-        version: str | None = None, extra_headers: dict[str, str] | None = None,
-    ) -> None:
-        cls._respond(request, code, json.dumps(doc, indent=2) + "\n",
-                     "application/json", version=version,
-                     extra_headers=extra_headers)
+        request.wfile.write(response.body)

@@ -4,14 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.serve import build_index
-
 
 @pytest.fixture(scope="session")
 def intel_index(pipeline):
     """Fully-enriched index over the shared tier-1 fixture dataset."""
-    return build_index(
-        pipeline.dataset,
-        clustering=pipeline.clustering,
-        victim_report=pipeline.victim_report,
-    )
+    return pipeline.build_intel_index()

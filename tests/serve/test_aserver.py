@@ -1,0 +1,490 @@
+"""AsyncIntelServer: HTTP conformance, parity with the threaded server.
+
+The acceptance matrix for the asyncio transport:
+
+* byte-identical response bodies against the threaded server for the
+  full endpoint matrix (same fresh core, same request sequence — the
+  ``/v1/index`` body embeds cache statistics, so histories must match);
+* HTTP/1.1 conformance — keep-alive reuse across 100+ requests on one
+  connection, chunked verdict streaming, 400 on malformed framing, 413
+  on oversized bodies, the slow-client read deadline;
+* the admission-control and hot-reload behaviors the threaded test
+  matrix pins (429 + recovery, 503 saturation, zero-drop reload under
+  concurrent load);
+* :func:`preforked_sockets` binding semantics, including a real forked
+  two-worker round-robin under the ``multiproc`` marker.
+
+All requests here speak raw sockets: the point is to exercise the
+hand-rolled HTTP pipeline, not urllib's view of it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs import Observability
+from repro.serve import (
+    AsyncIntelServer,
+    IntelServer,
+    build_index,
+    preforked_sockets,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class RawClient:
+    """One persistent keep-alive connection speaking raw HTTP/1.1."""
+
+    def __init__(self, port: int, timeout: float = 5.0) -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+        self.buffer = b""
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        cut = self.buffer.index(marker) + len(marker)
+        out, self.buffer = self.buffer[:cut], self.buffer[cut:]
+        return out
+
+    def _read_exactly(self, n: int) -> bytes:
+        while len(self.buffer) < n:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        out, self.buffer = self.buffer[:n], self.buffer[n:]
+        return out
+
+    def request(
+        self,
+        method: str,
+        target: str,
+        headers: dict | None = None,
+        body: bytes = b"",
+    ):
+        lines = [f"{method} {target} HTTP/1.1", "Host: test"]
+        if body or method == "POST":
+            lines.append(f"Content-Length: {len(body)}")
+        for key, value in (headers or {}).items():
+            lines.append(f"{key}: {value}")
+        self.sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        return self.read_response()
+
+    def read_response(self):
+        """``(status, headers, body)`` for exactly one response."""
+        raw = self._read_until(b"\r\n\r\n").decode("latin-1")
+        head = raw.split("\r\n")
+        status = int(head[0].split(" ")[1])
+        headers: dict[str, str] = {}
+        for line in head[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding") == "chunked":
+            body = b""
+            while True:
+                size = int(self._read_until(b"\r\n").strip(), 16)
+                if size == 0:
+                    self._read_until(b"\r\n")
+                    return status, headers, body
+                body += self._read_exactly(size)
+                self._read_until(b"\r\n")
+        return status, headers, self._read_exactly(
+            int(headers.get("content-length", "0"))
+        )
+
+
+@pytest.fixture()
+def aserver(intel_index):
+    srv = AsyncIntelServer(
+        index=intel_index, obs=Observability(run_id="aservetest")
+    ).start()
+    yield srv
+    srv.stop()
+
+
+def _sequence(pipeline, intel_index):
+    """The full endpoint matrix as one ordered request list."""
+    known = sorted(pipeline.dataset.contracts)[0]
+    operator = sorted(pipeline.dataset.operators)[0]
+    ghost = "0x" + "00" * 20
+    screen = json.dumps(
+        {"addresses": [known, operator, "0x" + "11" * 20]}
+    ).encode()
+    etag = f'"{intel_index.version}"'
+    return [
+        ("GET", "/healthz", None, b""),
+        ("GET", f"/v1/address/{known}", None, b""),
+        ("GET", f"/v1/address/{known}", None, b""),  # response-cache hit
+        ("GET", f"/v1/address/{ghost}", None, b""),
+        ("GET", f"/v1/address?batch={known},{ghost},{operator}", None, b""),
+        ("GET", "/v1/domain/not-indexed.example", None, b""),
+        ("GET", "/v1/families", None, b""),
+        ("GET", "/v1/families/NoSuchFamily", None, b""),
+        ("GET", "/v1/index", None, b""),
+        ("POST", "/v1/screen", None, screen),
+        ("POST", "/v1/screen", None, screen),  # response-cache hit
+        ("POST", "/v1/screen", None, b"{broken"),
+        ("POST", "/v1/screen", None, json.dumps({"addresses": "no"}).encode()),
+        ("GET", "/v1/screen", None, b""),  # 405
+        ("GET", "/v1/nope", None, b""),
+        ("GET", f"/v1/address/{known}", {"If-None-Match": etag}, b""),
+        ("GET", "/v1/index", None, b""),  # cache stats must still agree
+    ]
+
+
+class TestThreadedParity:
+    def test_full_matrix_byte_identical(self, pipeline, intel_index):
+        """Same fresh core, same request history, compare every body."""
+        requests = _sequence(pipeline, intel_index)
+        responses = {}
+        for label, factory in (
+            ("async", lambda: AsyncIntelServer(index=intel_index)),
+            ("threaded", lambda: IntelServer(index=intel_index)),
+        ):
+            server = factory().start()
+            try:
+                client = RawClient(server.port)
+                responses[label] = [
+                    client.request(m, t, h, b) for m, t, h, b in requests
+                ]
+                client.close()
+            finally:
+                server.stop()
+        for (m, t, _, _), a, th in zip(
+            requests, responses["async"], responses["threaded"]
+        ):
+            assert a[0] == th[0], f"{m} {t}: status {a[0]} != {th[0]}"
+            assert a[2] == th[2], f"{m} {t}: bodies differ"
+
+    def test_batch_cap_parity(self, intel_index):
+        batch = json.dumps({"addresses": ["0x1", "0x2", "0x3"]}).encode()
+        bodies = []
+        for factory in (
+            lambda: AsyncIntelServer(index=intel_index, max_batch=2),
+            lambda: IntelServer(index=intel_index, max_batch=2),
+        ):
+            server = factory().start()
+            try:
+                client = RawClient(server.port)
+                status, _, body = client.request("POST", "/v1/screen", None, batch)
+                client.close()
+            finally:
+                server.stop()
+            assert status == 400 and b"exceeds max 2" in body
+            bodies.append(body)
+        assert bodies[0] == bodies[1]
+
+
+class TestHTTPConformance:
+    def test_keep_alive_reuse_100_requests(self, aserver, pipeline):
+        addresses = sorted(pipeline.dataset.contracts)[:4]
+        client = RawClient(aserver.port)
+        for i in range(100):
+            if i % 10 == 9:
+                body = json.dumps({"addresses": addresses}).encode()
+                status, _, payload = client.request(
+                    "POST", "/v1/screen", None, body)
+                assert status == 200
+                assert json.loads(payload)["flagged"] == len(addresses)
+            else:
+                status, _, _ = client.request(
+                    "GET", f"/v1/address/{addresses[i % 4]}")
+                assert status == 200
+        client.close()
+        assert aserver.obs.metrics.value("daas_serve_connections_total") == 1
+
+    def test_screen_stream_chunked_ndjson(self, aserver, pipeline):
+        addresses = sorted(pipeline.dataset.contracts)[:3] + ["0x" + "11" * 20]
+        client = RawClient(aserver.port)
+        body = json.dumps({"addresses": addresses}).encode()
+        status, headers, payload = client.request(
+            "POST", "/v1/screen?stream=1", None, body)
+        assert status == 200
+        assert headers["transfer-encoding"] == "chunked"
+        assert headers["content-type"] == "application/x-ndjson"
+        lines = payload.decode().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["count"] == len(addresses)
+        verdicts = [json.loads(line) for line in lines[1:]]
+        assert [v["address"] for v in verdicts] == addresses
+        assert [v["flagged"] for v in verdicts] == [True, True, True, False]
+        # The connection survives the stream: next request still works.
+        assert client.request("GET", "/healthz")[0] == 200
+        client.close()
+
+    def test_address_batch_orders_and_caps(self, intel_index, pipeline):
+        server = AsyncIntelServer(index=intel_index, max_batch=3).start()
+        try:
+            client = RawClient(server.port)
+            a, b = sorted(pipeline.dataset.contracts)[:2]
+            ghost = "0x" + "00" * 20
+            status, _, payload = client.request(
+                "GET", f"/v1/address?batch={ghost},{b},{a}")
+            assert status == 200
+            doc = json.loads(payload)
+            assert [r["address"] for r in doc["results"]] == [ghost, b, a]
+            assert doc["found"] == 2 and doc["requested"] == 3
+            status, _, payload = client.request(
+                "GET", f"/v1/address?batch={a},{b},{ghost},{ghost}")
+            assert status == 400
+            assert b"exceeds max 3" in payload
+            status, _, payload = client.request("GET", "/v1/address?batch=")
+            assert status == 400
+            client.close()
+        finally:
+            server.stop()
+
+    def test_malformed_request_400_and_close(self, aserver):
+        sock = socket.create_connection(("127.0.0.1", aserver.port), timeout=5)
+        sock.sendall(b"NOT A REQUEST\r\n\r\n")
+        data = sock.recv(65536)
+        assert data.startswith(b"HTTP/1.1 400")
+        assert b"malformed request" in data
+        assert sock.recv(65536) == b""  # server closed
+        sock.close()
+        assert aserver.obs.metrics.value("daas_serve_malformed_total") >= 1
+
+    def test_oversized_body_413_and_close(self, intel_index):
+        obs = Observability(run_id="oversized")
+        server = AsyncIntelServer(
+            index=intel_index, obs=obs, max_body_bytes=64).start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+            sock.sendall(
+                b"POST /v1/screen HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 100000\r\n\r\n"
+            )
+            data = sock.recv(65536)
+            assert data.startswith(b"HTTP/1.1 413")
+            assert b"exceeds max 64" in data
+            assert sock.recv(65536) == b""
+            sock.close()
+            assert obs.metrics.value("daas_serve_oversized_total") == 1
+        finally:
+            server.stop()
+
+    def test_slow_client_read_deadline(self, intel_index):
+        obs = Observability(run_id="slowpoke")
+        server = AsyncIntelServer(
+            index=intel_index, obs=obs, read_timeout_s=0.2).start()
+        try:
+            sock = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n")  # never finishes headers
+            sock.settimeout(5.0)
+            assert sock.recv(65536) == b""  # dropped by the deadline
+            sock.close()
+            assert obs.metrics.value("daas_serve_read_timeouts_total") >= 1
+            # The server itself is fine afterwards.
+            client = RawClient(server.port)
+            assert client.request("GET", "/healthz")[0] == 200
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestAdmissionControl:
+    def test_rate_limit_429_and_recovery(self, intel_index):
+        clock = FakeClock()
+        server = AsyncIntelServer(
+            index=intel_index, rate_limit=1.0, burst=2.0, clock=clock,
+        ).start()
+        try:
+            client = RawClient(server.port)
+            headers = {"X-Client-Id": "wallet-a"}
+            assert client.request("GET", "/healthz", headers)[0] == 200
+            assert client.request("GET", "/healthz", headers)[0] == 200
+            status, response_headers, body = client.request(
+                "GET", "/healthz", headers)
+            assert status == 429
+            assert int(response_headers["retry-after"]) >= 1
+            assert "retry_after_s" in json.loads(body)
+            assert client.request(
+                "GET", "/healthz", {"X-Client-Id": "wallet-b"})[0] == 200
+            clock.advance(5.0)
+            assert client.request("GET", "/healthz", headers)[0] == 200
+            client.close()
+        finally:
+            server.stop()
+
+    def test_concurrency_gate_503(self, intel_index):
+        server = AsyncIntelServer(
+            index=intel_index, max_concurrency=1, busy_timeout_s=0.01,
+        ).start()
+        try:
+            acquired = asyncio.run_coroutine_threadsafe(
+                server._gate.acquire(), server.loop)
+            assert acquired.result(timeout=2.0) is True
+            client = RawClient(server.port)
+            status, _, body = client.request("GET", "/v1/index")
+            assert status == 503
+            assert "saturated" in json.loads(body)["error"]
+            server.loop.call_soon_threadsafe(server._gate.release)
+            time.sleep(0.05)
+            assert client.request("GET", "/v1/index")[0] == 200
+            client.close()
+        finally:
+            server.stop()
+
+    def test_no_index_503_until_loaded(self, intel_index):
+        server = AsyncIntelServer().start()
+        try:
+            client = RawClient(server.port)
+            status, _, body = client.request("GET", "/healthz")
+            assert status == 503 and json.loads(body)["status"] == "no-index"
+            status, _, body = client.request("GET", "/v1/address/0xabc")
+            assert status == 503
+            assert "no intelligence index" in json.loads(body)["error"]
+            server.load_index(intel_index)
+            status, _, body = client.request("GET", "/healthz")
+            assert status == 200
+            assert json.loads(body)["index_version"] == intel_index.version
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestHotReload:
+    def test_hot_reload_drops_no_inflight_requests(self, pipeline, intel_index):
+        """The threaded matrix's zero-drop bar, on persistent connections."""
+        other = build_index(pipeline.dataset)
+        assert other.version != intel_index.version
+        server = AsyncIntelServer(index=intel_index).start()
+        addresses = sorted(pipeline.dataset.contracts)[:8]
+        versions = {intel_index.version, other.version}
+        failures: list = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            client = RawClient(server.port)
+            i = 0
+            while not stop.is_set():
+                address = addresses[i % len(addresses)]
+                try:
+                    status, headers, _ = client.request(
+                        "GET", f"/v1/address/{address}")
+                except Exception as exc:  # noqa: BLE001 - any failure counts
+                    failures.append(repr(exc))
+                    client = RawClient(server.port)
+                    continue
+                if status != 200 or headers["x-index-version"] not in versions:
+                    failures.append((status, headers.get("x-index-version")))
+                i += 1
+            client.close()
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for flip in range(6):
+                server.load_index(other if flip % 2 == 0 else intel_index)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=10.0)
+            server.stop()
+        assert failures == []
+
+    def test_reload_from_file_and_bad_file_keeps_serving(
+        self, pipeline, intel_index, tmp_path
+    ):
+        server = AsyncIntelServer(index=intel_index).start()
+        try:
+            other = build_index(pipeline.dataset)
+            path = tmp_path / "next.json"
+            other.save(path)
+            assert server.reload(str(path)) == other.version
+            assert server.index_version == other.version
+            bad = tmp_path / "bad.json"
+            bad.write_text("{nope")
+            assert server.reload(str(bad)) is None
+            assert server.index_version == other.version
+        finally:
+            server.stop()
+
+
+class TestPreforkedSockets:
+    def test_binds_n_listeners_on_one_port(self):
+        if not hasattr(socket, "SO_REUSEPORT"):
+            pytest.skip("SO_REUSEPORT not available")
+        sockets, port = preforked_sockets("127.0.0.1", 0, 3)
+        try:
+            assert len(sockets) == 3 and port > 0
+            assert all(s.getsockname()[1] == port for s in sockets)
+        finally:
+            for s in sockets:
+                s.close()
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            preforked_sockets("127.0.0.1", 0, 0)
+
+    @pytest.mark.multiproc
+    def test_forked_two_worker_round_robin(self, intel_index, tmp_path):
+        import os
+        import signal
+
+        if not hasattr(socket, "SO_REUSEPORT") or not hasattr(os, "fork"):
+            pytest.skip("needs SO_REUSEPORT and os.fork")
+        path = tmp_path / "idx.json"
+        intel_index.save(path)
+        sockets, port = preforked_sockets("127.0.0.1", 0, 2)
+        pids = []
+        for sock in sockets:
+            pid = os.fork()
+            if pid == 0:
+                for other in sockets:
+                    if other is not sock:
+                        other.close()
+                from repro.serve import IntelIndex
+
+                server = AsyncIntelServer(index=IntelIndex.load(path))
+                try:
+                    asyncio.run(server.run_async(sock=sock, workers=2))
+                finally:
+                    os._exit(0)
+            pids.append(pid)
+        for sock in sockets:
+            sock.close()
+        try:
+            deadline = time.monotonic() + 10.0
+            ok = 0
+            while ok < 8 and time.monotonic() < deadline:
+                try:
+                    client = RawClient(port, timeout=2.0)
+                    status, _, body = client.request("GET", "/healthz")
+                    client.close()
+                except (ConnectionError, OSError):
+                    time.sleep(0.1)
+                    continue
+                if status == 200:
+                    assert json.loads(body)["index_version"] == \
+                        intel_index.version
+                    ok += 1
+            assert ok == 8
+        finally:
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)

@@ -76,6 +76,31 @@ class TestScreening:
     def test_risk_score_none_is_zero(self):
         assert risk_score(None) == 0.0
 
+    def test_batch_cache_normalizes_ordering(self, engine, pipeline):
+        """Regression: the same address *set* in a different order must
+        hit the batch cache, not recompute — wallet guards enumerate
+        approval sets nondeterministically."""
+        known = sorted(pipeline.dataset.operators)[0]
+        batch = [known, "0x" + "11" * 20, "0x" + "22" * 20]
+        first = engine.screen_batch(batch)
+        misses = engine.cache.stats.misses
+        hits = engine.cache.stats.hits
+        reordered = list(reversed(batch))
+        second = engine.screen_batch(reordered)
+        assert engine.cache.stats.misses == misses  # nothing recomputed
+        assert engine.cache.stats.hits == hits + 1
+        assert [v.address for v in second] == reordered
+        assert {v.address: v for v in first} == {v.address: v for v in second}
+
+    def test_batch_cache_tolerates_duplicates(self, engine, pipeline):
+        known = sorted(pipeline.dataset.operators)[0]
+        ghost = "0x" + "33" * 20
+        verdicts = engine.screen_batch([known, ghost, known])
+        assert [v.address for v in verdicts] == [known, ghost, known]
+        misses = engine.cache.stats.misses
+        assert engine.screen_batch([ghost, known]) is not None
+        assert engine.cache.stats.misses == misses  # same normalized set
+
 
 class TestAggregates:
     def test_families_in_table2_order(self, engine):

@@ -1,4 +1,5 @@
-"""Docs stay consistent with the code: links resolve, CLI flags exist.
+"""Docs stay consistent with the code: links resolve, CLI flags exist,
+and the serving route inventory matches docs/serving.md both ways.
 
 Wraps ``scripts/check_docs.py`` (which also runs standalone) into the
 default pytest tier so a renamed doc or a dropped CLI flag fails CI.
@@ -76,6 +77,44 @@ def test_checker_catches_dangling_anchor(tmp_path):
     errors = check_docs.run_checks(tmp_path)
     assert any("dangling anchor -> #no-such-section" in e for e in errors)
     assert any("dangling anchor -> b.md#also-missing" in e for e in errors)
+
+
+def test_route_inventory_matches_both_ways():
+    """The live repo: serving source and docs/serving.md agree."""
+    in_code = check_docs.serve_routes()
+    assert {"/v1/address", "/v1/domain", "/v1/screen", "/v1/families",
+            "/v1/index", "/healthz"} <= in_code
+    assert check_docs.check_routes() == []
+
+
+def _route_fixture(tmp_path, source: str, doc: str):
+    serve_dir = tmp_path / "src" / "repro" / "serve"
+    serve_dir.mkdir(parents=True)
+    (serve_dir / "server.py").write_text(source)
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "serving.md").write_text(doc)
+    return tmp_path
+
+
+def test_checker_catches_undocumented_route(tmp_path):
+    root = _route_fixture(
+        tmp_path,
+        'ROUTES = ["/v1/address/{a}", "/v1/screen", "/healthz"]\n',
+        "# Serving\n`GET /v1/address/0x..` and `GET /healthz`.\n",
+    )
+    errors = check_docs.check_routes(root)
+    assert any("/v1/screen" in e and "not documented" in e for e in errors)
+    assert not any("/v1/address" in e for e in errors)
+
+
+def test_checker_catches_phantom_documented_route(tmp_path):
+    root = _route_fixture(
+        tmp_path,
+        'ROUTES = ["/healthz"]\n',
+        "# Serving\n`GET /v1/ghost` and `GET /healthz`.\n",
+    )
+    errors = check_docs.check_routes(root)
+    assert any("/v1/ghost" in e and "no src/repro/serve" in e for e in errors)
 
 
 def test_heading_slugs_follow_github_rules(tmp_path):
