@@ -17,10 +17,10 @@ Verifies, for ``README.md`` and every ``docs/*.md``:
    the CLI;
 4. the query-service route inventory matches both ways: every route
    string literal in ``src/repro/serve/*.py`` appears in
-   ``docs/serving.md``, and every ``/v1/...`` or ``/healthz`` route the
-   doc mentions exists in the serving source — so the API reference
-   cannot document a route that was removed, nor silently omit one that
-   shipped.
+   ``docs/serving.md``, and every ``/v1/...``, ``/healthz``,
+   ``/statusz`` or ``/metrics`` route the doc mentions exists in the
+   serving source — so the API reference cannot document a route that
+   was removed, nor silently omit one that shipped.
 
 Run directly (``python scripts/check_docs.py``, exits non-zero on
 problems) or through ``tests/test_docs.py``, which wires it into the
@@ -116,8 +116,8 @@ def check_flags(path: Path, known: set[str], root: Path = REPO_ROOT) -> list[str
     return errors
 
 
-_SOURCE_ROUTE_RE = re.compile(r"""["'](/(?:v1/[a-z]+|healthz))""")
-_DOC_ROUTE_RE = re.compile(r"/(?:v1/[a-z]+|healthz)")
+_SOURCE_ROUTE_RE = re.compile(r"""["'](/(?:v1/[a-z]+|healthz|statusz|metrics))""")
+_DOC_ROUTE_RE = re.compile(r"/(?:v1/[a-z]+|healthz|statusz|metrics)")
 
 
 def serve_routes(root: Path = REPO_ROOT) -> set[str]:

@@ -2,11 +2,13 @@
 """Metric/event catalogue checker — docs must name every emitted series.
 
 Walks ``src/repro`` for literal metric registrations
-(``.counter("…")`` / ``.gauge("…")`` / ``.histogram("…")``) and
+(``.counter("…")`` / ``.gauge("…")`` / ``.histogram("…")``),
 structured-event emissions (``.event("…")`` and the level shorthands),
-then fails if any discovered name is missing from the catalogue in
-``docs/observability.md`` — so a new instrument cannot ship
-undocumented.  Dynamically-built names (f-strings like
+and the serve plane's access-log event names (bound as ``event, reason
+= "serve.access…", …`` in ``repro.obs.request`` rather than emitted
+through a logger), then fails if any discovered name is missing from
+the catalogue in ``docs/observability.md`` — so a new instrument cannot
+ship undocumented.  Dynamically-built names (f-strings like
 ``f"daas_cache_{field}"``) are out of scope; only string literals are
 checked.
 
@@ -29,6 +31,12 @@ _METRIC_RE = re.compile(
 _EVENT_RE = re.compile(
     r"""\.(?:event|debug|info|warning|error)\(\s*["']([a-z][a-z0-9_.]*)["']"""
 )
+#: Access-log records carry their event name as a JSON field, not a
+#: logger call — the serve plane binds it as ``event, reason = "…", "…"``
+#: before building the record, so those names are harvested separately.
+_ACCESS_EVENT_RE = re.compile(
+    r"""\bevent\s*,\s*reason\s*=\s*["']([a-z][a-z0-9_.]*)["']"""
+)
 
 
 def source_files(root: Path = REPO_ROOT) -> list[Path]:
@@ -45,6 +53,8 @@ def emitted_names(root: Path = REPO_ROOT) -> dict[str, set[str]]:
         for name in _METRIC_RE.findall(text):
             metrics.setdefault(name, set()).add(rel)
         for name in _EVENT_RE.findall(text):
+            events.setdefault(name, set()).add(rel)
+        for name in _ACCESS_EVENT_RE.findall(text):
             events.setdefault(name, set()).add(rel)
     return {"metrics": metrics, "events": events}
 

@@ -13,6 +13,9 @@ Commands:
   (``http://host:port``) or a ``--snapshot-out`` file.
 * ``index build``   — condense a dataset (or a fresh pipeline run) into
   the read-optimized, byte-stable intelligence index.
+* ``index serve-status`` — per-worker + fleet table for a running query
+  service, from its URL (``/statusz``) or its ``--status-dir``; exit 0
+  ok / 2 degraded / 1 error, same convention as ``live-status``.
 * ``serve``         — the ``/v1`` query service over a prebuilt index:
   asyncio keep-alive transport by default (``--threaded`` for the legacy
   one, ``--serve-workers N`` for a pre-forked SO_REUSEPORT fleet), with
@@ -623,6 +626,38 @@ def cmd_index_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_index_serve_status(args: argparse.Namespace) -> int:
+    from repro.serve.fleet import (
+        ServeStatusError,
+        load_serve_status_source,
+        render_serve_status,
+        serve_status_state,
+    )
+
+    try:
+        doc = load_serve_status_source(args.source)
+    except ServeStatusError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    state = serve_status_state(doc, stale_after_s=args.stale_after)
+    print(render_serve_status(doc, state))
+    return 0 if state.state == "ok" else 2
+
+
+def _serve_telemetry_kwargs(args: argparse.Namespace, worker_id: int = 0) -> dict:
+    """The per-request-telemetry constructor kwargs both transports take."""
+    access_log = getattr(args, "access_log", "")
+    status_dir = getattr(args, "status_dir", "")
+    return {
+        "access_log_path": access_log or None,
+        "access_log_sample": getattr(args, "access_log_sample", 1),
+        "slow_request_ms": getattr(args, "slow_request_ms", 500.0),
+        "worker_id": worker_id,
+        "status_dir": status_dir or None,
+        "status_every_s": getattr(args, "status_every", 5.0),
+    }
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import time as _time
     from pathlib import Path
@@ -659,6 +694,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_concurrency=args.max_concurrency,
             max_batch=args.max_batch,
             max_body_bytes=args.max_body_bytes,
+            **_serve_telemetry_kwargs(args),
         )
         server.start()
     else:
@@ -673,6 +709,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_body_bytes=args.max_body_bytes,
             read_timeout_s=args.read_timeout,
+            **_serve_telemetry_kwargs(args),
         )
         server.start(
             reload_path=str(index_path) if reload_every > 0 else None,
@@ -680,7 +717,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     transport = "threaded" if args.threaded else "asyncio"
     print(f"serving index {index.version} on {server.url} [{transport}] "
-          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index /healthz)")
+          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index "
+          "/healthz /statusz /metrics)")
     try:
         # The async transport watches the index file itself; the
         # threaded one polls here, same cadence as before.
@@ -733,7 +771,8 @@ def _serve_preforked(args: argparse.Namespace, index, workers: int) -> int:
         return 1
     print(f"serving index {index.version} on http://{args.host}:{port} "
           f"[asyncio x{workers} workers] "
-          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index /healthz)")
+          "(/v1/address /v1/domain /v1/screen /v1/families /v1/index "
+          "/healthz /statusz /metrics)")
     pids: list[int] = []
     for worker_id, sock in enumerate(sockets):
         pid = os.fork()
@@ -741,12 +780,15 @@ def _serve_preforked(args: argparse.Namespace, index, workers: int) -> int:
             pids.append(pid)
             continue
         # Child: keep only our listener, suffix per-worker obs outputs
-        # so N processes never write the same file.
+        # so N processes never write the same file.  The status dir is
+        # deliberately shared: each worker writes its own worker-N.json
+        # snapshot there, which is what makes any worker's /statusz
+        # answer for the whole fleet.
         for other in sockets:
             if other is not sock:
                 other.close()
         child_args = argparse.Namespace(**vars(args))
-        for attr in ("metrics_out", "trace_out"):
+        for attr in ("metrics_out", "trace_out", "access_log"):
             value = getattr(child_args, attr, "")
             if value:
                 setattr(child_args, attr, f"{value}.w{worker_id}")
@@ -761,6 +803,7 @@ def _serve_preforked(args: argparse.Namespace, index, workers: int) -> int:
             max_batch=args.max_batch,
             max_body_bytes=args.max_body_bytes,
             read_timeout_s=args.read_timeout,
+            **_serve_telemetry_kwargs(child_args, worker_id=worker_id),
         )
         reload_path = str(args.index) if args.reload_every > 0 else None
         try:
@@ -958,6 +1001,18 @@ def main(argv: list[str] | None = None) -> int:
                    help="also run the §8 website detector and fold the "
                         "confirmed domains into the index")
     b.set_defaults(fn=cmd_index_build)
+    s = isub.add_parser(
+        "serve-status",
+        help="per-worker + fleet view of a running query service; "
+             "exit 0 ok / 2 degraded / 1 error",
+    )
+    s.add_argument("source",
+                   help="serve URL (http://host:port) or the fleet's "
+                        "--status-dir directory")
+    s.add_argument("--stale-after", type=float, default=15.0, metavar="SECS",
+                   help="a worker snapshot older than this degrades the "
+                        "fleet state (default 15; 0 disables)")
+    s.set_defaults(fn=cmd_index_serve_status)
 
     p = sub.add_parser(
         "serve",
@@ -995,6 +1050,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--read-timeout", type=float, default=30.0, metavar="SECS",
                    help="async transport's per-read deadline; slow or "
                         "idle clients are disconnected (default 30)")
+    p.add_argument("--access-log", default="", metavar="FILE",
+                   help="append a structured JSONL access log here "
+                        "(per-worker files get a .wN suffix under "
+                        "--serve-workers)")
+    p.add_argument("--access-log-sample", type=int, default=1, metavar="N",
+                   help="log every Nth request (1 = all, 0 = only slow "
+                        "or errored requests, which are always captured)")
+    p.add_argument("--slow-request-ms", type=float, default=500.0,
+                   metavar="MS",
+                   help="requests over this duration are always written "
+                        "to the access log in full detail (default 500)")
+    p.add_argument("--status-dir", default="", metavar="DIR",
+                   help="directory for per-worker metrics snapshots; "
+                        "enables the fleet-wide /statusz and /metrics "
+                        "views and `daas-repro index serve-status`")
+    p.add_argument("--status-every", type=float, default=5.0, metavar="SECS",
+                   help="how often each worker refreshes its snapshot in "
+                        "--status-dir (default 5)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

@@ -35,12 +35,20 @@ from repro.obs.metrics import (
     CACHE_RATIO_BUCKETS,
     LATENCY_BUCKETS,
     SERVE_LATENCY_BUCKETS,
+    SERVE_SIZE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     escape_help,
     escape_label_value,
+)
+from repro.obs.request import (
+    REQUEST_ID_HEADER,
+    AccessLog,
+    RequestContext,
+    RequestTelemetry,
+    sanitize_request_id,
 )
 from repro.obs.summary import (
     StageRow,
@@ -54,12 +62,17 @@ __all__ = [
     "CACHE_RATIO_BUCKETS",
     "LATENCY_BUCKETS",
     "NULL_SPAN",
+    "REQUEST_ID_HEADER",
     "SERVE_LATENCY_BUCKETS",
+    "SERVE_SIZE_BUCKETS",
+    "AccessLog",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "RequestContext",
+    "RequestTelemetry",
     "Span",
     "StageRow",
     "StructuredLogger",

@@ -31,6 +31,7 @@ __all__ = [
     "CACHE_RATIO_BUCKETS",
     "LATENCY_BUCKETS",
     "SERVE_LATENCY_BUCKETS",
+    "SERVE_SIZE_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -53,6 +54,14 @@ LATENCY_BUCKETS = (
 SERVE_LATENCY_BUCKETS = (
     0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
     0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
+
+#: Buckets (bytes) for request/response body sizes on the serve plane:
+#: point lookups are a few hundred bytes, screening batches run to
+#: megabytes, so the bounds are power-of-four-ish from 64 B to 4 MiB.
+SERVE_SIZE_BUCKETS = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0,
 )
 
 #: Default buckets for cache hit ratios (a share in [0, 1]).

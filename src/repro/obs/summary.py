@@ -44,6 +44,24 @@ class StageRow:
         return len(self.path) - 1
 
 
+def _span_label(span: dict[str, Any]) -> str:
+    """The grouping label for one span record.
+
+    Serve-plane request spans all share the name ``serve.request``;
+    without the endpoint attribute they would collapse into one
+    undifferentiated row.  Splitting the label by endpoint keeps the
+    route-template cardinality (``serve.request /v1/screen``), so the
+    flame table reads per-endpoint like the latency histograms do.
+    """
+    name = str(span.get("name", "?"))
+    if name == "serve.request":
+        attrs = span.get("attrs") or {}
+        endpoint = attrs.get("endpoint")
+        if endpoint:
+            return f"{name} {endpoint}"
+    return name
+
+
 def aggregate_trace(spans: Iterable[dict[str, Any]]) -> list[StageRow]:
     """Aggregate span records into an ordered, depth-first row list."""
     spans = list(spans)
@@ -54,7 +72,7 @@ def aggregate_trace(spans: Iterable[dict[str, Any]]) -> list[StageRow]:
         seen: set[str] = set()
         node: dict[str, Any] | None = span
         while node is not None:
-            names.append(str(node.get("name", "?")))
+            names.append(_span_label(node))
             span_id = node.get("span")
             if span_id in seen:  # defensive: a cyclic file must not hang us
                 break

@@ -18,7 +18,12 @@ them into something a wallet or a screening feed can *ask*:
   endpoints, chunked verdict streams, optional pre-forked multi-worker
   mode via :func:`preforked_sockets`;
 * :mod:`repro.serve.server`    — :class:`IntelServer`, the threaded
-  ``/v1/*`` transport kept for embedding and as migration baseline.
+  ``/v1/*`` transport kept for embedding and as migration baseline;
+* :mod:`repro.serve.fleet`     — :class:`ServeAggregator`, the fleet
+  metrics plane for pre-forked workers: atomic per-worker registry
+  snapshots merged into one ``/statusz`` / ``/metrics`` view and the
+  ``daas-repro index serve-status`` table (errors raise
+  :class:`ServeStatusError`).
 
 Both transports serve the same endpoint matrix — ETags, rate limiting,
 bounded concurrency, zero-drop hot reload — with byte-identical bodies.
@@ -32,6 +37,7 @@ from repro.serve.aserver import (
     PreforkedListeners,
     preforked_sockets,
 )
+from repro.serve.fleet import ServeAggregator, ServeStatusError
 from repro.serve.handler import IntelHandlerCore, ServeResponse
 from repro.serve.index import (
     AddressIntel,
@@ -58,7 +64,9 @@ __all__ = [
     "PreforkedListeners",
     "QueryEngine",
     "ScreenVerdict",
+    "ServeAggregator",
     "ServeResponse",
+    "ServeStatusError",
     "TokenBucket",
     "build_index",
     "preforked_sockets",

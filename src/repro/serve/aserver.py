@@ -48,7 +48,8 @@ import time
 from dataclasses import dataclass
 from http.client import responses as _REASONS
 
-from repro.obs import Observability
+from repro.obs import Observability, RequestContext
+from repro.obs.request import REQUEST_ID_HEADER
 from repro.serve.handler import IntelHandlerCore, ServeResponse
 from repro.serve.index import IntelIndex
 from repro.serve.query import QueryEngine
@@ -133,6 +134,12 @@ class AsyncIntelServer:
         busy_timeout_s: float = 0.5,
         read_timeout_s: float = 30.0,
         clock=time.monotonic,
+        access_log_path: str | None = None,
+        access_log_sample: int = 1,
+        slow_request_ms: float = 500.0,
+        worker_id: int = 0,
+        status_dir: str | None = None,
+        status_every_s: float = 5.0,
     ) -> None:
         self.core = IntelHandlerCore(
             index=index,
@@ -145,6 +152,11 @@ class AsyncIntelServer:
             max_body_bytes=max_body_bytes,
             reload_timeout_s=reload_timeout_s,
             clock=clock,
+            access_log_path=access_log_path,
+            access_log_sample=access_log_sample,
+            slow_request_ms=slow_request_ms,
+            worker_id=worker_id,
+            status_dir=status_dir,
         )
         self.host = host
         self.requested_port = port
@@ -152,6 +164,7 @@ class AsyncIntelServer:
         self.max_batch = max_batch
         self.busy_timeout_s = busy_timeout_s
         self.read_timeout_s = read_timeout_s
+        self.status_every_s = status_every_s
         self._gate: asyncio.BoundedSemaphore | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
@@ -248,12 +261,24 @@ class AsyncIntelServer:
             watcher = asyncio.create_task(
                 self._watch_index(reload_path, reload_every)
             )
+        # Publish an eager snapshot so siblings see this worker from the
+        # first request, then keep it fresh on a timer.
+        self.core.write_status_snapshot()
+        snapshotter = None
+        if self.core.status_dir and self.status_every_s > 0:
+            snapshotter = asyncio.create_task(
+                self._write_snapshots(self.status_every_s)
+            )
         try:
             async with server:
                 await self._stop.wait()
         finally:
             if watcher is not None:
                 watcher.cancel()
+            if snapshotter is not None:
+                snapshotter.cancel()
+            self.core.write_status_snapshot()
+            self.core.close()
             self._loop = None
             self.obs.event("serve.stopped")
 
@@ -314,6 +339,11 @@ class AsyncIntelServer:
                 last = current
                 await asyncio.to_thread(self.core.reload, path)
 
+    async def _write_snapshots(self, every: float) -> None:
+        while True:
+            await asyncio.sleep(every)
+            await asyncio.to_thread(self.core.write_status_snapshot)
+
     # -- connection handling -------------------------------------------------
 
     async def _serve_connection(
@@ -325,15 +355,22 @@ class AsyncIntelServer:
         peer_host = peer[0] if isinstance(peer, tuple) else "unknown"
         try:
             while True:
-                request = await self._read_request(reader, writer)
+                request = await self._read_request(reader, writer, peer_host)
                 if request is None:
                     return
                 method, target, http_version, headers, body = request
+                ctx = self.core.begin_request(
+                    method, target, client=peer_host,
+                    request_id=headers.get("x-request-id"),
+                    bytes_in=len(body),
+                )
                 keep_alive = self._wants_keep_alive(http_version, headers)
-                response = await self._admit(method, target, headers, body,
-                                             peer_host)
+                response = await self._admit(ctx, method, target, headers,
+                                             body, peer_host)
+                self.core.finish_request(ctx, response)
                 await self._write_response(writer, response,
-                                           keep_alive and not response.close)
+                                           keep_alive and not response.close,
+                                           request_id=ctx.request_id)
                 if response.close or not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
@@ -348,8 +385,37 @@ class AsyncIntelServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
+    async def _reject(
+        self,
+        writer: asyncio.StreamWriter,
+        response: ServeResponse,
+        peer_host: str,
+        method: str = "?",
+        target: str = "*",
+        headers: dict[str, str] | None = None,
+        bytes_in: int = 0,
+    ) -> None:
+        """Write a protocol-level rejection (400/413) with full telemetry.
+
+        Framing failures never reach :meth:`_admit`, but they still get a
+        request id (echoing an inbound one when the headers parsed that
+        far), a latency/size observation, and an always-on access-log
+        error record.
+        """
+        ctx = self.core.begin_request(
+            method, target, client=peer_host,
+            request_id=(headers or {}).get("x-request-id"),
+            bytes_in=bytes_in,
+        )
+        self.core.finish_request(ctx, response)
+        await self._write_response(writer, response, False,
+                                   request_id=ctx.request_id)
+
     async def _read_request(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer_host: str,
     ):
         """One parsed request, or ``None`` after EOF / timeout / bad framing
         (the rejection response, if any, is already written)."""
@@ -364,9 +430,10 @@ class AsyncIntelServer:
             return None  # clean EOF between requests
         parts = line.decode("latin-1").rstrip("\r\n").split(" ")
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-            await self._write_response(
-                writer, core.malformed_response("bad request line"), False)
+            await self._reject(
+                writer, core.malformed_response("bad request line"), peer_host)
             return None
+        method, target = parts[0], parts[1]
 
         headers: dict[str, str] = {}
         total = len(line)
@@ -379,8 +446,9 @@ class AsyncIntelServer:
                 return None
             total += len(raw)
             if total > _MAX_HEADER_BYTES:
-                await self._write_response(
-                    writer, core.malformed_response("headers too large"), False)
+                await self._reject(
+                    writer, core.malformed_response("headers too large"),
+                    peer_host, method=method, target=target, headers=headers)
                 return None
             if raw in (b"\r\n", b"\n"):
                 break
@@ -388,8 +456,9 @@ class AsyncIntelServer:
                 return None  # EOF mid-headers
             name, sep, value = raw.decode("latin-1").partition(":")
             if not sep:
-                await self._write_response(
-                    writer, core.malformed_response("bad header line"), False)
+                await self._reject(
+                    writer, core.malformed_response("bad header line"),
+                    peer_host, method=method, target=target, headers=headers)
                 return None
             headers[name.strip().lower()] = value.strip()
 
@@ -398,12 +467,14 @@ class AsyncIntelServer:
         try:
             length = int(raw_length)
         except ValueError:
-            await self._write_response(
-                writer, core.malformed_response("bad Content-Length"), False)
+            await self._reject(
+                writer, core.malformed_response("bad Content-Length"),
+                peer_host, method=method, target=target, headers=headers)
             return None
         if length > core.max_body_bytes:
-            await self._write_response(
-                writer, core.oversized_response(length), False)
+            await self._reject(
+                writer, core.oversized_response(length), peer_host,
+                method=method, target=target, headers=headers, bytes_in=length)
             return None
         if length > 0:
             try:
@@ -425,6 +496,7 @@ class AsyncIntelServer:
 
     async def _admit(
         self,
+        ctx: RequestContext,
         method: str,
         target: str,
         headers: dict[str, str],
@@ -432,9 +504,7 @@ class AsyncIntelServer:
         peer_host: str,
     ) -> ServeResponse:
         core = self.core
-        started = time.perf_counter()
-        endpoint = core.endpoint_of(target)
-        core.count_request(endpoint)
+        core.count_request(ctx.endpoint)
 
         client_id = headers.get("x-client-id") or peer_host
         rejected = core.check_rate(client_id)
@@ -448,7 +518,11 @@ class AsyncIntelServer:
             return core.busy_response()
         core.metrics.inflight.inc()
         try:
-            with self.obs.span("serve.request", endpoint=endpoint, method=method):
+            # The span wraps only the synchronous handle() call: spans
+            # nest on a thread-local stack, so crossing an await under
+            # interleaved requests would corrupt the pop order.
+            with self.obs.span("serve.request", endpoint=ctx.endpoint,
+                               method=method, request_id=ctx.request_id):
                 return core.handle(
                     method, target, body=body,
                     if_none_match=headers.get("if-none-match"),
@@ -456,17 +530,21 @@ class AsyncIntelServer:
         finally:
             core.metrics.inflight.inc(-1)
             self._gate.release()
-            core.observe(time.perf_counter() - started)
 
     async def _write_response(
         self,
         writer: asyncio.StreamWriter,
         response: ServeResponse,
         keep_alive: bool = True,
+        request_id: str | None = None,
     ) -> None:
         reason = _REASONS.get(response.status, "Unknown")
         head = [f"HTTP/1.1 {response.status} {reason}",
                 f"Content-Type: {response.content_type}"]
+        # Attached at write time, never stored on the (cached, shared)
+        # ServeResponse — a baked-in id would replay on every cache hit.
+        if request_id is not None:
+            head.append(f"{REQUEST_ID_HEADER}: {request_id}")
         head += [f"{key}: {value}" for key, value in response.headers]
         if response.close or not keep_alive:
             head.append("Connection: close")

@@ -22,14 +22,22 @@ load.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
 from urllib.parse import parse_qs, unquote
 
-from repro.obs import SERVE_LATENCY_BUCKETS, Observability
+from repro.obs import AccessLog, Observability, RequestContext, RequestTelemetry
+from repro.obs.live.server import PROMETHEUS_CONTENT_TYPE
 from repro.runtime.cache import ReadThroughCache
+from repro.serve.fleet import (
+    ServeAggregator,
+    SnapshotScan,
+    render_fleet_prometheus,
+    write_worker_snapshot,
+)
 from repro.serve.index import IndexFormatError, IntelIndex
 from repro.serve.query import QueryEngine, risk_score
 from repro.serve.ratelimit import ClientRateLimiter
@@ -39,7 +47,7 @@ __all__ = ["IntelHandlerCore", "ServeResponse"]
 #: Endpoint label values (route templates, so cardinality stays fixed).
 _ENDPOINTS = (
     "/v1/address", "/v1/domain", "/v1/screen", "/v1/families",
-    "/v1/index", "/healthz", "other",
+    "/v1/index", "/healthz", "/statusz", "/metrics", "other",
 )
 
 #: Every route the service answers, as shown in 404 bodies and verified
@@ -52,6 +60,8 @@ ROUTE_HELP = [
     "/v1/families",
     "/v1/index",
     "/healthz",
+    "/statusz",
+    "/metrics",
 ]
 
 #: Cache-gauge publication cadence: refreshing the hit/miss gauges on
@@ -86,7 +96,6 @@ class _CoreMetrics:
     """The ``daas_serve_*`` instrument handles, resolved once."""
 
     requests: dict[str, Any] = field(default_factory=dict)
-    latency: Any = None
     rate_limited: Any = None
     busy_rejected: Any = None
     oversized: Any = None
@@ -96,6 +105,7 @@ class _CoreMetrics:
     index_loaded: Any = None
     reloads: dict[str, Any] = field(default_factory=dict)
     screened: Any = None
+    snapshots: Any = None
 
 
 class IntelHandlerCore:
@@ -113,6 +123,11 @@ class IntelHandlerCore:
         max_body_bytes: int = 1 << 20,
         reload_timeout_s: float = 30.0,
         clock=time.monotonic,
+        access_log_path: str | None = None,
+        access_log_sample: int = 1,
+        slow_request_ms: float = 500.0,
+        worker_id: int = 0,
+        status_dir: str | None = None,
     ) -> None:
         self.obs = obs if obs is not None else Observability.disabled()
         self.max_concurrency = max_concurrency
@@ -120,7 +135,31 @@ class IntelHandlerCore:
         self.cache_size = cache_size
         self.max_body_bytes = max_body_bytes
         self.reload_timeout_s = reload_timeout_s
+        self.worker_id = int(worker_id)
+        self.status_dir = str(status_dir) if status_dir else None
         self.limiter = ClientRateLimiter(rate_limit, burst=burst, clock=clock)
+        access_log = (
+            AccessLog(
+                access_log_path,
+                sample=access_log_sample,
+                run_id=self.obs.run_id,
+                worker_id=self.worker_id,
+                metrics=self.obs.metrics,
+            )
+            if access_log_path
+            else None
+        )
+        #: Per-request ids + latency/size histograms + the access log;
+        #: both transports drive it via begin_request()/finish_request().
+        self.telemetry = RequestTelemetry(
+            self.obs,
+            access_log=access_log,
+            slow_request_ms=slow_request_ms,
+            worker_id=self.worker_id,
+        )
+        #: Merges this worker's live registry with the other workers'
+        #: snapshot files for the fleet-wide /statusz and /metrics views.
+        self.aggregator = ServeAggregator(obs=self.obs)
         self._engine: QueryEngine | None = (
             QueryEngine(index, cache_size=cache_size) if index is not None else None
         )
@@ -141,11 +180,6 @@ class IntelHandlerCore:
             )
             for endpoint in _ENDPOINTS
         }
-        m.latency = metrics.histogram(
-            "daas_serve_request_seconds",
-            help_text="Query-service request latency.",
-            buckets=SERVE_LATENCY_BUCKETS,
-        )
         m.rate_limited = metrics.counter(
             "daas_serve_rate_limited_total",
             help_text="Requests rejected 429 by the per-client token bucket.",
@@ -185,6 +219,10 @@ class IntelHandlerCore:
         m.screened = metrics.counter(
             "daas_serve_screened_addresses_total",
             help_text="Addresses screened through POST /v1/screen.",
+        )
+        m.snapshots = metrics.counter(
+            "daas_serve_status_snapshots_total",
+            help_text="Worker metrics snapshots written to --status-dir.",
         )
         m.index_loaded.set(1 if self._engine is not None else 0)
         self._publish_index_gauges()
@@ -287,8 +325,8 @@ class IntelHandlerCore:
     @staticmethod
     def endpoint_of(path: str) -> str:
         path = path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/healthz":
-            return "/healthz"
+        if path in ("/healthz", "/statusz", "/metrics"):
+            return path
         parts = path.split("/")
         if len(parts) >= 3 and parts[1] == "v1":
             candidate = f"/v1/{parts[2]}"
@@ -329,12 +367,40 @@ class IntelHandlerCore:
         return self._json(400, {"error": f"malformed request: {reason}"},
                           close=True)
 
-    def observe(self, seconds: float) -> None:
-        """Per-request epilogue: latency histogram + periodic gauges."""
-        self.metrics.latency.observe(seconds)
+    def begin_request(
+        self,
+        method: str,
+        target: str,
+        client: str | None = None,
+        request_id: str | None = None,
+        bytes_in: int = 0,
+        endpoint: str | None = None,
+    ) -> RequestContext:
+        """Open the per-request telemetry context.
+
+        Transports call this as soon as the request line and headers are
+        framed (and for *unframeable* requests, with whatever is known),
+        so even protocol-level 400/413 rejections get an id, a latency
+        observation, and an access-log error record.
+        """
+        if endpoint is None:
+            endpoint = self.endpoint_of(target)
+        return self.telemetry.begin(
+            method, target, endpoint,
+            client=client, request_id=request_id, bytes_in=bytes_in,
+        )
+
+    def finish_request(self, ctx: RequestContext, response: ServeResponse) -> ServeResponse:
+        """Per-request epilogue: histograms + access log + periodic gauges."""
+        ctx.finish(response)
         self._observed += 1
         if self._observed % _GAUGE_EVERY == 0:
             self.publish_cache_gauges()
+        return response
+
+    def close(self) -> None:
+        """Release per-request telemetry resources (the access log)."""
+        self.telemetry.close()
 
     # -- routing -------------------------------------------------------------
 
@@ -350,6 +416,12 @@ class IntelHandlerCore:
         path = raw_path.rstrip("/") or "/"
         if path == "/healthz":
             return self._healthz()
+        # The fleet views answer even with no index loaded — an operator
+        # diagnosing a worker that failed to load needs them most then.
+        if path == "/statusz":
+            return self._statusz(method)
+        if path == "/metrics":
+            return self._fleet_metrics(method)
         # Everything under /v1 needs a loaded index; resolve the engine
         # exactly once so a concurrent hot-reload cannot split a request
         # across index versions.
@@ -405,6 +477,67 @@ class IntelHandlerCore:
             "error": f"no such endpoint: {path}",
             "endpoints": list(ROUTE_HELP),
         }, version=version)
+
+    # -- the fleet aggregation plane -----------------------------------------
+
+    def write_status_snapshot(self) -> str | None:
+        """Atomically publish this worker's registry to ``--status-dir``.
+
+        Called eagerly at startup, periodically while serving, and once
+        more at shutdown, so sibling workers (and ``index serve-status``)
+        always find a recent snapshot.  Failures are logged and counted,
+        never raised — publishing status must not take down serving.
+        """
+        if not self.status_dir:
+            return None
+        try:
+            path = write_worker_snapshot(
+                self.status_dir, self.worker_id, self.obs,
+                index_version=self.index_version,
+            )
+        except OSError as exc:
+            self.obs.event("serve.snapshot_failed", level="warning",
+                           path=str(self.status_dir), reason=str(exc))
+            return None
+        self.metrics.snapshots.inc()
+        return path
+
+    def fleet_snapshots(self) -> SnapshotScan:
+        """This worker's live registry + every sibling's snapshot file."""
+        own = {
+            "ts": time.time(),
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "run": self.obs.run_id,
+            "index_version": self.index_version,
+            "live": True,
+            "metrics": self.obs.metrics.to_json(),
+        }
+        if not self.status_dir:
+            return SnapshotScan(snapshots=[own], skipped=0)
+        scan = self.aggregator.read_snapshots(
+            self.status_dir, exclude_worker=self.worker_id
+        )
+        return SnapshotScan(snapshots=[own] + scan.snapshots, skipped=scan.skipped)
+
+    def _statusz(self, method: str) -> ServeResponse:
+        if method != "GET":
+            return self._json(405, {"error": "use GET for /statusz"})
+        scan = self.fleet_snapshots()
+        doc = self.aggregator.fleet_doc(scan.snapshots, skipped=scan.skipped)
+        doc.pop("metrics", None)  # the raw registry is what /metrics is for
+        return self._json(200, doc)
+
+    def _fleet_metrics(self, method: str) -> ServeResponse:
+        if method != "GET":
+            return self._json(405, {"error": "use GET for /metrics"})
+        scan = self.fleet_snapshots()
+        merged = self.aggregator.merge(scan.snapshots)
+        return ServeResponse(
+            200,
+            render_fleet_prometheus(merged).encode("utf-8"),
+            PROMETHEUS_CONTENT_TYPE,
+        )
 
     # -- endpoint bodies -----------------------------------------------------
 

@@ -24,6 +24,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.obs import Observability
+from repro.obs.request import REQUEST_ID_HEADER
 from repro.serve.handler import IntelHandlerCore, ServeResponse
 from repro.serve.index import IntelIndex
 from repro.serve.query import QueryEngine
@@ -49,6 +50,12 @@ class IntelServer:
         reload_timeout_s: float = 30.0,
         busy_timeout_s: float = 0.5,
         clock=time.monotonic,
+        access_log_path: str | None = None,
+        access_log_sample: int = 1,
+        slow_request_ms: float = 500.0,
+        worker_id: int = 0,
+        status_dir: str | None = None,
+        status_every_s: float = 5.0,
     ) -> None:
         self.core = IntelHandlerCore(
             index=index,
@@ -61,15 +68,23 @@ class IntelServer:
             max_body_bytes=max_body_bytes,
             reload_timeout_s=reload_timeout_s,
             clock=clock,
+            access_log_path=access_log_path,
+            access_log_sample=access_log_sample,
+            slow_request_ms=slow_request_ms,
+            worker_id=worker_id,
+            status_dir=status_dir,
         )
         self.host = host
         self.requested_port = port
         self.max_batch = max_batch
         self.max_concurrency = max_concurrency
         self.busy_timeout_s = busy_timeout_s
+        self.status_every_s = status_every_s
         self._gate = threading.BoundedSemaphore(max_concurrency)
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        self._snapshot_stop: threading.Event | None = None
+        self._snapshot_thread: threading.Thread | None = None
 
     # -- core delegation -----------------------------------------------------
 
@@ -133,19 +148,40 @@ class IntelServer:
             name="serve-intel-server", daemon=True,
         )
         self._thread.start()
+        self.core.write_status_snapshot()
+        if self.core.status_dir and self.status_every_s > 0:
+            self._snapshot_stop = threading.Event()
+            self._snapshot_thread = threading.Thread(
+                target=self._write_snapshots,
+                name="serve-status-snapshots", daemon=True,
+            )
+            self._snapshot_thread.start()
         self.obs.event("serve.started", url=self.url,
                        index_version=self.index_version)
         return self
 
     def stop(self) -> None:
+        if self._snapshot_stop is not None:
+            self._snapshot_stop.set()
+        if self._snapshot_thread is not None:
+            self._snapshot_thread.join(timeout=5.0)
+            self._snapshot_thread = None
+            self._snapshot_stop = None
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
             self._httpd = None
+            self.core.write_status_snapshot()
+            self.core.close()
             self.obs.event("serve.stopped")
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def _write_snapshots(self) -> None:
+        assert self._snapshot_stop is not None
+        while not self._snapshot_stop.wait(self.status_every_s):
+            self.core.write_status_snapshot()
 
     # -- request plumbing ----------------------------------------------------
 
@@ -155,9 +191,16 @@ class IntelServer:
 
     def _admit(self, request: BaseHTTPRequestHandler, method: str) -> None:
         core = self.core
-        started = time.perf_counter()
-        endpoint = core.endpoint_of(request.path)
-        core.count_request(endpoint)
+        ctx = core.begin_request(
+            method, request.path,
+            client=request.client_address[0],
+            request_id=request.headers.get("X-Request-Id"),
+        )
+        core.count_request(ctx.endpoint)
+
+        def finish(response: ServeResponse) -> None:
+            core.finish_request(ctx, response)
+            self._send(request, response, ctx.request_id)
 
         # Framing first: the body must leave the stream (or the response
         # must close the connection) before any rejection, else the next
@@ -168,38 +211,48 @@ class IntelServer:
             try:
                 length = int(request.headers.get("Content-Length", "0"))
             except ValueError:
-                self._send(request, core.malformed_response("bad Content-Length"))
+                finish(core.malformed_response("bad Content-Length"))
                 return
             if length > core.max_body_bytes:
-                self._send(request, core.oversized_response(length))
+                ctx.bytes_in = length
+                finish(core.oversized_response(length))
                 return
             if length > 0:
                 body = request.rfile.read(length)
+                ctx.bytes_in = len(body)
 
         rejected = core.check_rate(self._client_id(request))
         if rejected is not None:
-            self._send(request, rejected)
+            finish(rejected)
             return
         if not self._gate.acquire(timeout=self.busy_timeout_s):
-            self._send(request, core.busy_response())
+            finish(core.busy_response())
             return
         core.metrics.inflight.inc()
         try:
-            with self.obs.span("serve.request", endpoint=endpoint, method=method):
+            with self.obs.span("serve.request", endpoint=ctx.endpoint,
+                               method=method, request_id=ctx.request_id):
                 response = core.handle(
                     method, request.path, body=body,
                     if_none_match=request.headers.get("If-None-Match"),
                 )
-                self._send(request, response)
+            finish(response)
         finally:
             core.metrics.inflight.inc(-1)
             self._gate.release()
-            core.observe(time.perf_counter() - started)
 
     @staticmethod
-    def _send(request: BaseHTTPRequestHandler, response: ServeResponse) -> None:
+    def _send(
+        request: BaseHTTPRequestHandler,
+        response: ServeResponse,
+        request_id: str | None = None,
+    ) -> None:
         request.send_response(response.status)
         request.send_header("Content-Type", response.content_type)
+        # Attached at send time, never stored on the (cached, shared)
+        # ServeResponse — a baked-in id would replay on every cache hit.
+        if request_id is not None:
+            request.send_header(REQUEST_ID_HEADER, request_id)
         for key, value in response.headers:
             request.send_header(key, value)
         if response.close:

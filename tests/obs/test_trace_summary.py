@@ -107,6 +107,68 @@ def test_summarize_file_and_cli(tmp_path, capsys):
     assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 1
 
 
+class TestServeRequestSpans:
+    """Serve-plane spans all share the name ``serve.request``; the
+    summary splits them by the ``endpoint`` attribute so the flame table
+    reads per-route, like the latency histograms do."""
+
+    def _serve_span(self, span_id, endpoint=None, wall=0.1):
+        record = _span(span_id, None, "serve.request", wall, wall)
+        if endpoint is not None:
+            record["attrs"] = {"endpoint": endpoint, "method": "GET",
+                               "request_id": f"req-{span_id}"}
+        return record
+
+    def test_grouped_by_endpoint(self):
+        rows = aggregate_trace([
+            self._serve_span("a1", "/v1/screen"),
+            self._serve_span("a2", "/v1/screen"),
+            self._serve_span("a3", "/v1/address"),
+            self._serve_span("a4"),  # no attrs: bare label, still counted
+        ])
+        by_path = {row.path: row for row in rows}
+        assert by_path[("serve.request /v1/screen",)].calls == 2
+        assert by_path[("serve.request /v1/address",)].calls == 1
+        assert by_path[("serve.request",)].calls == 1
+
+    def test_rendered_table_reads_per_endpoint(self):
+        rendered = render_trace_summary([
+            self._serve_span("a1", "/v1/screen", wall=0.4),
+            self._serve_span("a2", "/v1/address", wall=0.2),
+        ])
+        assert "serve.request /v1/screen" in rendered
+        assert "serve.request /v1/address" in rendered
+
+    def test_real_server_trace_end_to_end(self, tmp_path, capsys):
+        """Spans written by a live server group by endpoint through the
+        ``trace-summary`` CLI."""
+        import socket as _socket
+
+        from repro.obs import Observability
+        from repro.serve import IntelServer
+
+        obs = Observability(run_id="trace-e2e")
+        server = IntelServer(obs=obs).start()  # no index: 503s still span
+        try:
+            for target in ("/healthz", "/v1/address/0xabc", "/healthz"):
+                sock = _socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=5)
+                sock.sendall(
+                    f"GET {target} HTTP/1.1\r\nHost: t\r\n"
+                    "Connection: close\r\n\r\n".encode())
+                while sock.recv(65536):
+                    pass
+                sock.close()
+        finally:
+            server.stop()
+        path = tmp_path / "serve-trace.jsonl"
+        obs.write_trace(str(path))
+        assert main(["trace-summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request /healthz" in out
+        assert "serve.request /v1/address" in out
+
+
 class TestCliErrors:
     """Missing / empty / truncated trace files: exit 1, one clear line on
     stderr, never a traceback."""
