@@ -34,6 +34,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 PUBLIC_MODULES = (
     "src/repro/__init__.py",
     "src/repro/api.py",
+    "src/repro/risk/__init__.py",
     "src/repro/runtime/__init__.py",
     "src/repro/serve/__init__.py",
 )
@@ -41,6 +42,7 @@ PUBLIC_MODULES = (
 #: Files whose public callables must not be annotated to return tuples.
 TUPLE_RULE_GLOBS = (
     "src/repro/api.py",
+    "src/repro/risk/*.py",
     "src/repro/runtime/*.py",
     "src/repro/serve/*.py",
 )

@@ -20,7 +20,11 @@ Verifies, for ``README.md`` and every ``docs/*.md``:
    ``docs/serving.md``, and every ``/v1/...``, ``/healthz``,
    ``/statusz`` or ``/metrics`` route the doc mentions exists in the
    serving source — so the API reference cannot document a route that
-   was removed, nor silently omit one that shipped.
+   was removed, nor silently omit one that shipped;
+5. the risk-stage taxonomy is documented: every ``STAGE_*`` literal in
+   ``src/repro/risk/signals.py`` is named in ``docs/risk.md``, and
+   ``docs/serving.md`` covers the ``schema_version`` response field —
+   so the fusion docs cannot drift behind the signal model.
 
 Run directly (``python scripts/check_docs.py``, exits non-zero on
 problems) or through ``tests/test_docs.py``, which wires it into the
@@ -156,6 +160,42 @@ def check_routes(root: Path = REPO_ROOT) -> list[str]:
     return errors
 
 
+_STAGE_LITERAL_RE = re.compile(r'^STAGE_\w+\s*=\s*"([a-z]+)"', re.MULTILINE)
+
+
+def risk_stages(root: Path = REPO_ROOT) -> set[str]:
+    """Every stage literal ``src/repro/risk/signals.py`` defines."""
+    source = root / "src" / "repro" / "risk" / "signals.py"
+    if not source.exists():
+        return set()
+    return set(_STAGE_LITERAL_RE.findall(source.read_text()))
+
+
+def check_risk_docs(root: Path = REPO_ROOT) -> list[str]:
+    """``docs/risk.md`` must name every signal stage; ``docs/serving.md``
+    must cover the versioned response schema it produces."""
+    errors = []
+    stages = risk_stages(root)
+    risk_doc = root / "docs" / "risk.md"
+    if stages and not risk_doc.exists():
+        return ["docs/risk.md: missing (src/repro/risk/ defines stage signals)"]
+    risk_text = risk_doc.read_text() if risk_doc.exists() else ""
+    for stage in sorted(stages):
+        if stage not in risk_text:
+            errors.append(
+                f"docs/risk.md: signal stage {stage!r} "
+                "(src/repro/risk/signals.py) is not documented"
+            )
+    serving_doc = root / "docs" / "serving.md"
+    if stages and serving_doc.exists():
+        if "schema_version" not in serving_doc.read_text():
+            errors.append(
+                "docs/serving.md: the schema_version response field is "
+                "not documented"
+            )
+    return errors
+
+
 def run_checks(root: Path = REPO_ROOT) -> list[str]:
     known = cli_flags(root)
     errors: list[str] = []
@@ -163,6 +203,7 @@ def run_checks(root: Path = REPO_ROOT) -> list[str]:
         errors.extend(check_links(path, root))
         errors.extend(check_flags(path, known, root))
     errors.extend(check_routes(root))
+    errors.extend(check_risk_docs(root))
     return errors
 
 

@@ -9,9 +9,11 @@ control — the extension exercised by ``examples/wallet_guard.py``.
 
 The guard accepts either a bare ``set[str]`` blacklist (the original
 surface) or a :class:`repro.serve.index.IntelIndex`.  With an index the
-verdicts carry the matched evidence — the address's role and family —
-instead of the generic "known DaaS account" string, and membership stays
-O(1) either way.
+verdicts carry the matched evidence — the address's role and family,
+and, for records with :mod:`repro.risk` stage signals, the same fused
+citation records and calibrated score ``/v1/screen`` serves — so guard
+and serve answers are structurally identical.  Membership stays O(1)
+either way.
 """
 
 from __future__ import annotations
@@ -19,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.chain.rpc import EthereumRPC
+from repro.risk.fusion import FusionEngine
+from repro.risk.signals import EvidenceRecord
 
 __all__ = ["GuardVerdict", "TransactionIntent", "WalletGuard"]
 
@@ -36,12 +40,43 @@ class TransactionIntent:
 
 @dataclass
 class GuardVerdict:
+    """The wallet's answer, shaped like a serving verdict: the decision,
+    human-readable alerts, and — when fused intelligence backs a match —
+    the same calibrated ``risk``, ``stages`` breakdown and
+    :class:`~repro.risk.signals.EvidenceRecord` citations that
+    ``/v1/screen`` returns (no parallel ad-hoc evidence dicts)."""
+
     allowed: bool
     alerts: list[str] = field(default_factory=list)
+    risk: float = 0.0
+    stages: list[str] = field(default_factory=list)
+    evidence: list[EvidenceRecord] = field(default_factory=list)
 
-    def deny(self, reason: str) -> None:
+    def deny(self, reason: str, evidence: tuple[EvidenceRecord, ...] = (),
+             risk: float = 0.0) -> None:
         self.allowed = False
         self.alerts.append(reason)
+        self.cite(evidence, risk=risk)
+
+    def cite(self, evidence: tuple[EvidenceRecord, ...] = (),
+             risk: float = 0.0) -> None:
+        """Attach fused citations (deduplicated) and raise the score."""
+        for record in evidence:
+            if record not in self.evidence:
+                self.evidence.append(record)
+            if record.stage not in self.stages:
+                self.stages.append(record.stage)
+        if risk > self.risk:
+            self.risk = round(risk, 4)
+
+    def to_payload(self) -> dict:
+        return {
+            "allowed": self.allowed,
+            "alerts": list(self.alerts),
+            "risk": self.risk,
+            "stages": list(self.stages),
+            "evidence": [record.to_payload() for record in self.evidence],
+        }
 
 
 class WalletGuard:
@@ -52,8 +87,10 @@ class WalletGuard:
     ``lookup_address`` method); both support ``in`` membership tests.
     """
 
-    def __init__(self, rpc: EthereumRPC, blacklist) -> None:
+    def __init__(self, rpc: EthereumRPC, blacklist,
+                 fusion: FusionEngine | None = None) -> None:
         self.rpc = rpc
+        self.fusion = fusion if fusion is not None else FusionEngine()
         if hasattr(blacklist, "lookup_address"):
             self.index = blacklist
             self.blacklist = blacklist          # __contains__ is O(1)
@@ -73,6 +110,17 @@ class WalletGuard:
                 return described
         return "a known DaaS account"
 
+    def _cite(self, verdict: GuardVerdict, address: str) -> None:
+        """Fold the fused verdict for ``address`` into ``verdict`` —
+        the identical evidence records the serving layer would return."""
+        if self.index is None:
+            return
+        intel = self.index.lookup_address(address)
+        if intel is None or not intel.signals:
+            return
+        fused = self.fusion.fuse(intel.address, intel.signals)
+        verdict.cite(fused.evidence, risk=fused.score)
+
     def screen(self, intent: TransactionIntent) -> GuardVerdict:
         """Simulate the intent's effects and screen them.
 
@@ -84,6 +132,7 @@ class WalletGuard:
 
         if intent.to in self.blacklist:
             verdict.deny(f"recipient {intent.to} is {self._describe(intent.to)}")
+            self._cite(verdict, intent.to)
 
         args = intent.args or {}
         if intent.func in ("approve", "setApprovalForAll"):
@@ -92,6 +141,7 @@ class WalletGuard:
                 verdict.deny(
                     f"approval target {spender} is {self._describe(spender)}"
                 )
+                self._cite(verdict, spender)
 
         if intent.func == "multicall":
             verdict.deny("multicall into an unverified contract (drainer pattern)")
@@ -131,12 +181,14 @@ class WalletGuard:
             verdict.deny(
                 f"simulated execution pays {self._describe(recipient)}: {recipient}"
             )
+            self._cite(verdict, recipient)
         for spender in sorted(
             a for a in result.approval_targets() if a in self.blacklist
         ):
             verdict.deny(
                 f"simulated execution approves {self._describe(spender)}: {spender}"
             )
+            self._cite(verdict, spender)
         return verdict
 
     def multi_account_test(self, intents: list[TransactionIntent]) -> GuardVerdict:
@@ -152,4 +204,7 @@ class WalletGuard:
             verdict.deny(
                 "site requests approvals for 3+ tokens to one spender (drain-everything pattern)"
             )
+            spender = next(iter(targets))
+            if isinstance(spender, str):
+                self._cite(verdict, spender)
         return verdict

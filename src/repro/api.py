@@ -203,11 +203,16 @@ class PipelineResult:
     engine: ExecutionEngine | None = None
     resume_info: ResumeInfo | None = None
 
-    def build_intel_index(self, site_reports=None):
+    def build_intel_index(
+        self, site_reports=None, laundering_report=None, signals=True
+    ):
         """Condense this run into a serving :class:`~repro.serve.index.
         IntelIndex` — the bridge from the batch pipeline to the ``/v1``
         query plane (``docs/serving.md``).  Pass ``site_reports`` from
-        the §8 website detector to fold confirmed domains in."""
+        the §8 website detector to fold confirmed domains in, and a
+        ``laundering_report`` (:meth:`trace_laundering`) to add cash-out
+        stage signals; ``signals=False`` skips :mod:`repro.risk` signal
+        collection and reproduces the pre-fusion index byte-for-byte."""
         from repro.serve import build_index
 
         return build_index(
@@ -215,7 +220,19 @@ class PipelineResult:
             clustering=self.clustering,
             site_reports=site_reports,
             victim_report=self.victim_report,
+            laundering_report=laundering_report,
+            signals=signals,
         )
+
+    def trace_laundering(self, max_hops: int = 4):
+        """Trace post-exploitation fund flows from this run's accounts to
+        terminal sinks (paper §7) — a
+        :class:`~repro.analysis.laundering.LaunderingReport` that both
+        :meth:`build_intel_index` and ``repro eval-risk`` accept as the
+        laundering-stage signal source."""
+        from repro.analysis.laundering import LaunderingAnalyzer
+
+        return LaunderingAnalyzer(self.context, max_hops=max_hops).analyze()
 
 
 def _checkpoint_manager(

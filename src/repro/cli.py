@@ -526,6 +526,31 @@ def cmd_laundering(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_eval_risk(args: argparse.Namespace) -> int:
+    from repro.risk import evaluate_stage_combinations
+
+    result = run_pipeline(_config(args))
+    site_reports = None
+    if getattr(args, "with_domains", False):
+        web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
+        db = build_fingerprint_db(web)
+        site_reports, _ = PhishingSiteDetector(web, db).run()
+    report = evaluate_stage_combinations(
+        result, site_reports=site_reports, max_hops=args.max_hops
+    )
+    print(report.render())
+    improved = report.improved_combos()
+    if not improved:
+        print("no multi-stage combination beat the single-stage baseline",
+              file=sys.stderr)
+        return 2
+    best = max(improved, key=lambda c: (c.precision, c.recall))
+    print(f"\nbaseline precision {report.baseline.precision:.4f}; best fused "
+          f"combination {best.label} reaches {best.precision:.4f} "
+          f"(recall {best.recall:.4f}) — {len(improved)} combination(s) improved")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     for fn in (cmd_build_dataset, cmd_analyze, cmd_cluster, cmd_webdetect):
         fn(args)
@@ -618,7 +643,14 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
             db = build_fingerprint_db(web)
             site_reports, _ = PhishingSiteDetector(web, db).run()
-        index = result.build_intel_index(site_reports=site_reports)
+        laundering_report = None
+        if getattr(args, "with_laundering", False):
+            laundering_report = result.trace_laundering()
+        index = result.build_intel_index(
+            site_reports=site_reports,
+            laundering_report=laundering_report,
+            signals=not getattr(args, "no_signals", False),
+        )
     index.save(args.out)
     counts = index.counts()
     print(f"index {index.version} written to {args.out}")
@@ -957,6 +989,19 @@ def main(argv: list[str] | None = None) -> int:
                        parents=[world])
     p.set_defaults(fn=cmd_laundering)
 
+    p = sub.add_parser(
+        "eval-risk",
+        help="score stage-combination precision/recall against ground "
+             "truth (docs/risk.md); exit 2 when fusion beats nothing",
+        parents=[world],
+    )
+    p.add_argument("--with-domains", action="store_true",
+                   help="also run the §8 website detector so the "
+                        "preparation stage has alerts to score")
+    p.add_argument("--max-hops", type=int, default=4, metavar="N",
+                   help="laundering trace depth (default 4)")
+    p.set_defaults(fn=cmd_eval_risk)
+
     p = sub.add_parser("report", help="full paper-vs-measured report", parents=[world])
     p.add_argument("--out", default="", help="path for the dataset JSON")
     p.add_argument("--md", default="", help="also write a markdown report here")
@@ -1000,6 +1045,12 @@ def main(argv: list[str] | None = None) -> int:
     b.add_argument("--with-domains", action="store_true",
                    help="also run the §8 website detector and fold the "
                         "confirmed domains into the index")
+    b.add_argument("--with-laundering", action="store_true",
+                   help="also trace §8.1 cash-out routes and attach "
+                        "laundering stage signals to the index records")
+    b.add_argument("--no-signals", action="store_true",
+                   help="skip repro.risk stage-signal collection (emits "
+                        "the pre-fusion index shape byte-for-byte)")
     b.set_defaults(fn=cmd_index_build)
     s = isub.add_parser(
         "serve-status",

@@ -1,0 +1,197 @@
+"""Stage-signal collectors: pipeline outputs → per-address StageSignals.
+
+:func:`collect_signals` is the build-time bridge the intelligence index
+uses: it walks the measurement pipeline's outputs — dataset provenance
+(funding), §8 website detection via family membership (preparation),
+profit-sharing classification (exploitation), and §8.1 laundering
+routes (laundering) — and emits a deterministic, sorted
+``{address: (StageSignal, ...)}`` map.  Same inputs → identical
+signals → byte-identical fused indexes, which is what the
+serial/parallel/process-sharded determinism matrix asserts.
+
+The confidence priors below are *per-signal* precision estimates, not
+verdicts; ``docs/risk.md`` documents how the fusion table turns them
+into one calibrated score.
+"""
+
+from __future__ import annotations
+
+from repro.risk.signals import (
+    SIGNAL_REFS_LIMIT,
+    STAGE_EXPLOITATION,
+    STAGE_FUNDING,
+    STAGE_LAUNDERING,
+    STAGE_PREPARATION,
+    StageSignal,
+)
+
+__all__ = ["collect_signals"]
+
+#: Per-kind confidence priors (calibration knobs, see docs/risk.md).
+SEED_LABEL_CONFIDENCE = 0.60        # feeds contain EOAs and false reports
+SNOWBALL_CONFIDENCE = 0.40          # expansion hops inherit seed noise
+SITE_HIT_CONFIDENCE = 0.50          # attributed via the family, not the address
+PROFIT_SPLIT_BASE = {"contract": 0.85, "operator": 0.80, "affiliate": 0.70}
+PROFIT_SPLIT_ACTIVITY_CAP = 0.10    # busy splitters are more certain verdicts
+SINK_CONFIDENCE = {"mixer": 0.70, "bridge": 0.60, "exchange": 0.35}
+
+
+def _role_of(dataset, address: str) -> str:
+    # Same precedence the index uses: contract > operator > affiliate.
+    if address in dataset.contracts:
+        return "contract"
+    if address in dataset.operators:
+        return "operator"
+    return "affiliate"
+
+
+def _funding_signal(address: str, provenance) -> StageSignal:
+    if provenance.stage == "seed":
+        return StageSignal(
+            address=address,
+            stage=STAGE_FUNDING,
+            kind="seed-label",
+            confidence=SEED_LABEL_CONFIDENCE,
+            source=provenance.source,
+            detail=f"seeded from public label feeds ({provenance.source})",
+        )
+    return StageSignal(
+        address=address,
+        stage=STAGE_FUNDING,
+        kind="snowball-expansion",
+        confidence=SNOWBALL_CONFIDENCE,
+        source=provenance.source,
+        detail=f"discovered by snowball expansion via {provenance.source}",
+    )
+
+
+def collect_signals(
+    dataset,
+    clustering=None,
+    site_reports=None,
+    laundering_report=None,
+) -> dict[str, tuple[StageSignal, ...]]:
+    """Deterministic stage signals for every dataset address.
+
+    ``dataset`` is a :class:`~repro.core.dataset.DaaSDataset`; the
+    other inputs are the optional analyses that contribute their stage:
+    ``clustering`` + ``site_reports`` yield preparation signals (a
+    confirmed phishing site is attributed to every member of its
+    family), ``laundering_report`` (a §8.1
+    :class:`~repro.analysis.laundering.LaunderingReport`) yields
+    laundering signals for route sources.  Funding (provenance) and
+    exploitation (profit-sharing participation) always come from the
+    dataset itself.
+    """
+    members = dataset.contracts | dataset.operators | dataset.affiliates
+
+    # exploitation: per-address profit-sharing activity.
+    tx_count: dict[str, int] = {}
+    tx_refs: dict[str, list[tuple[int, str]]] = {}
+    span: dict[str, tuple[int, int]] = {}
+    for record in dataset.transactions:
+        for address in (record.contract, record.operator, record.affiliate):
+            tx_count[address] = tx_count.get(address, 0) + 1
+            tx_refs.setdefault(address, []).append((record.timestamp, record.tx_hash))
+            first, last = span.get(address, (record.timestamp, record.timestamp))
+            span[address] = (min(first, record.timestamp), max(last, record.timestamp))
+
+    # preparation: confirmed phishing sites, attributed per family.
+    family_domains: dict[str, list] = {}
+    for report in site_reports or ():
+        family_domains.setdefault(report.family, []).append(report)
+    family_of: dict[str, str] = {}
+    if clustering is not None and family_domains:
+        for fam in clustering.families:
+            if fam.name in family_domains:
+                for member in fam.contracts | fam.operators | fam.affiliates:
+                    family_of[member] = fam.name
+
+    # laundering: traced cash-out routes, grouped by source account.
+    routes_of: dict[str, list] = {}
+    for route in getattr(laundering_report, "routes", ()) or ():
+        if route.source in members:
+            routes_of.setdefault(route.source, []).append(route)
+
+    signals: dict[str, tuple[StageSignal, ...]] = {}
+    for address in sorted(members):
+        collected: list[StageSignal] = []
+
+        provenance = dataset.provenance.get(address)
+        if provenance is not None:
+            collected.append(_funding_signal(address, provenance))
+
+        family = family_of.get(address)
+        if family is not None:
+            reports = family_domains[family]
+            domains = sorted({r.domain.lower() for r in reports})
+            keywords = sorted({r.matched_keyword for r in reports if r.matched_keyword})
+            detail = f"{len(domains)} confirmed phishing sites for family {family}"
+            if keywords:
+                detail += f" (fingerprints: {', '.join(keywords[:3])})"
+            collected.append(
+                StageSignal(
+                    address=address,
+                    stage=STAGE_PREPARATION,
+                    kind="phishing-site",
+                    confidence=SITE_HIT_CONFIDENCE,
+                    source="webdetect",
+                    detail=detail,
+                    count=len(domains),
+                    first_ts=min(r.detected_at for r in reports),
+                    last_ts=max(r.detected_at for r in reports),
+                    refs=tuple(domains[:SIGNAL_REFS_LIMIT]),
+                )
+            )
+
+        count = tx_count.get(address, 0)
+        if count:
+            role = _role_of(dataset, address)
+            confidence = min(
+                0.95,
+                PROFIT_SPLIT_BASE[role]
+                + min(PROFIT_SPLIT_ACTIVITY_CAP, count * 0.002),
+            )
+            first, last = span[address]
+            refs = tuple(
+                h for _, h in sorted(set(tx_refs[address]))[:SIGNAL_REFS_LIMIT]
+            )
+            collected.append(
+                StageSignal(
+                    address=address,
+                    stage=STAGE_EXPLOITATION,
+                    kind="profit-split",
+                    confidence=round(confidence, 4),
+                    source="classify",
+                    detail=f"{count} profit-sharing txs as {role}",
+                    count=count,
+                    first_ts=first,
+                    last_ts=last,
+                    refs=refs,
+                )
+            )
+
+        routes = routes_of.get(address)
+        if routes:
+            categories = sorted({r.sink_category for r in routes})
+            sinks = sorted({r.sink for r in routes})
+            confidence = max(SINK_CONFIDENCE[c] for c in categories)
+            collected.append(
+                StageSignal(
+                    address=address,
+                    stage=STAGE_LAUNDERING,
+                    kind="cash-out",
+                    confidence=confidence,
+                    source="laundering",
+                    detail=(
+                        f"{len(routes)} traced routes to "
+                        f"{'/'.join(categories)} sinks"
+                    ),
+                    count=len(routes),
+                    refs=tuple(sinks[:SIGNAL_REFS_LIMIT]),
+                )
+            )
+
+        if collected:
+            signals[address] = tuple(collected)
+    return signals

@@ -1,0 +1,265 @@
+"""Precision/recall harness: stage combinations vs simulation ground truth.
+
+The point of fusion is the Forta observation that *single-stage*
+detectors are low precision: the public label feeds contain benign EOAs
+and outright false reports, site hits attribute through the family, and
+"sends funds toward an exchange" describes most honest users.  This
+harness rebuilds those raw single-stage alert sets from the simulated
+world's observables, scores every stage combination against the planted
+ground truth, and compares them with the pre-fusion baseline — the
+role-scored label-feed blacklist that ``risk_score`` + a bare
+``set[str]`` WalletGuard implemented.
+
+Ground truth never leaks into the production path: only this module
+(and the ``daas-repro eval-risk`` CLI on top of it) reads
+``world.truth``, exactly like the test suite does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.laundering import LaunderingAnalyzer
+from repro.risk.fusion import FusionEngine, FusionTable
+from repro.risk.signals import (
+    STAGES,
+    STAGE_EXPLOITATION,
+    STAGE_FUNDING,
+    STAGE_LAUNDERING,
+    STAGE_PREPARATION,
+    StageSignal,
+)
+
+__all__ = ["RiskEvalReport", "StageComboStats", "evaluate_stage_combinations", "stage_alerts"]
+
+#: Confidence priors for the raw (pre-pipeline-filtering) alert sets.
+#: Deliberately the low-precision view: the whole feed, not the
+#: classified subset — see the module docstring.
+_ALERT_CONFIDENCE = {
+    STAGE_FUNDING: 0.60,
+    STAGE_PREPARATION: 0.50,
+    STAGE_EXPLOITATION: 0.85,
+    STAGE_LAUNDERING: 0.55,
+}
+_ALERT_KIND = {
+    STAGE_FUNDING: "seed-label",
+    STAGE_PREPARATION: "phishing-site",
+    STAGE_EXPLOITATION: "profit-split",
+    STAGE_LAUNDERING: "cash-out",
+}
+
+#: Stage combinations scored by default: every single stage plus the
+#: corroborating pairs the fusion table rewards.
+DEFAULT_COMBINATIONS = (
+    (STAGE_FUNDING,),
+    (STAGE_PREPARATION,),
+    (STAGE_EXPLOITATION,),
+    (STAGE_LAUNDERING,),
+    (STAGE_FUNDING, STAGE_EXPLOITATION),
+    (STAGE_FUNDING, STAGE_PREPARATION),
+    (STAGE_PREPARATION, STAGE_EXPLOITATION),
+    (STAGE_EXPLOITATION, STAGE_LAUNDERING),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StageComboStats:
+    """Detection quality of one detector (a stage combination)."""
+
+    label: str
+    stages: tuple[str, ...]
+    flagged: int
+    tp: int
+    fp: int
+    fn: int
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def score(
+        cls, label: str, stages: tuple[str, ...], flagged: set[str],
+        positives: set[str],
+    ) -> "StageComboStats":
+        tp = len(flagged & positives)
+        fp = len(flagged) - tp
+        fn = len(positives) - tp
+        precision = tp / len(flagged) if flagged else 0.0
+        recall = tp / len(positives) if positives else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        return cls(
+            label=label, stages=stages, flagged=len(flagged),
+            tp=tp, fp=fp, fn=fn,
+            precision=round(precision, 4), recall=round(recall, 4),
+            f1=round(f1, 4),
+        )
+
+
+@dataclass
+class RiskEvalReport:
+    """Everything ``daas-repro eval-risk`` prints (and tests assert on)."""
+
+    baseline: StageComboStats
+    combos: list[StageComboStats] = field(default_factory=list)
+    fused: StageComboStats | None = None
+    candidates: int = 0
+    positives: int = 0
+
+    def improved_combos(self) -> list[StageComboStats]:
+        """Multi-stage combinations strictly more precise than the
+        single-stage role-score baseline (the acceptance bar)."""
+        return [
+            combo
+            for combo in self.combos
+            if len(combo.stages) > 1 and combo.precision > self.baseline.precision
+        ]
+
+    def render(self) -> str:
+        from repro.analysis.reporting import render_table
+
+        rows = []
+        for stats in [self.baseline, *self.combos, *( [self.fused] if self.fused else [] )]:
+            rows.append([
+                stats.label,
+                str(stats.flagged),
+                str(stats.tp),
+                str(stats.fp),
+                f"{stats.precision:.4f}",
+                f"{stats.recall:.4f}",
+                f"{stats.f1:.4f}",
+            ])
+        return render_table(
+            ["detector", "flagged", "tp", "fp", "precision", "recall", "f1"],
+            rows,
+            title=(
+                f"Stage-combination precision/recall "
+                f"({self.candidates} candidates, {self.positives} planted DaaS accounts)"
+            ),
+        )
+
+
+def stage_alerts(
+    result,
+    site_reports=None,
+    laundering_report=None,
+    max_hops: int = 4,
+) -> dict[str, set[str]]:
+    """The four raw single-stage alert sets, from observables only.
+
+    * funding — every address any public label feed reported (noisy:
+      feeds plant benign contracts and unfiltered EOAs);
+    * preparation — every member of a family with a confirmed §8 site
+      hit (empty without ``site_reports``);
+    * exploitation — every address the §5.2 profit-sharing
+      classification confirmed (the dataset);
+    * laundering — every candidate account with a traced route to a
+      labeled mixer/bridge/exchange sink.
+    """
+    dataset = result.dataset
+    feeds = result.world.feeds
+    funding = set(feeds.all_reported_addresses())
+    exploitation = dataset.contracts | dataset.operators | dataset.affiliates
+
+    preparation: set[str] = set()
+    hit_families = {report.family for report in site_reports or ()}
+    if hit_families and result.clustering is not None:
+        for fam in result.clustering.families:
+            if fam.name in hit_families:
+                preparation |= fam.contracts | fam.operators | fam.affiliates
+
+    if laundering_report is None:
+        candidates = sorted(
+            (funding | exploitation) - dataset.contracts
+        )
+        laundering_report = LaunderingAnalyzer(
+            result.context, max_hops=max_hops
+        ).analyze(accounts=set(candidates))
+    laundering = set(laundering_report.accounts_reaching_sinks())
+
+    return {
+        STAGE_FUNDING: funding,
+        STAGE_PREPARATION: preparation,
+        STAGE_EXPLOITATION: exploitation,
+        STAGE_LAUNDERING: laundering,
+    }
+
+
+def evaluate_stage_combinations(
+    result,
+    site_reports=None,
+    laundering_report=None,
+    combinations=DEFAULT_COMBINATIONS,
+    table: FusionTable | None = None,
+    max_hops: int = 4,
+    truth=None,
+) -> RiskEvalReport:
+    """Score every stage combination (and the fusion engine itself)
+    against the simulation's planted ground truth.
+
+    The baseline row is the pre-fusion detector: flag everything the
+    label feeds report, scored by role — what a bare blacklist
+    WalletGuard did.  A fused combination flags only addresses carrying
+    *all* of its stages' alerts.
+    """
+    if truth is None:
+        truth = result.world.truth
+    positives: set[str] = set(truth.all_contracts)
+    positives |= truth.all_operators | truth.all_affiliates
+    for fam in truth.families.values():
+        positives.update(fam.executor_accounts)
+
+    alerts = stage_alerts(
+        result,
+        site_reports=site_reports,
+        laundering_report=laundering_report,
+        max_hops=max_hops,
+    )
+    candidates = set().union(*alerts.values())
+
+    baseline = StageComboStats.score(
+        "role-score(seed labels)", (STAGE_FUNDING,),
+        alerts[STAGE_FUNDING], positives,
+    )
+
+    combos = []
+    for stages in combinations:
+        flagged = set(candidates)
+        for stage in stages:
+            flagged &= alerts[stage]
+        combos.append(
+            StageComboStats.score("+".join(stages), tuple(stages), flagged, positives)
+        )
+
+    # End-to-end engine row: one StageSignal per alert-set membership,
+    # fused with the production table, flagged at its threshold.
+    engine = FusionEngine(table=table)
+    fused_flagged: set[str] = set()
+    for address in sorted(candidates):
+        signals = [
+            StageSignal(
+                address=address,
+                stage=stage,
+                kind=_ALERT_KIND[stage],
+                confidence=_ALERT_CONFIDENCE[stage],
+                source="eval",
+            )
+            for stage in STAGES
+            if address in alerts[stage]
+        ]
+        if engine.fuse(address, signals).flagged:
+            fused_flagged.add(address)
+    fused = StageComboStats.score(
+        "fused(engine)", tuple(STAGES), fused_flagged, positives
+    )
+
+    return RiskEvalReport(
+        baseline=baseline,
+        combos=combos,
+        fused=fused,
+        candidates=len(candidates),
+        positives=len(positives),
+    )

@@ -1,0 +1,232 @@
+"""Deterministic multi-stage alert fusion (the Forta scam-detector shape).
+
+Each stage's signals are first combined *within* the stage by noisy-OR
+(two independent sightings of the same stage reinforce each other), the
+per-stage scores are then weighted by the :class:`FusionTable` and
+noisy-OR'd *across* stages, and finally corroboration bonuses fire for
+configured stage combinations — profit-sharing activity plus a traced
+cash-out route is worth more than either alone.  The result is a
+:class:`FusedVerdict`: a calibrated ``[0, 1]`` score, the per-stage
+breakdown, and citation-style :class:`~repro.risk.signals.
+EvidenceRecord` entries.
+
+Everything is pure arithmetic over the input signals — no clocks, no
+randomness — so the same signals always fuse to byte-identical
+verdicts, which is what lets fused indexes stay content-hash versioned
+and serving responses stay cacheable by index version.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.obs import Observability
+from repro.risk.signals import STAGES, EvidenceRecord, StageSignal
+
+__all__ = ["FusedVerdict", "FusionEngine", "FusionTable", "StageScore"]
+
+#: Fusion wall-time histogram buckets (fusing is microseconds-cheap; the
+#: default latency buckets would put every observation in the first one).
+_FUSION_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0)
+
+
+@dataclass(frozen=True)
+class FusionTable:
+    """The configurable rule + weight table (docs/risk.md lists the knobs).
+
+    ``stage_weights`` discounts each stage's in-stage score before the
+    cross-stage combination; ``combo_bonuses`` adds a fraction of the
+    *remaining headroom* when all stages of a combination are present;
+    ``flag_threshold`` is where a fused score turns into a flag.
+    """
+
+    stage_weights: dict[str, float] = field(
+        default_factory=lambda: {
+            "funding": 0.55,        # label feeds are noisy (EOAs, false reports)
+            "preparation": 0.50,    # site hits attribute via the family, not the address
+            "exploitation": 0.90,   # profit-sharing classification is the anchor
+            "laundering": 0.65,     # benign users also touch exchanges
+        }
+    )
+    combo_bonuses: dict[frozenset[str], float] = field(
+        default_factory=lambda: {
+            frozenset({"exploitation", "laundering"}): 0.06,
+            frozenset({"funding", "exploitation"}): 0.05,
+            frozenset({"preparation", "exploitation"}): 0.04,
+            frozenset({"funding", "preparation", "exploitation", "laundering"}): 0.10,
+        }
+    )
+    flag_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        for stage, weight in self.stage_weights.items():
+            if stage not in STAGES:
+                raise ValueError(f"unknown stage {stage!r} in stage_weights")
+            if not 0.0 < weight <= 1.0:
+                raise ValueError(f"stage weight for {stage!r} must be in (0, 1]")
+        for combo, bonus in self.combo_bonuses.items():
+            unknown = set(combo) - set(STAGES)
+            if unknown:
+                raise ValueError(f"unknown stages {sorted(unknown)} in combo bonus")
+            if len(combo) < 2:
+                raise ValueError("combo bonuses need at least two stages")
+            if not 0.0 <= bonus < 1.0:
+                raise ValueError("combo bonus must be in [0, 1)")
+        if not 0.0 < self.flag_threshold < 1.0:
+            raise ValueError("flag_threshold must be in (0, 1)")
+
+    @classmethod
+    def default(cls) -> "FusionTable":
+        return cls()
+
+
+@dataclass(frozen=True, slots=True)
+class StageScore:
+    """One stage's contribution to a fused verdict."""
+
+    stage: str
+    score: float                    # weighted in-stage noisy-OR, [0, 1]
+    signal_count: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FusedVerdict:
+    """The fusion engine's answer for one address (or one family)."""
+
+    address: str
+    score: float                    # calibrated [0, 1]
+    flagged: bool
+    stages: tuple[str, ...] = ()    # distinct stages present, STAGES order
+    stage_scores: tuple[StageScore, ...] = ()
+    evidence: tuple[EvidenceRecord, ...] = ()
+
+    def to_payload(self) -> dict:
+        return {
+            "address": self.address,
+            "score": self.score,
+            "flagged": self.flagged,
+            "stages": list(self.stages),
+            "stage_scores": {s.stage: s.score for s in self.stage_scores},
+            "evidence": [record.to_payload() for record in self.evidence],
+        }
+
+
+class FusionEngine:
+    """Fuses per-address (and per-family) stage signals into verdicts."""
+
+    def __init__(
+        self,
+        table: FusionTable | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        self.table = table if table is not None else FusionTable.default()
+        self.obs = obs if obs is not None else Observability.disabled()
+        metrics = self.obs.metrics
+        self._fusion_seconds = metrics.histogram(
+            "daas_risk_fusion_seconds",
+            buckets=_FUSION_BUCKETS,
+            help_text="Wall time of one fuse() call (signals -> verdict).",
+        )
+        self._stage_signals = {
+            stage: metrics.counter(
+                "daas_risk_stage_signals_total",
+                help_text="Stage signals consumed by the fusion engine, by stage.",
+                stage=stage,
+            )
+            for stage in STAGES
+        }
+        self._verdicts = {
+            outcome: metrics.counter(
+                "daas_risk_fused_verdicts_total",
+                help_text="Fused verdicts emitted, by flag outcome.",
+                outcome=outcome,
+            )
+            for outcome in ("flagged", "clean")
+        }
+
+    # -- scoring ---------------------------------------------------------
+
+    def fuse(self, address: str, signals: Iterable[StageSignal]) -> FusedVerdict:
+        """Fuse one address's signals into a verdict.
+
+        Order-independent: signals are grouped by stage and sorted, so
+        any permutation of the same signal set produces an identical
+        verdict (tested in ``tests/risk/test_fusion.py``).
+        """
+        started = time.perf_counter()
+        per_stage: dict[str, list[StageSignal]] = {}
+        for signal in signals:
+            per_stage.setdefault(signal.stage, []).append(signal)
+            self._stage_signals[signal.stage].inc()
+
+        weights = self.table.stage_weights
+        stage_scores: list[StageScore] = []
+        evidence: list[EvidenceRecord] = []
+        survival = 1.0                  # P(benign) under independence
+        for stage in STAGES:
+            stage_signals = per_stage.get(stage)
+            if not stage_signals:
+                continue
+            stage_signals.sort(key=lambda s: (s.kind, s.source, s.detail))
+            weight = weights.get(stage, 0.5)
+            in_stage = 1.0
+            for signal in stage_signals:
+                in_stage *= 1.0 - signal.confidence
+                evidence.append(
+                    EvidenceRecord(
+                        stage=stage,
+                        kind=signal.kind,
+                        detail=signal.detail or f"{signal.kind} via {signal.source}",
+                        ref=signal.refs[0] if signal.refs else "",
+                        weight=round(weight * signal.confidence, 4),
+                    )
+                )
+            stage_score = round(weight * (1.0 - in_stage), 4)
+            stage_scores.append(
+                StageScore(stage=stage, score=stage_score,
+                           signal_count=len(stage_signals))
+            )
+            survival *= 1.0 - stage_score
+
+        combined = 1.0 - survival
+        present = frozenset(s.stage for s in stage_scores)
+        # Deterministic bonus order: bonuses are multiplicative on the
+        # remaining headroom, so application order matters — sort them.
+        for combo in sorted(self.table.combo_bonuses, key=sorted):
+            if combo <= present:
+                bonus = self.table.combo_bonuses[combo]
+                combined += bonus * (1.0 - combined)
+
+        score = round(min(1.0, combined), 4)
+        flagged = score >= self.table.flag_threshold
+        self._verdicts["flagged" if flagged else "clean"].inc()
+        self._fusion_seconds.observe(time.perf_counter() - started)
+        return FusedVerdict(
+            address=address,
+            score=score,
+            flagged=flagged,
+            stages=tuple(s.stage for s in stage_scores),
+            stage_scores=tuple(stage_scores),
+            evidence=tuple(evidence),
+        )
+
+    def fuse_all(
+        self, signals_by_address: Mapping[str, Sequence[StageSignal]]
+    ) -> dict[str, FusedVerdict]:
+        """Fuse every address; deterministic (sorted-address) order."""
+        return {
+            address: self.fuse(address, signals_by_address[address])
+            for address in sorted(signals_by_address)
+        }
+
+    def fuse_family(
+        self, family: str, signals: Iterable[StageSignal]
+    ) -> FusedVerdict:
+        """Fuse the union of one family's member signals.
+
+        The verdict's ``address`` field carries ``family:<name>`` so the
+        two verdict spaces cannot collide in caches or logs.
+        """
+        return self.fuse(f"family:{family}", signals)

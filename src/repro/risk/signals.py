@@ -1,0 +1,146 @@
+"""Stage-level signals and citation evidence — the fusion vocabulary.
+
+The paper's DaaS operations leave correlated traces across four distinct
+stages, and each of the pipeline's analyses observes exactly one of
+them:
+
+* ``funding``      — how the address entered the intelligence picture:
+  a public label-feed report (Step 1 seeding) or a snowball-expansion
+  hop (§5 provenance);
+* ``preparation``  — phishing infrastructure: §8 website-fingerprint
+  hits attributed to the address's family;
+* ``exploitation`` — §5.2 profit-sharing classification: the address
+  participates in ratio-split drain settlements;
+* ``laundering``   — §8.1 cash-out flows: traced routes from the
+  address to labeled mixers / bridges / exchanges.
+
+A :class:`StageSignal` is one such observation with a per-signal
+confidence prior; an :class:`EvidenceRecord` is the citation a fused
+verdict carries (stage, kind, human-readable detail, one reference, and
+the weight the fusion table gave it).  Both serialize to stable JSON
+payloads so signals persist inside the intelligence index
+(content-hash versioned) and evidence travels on ``/v1/screen``
+responses and :class:`~repro.analysis.guard.GuardVerdict` alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "STAGES",
+    "STAGE_FUNDING",
+    "STAGE_PREPARATION",
+    "STAGE_EXPLOITATION",
+    "STAGE_LAUNDERING",
+    "SIGNAL_REFS_LIMIT",
+    "EvidenceRecord",
+    "StageSignal",
+]
+
+STAGE_FUNDING = "funding"
+STAGE_PREPARATION = "preparation"
+STAGE_EXPLOITATION = "exploitation"
+STAGE_LAUNDERING = "laundering"
+
+#: Canonical stage order — verdict breakdowns and evidence lists follow it.
+STAGES = (STAGE_FUNDING, STAGE_PREPARATION, STAGE_EXPLOITATION, STAGE_LAUNDERING)
+
+#: References (tx hashes, domains, sink addresses) kept per signal.
+SIGNAL_REFS_LIMIT = 3
+
+
+@dataclass(frozen=True, slots=True)
+class StageSignal:
+    """One stage-level observation about one address.
+
+    ``confidence`` is the emitting analysis's precision prior in
+    ``(0, 1]`` — what fraction of addresses carrying this signal alone
+    it expects to be truly DaaS.  The fusion table weighs and combines
+    these; a signal never flags anything by itself.
+    """
+
+    address: str
+    stage: str
+    kind: str                       # e.g. "seed-label", "profit-split"
+    confidence: float
+    source: str = ""                # emitting analysis / feed names
+    detail: str = ""                # human-readable citation text
+    count: int = 1                  # observations folded into this signal
+    first_ts: int | None = None
+    last_ts: int | None = None
+    #: Sample references: tx hashes, domains, or sink addresses.
+    refs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ValueError(
+                f"unknown stage {self.stage!r} (expected one of {STAGES})"
+            )
+        if not 0.0 < self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1], got {self.confidence}"
+            )
+
+    def to_payload(self) -> dict:
+        return {
+            "stage": self.stage,
+            "kind": self.kind,
+            "confidence": round(self.confidence, 4),
+            "source": self.source,
+            "detail": self.detail,
+            "count": self.count,
+            "first_ts": self.first_ts,
+            "last_ts": self.last_ts,
+            "refs": list(self.refs),
+        }
+
+    @classmethod
+    def from_payload(cls, address: str, doc: dict) -> "StageSignal":
+        return cls(
+            address=address,
+            stage=doc["stage"],
+            kind=doc.get("kind", ""),
+            confidence=doc.get("confidence", 0.5),
+            source=doc.get("source", ""),
+            detail=doc.get("detail", ""),
+            count=doc.get("count", 1),
+            first_ts=doc.get("first_ts"),
+            last_ts=doc.get("last_ts"),
+            refs=tuple(doc.get("refs", ())),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class EvidenceRecord:
+    """One citation a fused verdict carries: where a claim comes from.
+
+    ``weight`` is the contribution the fusion table assigned
+    (stage weight × signal confidence), so a reader can see not just
+    *what* was observed but *how much* it moved the score.
+    """
+
+    stage: str
+    kind: str
+    detail: str
+    ref: str = ""                   # one tx hash / domain / sink address
+    weight: float = 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "stage": self.stage,
+            "kind": self.kind,
+            "detail": self.detail,
+            "ref": self.ref,
+            "weight": round(self.weight, 4),
+        }
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "EvidenceRecord":
+        return cls(
+            stage=doc["stage"],
+            kind=doc.get("kind", ""),
+            detail=doc.get("detail", ""),
+            ref=doc.get("ref", ""),
+            weight=doc.get("weight", 0.0),
+        )

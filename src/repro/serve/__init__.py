@@ -7,7 +7,8 @@ them into something a wallet or a screening feed can *ask*:
   versioned, read-optimized view (address → role/family/profit/evidence,
   domain → verdict, family → summary) with byte-stable serialization;
 * :mod:`repro.serve.query`     — :class:`QueryEngine`, the typed query
-  API with an LRU result cache, risk scoring, and hot index swap;
+  API with an LRU result cache, fused evidence-bearing risk verdicts
+  (:mod:`repro.risk`, ``docs/risk.md``), and hot index swap;
 * :mod:`repro.serve.ratelimit` — per-client token buckets;
 * :mod:`repro.serve.handler`   — :class:`IntelHandlerCore`, the
   transport-agnostic request core (routing, admission bookkeeping,
@@ -47,7 +48,12 @@ from repro.serve.index import (
     IntelIndex,
     build_index,
 )
-from repro.serve.query import QueryEngine, ScreenVerdict, risk_score
+from repro.serve.query import (
+    SCREEN_SCHEMA_VERSION,
+    QueryEngine,
+    ScreenVerdict,
+    risk_score,
+)
 from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
 from repro.serve.server import IntelServer
 
@@ -63,6 +69,7 @@ __all__ = [
     "IntelServer",
     "PreforkedListeners",
     "QueryEngine",
+    "SCREEN_SCHEMA_VERSION",
     "ScreenVerdict",
     "ServeAggregator",
     "ServeResponse",

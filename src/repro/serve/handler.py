@@ -39,7 +39,7 @@ from repro.serve.fleet import (
     write_worker_snapshot,
 )
 from repro.serve.index import IndexFormatError, IntelIndex
-from repro.serve.query import QueryEngine, risk_score
+from repro.serve.query import SCREEN_SCHEMA_VERSION, QueryEngine
 from repro.serve.ratelimit import ClientRateLimiter
 
 __all__ = ["IntelHandlerCore", "ServeResponse"]
@@ -161,7 +161,9 @@ class IntelHandlerCore:
         #: snapshot files for the fleet-wide /statusz and /metrics views.
         self.aggregator = ServeAggregator(obs=self.obs)
         self._engine: QueryEngine | None = (
-            QueryEngine(index, cache_size=cache_size) if index is not None else None
+            QueryEngine(index, cache_size=cache_size, obs=self.obs)
+            if index is not None
+            else None
         )
         #: Pre-serialized responses: (kind, index version, key) -> the
         #: exact ServeResponse previously built.  Hot addresses and
@@ -247,7 +249,8 @@ class IntelHandlerCore:
         """
         engine = self._engine
         if engine is None:
-            self._engine = QueryEngine(index, cache_size=self.cache_size)
+            self._engine = QueryEngine(index, cache_size=self.cache_size,
+                                       obs=self.obs)
         else:
             engine.swap_index(index)
         self._responses.clear()
@@ -554,19 +557,20 @@ class IntelHandlerCore:
         if intel is None:
             return {"address": addr, "error": "unknown address", "flagged": False}
         doc = intel.to_payload()
-        doc["risk"] = risk_score(intel)
+        doc["risk"] = engine.risk(intel)
+        fused = engine.fused_verdict(intel)
+        if fused is not None:
+            # Only signal-bearing records grow the versioned fused block;
+            # legacy records keep the exact pre-fusion payload bytes.
+            doc["schema_version"] = SCREEN_SCHEMA_VERSION
+            doc["fused"] = fused.to_payload()
         return doc
 
     def _address(self, engine: QueryEngine, addr: str, version: str) -> ServeResponse:
         def build() -> ServeResponse:
-            intel = engine.lookup_address(addr)
-            if intel is None:
-                return self._json(404, {
-                    "address": addr, "error": "unknown address",
-                    "flagged": False,
-                }, version=version)
-            doc = intel.to_payload()
-            doc["risk"] = risk_score(intel)
+            doc = self._address_doc(engine, addr)
+            if "error" in doc:
+                return self._json(404, doc, version=version)
             doc["index_version"] = version
             return self._json(200, doc, version=version)
 
@@ -589,12 +593,16 @@ class IntelHandlerCore:
 
         def build() -> ServeResponse:
             results = [self._address_doc(engine, a) for a in addresses]
-            return self._json(200, {
+            doc: dict[str, Any] = {}
+            if any("fused" in r for r in results):
+                doc["schema_version"] = SCREEN_SCHEMA_VERSION
+            doc.update({
                 "index_version": version,
                 "requested": len(addresses),
                 "found": sum(1 for r in results if "error" not in r),
                 "results": results,
-            }, version=version)
+            })
+            return self._json(200, doc, version=version)
 
         return self._responses.get_or_compute(
             ("addr-batch", version, tuple(addresses)), build
@@ -636,11 +644,16 @@ class IntelHandlerCore:
 
         def build() -> ServeResponse:
             verdicts = engine.screen_batch(addresses)
+            # The envelope announces the verdict schema only when a
+            # verdict actually carries it — batches of signal-free
+            # addresses keep the exact pre-fusion response bytes.
+            fused_any = any(v.schema >= SCREEN_SCHEMA_VERSION for v in verdicts)
             if stream:
-                head = json.dumps(
-                    {"index_version": version, "count": len(verdicts)},
-                    separators=(",", ":"),
-                )
+                meta: dict[str, Any] = {}
+                if fused_any:
+                    meta["schema_version"] = SCREEN_SCHEMA_VERSION
+                meta.update({"index_version": version, "count": len(verdicts)})
+                head = json.dumps(meta, separators=(",", ":"))
                 parts = [(head + "\n").encode()]
                 parts += [
                     (json.dumps(v.to_payload(), separators=(",", ":")) + "\n").encode()
@@ -650,11 +663,15 @@ class IntelHandlerCore:
                     200, b"".join(parts), "application/x-ndjson",
                     headers=self._version_headers(version), chunks=tuple(parts),
                 )
-            return self._json(200, {
+            doc: dict[str, Any] = {}
+            if fused_any:
+                doc["schema_version"] = SCREEN_SCHEMA_VERSION
+            doc.update({
                 "index_version": version,
                 "flagged": sum(1 for v in verdicts if v.flagged),
                 "verdicts": [v.to_payload() for v in verdicts],
-            }, version=version)
+            })
+            return self._json(200, doc, version=version)
 
         return self._responses.get_or_compute(key, build)
 

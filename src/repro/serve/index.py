@@ -24,6 +24,8 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.risk.signals import StageSignal
+
 __all__ = [
     "AddressIntel",
     "DomainIntel",
@@ -63,8 +65,19 @@ class AddressIntel:
     contracts: tuple[str, ...] = ()
     #: Sample profit-sharing tx hashes (at most EVIDENCE_LIMIT, by time).
     evidence: tuple[str, ...] = ()
+    #: Stage-level fusion signals (repro.risk); empty for legacy indexes.
+    signals: tuple[StageSignal, ...] = ()
 
     def to_payload(self) -> dict:
+        # The "signals" key is present only when signals exist, so an
+        # index built without fusion signals serializes byte-identically
+        # to the pre-fusion format (same content hash, same ETag).
+        doc = self._base_payload()
+        if self.signals:
+            doc["signals"] = [s.to_payload() for s in self.signals]
+        return doc
+
+    def _base_payload(self) -> dict:
         return {
             "address": self.address,
             "role": self.role,
@@ -101,6 +114,10 @@ class AddressIntel:
             affiliates=tuple(doc.get("affiliates", ())),
             contracts=tuple(doc.get("contracts", ())),
             evidence=tuple(doc.get("evidence", ())),
+            signals=tuple(
+                StageSignal.from_payload(doc["address"], s)
+                for s in doc.get("signals", ())
+            ),
         )
 
 
@@ -235,9 +252,11 @@ class IntelIndex:
 
     def counts(self) -> dict[str, int]:
         by_role = {"contract": 0, "operator": 0, "affiliate": 0}
+        signal_count = 0
         for intel in self.addresses.values():
             by_role[intel.role] = by_role.get(intel.role, 0) + 1
-        return {
+            signal_count += len(intel.signals)
+        out = {
             "addresses": len(self.addresses),
             "contracts": by_role["contract"],
             "operators": by_role["operator"],
@@ -245,6 +264,11 @@ class IntelIndex:
             "domains": len(self.domains),
             "families": len(self.families),
         }
+        # Only fused indexes grow the extra key — signal-free index
+        # bodies (and their content hashes) stay byte-identical.
+        if signal_count:
+            out["signals"] = signal_count
+        return out
 
     # -- versioning / serialization ------------------------------------------
 
@@ -364,6 +388,8 @@ def build_index(
     clustering=None,
     site_reports=None,
     victim_report=None,
+    laundering_report=None,
+    signals: bool = True,
 ) -> IntelIndex:
     """Deterministic index construction from the pipeline's outputs.
 
@@ -373,8 +399,15 @@ def build_index(
     enrichments: ``clustering`` (a §7 :class:`ClusteringResult`) labels
     addresses with their family and fills the family table;
     ``site_reports`` (§8 ``SiteReport`` list) fills the domain table;
-    ``victim_report`` (§6) adds per-affiliate distinct-victim counts.
+    ``victim_report`` (§6) adds per-affiliate distinct-victim counts;
+    ``laundering_report`` (§8.1) contributes laundering-stage signals.
     Same inputs → byte-identical :meth:`IntelIndex.to_bytes`.
+
+    With ``signals=True`` (the default) every record also carries its
+    :mod:`repro.risk` stage signals, collected deterministically from
+    the same inputs; the serving layer fuses them into evidence-bearing
+    verdicts (``docs/risk.md``).  ``signals=False`` reproduces the
+    pre-fusion index byte-for-byte.
     """
     accumulators: dict[str, _Accumulator] = {}
 
@@ -418,6 +451,17 @@ def build_index(
             per_affiliate.setdefault(incident.affiliate, set()).add(incident.victim)
         victims_of = {a: len(v) for a, v in per_affiliate.items()}
 
+    signals_of: dict[str, tuple[StageSignal, ...]] = {}
+    if signals:
+        from repro.risk.collect import collect_signals
+
+        signals_of = collect_signals(
+            dataset,
+            clustering=clustering,
+            site_reports=site_reports,
+            laundering_report=laundering_report,
+        )
+
     addresses: dict[str, AddressIntel] = {}
     for role, members in (
         ("contract", dataset.contracts),
@@ -447,6 +491,7 @@ def build_index(
                 affiliates=tuple(sorted(a.partners["affiliates"])),
                 contracts=tuple(sorted(a.partners["contracts"])),
                 evidence=a.evidence_sample(),
+                signals=signals_of.get(address, ()),
             )
 
     domains: dict[str, DomainIntel] = {}

@@ -3,35 +3,49 @@
 The :class:`QueryEngine` is the layer both the HTTP service and the
 in-process consumers (:class:`~repro.analysis.guard.WalletGuard`, the
 ``daas-repro query`` CLI) share: point lookups with an LRU result cache,
-batch pre-transaction screening with risk scores and evidence, family
-summaries, and top-k leaderboards.  The engine is thread-safe and
+batch pre-transaction screening with fused, evidence-bearing verdicts,
+family summaries, and top-k leaderboards.  The engine is thread-safe and
 supports hot-swapping the underlying index (:meth:`swap_index`) without
 interrupting concurrent readers — in-flight queries finish against
 whichever index they started with.
+
+Risk scoring is the :mod:`repro.risk` fusion engine: when a record
+carries stage signals, :meth:`QueryEngine.screen` fuses them into a
+calibrated score with a stage breakdown and citation evidence
+(``ScreenVerdict.schema == 2``); records without signals — legacy
+indexes, ``build_index(..., signals=False)`` — keep the original
+role-keyed score and serialize byte-identically to the pre-fusion
+payload (``schema == 1``).  The bare ``risk_score`` function survives
+as a deprecation shim for one release.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
 
+from repro.risk.fusion import FusedVerdict, FusionEngine, FusionTable
+from repro.risk.signals import EvidenceRecord
 from repro.runtime.cache import ReadThroughCache
 from repro.serve.index import AddressIntel, DomainIntel, FamilyRecord, IntelIndex
 
-__all__ = ["QueryEngine", "ScreenVerdict", "risk_score"]
+__all__ = ["QueryEngine", "SCREEN_SCHEMA_VERSION", "ScreenVerdict", "risk_score"]
+
+#: Verdict payload schema: 1 = the flat role-scored shape, 2 = the
+#: evidence-bearing fused shape (adds "schema", "stages", "evidence").
+SCREEN_SCHEMA_VERSION = 2
 
 #: Base risk per role — contracts are the drain destination itself,
-#: operators run the service, affiliates merely deploy it.
+#: operators run the service, affiliates merely deploy it.  Only used
+#: for records without stage signals (and by the risk_score shim).
 _ROLE_RISK = {"contract": 0.95, "operator": 0.90, "affiliate": 0.80}
 
+_RISK_SCORE_WARNED = False
 
-def risk_score(intel: AddressIntel | None) -> float:
-    """Deterministic [0, 1] risk for an index record (0.0 = unknown).
 
-    Role sets the base; observed profit-sharing activity nudges it up —
-    an address with hundreds of splits is a more certain verdict than a
-    one-transaction affiliate.
-    """
+def _role_score(intel: AddressIntel | None) -> float:
+    """The legacy role-keyed [0, 1] score (0.0 = unknown address)."""
     if intel is None:
         return 0.0
     base = _ROLE_RISK.get(intel.role, 0.75)
@@ -39,9 +53,36 @@ def risk_score(intel: AddressIntel | None) -> float:
     return round(min(1.0, base + activity), 4)
 
 
+def risk_score(intel: AddressIntel | None) -> float:
+    """Deprecated: the flat role-keyed risk score.
+
+    Kept importable for one release.  New code should read
+    ``QueryEngine.screen(...)`` — a fused, evidence-bearing verdict —
+    or call :meth:`QueryEngine.risk` for the bare float; see
+    ``docs/risk.md``.
+    """
+    global _RISK_SCORE_WARNED
+    if not _RISK_SCORE_WARNED:
+        _RISK_SCORE_WARNED = True
+        warnings.warn(
+            "risk_score() is deprecated; QueryEngine.screen() returns fused "
+            "evidence-bearing verdicts (docs/risk.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _role_score(intel)
+
+
 @dataclass(frozen=True, slots=True)
 class ScreenVerdict:
-    """One screened address: flagged or clean, with the evidence."""
+    """One screened address: flagged or clean, with the evidence.
+
+    ``schema`` versions the payload shape: 1 is the flat pre-fusion
+    verdict, :data:`SCREEN_SCHEMA_VERSION` (2) adds the fused ``stages``
+    breakdown and citation ``evidence``.  ``to_payload`` emits the extra
+    keys only for schema ≥ 2, so verdicts for addresses without stage
+    signals serialize byte-identically to the original shape.
+    """
 
     address: str
     flagged: bool
@@ -49,9 +90,12 @@ class ScreenVerdict:
     role: str | None = None
     family: str | None = None
     reasons: tuple[str, ...] = ()
+    stages: tuple[str, ...] = ()
+    evidence: tuple[EvidenceRecord, ...] = ()
+    schema: int = 1
 
     def to_payload(self) -> dict:
-        return {
+        doc = {
             "address": self.address,
             "flagged": self.flagged,
             "risk": self.risk,
@@ -59,15 +103,29 @@ class ScreenVerdict:
             "family": self.family,
             "reasons": list(self.reasons),
         }
+        if self.schema >= SCREEN_SCHEMA_VERSION:
+            doc["schema"] = self.schema
+            doc["stages"] = list(self.stages)
+            doc["evidence"] = [record.to_payload() for record in self.evidence]
+        return doc
 
 
 class QueryEngine:
     """Cached, thread-safe reads over one (swappable) intelligence index."""
 
-    def __init__(self, index: IntelIndex, cache_size: int = 4096) -> None:
+    def __init__(
+        self,
+        index: IntelIndex,
+        cache_size: int = 4096,
+        fusion: FusionEngine | None = None,
+        obs=None,
+    ) -> None:
         self._lock = threading.RLock()
         self._index = index
         self.cache = ReadThroughCache("serve.lookup", max_size=cache_size)
+        self.fusion = fusion if fusion is not None else FusionEngine(
+            FusionTable.default(), obs=obs
+        )
 
     @property
     def index(self) -> IntelIndex:
@@ -105,9 +163,48 @@ class QueryEngine:
             ("domain", index.version, key), lambda: index.lookup_domain(key)
         )
 
+    # -- risk ----------------------------------------------------------------
+
+    def fused_verdict(self, intel: AddressIntel | None) -> FusedVerdict | None:
+        """The record's fused verdict, or ``None`` without stage signals.
+
+        Fusion runs once per (index version, address) — the result is
+        cached alongside lookups, so screening stays O(dict hit) on the
+        hot path and the fusion cost amortizes to the first touch.
+        """
+        if intel is None or not intel.signals:
+            return None
+        index = self._index
+        return self.cache.get_or_compute(
+            ("fused", index.version, intel.address.lower()),
+            lambda: self.fusion.fuse(intel.address, intel.signals),
+        )
+
+    def risk(self, intel: AddressIntel | None) -> float:
+        """Calibrated [0, 1] risk: fused when signals exist, else the
+        legacy role-keyed score (0.0 for unknown addresses)."""
+        fused = self.fused_verdict(intel)
+        if fused is not None:
+            return fused.score
+        return _role_score(intel)
+
     # -- screening -----------------------------------------------------------
 
     def screen(self, address: str) -> ScreenVerdict:
+        """One address's verdict, memoized per (index version, address).
+
+        A verdict is a pure function of the index content, so the
+        finished (possibly fused) verdict is cached whole — steady-state
+        screening costs one cache hit whether or not the record carries
+        stage signals, which is what keeps fusion inside the <10%
+        latency bound ``bench_serve.py`` asserts.
+        """
+        index = self._index
+        return self.cache.get_or_compute(
+            ("verdict", index.version, address), lambda: self._screen(address)
+        )
+
+    def _screen(self, address: str) -> ScreenVerdict:
         intel = self.lookup_address(address)
         if intel is None:
             return ScreenVerdict(address=address, flagged=False, risk=0.0)
@@ -116,13 +213,28 @@ class QueryEngine:
             reasons.append(f"family {intel.family}")
         if intel.tx_count:
             reasons.append(f"{intel.tx_count} profit-sharing txs")
+        fused = self.fused_verdict(intel)
+        if fused is None:
+            return ScreenVerdict(
+                address=address,
+                flagged=True,
+                risk=_role_score(intel),
+                role=intel.role,
+                family=intel.family,
+                reasons=tuple(reasons),
+            )
+        # Indexed addresses stay flagged regardless of the fused score —
+        # pipeline membership is the flag, fusion calibrates confidence.
         return ScreenVerdict(
             address=address,
             flagged=True,
-            risk=risk_score(intel),
+            risk=fused.score,
             role=intel.role,
             family=intel.family,
             reasons=tuple(reasons),
+            stages=fused.stages,
+            evidence=fused.evidence,
+            schema=SCREEN_SCHEMA_VERSION,
         )
 
     def screen_batch(self, addresses: list[str]) -> list[ScreenVerdict]:
@@ -147,6 +259,25 @@ class QueryEngine:
 
     def family_summary(self, name: str) -> FamilyRecord | None:
         return self._index.family(name)
+
+    def fused_family(self, name: str) -> FusedVerdict | None:
+        """Fuse the union of one family's member signals (``None`` when
+        the family is unknown or carries no signals)."""
+        if self._index.family(name) is None:
+            return None
+        signals = [
+            signal
+            for intel in self._index.addresses.values()
+            if intel.family == name
+            for signal in intel.signals
+        ]
+        if not signals:
+            return None
+        index = self._index
+        return self.cache.get_or_compute(
+            ("fused-family", index.version, name),
+            lambda: self.fusion.fuse_family(name, signals),
+        )
 
     def top_k(self, role: str = "affiliate", k: int = 10) -> list[AddressIntel]:
         """The ``k`` highest-profit addresses of one role (the paper's

@@ -1,0 +1,240 @@
+"""FusionEngine: determinism, monotonicity, bonuses, table validation.
+
+The engine is pure arithmetic over the input signals, so these tests
+pin the properties the serving layer depends on: any permutation of the
+same signal set fuses to an identical verdict (cacheable by index
+version), adding corroborating stages only raises the score, and the
+configured combo bonuses fire exactly when all their stages are
+present.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.obs import Observability
+from repro.risk import FusedVerdict, FusionEngine, FusionTable, StageSignal
+from repro.risk.signals import (
+    STAGE_EXPLOITATION,
+    STAGE_FUNDING,
+    STAGE_LAUNDERING,
+    STAGE_PREPARATION,
+)
+
+
+def _signal(stage: str, confidence: float = 0.6, kind: str = "k",
+            source: str = "s", detail: str = "") -> StageSignal:
+    return StageSignal(address="0xab", stage=stage, kind=kind,
+                       confidence=confidence, source=source, detail=detail)
+
+
+@pytest.fixture()
+def engine() -> FusionEngine:
+    return FusionEngine()
+
+
+class TestDeterminism:
+    def test_same_signals_fuse_identically(self, engine):
+        signals = [
+            _signal(STAGE_FUNDING, 0.6, kind="seed-label"),
+            _signal(STAGE_EXPLOITATION, 0.85, kind="profit-split"),
+        ]
+        assert engine.fuse("0xab", signals) == engine.fuse("0xab", signals)
+
+    def test_order_independence_over_all_permutations(self, engine):
+        signals = [
+            _signal(STAGE_FUNDING, 0.6, kind="seed-label"),
+            _signal(STAGE_PREPARATION, 0.5, kind="phishing-site"),
+            _signal(STAGE_EXPLOITATION, 0.85, kind="profit-split"),
+            _signal(STAGE_LAUNDERING, 0.7, kind="cash-out"),
+        ]
+        reference = engine.fuse("0xab", signals)
+        for permutation in itertools.permutations(signals):
+            assert engine.fuse("0xab", list(permutation)) == reference
+
+    def test_fresh_engines_agree(self):
+        signals = [_signal(STAGE_EXPLOITATION, 0.9)]
+        assert FusionEngine().fuse("0xab", signals) == FusionEngine().fuse(
+            "0xab", signals
+        )
+
+    def test_fuse_all_is_sorted_and_complete(self, engine):
+        verdicts = engine.fuse_all({
+            "0xbb": [_signal(STAGE_FUNDING)],
+            "0xaa": [_signal(STAGE_EXPLOITATION)],
+        })
+        assert list(verdicts) == ["0xaa", "0xbb"]
+        assert all(isinstance(v, FusedVerdict) for v in verdicts.values())
+
+
+class TestScoring:
+    def test_single_signal_arithmetic(self, engine):
+        # One funding signal: score = stage_weight * confidence, rounded.
+        verdict = engine.fuse("0xab", [_signal(STAGE_FUNDING, 0.6)])
+        expected = round(engine.table.stage_weights[STAGE_FUNDING] * 0.6, 4)
+        assert verdict.score == expected
+        assert verdict.stages == (STAGE_FUNDING,)
+        assert not verdict.flagged          # below the 0.5 threshold
+
+    def test_empty_signals_scores_zero(self, engine):
+        verdict = engine.fuse("0xab", [])
+        assert verdict.score == 0.0
+        assert not verdict.flagged
+        assert verdict.stages == ()
+        assert verdict.evidence == ()
+
+    def test_within_stage_noisy_or_reinforces(self, engine):
+        one = engine.fuse("0xab", [_signal(STAGE_FUNDING, 0.6)])
+        two = engine.fuse("0xab", [
+            _signal(STAGE_FUNDING, 0.6, source="feed-a"),
+            _signal(STAGE_FUNDING, 0.6, source="feed-b"),
+        ])
+        assert two.score > one.score
+        # Still bounded by the stage weight: a stage cannot exceed it.
+        assert two.score <= engine.table.stage_weights[STAGE_FUNDING]
+
+    def test_adding_a_stage_strictly_raises_the_score(self, engine):
+        stages = [STAGE_FUNDING, STAGE_PREPARATION, STAGE_EXPLOITATION,
+                  STAGE_LAUNDERING]
+        previous = -1.0
+        for n in range(1, len(stages) + 1):
+            verdict = engine.fuse(
+                "0xab", [_signal(s, 0.6) for s in stages[:n]]
+            )
+            assert verdict.score > previous
+            assert len(verdict.stages) == n
+            previous = verdict.score
+        assert previous <= 1.0
+
+    def test_stage_breakdown_follows_canonical_order(self, engine):
+        verdict = engine.fuse("0xab", [
+            _signal(STAGE_LAUNDERING, 0.7),
+            _signal(STAGE_FUNDING, 0.6),
+        ])
+        assert verdict.stages == (STAGE_FUNDING, STAGE_LAUNDERING)
+        assert [s.stage for s in verdict.stage_scores] == list(verdict.stages)
+
+    def test_flag_threshold_splits_outcomes(self):
+        engine = FusionEngine(FusionTable(flag_threshold=0.9))
+        verdict = engine.fuse("0xab", [_signal(STAGE_EXPLOITATION, 0.85)])
+        assert verdict.score < 0.9 and not verdict.flagged
+        lenient = FusionEngine(FusionTable(flag_threshold=0.1))
+        assert lenient.fuse("0xab", [_signal(STAGE_EXPLOITATION, 0.85)]).flagged
+
+
+class TestComboBonuses:
+    def test_bonus_fires_only_when_all_stages_present(self):
+        table = FusionTable()
+        plain = FusionTable(combo_bonuses={})
+        signals = [
+            _signal(STAGE_EXPLOITATION, 0.85),
+            _signal(STAGE_LAUNDERING, 0.7),
+        ]
+        with_bonus = FusionEngine(table).fuse("0xab", signals)
+        without = FusionEngine(plain).fuse("0xab", signals)
+        assert with_bonus.score > without.score
+        # A single stage never triggers a combo.
+        single = [_signal(STAGE_EXPLOITATION, 0.85)]
+        assert (FusionEngine(table).fuse("0xab", single).score
+                == FusionEngine(plain).fuse("0xab", single).score)
+
+    def test_bonus_keeps_score_bounded(self):
+        table = FusionTable(combo_bonuses={
+            frozenset({STAGE_FUNDING, STAGE_EXPLOITATION}): 0.99,
+        })
+        verdict = FusionEngine(table).fuse("0xab", [
+            _signal(STAGE_FUNDING, 1.0),
+            _signal(STAGE_EXPLOITATION, 1.0),
+        ])
+        assert verdict.score <= 1.0
+
+
+class TestEvidence:
+    def test_every_signal_becomes_one_citation(self, engine):
+        signals = [
+            _signal(STAGE_FUNDING, 0.6, kind="seed-label", source="scamsniffer"),
+            _signal(STAGE_EXPLOITATION, 0.85, kind="profit-split",
+                    detail="9 profit-sharing txs as operator"),
+        ]
+        verdict = engine.fuse("0xab", signals)
+        assert len(verdict.evidence) == 2
+        by_stage = {e.stage: e for e in verdict.evidence}
+        # Weight is the table's contribution: stage weight x confidence.
+        assert by_stage[STAGE_FUNDING].weight == round(
+            engine.table.stage_weights[STAGE_FUNDING] * 0.6, 4
+        )
+        # Empty detail falls back to "kind via source".
+        assert by_stage[STAGE_FUNDING].detail == "seed-label via scamsniffer"
+        assert by_stage[STAGE_EXPLOITATION].detail == (
+            "9 profit-sharing txs as operator"
+        )
+
+    def test_first_ref_is_cited(self, engine):
+        signal = StageSignal(
+            address="0xab", stage=STAGE_EXPLOITATION, kind="profit-split",
+            confidence=0.85, refs=("0xt1", "0xt2"),
+        )
+        verdict = engine.fuse("0xab", [signal])
+        assert verdict.evidence[0].ref == "0xt1"
+
+
+class TestFamilies:
+    def test_family_verdict_is_namespaced(self, engine):
+        verdict = engine.fuse_family("Angel Drainer",
+                                     [_signal(STAGE_EXPLOITATION, 0.85)])
+        assert verdict.address == "family:Angel Drainer"
+
+
+class TestTableValidation:
+    def test_unknown_stage_weight_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            FusionTable(stage_weights={"exfiltration": 0.5})
+
+    @pytest.mark.parametrize("weight", [0.0, 1.5])
+    def test_weight_out_of_range_rejected(self, weight):
+        with pytest.raises(ValueError, match="stage weight"):
+            FusionTable(stage_weights={STAGE_FUNDING: weight})
+
+    def test_single_stage_combo_rejected(self):
+        with pytest.raises(ValueError, match="at least two stages"):
+            FusionTable(combo_bonuses={frozenset({STAGE_FUNDING}): 0.1})
+
+    def test_unknown_combo_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            FusionTable(combo_bonuses={
+                frozenset({STAGE_FUNDING, "exfiltration"}): 0.1,
+            })
+
+    def test_bonus_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="combo bonus"):
+            FusionTable(combo_bonuses={
+                frozenset({STAGE_FUNDING, STAGE_EXPLOITATION}): 1.0,
+            })
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0])
+    def test_flag_threshold_bounds(self, threshold):
+        with pytest.raises(ValueError, match="flag_threshold"):
+            FusionTable(flag_threshold=threshold)
+
+
+class TestMetrics:
+    def test_fusion_metrics_are_emitted(self):
+        obs = Observability(run_id="fusiontest")
+        engine = FusionEngine(obs=obs)
+        engine.fuse("0xab", [
+            _signal(STAGE_FUNDING, 0.6),
+            _signal(STAGE_EXPLOITATION, 0.85),
+        ])
+        engine.fuse("0xcd", [])
+        metrics = obs.metrics
+        assert metrics.value("daas_risk_stage_signals_total",
+                             stage=STAGE_FUNDING) == 1
+        assert metrics.value("daas_risk_stage_signals_total",
+                             stage=STAGE_EXPLOITATION) == 1
+        assert metrics.value("daas_risk_fused_verdicts_total",
+                             outcome="flagged") == 1
+        assert metrics.value("daas_risk_fused_verdicts_total",
+                             outcome="clean") == 1
+        assert metrics.has_metric("daas_risk_fusion_seconds")

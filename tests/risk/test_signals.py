@@ -1,0 +1,112 @@
+"""StageSignal / EvidenceRecord: validation and payload round-trips.
+
+Signals persist inside the content-hash-versioned intelligence index
+and evidence travels on ``/v1/screen`` responses, so both payload
+shapes must round-trip losslessly and reject malformed input early.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.risk import STAGES, EvidenceRecord, StageSignal
+from repro.risk.signals import (
+    STAGE_EXPLOITATION,
+    STAGE_FUNDING,
+    STAGE_LAUNDERING,
+    STAGE_PREPARATION,
+)
+
+
+class TestStageTaxonomy:
+    def test_canonical_stage_order(self):
+        assert STAGES == (
+            STAGE_FUNDING,
+            STAGE_PREPARATION,
+            STAGE_EXPLOITATION,
+            STAGE_LAUNDERING,
+        )
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            StageSignal(address="0xab", stage="exfiltration",
+                        kind="x", confidence=0.5)
+
+    @pytest.mark.parametrize("confidence", [0.0, -0.1, 1.5])
+    def test_confidence_out_of_range_rejected(self, confidence):
+        with pytest.raises(ValueError, match="confidence"):
+            StageSignal(address="0xab", stage=STAGE_FUNDING,
+                        kind="seed-label", confidence=confidence)
+
+    def test_confidence_bounds_inclusive_upper(self):
+        signal = StageSignal(address="0xab", stage=STAGE_FUNDING,
+                             kind="seed-label", confidence=1.0)
+        assert signal.confidence == 1.0
+
+
+class TestStageSignalPayload:
+    def _signal(self) -> StageSignal:
+        return StageSignal(
+            address="0xAbCd",
+            stage=STAGE_EXPLOITATION,
+            kind="profit-split",
+            confidence=0.8537,
+            source="classify",
+            detail="42 profit-sharing txs as operator",
+            count=42,
+            first_ts=1_000,
+            last_ts=2_000,
+            refs=("0xt1", "0xt2"),
+        )
+
+    def test_round_trip_is_lossless(self):
+        signal = self._signal()
+        doc = signal.to_payload()
+        restored = StageSignal.from_payload(signal.address, doc)
+        assert restored == signal
+
+    def test_payload_rounds_confidence(self):
+        signal = StageSignal(address="0xab", stage=STAGE_FUNDING,
+                             kind="seed-label", confidence=0.123456789)
+        assert signal.to_payload()["confidence"] == 0.1235
+
+    def test_payload_is_json_stable(self):
+        import json
+
+        a = json.dumps(self._signal().to_payload(), sort_keys=True)
+        b = json.dumps(self._signal().to_payload(), sort_keys=True)
+        assert a == b
+
+    def test_from_payload_defaults_for_sparse_docs(self):
+        restored = StageSignal.from_payload(
+            "0xab", {"stage": STAGE_LAUNDERING}
+        )
+        assert restored.kind == ""
+        assert restored.confidence == 0.5
+        assert restored.count == 1
+        assert restored.refs == ()
+        assert restored.first_ts is None
+
+
+class TestEvidenceRecord:
+    def test_round_trip_is_lossless(self):
+        record = EvidenceRecord(
+            stage=STAGE_PREPARATION,
+            kind="phishing-site",
+            detail="3 confirmed phishing sites for family Angel Drainer",
+            ref="fake-claim.xyz",
+            weight=0.25,
+        )
+        assert EvidenceRecord.from_payload(record.to_payload()) == record
+
+    def test_payload_rounds_weight(self):
+        record = EvidenceRecord(stage=STAGE_FUNDING, kind="seed-label",
+                                detail="d", weight=0.333333333)
+        assert record.to_payload()["weight"] == 0.3333
+
+    def test_records_are_hashable_and_frozen(self):
+        record = EvidenceRecord(stage=STAGE_FUNDING, kind="seed-label",
+                                detail="d")
+        assert record in {record}
+        with pytest.raises(AttributeError):
+            record.weight = 0.9

@@ -64,3 +64,82 @@ class TestSetPathUnchanged:
         assert verdict.alerts[0] == (
             f"recipient {operator} is a known DaaS account"
         )
+
+
+class TestFusedCitations:
+    """Guard and serve answers are structurally identical: the same
+    EvidenceRecord citations, stage breakdown, and calibrated risk the
+    /v1/screen verdict for the same address carries (docs/risk.md)."""
+
+    def _guard(self, pipeline, intel_index):
+        return WalletGuard(pipeline.context.rpc, blacklist=intel_index)
+
+    def test_denial_cites_fused_evidence(self, pipeline, intel_index):
+        from repro.risk.signals import EvidenceRecord
+
+        guard = self._guard(pipeline, intel_index)
+        operator = sorted(pipeline.dataset.operators)[0]
+        verdict = guard.screen(
+            TransactionIntent(sender=SENDER, to=operator, value=1)
+        )
+        assert not verdict.allowed
+        assert verdict.evidence
+        assert all(isinstance(e, EvidenceRecord) for e in verdict.evidence)
+        assert verdict.stages
+        assert 0.0 < verdict.risk <= 1.0
+
+    def test_guard_and_serve_cite_identical_evidence(
+        self, pipeline, intel_index
+    ):
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(intel_index)
+        guard = self._guard(pipeline, intel_index)
+        operator = sorted(pipeline.dataset.operators)[0]
+        served = engine.screen(operator)
+        guarded = guard.screen(
+            TransactionIntent(sender=SENDER, to=operator, value=1)
+        )
+        assert tuple(guarded.evidence) == served.evidence
+        assert tuple(guarded.stages) == served.stages
+        assert guarded.risk == served.risk
+
+    def test_verdict_payload_matches_serve_shape(self, pipeline, intel_index):
+        guard = self._guard(pipeline, intel_index)
+        operator = sorted(pipeline.dataset.operators)[0]
+        verdict = guard.screen(
+            TransactionIntent(sender=SENDER, to=operator, value=1)
+        )
+        payload = verdict.to_payload()
+        assert set(payload) == {"allowed", "alerts", "risk", "stages",
+                                "evidence"}
+        for record in payload["evidence"]:
+            assert set(record) == {"stage", "kind", "detail", "ref", "weight"}
+
+    def test_set_path_verdicts_carry_no_evidence(self, pipeline):
+        guard = WalletGuard(
+            pipeline.context.rpc, blacklist=pipeline.dataset.all_accounts
+        )
+        operator = next(iter(pipeline.dataset.operators))
+        verdict = guard.screen(
+            TransactionIntent(sender=SENDER, to=operator, value=1)
+        )
+        assert not verdict.allowed
+        assert verdict.evidence == [] and verdict.stages == []
+        assert verdict.risk == 0.0
+
+    def test_repeat_denials_deduplicate_citations(self, pipeline, intel_index):
+        guard = self._guard(pipeline, intel_index)
+        contract = sorted(pipeline.dataset.contracts)[0]
+        token = pipeline.world.infra.erc20_tokens[0]
+        # Recipient AND approval target resolve to the same contract:
+        # two denials, one set of citations.
+        verdict = guard.screen(
+            TransactionIntent(
+                sender=SENDER, to=contract,
+                func="approve", args={"spender": contract, "amount": 10**18},
+            )
+        )
+        assert not verdict.allowed
+        assert len(verdict.alerts) >= 2
+        assert len(verdict.evidence) == len(set(verdict.evidence))

@@ -40,8 +40,14 @@ class TestScreening:
         verdict = engine.screen(record.contract)
         assert verdict.flagged
         assert verdict.role == "contract"
-        assert verdict.risk >= 0.95
+        assert verdict.risk >= 0.85
         assert any("known DaaS contract" in r for r in verdict.reasons)
+        # Pipeline-built indexes carry stage signals, so the verdict is
+        # the fused, evidence-bearing schema-2 shape (docs/risk.md).
+        assert verdict.schema == 2
+        assert "exploitation" in verdict.stages
+        assert any(e.kind == "profit-split" for e in verdict.evidence)
+        assert all(0.0 < e.weight <= 1.0 for e in verdict.evidence)
 
     def test_unknown_address_is_clean(self, engine):
         verdict = engine.screen("0x" + "11" * 20)
