@@ -4,11 +4,14 @@
 Walks ``src/repro`` for literal metric registrations
 (``.counter("…")`` / ``.gauge("…")`` / ``.histogram("…")``),
 structured-event emissions (``.event("…")`` and the level shorthands),
-and the serve plane's access-log event names (bound as ``event, reason
+the serve plane's access-log event names (bound as ``event, reason
 = "serve.access…", …`` in ``repro.obs.request`` rather than emitted
-through a logger), then fails if any discovered name is missing from
-the catalogue in ``docs/observability.md`` — so a new instrument cannot
-ship undocumented.  Dynamically-built names (f-strings like
+through a logger), and — for the streaming plane, whose spans are an
+operator-facing surface (``docs/streaming.md``) — literal span names
+(``.span("stream.…")`` under ``src/repro/stream``), then fails if any
+discovered name is missing from the catalogue in
+``docs/observability.md`` — so a new instrument cannot ship
+undocumented.  Dynamically-built names (f-strings like
 ``f"daas_cache_{field}"``) are out of scope; only string literals are
 checked.
 
@@ -37,6 +40,11 @@ _EVENT_RE = re.compile(
 _ACCESS_EVENT_RE = re.compile(
     r"""\bevent\s*,\s*reason\s*=\s*["']([a-z][a-z0-9_.]*)["']"""
 )
+#: Span names are only enforced for the streaming plane, where the
+#: per-tick spans are part of the documented operational surface; the
+#: batch pipeline's spans remain free-form.
+_SPAN_RE = re.compile(r"""\.span\(\s*["']([a-z][a-z0-9_.]*)["']""")
+_SPAN_SCOPE = ("src", "repro", "stream")
 
 
 def source_files(root: Path = REPO_ROOT) -> list[Path]:
@@ -47,6 +55,7 @@ def emitted_names(root: Path = REPO_ROOT) -> dict[str, set[str]]:
     """``{"metrics": {...}, "events": {...}}`` with their source files."""
     metrics: dict[str, set[str]] = {}
     events: dict[str, set[str]] = {}
+    spans: dict[str, set[str]] = {}
     for path in source_files(root):
         text = path.read_text()
         rel = str(path.relative_to(root))
@@ -56,7 +65,10 @@ def emitted_names(root: Path = REPO_ROOT) -> dict[str, set[str]]:
             events.setdefault(name, set()).add(rel)
         for name in _ACCESS_EVENT_RE.findall(text):
             events.setdefault(name, set()).add(rel)
-    return {"metrics": metrics, "events": events}
+        if path.relative_to(root).parts[: len(_SPAN_SCOPE)] == _SPAN_SCOPE:
+            for name in _SPAN_RE.findall(text):
+                spans.setdefault(name, set()).add(rel)
+    return {"metrics": metrics, "events": events, "spans": spans}
 
 
 def catalogue_text(root: Path = REPO_ROOT) -> str:
@@ -89,7 +101,8 @@ def main() -> int:
     names = emitted_names()
     print(
         f"metrics catalogue OK: {len(names['metrics'])} metrics, "
-        f"{len(names['events'])} events all documented"
+        f"{len(names['events'])} events, {len(names['spans'])} spans "
+        "all documented"
     )
     return 0
 

@@ -16,6 +16,11 @@ Commands:
 * ``index serve-status`` — per-worker + fleet table for a running query
   service, from its URL (``/statusz``) or its ``--status-dir``; exit 0
   ok / 2 degraded / 1 error, same convention as ``live-status``.
+* ``stream run``    — continuous ingestion: tail the chain (and, with
+  ``--with-domains``, the CT log) behind a checkpointed cursor, maintain
+  the snowball/clustering state incrementally, and publish versioned
+  index deltas with a bounded-staleness freshness contract
+  (``docs/streaming.md``).
 * ``serve``         — the ``/v1`` query service over a prebuilt index:
   asyncio keep-alive transport by default (``--threaded`` for the legacy
   one, ``--serve-workers N`` for a pre-forked SO_REUSEPORT fleet), with
@@ -676,6 +681,104 @@ def cmd_index_serve_status(args: argparse.Namespace) -> int:
     return 0 if state.state == "ok" else 2
 
 
+class _StreamLiveBridge:
+    """``before_tick`` hook for stream runs: flush engine metrics, then
+    evaluate the publisher's staleness bound, so /readyz degrades while
+    the loop is wedged — not only when it next publishes."""
+
+    def __init__(self, engine, publisher) -> None:
+        self._engine = engine
+        self._publisher = publisher
+
+    def publish_metrics(self) -> None:
+        self._engine.publish_metrics()
+        self._publisher.check_staleness()
+
+
+def cmd_stream_run(args: argparse.Namespace) -> int:
+    from repro.core import SeedBuilder
+    from repro.stream import StreamPipeline, StreamPublisher
+
+    obs = _obs(args)
+    try:
+        config = _config(args, obs)
+    except ValueError as exc:  # bad --fault-plan file
+        print(str(exc), file=sys.stderr)
+        return 1
+    world = config.resolved_world()
+    engine = config.make_engine()
+    analyzer = ContractAnalyzer(
+        world.rpc, world.explorer, world.oracle, engine=engine
+    )
+
+    web = db = None
+    if getattr(args, "with_domains", False):
+        web = build_web_world(WebWorldParams(scale=args.scale, seed=args.seed))
+        db = build_fingerprint_db(web)
+
+    publisher = StreamPublisher(
+        path=args.out or None,
+        obs=obs,
+        staleness_bound_s=args.staleness_bound,
+    )
+    try:
+        live = _live(args, obs, _StreamLiveBridge(engine, publisher))
+    except ValueError as exc:  # bad --alerts file
+        print(str(exc), file=sys.stderr)
+        return 1
+    if live is not None:
+        publisher.health = live.status
+
+    manager = engine.checkpoint
+    try:
+        with engine.stage("stream.seed"):
+            seeds, _ = SeedBuilder(analyzer, world.feeds).build()
+        pipeline = StreamPipeline(
+            world,
+            analyzer,
+            seeds,
+            web=web,
+            db=db,
+            publisher=publisher,
+            checkpoint=manager,
+            delta_batch=args.delta_batch,
+            signals=not getattr(args, "no_signals", False),
+        )
+        if args.resume and manager is not None:
+            state = manager.load()
+            if state is not None and not pipeline.restore(state):
+                print(
+                    f"checkpoint {manager.path} holds stage "
+                    f"{state.get('stage')!r}, not a stream checkpoint",
+                    file=sys.stderr,
+                )
+                return 1
+        summary = pipeline.run(
+            max_ticks=args.max_ticks, publish_every=args.publish_every
+        )
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except UpstreamError as exc:
+        return _upstream_failure(args, exc)
+    finally:
+        if live is not None:
+            live.stop()
+
+    print(f"stream drained: {summary.ticks} ticks, {summary.blocks} blocks, "
+          f"{summary.txs} txs, {summary.entries} CT entries")
+    print(f"  admitted {summary.admitted_contracts} contracts + "
+          f"{summary.new_accounts} accounts; {summary.family_merges} family "
+          f"merges; {summary.sites_confirmed} sites confirmed")
+    print(f"  {summary.publishes} publishes; index {summary.final_version} "
+          f"written to {args.out}")
+    if manager is not None:
+        print(f"  stream position checkpointed in {manager.path}; rerun "
+              "with --resume to continue from the watermark")
+    _write_obs(args, obs, engine)
+    return 0
+
+
 def _serve_telemetry_kwargs(args: argparse.Namespace, worker_id: int = 0) -> dict:
     """The per-request-telemetry constructor kwargs both transports take."""
     access_log = getattr(args, "access_log", "")
@@ -1064,6 +1167,39 @@ def main(argv: list[str] | None = None) -> int:
                    help="a worker snapshot older than this degrades the "
                         "fleet state (default 15; 0 disables)")
     s.set_defaults(fn=cmd_index_serve_status)
+
+    p = sub.add_parser(
+        "stream",
+        help="continuous ingestion: incremental snowball, incremental "
+             "clustering, versioned index deltas (docs/streaming.md)",
+    )
+    ssub = p.add_subparsers(dest="action", required=True)
+    r = ssub.add_parser(
+        "run",
+        help="drain the chain/CT backlog through the streaming plane",
+        parents=[world, runtime, obs_flags, live, resilience, checkpoint],
+    )
+    r.add_argument("--delta-batch", type=int, default=16, metavar="N",
+                   help="blocks folded per tick (default 16; the published "
+                        "index is byte-identical for any batch size)")
+    r.add_argument("--publish-every", type=int, default=1, metavar="N",
+                   help="publish an index delta every N ticks (0 = once "
+                        "after draining; default 1)")
+    r.add_argument("--staleness-bound", type=float, default=30.0,
+                   metavar="SECS",
+                   help="served-index age beyond which health (/readyz) "
+                        "degrades (default 30; 0 disables)")
+    r.add_argument("--max-ticks", type=int, default=0, metavar="N",
+                   help="stop after N ticks (0 = drain the backlog)")
+    r.add_argument("--out", default="intel_stream.json", metavar="FILE",
+                   help="published index file, atomically replaced on "
+                        "every publish (default intel_stream.json)")
+    r.add_argument("--with-domains", action="store_true",
+                   help="also tail the CT log and fold confirmed phishing "
+                        "domains into the index")
+    r.add_argument("--no-signals", action="store_true",
+                   help="skip repro.risk stage-signal collection")
+    r.set_defaults(fn=cmd_stream_run)
 
     p = sub.add_parser(
         "serve",

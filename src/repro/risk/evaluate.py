@@ -7,8 +7,8 @@ and outright false reports, site hits attribute through the family, and
 harness rebuilds those raw single-stage alert sets from the simulated
 world's observables, scores every stage combination against the planted
 ground truth, and compares them with the pre-fusion baseline — the
-role-scored label-feed blacklist that ``risk_score`` + a bare
-``set[str]`` WalletGuard implemented.
+role-scored label-feed blacklist that the legacy role-keyed score +
+a bare ``set[str]`` WalletGuard implemented.
 
 Ground truth never leaks into the production path: only this module
 (and the ``daas-repro eval-risk`` CLI on top of it) reads

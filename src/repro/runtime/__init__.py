@@ -58,6 +58,9 @@ Fault tolerance (:mod:`repro.runtime.resilience`,
 * :class:`CheckpointManager` / :class:`ResumeInfo` — versioned JSON
   checkpoints at stage boundaries, so an interrupted ``build-dataset``
   resumes to a byte-identical dataset.
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` — temp-file +
+  ``os.replace`` publication shared by checkpoints, serve snapshots,
+  and the streamed intelligence index.
 * Errors: :class:`UpstreamError`, :class:`TransientUpstreamError`,
   :class:`UpstreamTimeoutError`, :class:`UpstreamOutageError`,
   :class:`CircuitOpenError`, :class:`RetriesExhaustedError`,
@@ -80,6 +83,7 @@ Process sharding (:mod:`repro.runtime.sharding`; reference in
 * Errors: :class:`ShardWorkerLost`.
 """
 
+from repro.runtime.atomicio import atomic_write_bytes, atomic_write_text
 from repro.runtime.cache import CacheStats, NullCache, ReadThroughCache, RPCReadCache
 from repro.runtime.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
@@ -153,6 +157,8 @@ __all__ = [
     "UpstreamError",
     "UpstreamOutageError",
     "UpstreamTimeoutError",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "default_start_method",
     "make_executor",
 ]

@@ -1,0 +1,54 @@
+"""Atomic file publication: write a temp file, then ``os.replace`` it.
+
+Every durable artifact the pipeline publishes while *running* — the
+construction checkpoint, per-worker serve snapshots, the streamed
+intelligence index — shares one failure mode: a reader (or a resumed
+run) must never observe a half-written file.  The cure is the same
+everywhere, so it lives here once: write the full payload to a unique
+temp file in the target directory, fsync-free (these are recoverable
+artifacts, not a WAL), and ``os.replace`` it over the destination.
+``os.replace`` is atomic on POSIX and Windows within one filesystem,
+so concurrent readers see either the previous complete file or the new
+one — never a torn write.
+
+The temp name carries the writer's PID so multiple processes
+publishing to the same path (the serve fleet's status directory) never
+clobber each other's in-flight temp files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically publish ``data`` at ``path``; parents are created.
+
+    Returns the destination path.  On any write error the destination
+    is untouched and the temp file is removed.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically publish ``text`` at ``path`` (see
+    :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))

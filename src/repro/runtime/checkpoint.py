@@ -32,11 +32,12 @@ in ``docs/observability.md``, operator workflow in
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
+
+from repro.runtime.atomicio import atomic_write_text
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -97,10 +98,7 @@ class CheckpointManager:
             **state,
         }
         text = json.dumps(payload, indent=2)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(text)
-        os.replace(tmp, self.path)
+        atomic_write_text(self.path, text)
         self.checkpoints_written += 1
         if self._obs is not None:
             self._obs.metrics.counter(

@@ -52,7 +52,6 @@ from repro.serve.query import (
     SCREEN_SCHEMA_VERSION,
     QueryEngine,
     ScreenVerdict,
-    risk_score,
 )
 from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
 from repro.serve.server import IntelServer
@@ -77,5 +76,4 @@ __all__ = [
     "TokenBucket",
     "build_index",
     "preforked_sockets",
-    "risk_score",
 ]

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.obs.metrics import escape_label_value
+from repro.runtime.atomicio import atomic_write_text
 
 __all__ = [
     "ServeAggregator",
@@ -83,11 +84,7 @@ def write_worker_snapshot(
         "metrics": obs.metrics.to_json(),
     }
     path = snapshot_path(status_dir, worker_id)
-    tmp = f"{path}.{os.getpid()}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, separators=(",", ":"))
-        handle.write("\n")
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(doc, separators=(",", ":")) + "\n")
     return path
 
 

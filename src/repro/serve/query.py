@@ -15,14 +15,12 @@ calibrated score with a stage breakdown and citation evidence
 (``ScreenVerdict.schema == 2``); records without signals — legacy
 indexes, ``build_index(..., signals=False)`` — keep the original
 role-keyed score and serialize byte-identically to the pre-fusion
-payload (``schema == 1``).  The bare ``risk_score`` function survives
-as a deprecation shim for one release.
+payload (``schema == 1``).
 """
 
 from __future__ import annotations
 
 import threading
-import warnings
 from dataclasses import dataclass
 
 from repro.risk.fusion import FusedVerdict, FusionEngine, FusionTable
@@ -30,7 +28,7 @@ from repro.risk.signals import EvidenceRecord
 from repro.runtime.cache import ReadThroughCache
 from repro.serve.index import AddressIntel, DomainIntel, FamilyRecord, IntelIndex
 
-__all__ = ["QueryEngine", "SCREEN_SCHEMA_VERSION", "ScreenVerdict", "risk_score"]
+__all__ = ["QueryEngine", "SCREEN_SCHEMA_VERSION", "ScreenVerdict"]
 
 #: Verdict payload schema: 1 = the flat role-scored shape, 2 = the
 #: evidence-bearing fused shape (adds "schema", "stages", "evidence").
@@ -38,10 +36,8 @@ SCREEN_SCHEMA_VERSION = 2
 
 #: Base risk per role — contracts are the drain destination itself,
 #: operators run the service, affiliates merely deploy it.  Only used
-#: for records without stage signals (and by the risk_score shim).
+#: for records without stage signals.
 _ROLE_RISK = {"contract": 0.95, "operator": 0.90, "affiliate": 0.80}
-
-_RISK_SCORE_WARNED = False
 
 
 def _role_score(intel: AddressIntel | None) -> float:
@@ -51,26 +47,6 @@ def _role_score(intel: AddressIntel | None) -> float:
     base = _ROLE_RISK.get(intel.role, 0.75)
     activity = min(0.05, intel.tx_count * 0.001)
     return round(min(1.0, base + activity), 4)
-
-
-def risk_score(intel: AddressIntel | None) -> float:
-    """Deprecated: the flat role-keyed risk score.
-
-    Kept importable for one release.  New code should read
-    ``QueryEngine.screen(...)`` — a fused, evidence-bearing verdict —
-    or call :meth:`QueryEngine.risk` for the bare float; see
-    ``docs/risk.md``.
-    """
-    global _RISK_SCORE_WARNED
-    if not _RISK_SCORE_WARNED:
-        _RISK_SCORE_WARNED = True
-        warnings.warn(
-            "risk_score() is deprecated; QueryEngine.screen() returns fused "
-            "evidence-bearing verdicts (docs/risk.md)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    return _role_score(intel)
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,242 @@
+"""Incremental family clustering: union-find over profit-sharing edges.
+
+The hard core of the streaming plane.  Every profit-sharing match is a
+pair of edges — ``contract—operator`` and ``contract—affiliate`` — and
+a family is a connected component of that graph.  Two properties make
+the representation safe to maintain *online*:
+
+* **Merge-only.**  Matches only accumulate as the watermark advances,
+  so components only ever merge; nothing is retracted.  (This is why
+  the stream clusters over profit-sharing edges rather than the batch
+  clusterer's role-dependent operator graph: role assignments can flip
+  as new matches arrive, and a union-find cannot un-union.)
+* **Order-free canonical roots.**  :class:`IncrementalFamilies` keeps
+  the component root at the lexicographically smallest member, so the
+  partition *and its representatives* are a pure function of the edge
+  set — delta batching and arrival order can never change them.  That
+  is the invariant the parity matrix (``tests/stream/test_parity.py``)
+  leans on.
+
+:func:`components_from_edges` is the cold-path reference: a plain BFS
+over the same edges, used by :func:`repro.stream.pipeline.batch_rebuild`
+so the incremental structure is checked against an algorithmically
+independent implementation, not against itself.
+:func:`derive_families` turns either partition into §7
+:class:`~repro.analysis.families.Family` rows by one shared pure
+function of ``(dataset, components)`` — the other half of the
+byte-parity story.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.families import ClusteringResult, Family
+
+__all__ = [
+    "IncrementalFamilies",
+    "components_from_edges",
+    "derive_clustering",
+    "derive_families",
+]
+
+
+class IncrementalFamilies:
+    """Union-find with deterministic (lexicographic-min) canonical roots.
+
+    ``union`` keeps the smaller address as the root, so by induction the
+    root of every component is its minimum member regardless of the
+    order edges arrived in.  Path compression keeps ``find`` amortized
+    near-constant; the min-root rule costs the usual union-by-rank
+    balance, which the compression pays back.
+    """
+
+    __slots__ = ("_parent", "merges", "unions")
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        #: Unions that actually joined two distinct components.
+        self.merges = 0
+        #: Total union calls (including no-ops on already-joined pairs).
+        self.unions = 0
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._parent
+
+    def add(self, member: str) -> bool:
+        """Ensure ``member`` exists (as a singleton if new)."""
+        if member in self._parent:
+            return False
+        self._parent[member] = member
+        return True
+
+    def find(self, member: str) -> str:
+        """The canonical root (minimum member) of ``member``'s component."""
+        parent = self._parent
+        root = member
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression: point the whole chain at the root.
+        while parent[member] != root:
+            parent[member], member = root, parent[member]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        """Join the components of ``a`` and ``b``; True on a real merge."""
+        self.add(a)
+        self.add(b)
+        self.unions += 1
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        keep, absorb = (root_a, root_b) if root_a < root_b else (root_b, root_a)
+        self._parent[absorb] = keep
+        self.merges += 1
+        return True
+
+    def components(self) -> dict[str, list[str]]:
+        """``{root: sorted members}`` for every component, sorted-stable."""
+        out: dict[str, list[str]] = {}
+        for member in sorted(self._parent):
+            out.setdefault(self.find(member), []).append(member)
+        return out
+
+    # -- checkpoint codec ----------------------------------------------------
+
+    def encode(self) -> dict:
+        """JSON-safe state: every member mapped to its canonical root."""
+        return {
+            "members": {m: self.find(m) for m in sorted(self._parent)},
+            "merges": self.merges,
+            "unions": self.unions,
+        }
+
+    @classmethod
+    def decode(cls, payload: dict) -> "IncrementalFamilies":
+        families = cls()
+        for member, root in payload.get("members", {}).items():
+            families._parent[member] = root
+            families._parent.setdefault(root, root)
+        families.merges = int(payload.get("merges", 0))
+        families.unions = int(payload.get("unions", 0))
+        return families
+
+
+def components_from_edges(
+    edges: list[tuple[str, str]],
+) -> dict[str, list[str]]:
+    """Connected components by BFS — the cold-rebuild reference.
+
+    Same ``{root: sorted members}`` shape as
+    :meth:`IncrementalFamilies.components`, computed by a different
+    algorithm so batch-vs-incremental parity is a real cross-check.
+    """
+    adjacency: dict[str, set[str]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    seen: set[str] = set()
+    out: dict[str, list[str]] = {}
+    for start in sorted(adjacency):
+        if start in seen:
+            continue
+        component = [start]
+        seen.add(start)
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.append(neighbor)
+                    frontier.append(neighbor)
+        component.sort()
+        out[component[0]] = component
+    return out
+
+
+def derive_families(dataset, components, explorer) -> list[Family]:
+    """§7 family rows from a component partition — shared, pure, sorted.
+
+    Both the incremental path and the cold rebuild call this with their
+    respective partitions; identical partitions therefore yield
+    byte-identical family tables.  Naming follows the batch clusterer's
+    convention: the first sorted operator carrying a non-generic
+    Etherscan phishing label names the family, else the top-profit
+    operator's address prefix.  Duplicate names (two components whose
+    top operators share a prefix) are disambiguated with the component
+    root, deterministically.
+    """
+    root_of = {
+        member: root for root, members in components.items() for member in members
+    }
+    profit: dict[str, float] = {}
+    stats: dict[str, list] = {}  # root -> [profit, first_ts, last_ts]
+    for record in dataset.transactions:
+        profit[record.operator] = (
+            profit.get(record.operator, 0.0) + record.operator_usd
+        )
+        root = root_of.get(record.contract)
+        if root is None:
+            continue
+        entry = stats.setdefault(root, [0.0, None, None])
+        entry[0] += record.total_usd
+        if entry[1] is None or record.timestamp < entry[1]:
+            entry[1] = record.timestamp
+        if entry[2] is None or record.timestamp > entry[2]:
+            entry[2] = record.timestamp
+
+    families: list[Family] = []
+    used_names: set[str] = set()
+    for root in sorted(components):
+        members = components[root]
+        contracts = {m for m in members if m in dataset.contracts}
+        operators = {
+            m for m in members if m in dataset.operators and m not in contracts
+        }
+        affiliates = {
+            m
+            for m in members
+            if m in dataset.affiliates and m not in contracts and m not in operators
+        }
+        name = _component_name(operators, explorer, profit, fallback=root)
+        if name in used_names:
+            name = f"{name}-{root[2:8]}"
+        used_names.add(name)
+        total, first_ts, last_ts = stats.get(root, (0.0, None, None))
+        families.append(
+            Family(
+                name=name,
+                operators=operators,
+                contracts=contracts,
+                affiliates=affiliates,
+                total_profit_usd=total,
+                first_tx_ts=first_ts,
+                last_tx_ts=last_ts,
+            )
+        )
+    return families
+
+
+def derive_clustering(dataset, components, explorer) -> ClusteringResult:
+    """The :class:`ClusteringResult` shell ``build_index`` consumes."""
+    return ClusteringResult(
+        families=derive_families(dataset, components, explorer)
+    )
+
+
+def _component_name(operators, explorer, profit, fallback: str) -> str:
+    """Batch-convention family name (pure in its inputs)."""
+    for operator in sorted(operators):
+        label = explorer.get_label(operator)
+        if (
+            label is not None
+            and label.is_phishing
+            and not label.tag.startswith("Fake_Phishing")
+        ):
+            return label.tag
+    if not operators:
+        return fallback[:8]
+    top = max(sorted(operators), key=lambda op: profit.get(op, 0.0))
+    return top[:8]

@@ -1,0 +1,199 @@
+"""Cursor-based delta tailing over the chain and the CT log.
+
+The streaming plane never reprocesses history: a :class:`StreamCursor`
+records how far into each upstream the loop has read — the next block
+number on the chain side, the next entry offset in the (time-ordered)
+certificate-transparency log — and :meth:`DeltaSource.poll` returns the
+next :class:`StreamDelta` plus the advanced cursor.  Cursors are plain
+JSON-safe value objects, so the pipeline checkpoints them through the
+existing :class:`~repro.runtime.checkpoint.CheckpointManager` machinery
+and a resumed loop continues exactly where the killed one stopped.
+
+Each delta carries its **watermark** (the timestamp of its last sealed
+block) and the **touched set** — every address whose transaction index
+grew inside the delta, extracted from receipts with the same party
+rules the chain indexer uses.  The incremental snowball uses the
+touched set to re-examine only the frontier actually reachable from
+the delta's transactions; CT entries are released in issuance order
+once their ``issued_at`` falls under the watermark, keeping one
+coherent timeline across both upstreams.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+__all__ = [
+    "DeltaSource",
+    "StreamCursor",
+    "StreamDelta",
+    "transaction_parties",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamCursor:
+    """Resumable read position: JSON-safe, checkpointed by the pipeline."""
+
+    #: Next chain block *number* to read (not an index into the block list).
+    next_block: int = 0
+    #: Offset of the next unread entry in the time-ordered CT log.
+    next_entry: int = 0
+
+    def encode(self) -> dict:
+        return {"next_block": self.next_block, "next_entry": self.next_entry}
+
+    @classmethod
+    def decode(cls, payload: dict) -> "StreamCursor":
+        return cls(
+            next_block=int(payload.get("next_block", 0)),
+            next_entry=int(payload.get("next_entry", 0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StreamDelta:
+    """One poll's worth of new upstream state."""
+
+    #: Newly sealed blocks, ascending block number.
+    blocks: tuple
+    #: CT entries issued up to (and including) the watermark, log order.
+    entries: tuple
+    #: Timestamp of the last sealed block — the "as of" instant every
+    #: downstream admission/derivation decision is evaluated at.
+    watermark_ts: int
+    #: Number of the last sealed block.
+    watermark_block: int
+    #: Every address whose transaction index grew in this delta.
+    touched: frozenset
+
+    @property
+    def tx_count(self) -> int:
+        return sum(len(block.transactions) for block in self.blocks)
+
+
+def transaction_parties(chain, tx) -> set[str]:
+    """Every address ``tx`` lands in the transaction index of.
+
+    Mirrors the chain indexer's party extraction — sender, recipient,
+    internal-transfer frames, token-log participants, and the created
+    contract address on deployments — so the touched set is exactly
+    the set of addresses whose ``transactions_of`` view grew.
+    """
+    parties: set[str] = {tx.sender}
+    if tx.to:
+        parties.add(tx.to)
+    receipt = chain.receipts.get(tx.hash)
+    if receipt is None:
+        return parties
+    if receipt.trace is not None:
+        for frame in receipt.trace.walk():
+            parties.add(frame.sender)
+            parties.add(frame.recipient)
+    for log in receipt.logs:
+        parties.add(log.address)
+        for key in ("from", "to", "owner", "spender", "operator"):
+            party = log.args.get(key)
+            if isinstance(party, str):
+                parties.add(party)
+    created = getattr(receipt, "contract_created", None)
+    if created:
+        parties.add(created)
+    return parties
+
+
+class DeltaSource:
+    """Tails new blocks (and optionally CT entries) behind a cursor.
+
+    The simulated world is pre-built, so the upstream block list is
+    snapshotted once; against a live chain the only change would be
+    re-listing the block numbers per poll.  ``poll`` is pure in
+    ``(cursor, max_blocks)`` — it never mutates the source or the
+    cursor — which is what makes resume-from-checkpoint trivially
+    correct.
+    """
+
+    def __init__(self, chain, ct_log=None) -> None:
+        self.chain = chain
+        self._block_numbers = sorted(chain.blocks)
+        self._block_ts = [chain.blocks[n].timestamp for n in self._block_numbers]
+        # Iterating a CTLog sorts it; snapshot the ordered entries once.
+        self._entries = list(ct_log) if ct_log is not None else []
+        self._entry_ts = [entry.issued_at for entry in self._entries]
+
+    @property
+    def backlog_blocks(self) -> int:
+        return len(self._block_numbers)
+
+    @property
+    def backlog_entries(self) -> int:
+        return len(self._entries)
+
+    def final_watermark(self) -> tuple[int, int]:
+        """``(block_number, timestamp)`` of the last sealed block."""
+        if not self._block_numbers:
+            return (0, 0)
+        return (self._block_numbers[-1], self._block_ts[-1])
+
+    def drained_watermark_ts(self) -> int:
+        """The watermark a fully drained stream ends at: the final block
+        timestamp, extended to the last CT entry when the log outlives
+        the chain (the tail-flush tick in :meth:`poll`)."""
+        ts = self.final_watermark()[1]
+        if self._entry_ts:
+            ts = max(ts, self._entry_ts[-1])
+        return ts
+
+    def entries_until(self, ts: int) -> list:
+        """All CT entries issued at or before ``ts``, in log order."""
+        return self._entries[: bisect_right(self._entry_ts, ts)]
+
+    def drained(self, cursor: StreamCursor) -> bool:
+        start = bisect_left(self._block_numbers, cursor.next_block)
+        return start >= len(self._block_numbers) and cursor.next_entry >= len(
+            self._entries
+        )
+
+    def poll(
+        self, cursor: StreamCursor, max_blocks: int = 16
+    ) -> tuple[StreamDelta, StreamCursor] | None:
+        """The next delta of at most ``max_blocks`` blocks, or ``None``
+        when the backlog behind ``cursor`` is fully drained."""
+        start = bisect_left(self._block_numbers, cursor.next_block)
+        stop = min(start + max(1, max_blocks), len(self._block_numbers))
+        numbers = self._block_numbers[start:stop]
+        blocks = tuple(self.chain.blocks[n] for n in numbers)
+
+        if blocks:
+            watermark_block = numbers[-1]
+            watermark_ts = blocks[-1].timestamp
+        elif cursor.next_entry < len(self._entries):
+            # Blocks are drained but CT entries remain: flush the tail
+            # under the final chain watermark.
+            watermark_block, watermark_ts = self.final_watermark()
+            watermark_ts = max(watermark_ts, self._entry_ts[-1])
+        else:
+            return None
+
+        entry_stop = bisect_right(self._entry_ts, watermark_ts)
+        entry_stop = max(entry_stop, cursor.next_entry)
+        entries = tuple(self._entries[cursor.next_entry : entry_stop])
+
+        touched: set[str] = set()
+        for block in blocks:
+            for tx in block.transactions:
+                touched.update(transaction_parties(self.chain, tx))
+
+        delta = StreamDelta(
+            blocks=blocks,
+            entries=entries,
+            watermark_ts=watermark_ts,
+            watermark_block=watermark_block,
+            touched=frozenset(touched),
+        )
+        advanced = StreamCursor(
+            next_block=(numbers[-1] + 1) if numbers else cursor.next_block,
+            next_entry=entry_stop,
+        )
+        return delta, advanced

@@ -147,7 +147,23 @@ class StreamingSiteDetector:
             else:
                 stats.no_fingerprint_match += 1
                 if len(self._pending) == self.max_retry_queue:
-                    stats.retry_evictions += 1  # deque drops the oldest entry
+                    # The deque is about to drop its oldest entry: that
+                    # candidate will never be retried again, which a
+                    # detection pipeline must never do silently.
+                    abandoned_domain, abandoned_ts, _, _ = self._pending[0]
+                    stats.retry_evictions += 1
+                    self.obs.event(
+                        "stream.entry_abandoned",
+                        level="warning",
+                        domain=abandoned_domain,
+                        issued_at=abandoned_ts,
+                        queue="webdetect",
+                    )
+                    self.obs.metrics.counter(
+                        "daas_stream_entries_abandoned_total",
+                        help_text="Review-queue entries dropped past the bound.",
+                        queue="webdetect",
+                    ).inc()
                 self._pending.append((entry.domain, entry.issued_at, keyword, files))
         return reports, stats
 

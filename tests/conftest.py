@@ -15,6 +15,10 @@ Test tiers (marker registry in ``pyproject.toml``):
   ({shards} × {processes} × {cache}) and multiprocess kill drills.
   These fork/spawn real worker pools, so they are **auto-skipped**
   unless the bench/slow lane opts in with ``pytest --run-multiproc``.
+* ``stream_soak`` — the full-scale streaming parity matrix (every
+  delta batch size × arrival shuffle at the session world's full
+  backlog).  Auto-skipped unless ``pytest --run-soak``; tier-1 keeps
+  a fast 3-delta smoke of the same invariant.
 """
 
 from __future__ import annotations
@@ -36,19 +40,30 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=False,
         help="run the process-sharding matrix tests (marker: multiproc)",
     )
+    parser.addoption(
+        "--run-soak",
+        action="store_true",
+        default=False,
+        help="run the full-scale streaming parity soak (marker: stream_soak)",
+    )
 
 
 def pytest_collection_modifyitems(
     config: pytest.Config, items: list[pytest.Item]
 ) -> None:
-    if config.getoption("--run-multiproc"):
-        return
-    skip = pytest.mark.skip(
-        reason="multiproc matrix runs in the bench/slow lane (--run-multiproc)"
+    gates = (
+        ("multiproc", "--run-multiproc",
+         "multiproc matrix runs in the bench/slow lane (--run-multiproc)"),
+        ("stream_soak", "--run-soak",
+         "streaming parity soak runs in the bench/slow lane (--run-soak)"),
     )
-    for item in items:
-        if "multiproc" in item.keywords:
-            item.add_marker(skip)
+    for marker, flag, reason in gates:
+        if config.getoption(flag):
+            continue
+        skip = pytest.mark.skip(reason=reason)
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

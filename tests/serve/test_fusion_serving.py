@@ -135,25 +135,21 @@ class TestSignalFreeByteCompat:
             assert engine.risk(intel) == expected
 
 
-class TestRiskScoreShim:
-    def test_risk_score_stays_importable_and_warns_once(self, plain_index):
-        import warnings
-
+class TestRiskScoreShimRemoved:
+    def test_risk_score_is_gone(self):
+        import repro.serve
         import repro.serve.query as query_module
-        from repro.serve import risk_score
 
-        query_module._RISK_SCORE_WARNED = False
+        assert not hasattr(repro.serve, "risk_score")
+        assert not hasattr(query_module, "risk_score")
+        assert "risk_score" not in repro.serve.__all__
+
+    def test_engine_risk_replaces_the_shim(self, plain_index):
+        import repro.serve.query as query_module
+
+        engine = QueryEngine(plain_index)
         intel = next(iter(plain_index.addresses.values()))
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            first = risk_score(intel)
-            risk_score(intel)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1          # warned exactly once
-        assert "docs/risk.md" in str(deprecations[0].message)
-        assert first == query_module._role_score(intel)
+        assert engine.risk(intel) == query_module._role_score(intel)
 
 
 @pytest.fixture()

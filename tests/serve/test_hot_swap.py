@@ -1,0 +1,111 @@
+"""Hot-swap staleness: the QueryEngine cache under rapid index churn.
+
+The streaming publisher swaps the served index every few ticks, so the
+engine's read-through cache is constantly invalidated.  The invariant:
+a verdict returned while the engine reports version ``V`` must be
+computed from ``V``'s records — never from a previously swapped index
+that happens to still sit in the cache.  Each generation here encodes
+itself in every record (family ``fam-<n>``, ``tx_count = n``), so one
+stale cache entry is immediately visible in the verdict.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve import IntelIndex, QueryEngine
+from repro.serve.index import AddressIntel, FamilyRecord
+from repro.stream import StreamPublisher
+
+_ADDRESSES = [f"0x{i:040x}" for i in range(8)]
+_SWAPS = 50
+
+
+def _generation(n: int) -> IntelIndex:
+    """Index generation ``n``: same key set, self-describing records."""
+    return IntelIndex(
+        addresses={
+            a: AddressIntel(
+                address=a, role="affiliate", family=f"fam-{n}", tx_count=n
+            )
+            for a in _ADDRESSES
+        },
+        families={f"fam-{n}": FamilyRecord(name=f"fam-{n}", affiliate_count=n)},
+    )
+
+
+class TestSequentialSwaps:
+    def test_every_swap_invalidates_every_cached_read(self):
+        engine = QueryEngine(_generation(0))
+        for n in range(1, _SWAPS + 1):
+            # Warm the cache on the current generation first, so a swap
+            # that failed to invalidate would definitely serve stale.
+            for a in _ADDRESSES:
+                engine.screen(a)
+                engine.lookup_address(a)
+            engine.screen_batch(_ADDRESSES)
+
+            version = engine.swap_index(_generation(n))
+            assert engine.index_version == version
+            for a in _ADDRESSES:
+                intel = engine.lookup_address(a)
+                assert intel.family == f"fam-{n}" and intel.tx_count == n
+                verdict = engine.screen(a)
+                assert verdict.family == f"fam-{n}"
+            assert all(
+                v.family == f"fam-{n}" for v in engine.screen_batch(_ADDRESSES)
+            )
+            assert engine.families()[0].name == f"fam-{n}"
+
+    def test_publisher_driven_swaps_serve_the_delta_applied_index(self):
+        """The streaming path: every delta publish must leave the engine
+        serving exactly the publish's target version."""
+        engine = QueryEngine(IntelIndex())
+        publisher = StreamPublisher(engine=engine)
+        for n in range(_SWAPS):
+            engine.screen_batch(_ADDRESSES)  # warm on the old generation
+            receipt = publisher.publish(_generation(n))
+            assert engine.index_version == receipt.version
+            assert engine.screen(_ADDRESSES[0]).family == f"fam-{n}"
+
+
+class TestConcurrentSwaps:
+    def test_readers_never_observe_cross_version_verdicts(self):
+        """Readers hammering the cache while the index is swapped under
+        them: whenever the version is stable across a read, the verdict
+        must belong to that version (torn reads across a swap are
+        allowed to belong to either side, never to a third)."""
+        engine = QueryEngine(_generation(0))
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def read_strict() -> None:
+            """The precise staleness probe: version-stable reads must
+            match that version's self-description."""
+            while not stop.is_set():
+                for a in _ADDRESSES:
+                    before = engine.index
+                    verdict = engine.screen(a)
+                    after = engine.index
+                    if before is after:
+                        want = before.lookup_address(a).family
+                        if verdict.family != want:
+                            errors.append(
+                                f"stale verdict {verdict.family}, "
+                                f"index holds {want}"
+                            )
+
+        readers = [threading.Thread(target=read_strict) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for n in range(1, _SWAPS * 4):
+                engine.swap_index(_generation(n))
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert errors == []
+        # After the churn settles, reads reflect the final generation.
+        final = _SWAPS * 4 - 1
+        assert engine.screen(_ADDRESSES[0]).family == f"fam-{final}"

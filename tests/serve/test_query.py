@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.serve import IntelIndex, QueryEngine, build_index, risk_score
+from repro.serve import IntelIndex, QueryEngine, build_index
+from repro.serve.query import _role_score
 
 
 @pytest.fixture()
@@ -66,7 +67,7 @@ class TestScreening:
         from repro.serve import AddressIntel
 
         risks = [
-            risk_score(AddressIntel(address="0x0", role=role, tx_count=10))
+            _role_score(AddressIntel(address="0x0", role=role, tx_count=10))
             for role in ("contract", "operator", "affiliate")
         ]
         assert risks == sorted(risks, reverse=True)
@@ -77,10 +78,10 @@ class TestScreening:
         from repro.serve import AddressIntel
 
         busy = AddressIntel(address="0x0", role="contract", tx_count=10**6)
-        assert risk_score(busy) <= 1.0
+        assert _role_score(busy) <= 1.0
 
-    def test_risk_score_none_is_zero(self):
-        assert risk_score(None) == 0.0
+    def test_role_score_none_is_zero(self):
+        assert _role_score(None) == 0.0
 
     def test_batch_cache_normalizes_ordering(self, engine, pipeline):
         """Regression: the same address *set* in a different order must

@@ -1,0 +1,45 @@
+"""Streaming-plane fixtures.
+
+The analyzer (and its verdict caches) is shared session-wide: every
+parity run re-examines the same histories, so the cache makes the
+matrix cheap while leaving results untouched — verdicts are pure
+functions of the chain.  Pipelines themselves are never shared; each
+test builds its own so cursor/expander state stays isolated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ContractAnalyzer
+from repro.core.seed import SeedBuilder
+from repro.stream import StreamPipeline
+from repro.webdetect import build_fingerprint_db
+
+
+@pytest.fixture(scope="session")
+def stream_ctx(world):
+    """``(analyzer, seeds)`` on the session world, built once."""
+    analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle)
+    seeds, _ = SeedBuilder(analyzer, world.feeds).build()
+    return analyzer, seeds
+
+
+@pytest.fixture(scope="session")
+def web_db(web_world):
+    """A frozen fingerprint DB over the session web world."""
+    return build_fingerprint_db(web_world)
+
+
+@pytest.fixture()
+def make_pipeline(world, stream_ctx, web_world, web_db):
+    """Factory for fresh pipelines over the shared world/analyzer."""
+    analyzer, seeds = stream_ctx
+
+    def _make(web: bool = True, **kwargs) -> StreamPipeline:
+        if web:
+            kwargs.setdefault("web", web_world)
+            kwargs.setdefault("db", web_db)
+        return StreamPipeline(world, analyzer, seeds, **kwargs)
+
+    return _make

@@ -1,0 +1,99 @@
+"""CLI surface of the streaming plane: ``daas stream run``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.serve import IntelIndex
+
+SCALE = ["--scale", "0.005", "--seed", "7"]
+
+
+class TestStreamRun:
+    def test_drains_and_writes_the_index(self, capsys, tmp_path):
+        out = tmp_path / "intel.json"
+        assert main([
+            "stream", "run", *SCALE, "--out", str(out), "--delta-batch", "64",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "stream drained:" in printed
+        index = IntelIndex.load(out)
+        assert len(index) > 0
+        assert index.version in printed
+
+    def test_streamed_index_matches_cold_rebuild(self, capsys, tmp_path):
+        """The CLI's streamed bytes must equal the library's cold-rebuild
+        oracle on the same world.  (Deliberately *not* compared against
+        `index build`: the batch plane's round-synchronized admission
+        guard is a different rule from the stream's monotone closure —
+        docs/streaming.md spells out the divergence.)"""
+        from repro.core.pipeline import ContractAnalyzer
+        from repro.core.seed import SeedBuilder
+        from repro.simulation import SimulationParams, build_world
+        from repro.stream import batch_rebuild
+
+        streamed = tmp_path / "streamed.json"
+        assert main([
+            "stream", "run", *SCALE, "--out", str(streamed),
+            "--delta-batch", "7",
+        ]) == 0
+        world = build_world(SimulationParams(scale=0.005, seed=7))
+        analyzer = ContractAnalyzer(world.rpc, world.explorer, world.oracle)
+        seeds, _ = SeedBuilder(analyzer, world.feeds).build()
+        cold = batch_rebuild(world, analyzer, seeds)
+        assert streamed.read_bytes() == cold.to_bytes()
+
+    def test_batch_size_does_not_change_the_output(self, capsys, tmp_path):
+        small = tmp_path / "small.json"
+        large = tmp_path / "large.json"
+        assert main([
+            "stream", "run", *SCALE, "--out", str(small), "--delta-batch", "1",
+        ]) == 0
+        assert main([
+            "stream", "run", *SCALE, "--out", str(large),
+            "--delta-batch", "512",
+        ]) == 0
+        assert small.read_bytes() == large.read_bytes()
+
+    def test_with_domains_serves_domain_records(self, capsys, tmp_path):
+        out = tmp_path / "intel.json"
+        assert main([
+            "stream", "run", *SCALE, "--out", str(out), "--with-domains",
+            "--delta-batch", "128",
+        ]) == 0
+        assert IntelIndex.load(out).counts()["domains"] > 0
+
+    def test_resume_continues_to_the_same_bytes(self, capsys, tmp_path):
+        """Interrupt via --max-ticks, resume from the checkpoint: the
+        final index must equal an uninterrupted run's."""
+        ck = tmp_path / "ck.json"
+        resumed = tmp_path / "resumed.json"
+        straight = tmp_path / "straight.json"
+        assert main([
+            "stream", "run", *SCALE, "--out", str(resumed),
+            "--checkpoint", str(ck), "--max-ticks", "3", "--delta-batch", "16",
+        ]) == 0
+        assert ck.exists()
+        assert main([
+            "stream", "run", *SCALE, "--out", str(resumed),
+            "--checkpoint", str(ck), "--resume", "--delta-batch", "16",
+        ]) == 0
+        assert main([
+            "stream", "run", *SCALE, "--out", str(straight),
+            "--delta-batch", "16",
+        ]) == 0
+        assert resumed.read_bytes() == straight.read_bytes()
+
+    def test_resume_rejects_foreign_checkpoint_stage(self, capsys, tmp_path):
+        from repro.runtime import CheckpointManager
+
+        ck = tmp_path / "ck.json"
+        CheckpointManager(
+            ck, params_key={"scale": 0.005, "seed": 7}
+        ).save("seed", {})
+        assert main([
+            "stream", "run", *SCALE, "--checkpoint", str(ck), "--resume",
+            "--out", str(tmp_path / "intel.json"),
+        ]) == 1
+        assert "not a stream checkpoint" in capsys.readouterr().err

@@ -1,0 +1,83 @@
+"""Union-find determinism: canonical roots must not depend on order."""
+
+from __future__ import annotations
+
+import random
+
+from repro.stream import IncrementalFamilies, components_from_edges
+
+_EDGES = [
+    ("0xc1", "0xop1"), ("0xc1", "0xaf1"), ("0xc2", "0xop1"),
+    ("0xc3", "0xop2"), ("0xc3", "0xaf2"), ("0xc4", "0xaf2"),
+    ("0xc5", "0xop3"), ("0xc2", "0xaf3"), ("0xc6", "0xop4"),
+    ("0xc6", "0xaf1"), ("0xc7", "0xop5"), ("0xc8", "0xop5"),
+]
+
+
+class TestIncrementalFamilies:
+    def test_root_is_component_minimum(self):
+        families = IncrementalFamilies()
+        for a, b in _EDGES:
+            families.union(a, b)
+        for root, members in families.components().items():
+            assert root == min(members)
+
+    def test_components_invariant_under_edge_order(self):
+        baseline = IncrementalFamilies()
+        for a, b in _EDGES:
+            baseline.union(a, b)
+        for seed in (1, 2, 3, 4, 5):
+            shuffled = list(_EDGES)
+            random.Random(seed).shuffle(shuffled)
+            families = IncrementalFamilies()
+            for a, b in shuffled:
+                families.union(a, b)
+            assert families.components() == baseline.components()
+            # Real merges are order-independent too: every permutation
+            # joins the same number of distinct components.
+            assert families.merges == baseline.merges
+
+    def test_matches_bfs_reference(self):
+        """The union-find must agree with the algorithmically independent
+        BFS reference, under arbitrary arrival orders."""
+        reference = components_from_edges(_EDGES)
+        for seed in (7, 8, 9):
+            shuffled = list(_EDGES)
+            random.Random(seed).shuffle(shuffled)
+            families = IncrementalFamilies()
+            for a, b in shuffled:
+                families.union(a, b)
+            assert families.components() == reference
+
+    def test_union_reports_real_merges_only(self):
+        families = IncrementalFamilies()
+        assert families.union("0xa", "0xb") is True
+        assert families.union("0xa", "0xb") is False
+        assert families.union("0xb", "0xa") is False
+        assert families.merges == 1
+        assert families.unions == 3
+
+    def test_codec_roundtrip(self):
+        families = IncrementalFamilies()
+        for a, b in _EDGES:
+            families.union(a, b)
+        revived = IncrementalFamilies.decode(families.encode())
+        assert revived.components() == families.components()
+        assert revived.merges == families.merges
+        # A revived forest keeps accepting unions deterministically.
+        families.union("0xc7", "0xc1")
+        revived.union("0xc7", "0xc1")
+        assert revived.components() == families.components()
+
+
+class TestStreamedEdgesMatchDerived:
+    def test_pipeline_forest_equals_bfs_on_derived_edges(self, make_pipeline):
+        """After real ticks, the incrementally maintained forest equals a
+        BFS over the expander's full derived edge list."""
+        pipe = make_pipeline(web=False, delta_batch=64)
+        for _ in range(20):
+            if pipe.tick() is None:
+                break
+        assert pipe.families.components() == components_from_edges(
+            pipe.expander.derive_edges()
+        )

@@ -1,0 +1,159 @@
+"""The streaming plane's one invariant: batching must not matter.
+
+After any sequence of ticks ending at watermark ``W``, the incremental
+state must derive an index byte-identical to a cold, from-scratch
+rebuild at ``W`` (:func:`repro.stream.batch_rebuild` — full-history
+expansion, BFS components, one-pass site confirmation; nothing shared
+with the incremental code paths beyond the admission rule itself).
+
+The tier-1 matrix drives the first ``_PREFIX_BLOCKS`` blocks through
+every delta batch size in {1, 7, 64} plus shuffled (randomly sized)
+arrival plans, all ending at the same watermark; the ``stream_soak``
+variant (``pytest --run-soak``) runs the same matrix over the session
+world's *full* backlog, CT tail included.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.stream import StreamPipeline, batch_rebuild
+
+#: lcm-friendly prefix (divisible by every fixed batch size), chosen
+#: deep enough that the watermark has released CT entries — the matrix
+#: exercises the chain *and* web halves of the incremental state.
+_PREFIX_BLOCKS = 2240
+_BATCH_SIZES = (1, 7, 64)
+_SHUFFLE_SEEDS = (11, 23, 47)
+
+
+def _plan_fixed(total: int, batch: int) -> list[int]:
+    plan = [batch] * (total // batch)
+    if total % batch:
+        plan.append(total % batch)
+    return plan
+
+
+def _plan_shuffled(total: int, seed: int) -> list[int]:
+    """A random partition of ``total`` blocks into tick-sized deltas."""
+    rng = random.Random(seed)
+    plan: list[int] = []
+    remaining = total
+    while remaining:
+        size = min(remaining, rng.randint(1, 16))
+        plan.append(size)
+        remaining -= size
+    return plan
+
+
+def _drive(pipe: StreamPipeline, plan: list[int]) -> None:
+    for size in plan:
+        pipe.delta_batch = size
+        assert pipe.tick() is not None
+
+
+def _drain(pipe: StreamPipeline) -> None:
+    while pipe.tick() is not None:
+        pass
+
+
+class TestParityMatrix:
+    """{1, 7, 64} × shuffled arrival plans, all pinned at one watermark."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self, world, stream_ctx, web_world, web_db):
+        """Cold rebuild at the prefix watermark, computed once."""
+        analyzer, seeds = stream_ctx
+        probe = StreamPipeline(
+            world, analyzer, seeds, web=web_world, db=web_db
+        )
+        _drive(probe, _plan_fixed(_PREFIX_BLOCKS, 64))
+        cold = batch_rebuild(
+            world, analyzer, seeds, web=web_world, db=web_db,
+            watermark_ts=probe.watermark_ts,
+        )
+        return probe.watermark_ts, cold
+
+    @pytest.mark.parametrize("batch", _BATCH_SIZES)
+    def test_fixed_batch_sizes(self, make_pipeline, oracle, batch):
+        watermark_ts, cold = oracle
+        pipe = make_pipeline()
+        _drive(pipe, _plan_fixed(_PREFIX_BLOCKS, batch))
+        assert pipe.watermark_ts == watermark_ts
+        assert pipe.build_index_at().to_bytes() == cold.to_bytes()
+
+    @pytest.mark.parametrize("seed", _SHUFFLE_SEEDS)
+    def test_shuffled_arrival_plans(self, make_pipeline, oracle, seed):
+        watermark_ts, cold = oracle
+        pipe = make_pipeline()
+        _drive(pipe, _plan_shuffled(_PREFIX_BLOCKS, seed))
+        assert pipe.watermark_ts == watermark_ts
+        assert pipe.build_index_at().to_bytes() == cold.to_bytes()
+
+
+class TestFullDrainParity:
+    def test_three_delta_smoke(self, make_pipeline, world, stream_ctx):
+        """The fast tier-1 smoke: three deltas, no web half."""
+        analyzer, seeds = stream_ctx
+        pipe = make_pipeline(web=False, delta_batch=16)
+        for _ in range(3):
+            assert pipe.tick() is not None
+        cold = batch_rebuild(
+            world, analyzer, seeds, watermark_ts=pipe.watermark_ts
+        )
+        assert pipe.build_index_at().to_bytes() == cold.to_bytes()
+
+    def test_full_drain_with_ct_tail(
+        self, make_pipeline, world, stream_ctx, web_world, web_db
+    ):
+        """Draining the whole backlog — including the CT entries issued
+        after the final block, flushed by the tail tick — matches the
+        default (fully drained) cold rebuild."""
+        analyzer, seeds = stream_ctx
+        pipe = make_pipeline(delta_batch=64)
+        _drain(pipe)
+        assert pipe.source.drained(pipe.cursor)
+        cold = batch_rebuild(
+            world, analyzer, seeds, web=web_world, db=web_db
+        )
+        assert pipe.build_index_at().to_bytes() == cold.to_bytes()
+
+    def test_signals_flag_propagates(self, make_pipeline, world, stream_ctx):
+        analyzer, seeds = stream_ctx
+        pipe = make_pipeline(web=False, delta_batch=512, signals=False)
+        _drain(pipe)
+        cold = batch_rebuild(world, analyzer, seeds, signals=False)
+        index = pipe.build_index_at()
+        assert index.to_bytes() == cold.to_bytes()
+        assert all(not i.signals for i in index.addresses.values())
+
+
+@pytest.mark.stream_soak
+class TestFullScaleSoak:
+    """The full-backlog matrix: every batch size and shuffle plan must
+    land on the fully drained oracle, web half included."""
+
+    @pytest.fixture(scope="class")
+    def full_oracle(self, world, stream_ctx, web_world, web_db):
+        analyzer, seeds = stream_ctx
+        return batch_rebuild(
+            world, analyzer, seeds, web=web_world, db=web_db
+        )
+
+    @pytest.mark.parametrize("batch", _BATCH_SIZES)
+    def test_fixed_batch_sizes(self, make_pipeline, full_oracle, batch):
+        pipe = make_pipeline(delta_batch=batch)
+        _drain(pipe)
+        assert pipe.build_index_at().to_bytes() == full_oracle.to_bytes()
+
+    @pytest.mark.parametrize("seed", _SHUFFLE_SEEDS)
+    def test_shuffled_arrival_plans(self, make_pipeline, full_oracle, seed):
+        pipe = make_pipeline()
+        rng = random.Random(seed)
+        while True:
+            pipe.delta_batch = rng.randint(1, 16)
+            if pipe.tick() is None:
+                break
+        assert pipe.build_index_at().to_bytes() == full_oracle.to_bytes()

@@ -1,0 +1,116 @@
+"""DeltaSource cursor semantics: pure polls, exact touched sets."""
+
+from __future__ import annotations
+
+from repro.stream import DeltaSource, StreamCursor
+from repro.stream.source import transaction_parties
+
+
+class TestPoll:
+    def test_poll_is_pure_in_cursor(self, world):
+        source = DeltaSource(world.chain)
+        cursor = StreamCursor()
+        first = source.poll(cursor, max_blocks=8)
+        again = source.poll(cursor, max_blocks=8)
+        assert first is not None and again is not None
+        assert first[0].watermark_block == again[0].watermark_block
+        assert first[1] == again[1]
+
+    def test_cursors_partition_the_backlog(self, world):
+        """Walking the backlog in deltas visits every block exactly once,
+        whatever the batch size."""
+        source = DeltaSource(world.chain)
+        seen: list[int] = []
+        cursor = StreamCursor()
+        while True:
+            polled = source.poll(cursor, max_blocks=13)
+            if polled is None:
+                break
+            delta, cursor = polled
+            seen.extend(b.number for b in delta.blocks)
+        assert seen == sorted(world.chain.blocks)
+        assert source.drained(cursor)
+
+    def test_watermark_is_last_sealed_block_ts(self, world):
+        source = DeltaSource(world.chain)
+        delta, _ = source.poll(StreamCursor(), max_blocks=5)
+        assert delta.watermark_ts == delta.blocks[-1].timestamp
+        assert delta.watermark_block == delta.blocks[-1].number
+
+    def test_resume_from_encoded_cursor(self, world):
+        source = DeltaSource(world.chain)
+        _, cursor = source.poll(StreamCursor(), max_blocks=10)
+        revived = StreamCursor.decode(cursor.encode())
+        assert revived == cursor
+        delta, _ = source.poll(revived, max_blocks=10)
+        assert delta.blocks[0].number >= cursor.next_block
+
+
+class TestCtInterleaving:
+    def test_entries_released_under_watermark_only(self, world, web_world):
+        source = DeltaSource(world.chain, web_world.ct_log)
+        cursor = StreamCursor()
+        released: list = []
+        while True:
+            polled = source.poll(cursor, max_blocks=64)
+            if polled is None:
+                break
+            delta, cursor = polled
+            assert all(e.issued_at <= delta.watermark_ts for e in delta.entries)
+            released.extend(delta.entries)
+        # Exhaustive and in issuance order: the interleaving drops nothing.
+        assert len(released) == source.backlog_entries
+        assert [e.issued_at for e in released] == sorted(
+            e.issued_at for e in released
+        )
+
+    def test_ct_tail_flush_extends_watermark(self, world, web_world):
+        """When the chain drains before the CT log, one final tick flushes
+        the tail under a watermark covering the last entry."""
+        source = DeltaSource(world.chain, web_world.ct_log)
+        cursor = StreamCursor()
+        last = None
+        while True:
+            polled = source.poll(cursor, max_blocks=source.backlog_blocks)
+            if polled is None:
+                break
+            last, cursor = polled
+        assert last is not None
+        assert last.watermark_ts == source.drained_watermark_ts()
+        assert source.drained(cursor)
+
+    def test_entries_until_matches_streamed_release(self, world, web_world):
+        source = DeltaSource(world.chain, web_world.ct_log)
+        delta, _ = source.poll(StreamCursor(), max_blocks=200)
+        assert list(delta.entries) == source.entries_until(delta.watermark_ts)
+
+
+class TestTouchedSets:
+    def test_touched_covers_every_indexed_party(self, world):
+        """The touched set is exactly the union of party sets — any address
+        whose transaction index grew is in it."""
+        source = DeltaSource(world.chain)
+        delta, _ = source.poll(StreamCursor(), max_blocks=32)
+        expected: set[str] = set()
+        for block in delta.blocks:
+            for tx in block.transactions:
+                expected |= transaction_parties(world.chain, tx)
+        assert set(delta.touched) == expected
+
+    def test_parties_include_trace_and_log_participants(self, world):
+        chain = world.chain
+        found_trace = found_log = False
+        for number in sorted(chain.blocks)[:200]:
+            for tx in chain.blocks[number].transactions:
+                parties = transaction_parties(chain, tx)
+                receipt = chain.receipts.get(tx.hash)
+                if receipt is None:
+                    continue
+                if receipt.trace is not None:
+                    for frame in receipt.trace.walk():
+                        assert frame.recipient in parties
+                        found_trace = True
+                for log in receipt.logs:
+                    assert log.address in parties
+                    found_log = True
+        assert found_trace and found_log
